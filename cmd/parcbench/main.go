@@ -1,0 +1,191 @@
+// Command parcbench regenerates every figure and table of the paper's
+// evaluation (§4) plus the DESIGN.md ablations, printing paper-style tables
+// with the measured stacks next to the analytic cost model.
+//
+// Usage:
+//
+//	parcbench                  # every experiment, quick settings
+//	parcbench -full            # full sweeps (paper-sized; minutes)
+//	parcbench -exp fig8a       # one experiment: fig8a fig8b latency fig9
+//	                           # seqratio overhead agg agglom codecs pool
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/netsim"
+	"repro/internal/profile"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (all, fig8a, fig8b, latency, fig9, seqratio, overhead, agg, agglom, codecs, pool)")
+	full := flag.Bool("full", false, "full paper-sized sweeps (slower)")
+	flag.Parse()
+
+	run := func(name string) bool {
+		return *exp == "all" || strings.EqualFold(*exp, name)
+	}
+	out := os.Stdout
+	any := false
+
+	if run("fig8a") {
+		any = true
+		fmt.Fprintln(out, "================================================================")
+		stacks, err := bench.Fig8aStacks()
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, err := bench.Sweep(stacks, bench.MessageSizes(*full), *full)
+		bench.CloseAll(stacks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bench.PrintBandwidth(out, "Fig. 8a — inter-node bandwidth, measured (MPI vs Java RMI vs Mono)", rows)
+		model := bench.ModelSweep(
+			[]bench.StackModel{bench.ModelMPI(), bench.ModelRMI(), bench.ModelMono117()},
+			bench.MessageSizes(*full))
+		bench.PrintBandwidth(out, "Fig. 8a — analytic cost model", model)
+	}
+	if run("fig8b") {
+		any = true
+		fmt.Fprintln(out, "================================================================")
+		stacks, err := bench.Fig8bStacks()
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, err := bench.Sweep(stacks, bench.MessageSizes(*full), *full)
+		bench.CloseAll(stacks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bench.PrintBandwidth(out, "Fig. 8b — Mono implementations (Tcp 1.1.7 vs Tcp 1.0.5 vs Http)", rows)
+		model := bench.ModelSweep(
+			[]bench.StackModel{bench.ModelMono117(), bench.ModelMono105(), bench.ModelMonoHTTP()},
+			bench.MessageSizes(*full))
+		bench.PrintBandwidth(out, "Fig. 8b — analytic cost model", model)
+	}
+	if run("latency") {
+		any = true
+		fmt.Fprintln(out, "================================================================")
+		stacks, err := bench.Fig8aStacks()
+		if err != nil {
+			log.Fatal(err)
+		}
+		reps := 50
+		if !*full {
+			reps = 20
+		}
+		rows, err := bench.MeasureLatency(stacks, reps)
+		bench.CloseAll(stacks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bench.PrintLatency(out, "E3 — inter-node round-trip latency (paper: MPI 100, Mono 273, RMI 520 us)", rows)
+	}
+	if run("fig9") {
+		any = true
+		fmt.Fprintln(out, "================================================================")
+		cfg := bench.DefaultFig9Config(*full)
+		rows, err := bench.RunFig9(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bench.PrintFig9(out, rows)
+		fmt.Fprintf(out, "(image %dx%d, time scale 1/%.0f; checksums equal across systems: %v)\n",
+			cfg.Width, cfg.Height, cfg.TimeScale, checksumsAgree(rows))
+	}
+	if run("seqratio") {
+		any = true
+		fmt.Fprintln(out, "================================================================")
+		n := 500_000
+		if *full {
+			n = 5_000_000
+		}
+		bench.PrintSeqRatios(out, bench.RunSeqRatios(n))
+	}
+	if run("overhead") {
+		any = true
+		fmt.Fprintln(out, "================================================================")
+		reps := 30
+		if !*full {
+			reps = 15
+		}
+		res, err := bench.RunOverhead(1024, reps, profile.Network())
+		if err != nil {
+			log.Fatal(err)
+		}
+		bench.PrintOverhead(out, res)
+	}
+	if run("agg") {
+		any = true
+		fmt.Fprintln(out, "================================================================")
+		n := 200
+		sweep := []int{1, 4, 16, 64}
+		if *full {
+			n = 600
+			sweep = []int{1, 4, 16, 64, 256}
+		}
+		rows, err := bench.RunAggregationSweep(n, sweep, profile.Network())
+		if err != nil {
+			log.Fatal(err)
+		}
+		bench.PrintAggregation(out, rows)
+	}
+	if run("agglom") {
+		any = true
+		fmt.Fprintln(out, "================================================================")
+		objects, calls := 8, 25
+		if *full {
+			objects, calls = 16, 50
+		}
+		rows, err := bench.RunAgglomerationAblation(objects, calls, profile.Network())
+		if err != nil {
+			log.Fatal(err)
+		}
+		bench.PrintAgglomeration(out, rows)
+	}
+	if run("codecs") {
+		any = true
+		fmt.Fprintln(out, "================================================================")
+		rows, err := bench.RunCodecAblation(1024)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bench.PrintCodecs(out, rows)
+	}
+	if run("pool") {
+		any = true
+		fmt.Fprintln(out, "================================================================")
+		cfg := bench.DefaultFig9Config(false)
+		cfg.Net = netsim.Ethernet100()
+		sizes := []int{1, 2, 4, 8}
+		rows, err := bench.RunPoolAblation(cfg, 4, sizes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bench.PrintPool(out, rows)
+	}
+	if !any {
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+}
+
+func checksumsAgree(rows []bench.Fig9Row) bool {
+	var first int64
+	for i, r := range rows {
+		for _, sum := range r.Checksum {
+			if i == 0 && first == 0 {
+				first = sum
+			}
+			if sum != first {
+				return false
+			}
+		}
+	}
+	return true
+}

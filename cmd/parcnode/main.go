@@ -1,0 +1,115 @@
+// Command parcnode runs one SCOOPP cluster node as an OS process over real
+// TCP — the deployment the paper ran on its Linux cluster. Every node is
+// started with the same ordered peer list; node 0 conventionally runs the
+// application.
+//
+// A three-node cluster on one machine:
+//
+//	parcnode -id 1 -peers :7001,:7002,:7003 &
+//	parcnode -id 2 -peers :7001,:7002,:7003 &
+//	parcnode -id 0 -peers :7001,:7002,:7003 -demo sieve -n 200
+//
+// Worker nodes (-demo "") serve until killed. The binary registers the
+// workload classes shipped in this repository (sieve filters, ray-tracer
+// workers); linking user classes in means building your own main around
+// parc.StartNode.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"repro/internal/sieve"
+	"repro/parc"
+)
+
+func main() {
+	id := flag.Int("id", 0, "this node's index into -peers")
+	peers := flag.String("peers", ":7001", "comma-separated listen addresses of all nodes, in node-id order")
+	demo := flag.String("demo", "", "workload to drive from this node: '' (serve only) or 'sieve'")
+	n := flag.Int("n", 200, "sieve bound for -demo sieve")
+	maxCalls := flag.Int("maxcalls", 16, "method-call aggregation batch size")
+	flag.Parse()
+
+	addrs := strings.Split(*peers, ",")
+	if *id < 0 || *id >= len(addrs) {
+		log.Fatalf("parcnode: -id %d outside -peers list of %d", *id, len(addrs))
+	}
+	rt, err := parc.StartNode(parc.NodeConfig{
+		NodeID:      *id,
+		Listen:      addrs[*id],
+		Aggregation: parc.AggregationConfig{MaxCalls: *maxCalls},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+	log.Printf("parcnode: node %d serving on %s", *id, rt.Addr())
+	sieve.RegisterClasses(rt)
+
+	// The listen addresses may use :0; substitute this node's resolved
+	// address before joining.
+	addrs[*id] = rt.Addr()
+	if err := waitForPeers(rt, addrs, 30*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	if err := rt.JoinCluster(addrs); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("parcnode: node %d joined cluster of %d", *id, len(addrs))
+
+	switch *demo {
+	case "":
+		// Serve until interrupted.
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		log.Printf("parcnode: node %d shutting down", *id)
+	case "sieve":
+		start := time.Now()
+		primes, err := sieve.Pipeline(rt, *n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("primes <= %d: %d found in %v across %d nodes\n",
+			*n, len(primes), time.Since(start), len(addrs))
+	default:
+		log.Fatalf("parcnode: unknown -demo %q", *demo)
+	}
+}
+
+// waitForPeers blocks until every peer's listener accepts connections, so
+// nodes can be started in any order.
+func waitForPeers(rt *parc.Runtime, addrs []string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for i, addr := range addrs {
+		if addr == rt.Addr() {
+			continue
+		}
+		for {
+			if err := probe(addr); err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("parcnode: peer %d at %s never came up", i, addr)
+			}
+			time.Sleep(200 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+func probe(addr string) error {
+	c, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return err
+	}
+	c.Close()
+	return nil
+}

@@ -1,0 +1,126 @@
+// Raytracer: the paper's Fig. 9 application as a standalone program — a
+// farmed parallel ray tracer on a simulated cluster of dual-CPU nodes.
+// Each worker parallel object renders blocks of image rows; the master
+// scatters blocks and gathers pixels.
+//
+// Run with:
+//
+//	go run ./examples/raytracer -procs 4 -size 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro/internal/raytracer"
+	"repro/parc"
+)
+
+// RenderWorker is the farm worker class.
+type RenderWorker struct {
+	mu    sync.Mutex
+	scene raytracer.Scene
+}
+
+// SetScene installs the render input on the worker.
+func (w *RenderWorker) SetScene(s raytracer.Scene) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.scene = s
+}
+
+// Render renders rows [y0, y1) and returns packed RGB pixels.
+func (w *RenderWorker) Render(y0, y1 int) []int32 {
+	w.mu.Lock()
+	scene := w.scene
+	w.mu.Unlock()
+	return scene.RenderRows(y0, y1, 1)
+}
+
+func init() {
+	parc.RegisterType(raytracer.Scene{})
+	parc.RegisterType(raytracer.Sphere{})
+	parc.RegisterType(raytracer.Light{})
+	parc.RegisterType(raytracer.Vec{})
+}
+
+func main() {
+	procs := flag.Int("procs", 4, "number of worker processors (2 per node)")
+	size := flag.Int("size", 200, "image width/height in pixels")
+	rows := flag.Int("rows", 10, "rows per farm block")
+	flag.Parse()
+
+	nodes := (*procs + 1) / 2
+	cl, err := parc.NewCluster(parc.ClusterConfig{
+		Nodes:   nodes,
+		Network: parc.Ethernet100(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	cl.RegisterClass("RenderWorker", func() any { return &RenderWorker{} })
+
+	scene := raytracer.JGFScene(8, *size, *size)
+	workers := make([]*parc.Proxy, *procs)
+	for i := range workers {
+		p, err := cl.Entry().NewParallelObject("RenderWorker")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := p.Invoke("SetScene", scene); err != nil {
+			log.Fatal(err)
+		}
+		workers[i] = p
+	}
+
+	type blk struct{ idx, y0, y1 int }
+	var blocks []blk
+	for y, i := 0, 0; y < *size; y, i = y+*rows, i+1 {
+		end := y + *rows
+		if end > *size {
+			end = *size
+		}
+		blocks = append(blocks, blk{i, y, end})
+	}
+	queue := make(chan blk, len(blocks))
+	for _, b := range blocks {
+		queue <- b
+	}
+	close(queue)
+
+	results := make([][]int32, len(blocks))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *parc.Proxy) {
+			defer wg.Done()
+			for b := range queue {
+				res, err := w.Invoke("Render", b.y0, b.y1)
+				if err != nil {
+					log.Fatal(err)
+				}
+				px, err := parc.As[[]int32](res, nil)
+				if err != nil {
+					log.Fatal(err)
+				}
+				results[b.idx] = px
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var image []int32
+	for _, r := range results {
+		image = append(image, r...)
+	}
+	fmt.Printf("rendered %dx%d with %d workers on %d nodes in %v\n",
+		*size, *size, *procs, nodes, elapsed)
+	fmt.Printf("checksum: %d (sequential: %d)\n",
+		raytracer.Checksum(image), raytracer.Checksum(scene.Render(1)))
+}

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/raytracer"
+)
+
+// TestWorkerMatchesSequential checks that the example's worker produces the
+// exact rows the sequential renderer produces.
+func TestWorkerMatchesSequential(t *testing.T) {
+	scene := raytracer.JGFScene(4, 32, 32)
+	w := &RenderWorker{}
+	w.SetScene(scene)
+	got := w.Render(4, 8)
+	want := scene.RenderRows(4, 8, 1)
+	if len(got) != len(want) {
+		t.Fatalf("len %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pixel %d differs", i)
+		}
+	}
+}

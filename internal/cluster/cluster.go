@@ -1,0 +1,147 @@
+// Package cluster boots multi-node SCOOPP clusters. The paper's testbed was
+// a Linux cluster of dual-processor nodes on 100 Mbit Ethernet; the
+// reproduction harness runs the same node runtimes either inside one
+// process over an in-memory (optionally netsim-shaped) network — the
+// configuration used by tests and benchmarks — or as separate OS processes
+// over TCP via cmd/parcnode.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/remoting"
+	"repro/internal/threadpool"
+	"repro/internal/transport"
+)
+
+// Options configures an in-process cluster.
+type Options struct {
+	// Nodes is the cluster size (default 1).
+	Nodes int
+	// ChannelKind selects the remoting channel implementation (default
+	// remoting.TCP semantics over the memory transport).
+	ChannelKind remoting.Kind
+	// Net shapes the inter-node network; zero params mean an ideal
+	// network (tests). Use netsim.Ethernet100 for the paper's testbed.
+	Net netsim.Params
+	// Cost charges per-endpoint software costs on the channel.
+	Cost remoting.CostModel
+	// PoolSize bounds each node's server-side concurrency (the Mono
+	// thread pool); 0 means unbounded.
+	PoolSize int
+	// Placement, Agglomeration, Aggregation are forwarded to every
+	// node's core.Config.
+	Placement     core.PlacementPolicy
+	Agglomeration core.AgglomerationPolicy
+	Aggregation   core.AggregationConfig
+	// LoadCacheTTL forwards to core.Config.
+	LoadCacheTTL time.Duration
+}
+
+// Cluster is a set of in-process node runtimes sharing one network.
+type Cluster struct {
+	nodes []*core.Runtime
+	pools []*threadpool.Pool
+	// Stats exposes the shaped network's traffic counters (nil when the
+	// network is unshaped).
+	Stats *netsim.Stats
+}
+
+// New boots an in-process cluster and joins all nodes.
+func New(opts Options) (*Cluster, error) {
+	if opts.Nodes <= 0 {
+		opts.Nodes = 1
+	}
+	mem := transport.NewMemNetwork()
+	var net transport.Network = mem
+	cl := &Cluster{}
+	if !opts.Net.Zero() {
+		sn := netsim.NewShapedNetwork(mem, opts.Net)
+		cl.Stats = sn.Stats
+		net = sn
+	}
+	addrs := make([]string, opts.Nodes)
+	for i := 0; i < opts.Nodes; i++ {
+		ch := newChannel(opts.ChannelKind, net)
+		ch.Cost = opts.Cost
+		var pool *threadpool.Pool
+		if opts.PoolSize > 0 {
+			pool = threadpool.New(opts.PoolSize, 0)
+			cl.pools = append(cl.pools, pool)
+		}
+		// Each node needs its own placement policy value only if the
+		// policy is stateful per node; RoundRobin keeps one shared
+		// counter which is also fine, but nil defaults per node.
+		rt, err := core.Start(core.Config{
+			NodeID:        i,
+			Channel:       ch,
+			Pool:          pool,
+			Placement:     opts.Placement,
+			Agglomeration: opts.Agglomeration,
+			Aggregation:   opts.Aggregation,
+			LoadCacheTTL:  opts.LoadCacheTTL,
+		}, fmt.Sprintf("mem://node%d", i))
+		if err != nil {
+			cl.Close()
+			return nil, fmt.Errorf("cluster: start node %d: %w", i, err)
+		}
+		cl.nodes = append(cl.nodes, rt)
+		addrs[i] = rt.Addr()
+	}
+	for _, rt := range cl.nodes {
+		if err := rt.JoinCluster(addrs); err != nil {
+			cl.Close()
+			return nil, err
+		}
+	}
+	return cl, nil
+}
+
+func newChannel(kind remoting.Kind, net transport.Network) *remoting.Channel {
+	switch kind {
+	case remoting.LegacyTCP:
+		return remoting.NewLegacyTCPChannel(net)
+	case remoting.HTTP:
+		return remoting.NewHTTPChannel(net)
+	default:
+		return remoting.NewTCPChannel(net)
+	}
+}
+
+// Size returns the number of nodes.
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// Node returns node i's runtime. Node 0 conventionally plays the
+// application entry node.
+func (c *Cluster) Node(i int) *core.Runtime { return c.nodes[i] }
+
+// RegisterClass registers a parallel-object class on every node, as the
+// paper's generated boot code did.
+func (c *Cluster) RegisterClass(name string, factory func() any) {
+	for _, rt := range c.nodes {
+		rt.RegisterClass(name, factory)
+	}
+}
+
+// PoolQueueWait sums the thread pools' cumulative queue wait across nodes
+// (zero when pools are unbounded); the starvation measure of ablation A4.
+func (c *Cluster) PoolQueueWait() time.Duration {
+	var total time.Duration
+	for _, p := range c.pools {
+		total += p.Snapshot().TotalQueueWait
+	}
+	return total
+}
+
+// Close shuts every node down.
+func (c *Cluster) Close() {
+	for _, rt := range c.nodes {
+		rt.Close()
+	}
+	for _, p := range c.pools {
+		p.Close()
+	}
+}

@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/remoting"
+)
+
+type echo struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (e *echo) Ping(v int) int { return v }
+
+func (e *echo) Bump() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.n++
+}
+
+func (e *echo) N() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.n
+}
+
+func TestNewDefaults(t *testing.T) {
+	cl, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if cl.Size() != 1 {
+		t.Errorf("default size = %d", cl.Size())
+	}
+}
+
+func TestMultiNodeRoundTrip(t *testing.T) {
+	cl, err := New(Options{Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.RegisterClass("echo", func() any { return &echo{} })
+	remoteSeen := false
+	for i := 0; i < 6; i++ {
+		p, err := cl.Node(0).NewParallelObject("echo")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.Invoke("Ping", i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != i {
+			t.Errorf("Ping(%d) = %v", i, got)
+		}
+		if !p.IsLocal() {
+			remoteSeen = true
+		}
+	}
+	if !remoteSeen {
+		t.Error("round robin never crossed nodes")
+	}
+}
+
+func TestChannelKinds(t *testing.T) {
+	for _, kind := range []remoting.Kind{remoting.TCP, remoting.LegacyTCP, remoting.HTTP} {
+		t.Run(kind.String(), func(t *testing.T) {
+			cl, err := New(Options{Nodes: 2, ChannelKind: kind})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+			cl.RegisterClass("echo", func() any { return &echo{} })
+			p, err := cl.Node(0).NewParallelObject("echo")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, err := p.Invoke("Ping", 9); err != nil || got != 9 {
+				t.Errorf("Ping over %s = %v, %v", kind, got, err)
+			}
+		})
+	}
+}
+
+func TestShapedClusterCountsTraffic(t *testing.T) {
+	cl, err := New(Options{Nodes: 2, Net: netsim.Params{Latency: 100 * time.Microsecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if cl.Stats == nil {
+		t.Fatal("shaped cluster has no stats")
+	}
+	cl.RegisterClass("echo", func() any { return &echo{} })
+	p, err := cl.Node(0).NewParallelObject("echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Invoke("Ping", 1); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Stats.MsgsSent() == 0 {
+		t.Error("no traffic counted through shaped network")
+	}
+}
+
+func TestPoolCapApplied(t *testing.T) {
+	cl, err := New(Options{Nodes: 2, PoolSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.RegisterClass("echo", func() any { return &echo{} })
+	p, err := cl.Node(0).NewParallelObject("echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		p.Post("Bump")
+	}
+	p.Wait()
+	got, err := p.Invoke("N")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Errorf("N = %v", got)
+	}
+	// Queue wait may be zero under a fast pool; the accessor must not
+	// panic regardless.
+	_ = cl.PoolQueueWait()
+}
+
+func TestAggregationForwarded(t *testing.T) {
+	cl, err := New(Options{
+		Nodes:       2,
+		Aggregation: core.AggregationConfig{MaxCalls: 4},
+		Placement:   forceNode1{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.RegisterClass("echo", func() any { return &echo{} })
+	p, err := cl.Node(0).NewParallelObject("echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		p.Post("Bump")
+	}
+	p.Wait()
+	if st := cl.Node(0).Stats(); st.BatchesSent != 2 {
+		t.Errorf("batches = %d, want 2", st.BatchesSent)
+	}
+}
+
+type forceNode1 struct{}
+
+func (forceNode1) Pick(self int, loads []core.NodeLoad) int { return 1 }

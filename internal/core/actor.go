@@ -1,0 +1,178 @@
+package core
+
+import (
+	"errors"
+	"sync"
+)
+
+// errActorStopped is returned for calls posted after the actor shut down.
+var errActorStopped = errors.New("core: parallel object destroyed")
+
+// actor gives a locally hosted parallel object its own thread of control:
+// calls enqueue into a mailbox processed in order by one goroutine,
+// providing the active-object semantics of SCOOPP parallel objects while
+// intra-grain callers continue immediately (paper Fig. 3 call b executed
+// asynchronously).
+type actor struct {
+	w *ioWrapper
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []actorTask
+	stopped bool
+	pending int
+}
+
+type actorTask struct {
+	method string
+	args   []any
+	batch  []any // non-nil for aggregate messages
+	reply  chan actorResult
+}
+
+type actorResult struct {
+	val any
+	err error
+}
+
+func newActor(w *ioWrapper) *actor {
+	a := &actor{w: w}
+	a.cond = sync.NewCond(&a.mu)
+	go a.run()
+	return a
+}
+
+func (a *actor) run() {
+	for {
+		a.mu.Lock()
+		for len(a.queue) == 0 && !a.stopped {
+			a.cond.Wait()
+		}
+		if len(a.queue) == 0 && a.stopped {
+			a.mu.Unlock()
+			return
+		}
+		t := a.queue[0]
+		a.queue = a.queue[1:]
+		a.mu.Unlock()
+
+		var res actorResult
+		if t.batch != nil {
+			_, res.err = a.w.InvokeBatch(t.method, t.batch)
+		} else {
+			res.val, res.err = a.w.Invoke1(t.method, t.args)
+		}
+		if t.reply != nil {
+			t.reply <- res
+		}
+
+		a.mu.Lock()
+		a.pending--
+		if a.pending == 0 {
+			a.cond.Broadcast()
+		}
+		a.mu.Unlock()
+	}
+}
+
+// enqueue adds a task; reply may be nil for fire-and-forget.
+func (a *actor) enqueue(t actorTask) error {
+	a.mu.Lock()
+	if a.stopped {
+		a.mu.Unlock()
+		return errActorStopped
+	}
+	a.queue = append(a.queue, t)
+	a.pending++
+	a.cond.Broadcast()
+	a.mu.Unlock()
+	return nil
+}
+
+// call performs a synchronous invocation through the mailbox, preserving
+// order with earlier asynchronous posts.
+func (a *actor) call(method string, args []any) (any, error) {
+	reply := make(chan actorResult, 1)
+	if err := a.enqueue(actorTask{method: method, args: args, reply: reply}); err != nil {
+		return nil, err
+	}
+	res := <-reply
+	return res.val, res.err
+}
+
+// post performs an asynchronous invocation; errors are reported to onErr.
+func (a *actor) post(method string, args []any, onErr func(error)) {
+	reply := make(chan actorResult, 1)
+	if err := a.enqueue(actorTask{method: method, args: args, reply: reply}); err != nil {
+		if onErr != nil {
+			onErr(err)
+		}
+		return
+	}
+	go func() {
+		if res := <-reply; res.err != nil && onErr != nil {
+			onErr(res.err)
+		}
+	}()
+}
+
+// postBatch enqueues an aggregate message.
+func (a *actor) postBatch(method string, calls []any, onErr func(error)) {
+	reply := make(chan actorResult, 1)
+	if err := a.enqueue(actorTask{method: method, batch: calls, reply: reply}); err != nil {
+		if onErr != nil {
+			onErr(err)
+		}
+		return
+	}
+	go func() {
+		if res := <-reply; res.err != nil && onErr != nil {
+			onErr(res.err)
+		}
+	}()
+}
+
+// wait blocks until the mailbox is drained.
+func (a *actor) wait() {
+	a.mu.Lock()
+	for a.pending > 0 {
+		a.cond.Wait()
+	}
+	a.mu.Unlock()
+}
+
+// stop drains the mailbox and terminates the goroutine.
+func (a *actor) stop() {
+	a.mu.Lock()
+	a.stopped = true
+	a.cond.Broadcast()
+	for a.pending > 0 {
+		a.cond.Wait()
+	}
+	a.mu.Unlock()
+}
+
+// actorEndpoint adapts an actor to the remoting dispatcher so remote
+// callers share the mailbox (and therefore the ordering) of local callers.
+type actorEndpoint struct {
+	a *actor
+}
+
+// Invoke1 executes one invocation through the mailbox.
+func (e *actorEndpoint) Invoke1(method string, args []any) (any, error) {
+	return e.a.call(method, args)
+}
+
+// InvokeBatch replays an aggregate message through the mailbox as a single
+// task, so a batch executes atomically with respect to other calls.
+func (e *actorEndpoint) InvokeBatch(method string, calls []any) (int, error) {
+	reply := make(chan actorResult, 1)
+	if err := e.a.enqueue(actorTask{method: method, batch: calls, reply: reply}); err != nil {
+		return 0, err
+	}
+	res := <-reply
+	if res.err != nil {
+		return 0, res.err
+	}
+	return len(calls), nil
+}

@@ -1,0 +1,607 @@
+// Package core implements SCOOPP (Scalable Object-Oriented Parallel
+// Programming) — the ParC# runtime that is the paper's contribution (§3).
+//
+// # Programming model
+//
+// Applications create parallel objects (active objects with their own
+// thread of control) through a Runtime. Parallel objects are automatically
+// distributed among processing nodes and communicate through asynchronous
+// method calls (no result: Proxy.Post) or synchronous calls (result:
+// Proxy.Invoke / Proxy.InvokeAsync). Passive objects are plain Go values:
+// they live inside the parallel object that created them and only copies
+// travel between grains (the wire layer copies by construction).
+//
+// # Run-time system
+//
+// The RTS mirrors the paper's Fig. 3 architecture:
+//
+//   - Proxy (PO) — returned by NewParallelObject; forwards inter-grain
+//     calls through remoting and intra-grain calls directly to the local
+//     implementation object.
+//   - implementation object (IO) — the user's object, wrapped by an
+//     ioWrapper that measures method execution time (grain-size
+//     estimation) and replays aggregated batches.
+//   - server objects (SO) — the paper notes ParC# no longer needs explicit
+//     SOs because the remoting dispatch loop plays that role; here the
+//     remoting Server does.
+//   - ObjectManager (OM) — one per node, published at URI "om"; performs
+//     placement (load balancing) and remote creation (the RemoteFactory of
+//     Fig. 6).
+//
+// # Grain-size adaptation
+//
+// Both SCOOPP run-time optimisations are implemented:
+//
+//   - method-call aggregation (Fig. 7): Proxy.Post buffers asynchronous
+//     calls per method and ships them as a single batch of AggregationConfig
+//     MaxCalls invocations;
+//   - object agglomeration: when the AgglomerationPolicy decides to remove
+//     parallelism, NewParallelObject creates the object locally and the
+//     proxy executes calls synchronously and serially in the caller's
+//     context.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dispatch"
+	"repro/internal/remoting"
+	"repro/internal/threadpool"
+	"repro/internal/wire"
+)
+
+// ProxyRef is the wire-encodable reference to a parallel object. References
+// may be copied and sent as method arguments (the paper's §3.1 notes this
+// may create cycles in the dependence graph); the receiving side rebinds
+// with Runtime.Attach.
+type ProxyRef struct {
+	NetAddr string
+	URI     string
+	Class   string
+}
+
+func init() {
+	wire.RegisterName("core.ProxyRef", ProxyRef{})
+}
+
+// AggregationConfig controls method-call aggregation.
+type AggregationConfig struct {
+	// MaxCalls is the number of buffered asynchronous calls that
+	// triggers a batch send (the paper's maxCalls, "calls per message").
+	// Values <= 1 disable aggregation.
+	MaxCalls int
+	// MaxDelay flushes a non-empty buffer this long after its first
+	// call, bounding the latency cost of waiting for a full batch.
+	// Zero means no timer (explicit Flush or a full/sync call flushes).
+	MaxDelay time.Duration
+}
+
+// enabled reports whether Posts should buffer.
+func (a AggregationConfig) enabled() bool { return a.MaxCalls > 1 }
+
+// NodeLoad is one node's load snapshot used for placement.
+type NodeLoad struct {
+	Node int
+	Load int
+}
+
+// PlacementPolicy picks the node for a new parallel object, given the
+// creating node and the current load vector (one entry per node, self
+// included).
+type PlacementPolicy interface {
+	Pick(self int, loads []NodeLoad) int
+}
+
+// RoundRobin cycles through nodes, the ParC++ default distribution.
+type RoundRobin struct {
+	next atomic.Int64
+}
+
+// Pick implements PlacementPolicy.
+func (r *RoundRobin) Pick(self int, loads []NodeLoad) int {
+	if len(loads) == 0 {
+		return self
+	}
+	n := r.next.Add(1) - 1
+	return loads[int(n)%len(loads)].Node
+}
+
+// LeastLoaded picks the node with the smallest load, breaking ties towards
+// the creating node ("according to the current load distribution policy").
+type LeastLoaded struct{}
+
+// Pick implements PlacementPolicy.
+func (LeastLoaded) Pick(self int, loads []NodeLoad) int {
+	best, bestLoad := self, int(^uint(0)>>1)
+	for _, l := range loads {
+		if l.Load < bestLoad || (l.Load == bestLoad && l.Node == self) {
+			best, bestLoad = l.Node, l.Load
+		}
+	}
+	return best
+}
+
+// LocalOnly always places on the creating node; used to disable
+// distribution.
+type LocalOnly struct{}
+
+// Pick implements PlacementPolicy.
+func (LocalOnly) Pick(self int, loads []NodeLoad) int { return self }
+
+// ClassStats summarises the measured grain size of a class on this node.
+type ClassStats struct {
+	Calls       int64
+	AvgExecTime time.Duration
+}
+
+// AgglomerationPolicy decides whether a new object should be agglomerated
+// (created as a passive local object, removing parallelism) based on the
+// measured grain size of its class and the local load.
+type AgglomerationPolicy interface {
+	Agglomerate(class string, stats ClassStats, localLoad int) bool
+}
+
+// NeverAgglomerate keeps every object parallel.
+type NeverAgglomerate struct{}
+
+// Agglomerate implements AgglomerationPolicy.
+func (NeverAgglomerate) Agglomerate(string, ClassStats, int) bool { return false }
+
+// AlwaysAgglomerate packs every new object into its creator's grain
+// (serial execution); useful for ablation A2 and as the paper's "removing
+// excess of parallelism" extreme.
+type AlwaysAgglomerate struct{}
+
+// Agglomerate implements AgglomerationPolicy.
+func (AlwaysAgglomerate) Agglomerate(string, ClassStats, int) bool { return true }
+
+// AdaptiveAgglomeration removes parallelism when the measured average
+// method execution time of the class falls below MinGrain — the grain is
+// too fine to pay communication costs — and the node already has at least
+// MinLocalLoad live objects to keep processors busy. This is the dynamic
+// grain packing of SCOOPP (paper refs [8][9]).
+type AdaptiveAgglomeration struct {
+	MinGrain     time.Duration
+	MinLocalLoad int
+	// MinSamples avoids deciding from noise; below it objects stay
+	// parallel.
+	MinSamples int64
+}
+
+// Agglomerate implements AgglomerationPolicy.
+func (a AdaptiveAgglomeration) Agglomerate(class string, stats ClassStats, localLoad int) bool {
+	if stats.Calls < int64(a.MinSamples) {
+		return false
+	}
+	return stats.AvgExecTime < a.MinGrain && localLoad >= a.MinLocalLoad
+}
+
+// Config configures a node's runtime.
+type Config struct {
+	// NodeID is this node's index in the cluster.
+	NodeID int
+	// Channel is the remoting channel used for all inter-node traffic.
+	Channel *remoting.Channel
+	// Pool, when non-nil, bounds server-side call execution (the Mono
+	// thread pool of Fig. 9). Nil runs each call on its own goroutine.
+	Pool *threadpool.Pool
+	// Placement distributes new parallel objects; default RoundRobin.
+	Placement PlacementPolicy
+	// Agglomeration packs objects into their creator's grain; default
+	// NeverAgglomerate.
+	Agglomeration AgglomerationPolicy
+	// Aggregation batches asynchronous calls; default disabled.
+	Aggregation AggregationConfig
+	// LoadCacheTTL bounds how stale placement load information may be.
+	// Default 50 ms.
+	LoadCacheTTL time.Duration
+}
+
+// Stats counts runtime events; all fields are cumulative.
+type Stats struct {
+	ObjectsCreated      int64
+	ObjectsAgglomerated int64
+	ObjectsLocal        int64
+	ObjectsRemote       int64
+	BatchesSent         int64
+	CallsAggregated     int64
+	SyncCalls           int64
+	AsyncCalls          int64
+}
+
+// Runtime is one node's SCOOPP run-time system: object manager, factories
+// and hosting server.
+type Runtime struct {
+	cfg    Config
+	server *remoting.Server
+
+	mu      sync.Mutex
+	classes map[string]func() any
+	peers   []peer // index = node id; self included
+	objSeq  atomic.Int64
+	load    atomic.Int64 // live parallel objects hosted here
+
+	execMu sync.Mutex
+	exec   map[string]*execStats
+
+	loadMu     sync.Mutex
+	loadCache  []NodeLoad
+	loadCached time.Time
+
+	stats struct {
+		objectsCreated      atomic.Int64
+		objectsAgglomerated atomic.Int64
+		objectsLocal        atomic.Int64
+		objectsRemote       atomic.Int64
+		batchesSent         atomic.Int64
+		callsAggregated     atomic.Int64
+		syncCalls           atomic.Int64
+		asyncCalls          atomic.Int64
+	}
+
+	actorsMu sync.Mutex
+	actors   map[string]*actor
+}
+
+type peer struct {
+	node int
+	addr string
+	om   *remoting.ObjRef
+}
+
+type execStats struct {
+	calls int64
+	nanos int64
+}
+
+// omURI is the well-known URI of each node's object manager.
+const omURI = "om"
+
+// Start boots a node runtime listening on addr (transport syntax). The
+// returned runtime initially knows only itself; call JoinCluster with every
+// node's address (same order on every node) to enable distribution.
+func Start(cfg Config, addr string) (*Runtime, error) {
+	if cfg.Channel == nil {
+		return nil, fmt.Errorf("core: Config.Channel is required")
+	}
+	if cfg.Placement == nil {
+		cfg.Placement = &RoundRobin{}
+	}
+	if cfg.Agglomeration == nil {
+		cfg.Agglomeration = NeverAgglomerate{}
+	}
+	if cfg.LoadCacheTTL == 0 {
+		cfg.LoadCacheTTL = 50 * time.Millisecond
+	}
+	rt := &Runtime{
+		cfg:     cfg,
+		classes: make(map[string]func() any),
+		exec:    make(map[string]*execStats),
+		actors:  make(map[string]*actor),
+	}
+	var opts []remoting.ServerOption
+	if cfg.Pool != nil {
+		opts = append(opts, remoting.WithPool(cfg.Pool))
+	}
+	srv, err := cfg.Channel.ListenAndServe(addr, opts...)
+	if err != nil {
+		return nil, err
+	}
+	rt.server = srv
+	srv.RegisterWellKnown(omURI, remoting.Singleton, func() any { return &omService{rt: rt} })
+	rt.peers = []peer{{node: cfg.NodeID, addr: srv.Addr()}}
+	return rt, nil
+}
+
+// Addr returns the node's transport address.
+func (rt *Runtime) Addr() string { return rt.server.Addr() }
+
+// NodeID returns this node's cluster index.
+func (rt *Runtime) NodeID() int { return rt.cfg.NodeID }
+
+// JoinCluster installs the full node address list (indexed by node id; this
+// node's address must appear at index Config.NodeID).
+func (rt *Runtime) JoinCluster(addrs []string) error {
+	if rt.cfg.NodeID >= len(addrs) {
+		return fmt.Errorf("core: node id %d outside cluster of %d", rt.cfg.NodeID, len(addrs))
+	}
+	if addrs[rt.cfg.NodeID] != rt.Addr() {
+		return fmt.Errorf("core: cluster address %q at index %d is not this node (%q)",
+			addrs[rt.cfg.NodeID], rt.cfg.NodeID, rt.Addr())
+	}
+	peers := make([]peer, len(addrs))
+	for i, a := range addrs {
+		peers[i] = peer{node: i, addr: a}
+		if i != rt.cfg.NodeID {
+			peers[i].om = remoting.NewObjRef(rt.cfg.Channel, a, omURI)
+		}
+	}
+	rt.mu.Lock()
+	rt.peers = peers
+	rt.mu.Unlock()
+	return nil
+}
+
+// RegisterClass makes a parallel-object class creatable on this node. All
+// nodes must register the same classes (the paper's preprocessor emitted a
+// factory per class into every node's boot code, Fig. 6).
+func (rt *Runtime) RegisterClass(name string, factory func() any) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.classes[name] = factory
+}
+
+// Close shuts the node down: local actors drain and the server stops.
+func (rt *Runtime) Close() {
+	rt.actorsMu.Lock()
+	actors := rt.actors
+	rt.actors = make(map[string]*actor)
+	rt.actorsMu.Unlock()
+	for _, a := range actors {
+		a.stop()
+	}
+	rt.server.Close()
+}
+
+// Stats returns a snapshot of runtime counters.
+func (rt *Runtime) Stats() Stats {
+	return Stats{
+		ObjectsCreated:      rt.stats.objectsCreated.Load(),
+		ObjectsAgglomerated: rt.stats.objectsAgglomerated.Load(),
+		ObjectsLocal:        rt.stats.objectsLocal.Load(),
+		ObjectsRemote:       rt.stats.objectsRemote.Load(),
+		BatchesSent:         rt.stats.batchesSent.Load(),
+		CallsAggregated:     rt.stats.callsAggregated.Load(),
+		SyncCalls:           rt.stats.syncCalls.Load(),
+		AsyncCalls:          rt.stats.asyncCalls.Load(),
+	}
+}
+
+// Load returns the number of live parallel objects hosted on this node.
+func (rt *Runtime) Load() int { return int(rt.load.Load()) }
+
+// ClassStatsFor returns the measured grain statistics of a class on this
+// node.
+func (rt *Runtime) ClassStatsFor(class string) ClassStats {
+	rt.execMu.Lock()
+	defer rt.execMu.Unlock()
+	es := rt.exec[class]
+	if es == nil || es.calls == 0 {
+		return ClassStats{}
+	}
+	return ClassStats{
+		Calls:       es.calls,
+		AvgExecTime: time.Duration(es.nanos / es.calls),
+	}
+}
+
+func (rt *Runtime) recordExec(class string, d time.Duration) {
+	rt.execMu.Lock()
+	es := rt.exec[class]
+	if es == nil {
+		es = &execStats{}
+		rt.exec[class] = es
+	}
+	es.calls++
+	es.nanos += d.Nanoseconds()
+	rt.execMu.Unlock()
+}
+
+func (rt *Runtime) factoryFor(class string) (func() any, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	f, ok := rt.classes[class]
+	if !ok {
+		return nil, fmt.Errorf("core: class %q not registered on node %d", class, rt.cfg.NodeID)
+	}
+	return f, nil
+}
+
+// createLocalIO instantiates class on this node, wraps it, publishes it and
+// returns its URI. spawnActor selects active-object semantics (a mailbox
+// goroutine) for objects hosted for remote or local-parallel use.
+func (rt *Runtime) createLocalIO(class string, spawnActor bool) (string, any, error) {
+	factory, err := rt.factoryFor(class)
+	if err != nil {
+		return "", nil, err
+	}
+	obj := factory()
+	uri := fmt.Sprintf("obj/%s/%d/%d", class, rt.cfg.NodeID, rt.objSeq.Add(1))
+	w := &ioWrapper{rt: rt, class: class, obj: obj}
+	if spawnActor {
+		a := newActor(w)
+		rt.actorsMu.Lock()
+		rt.actors[uri] = a
+		rt.actorsMu.Unlock()
+		rt.server.Marshal(uri, &actorEndpoint{a: a})
+	} else {
+		rt.server.Marshal(uri, w)
+	}
+	rt.load.Add(1)
+	return uri, obj, nil
+}
+
+// destroyLocal unpublishes a hosted object.
+func (rt *Runtime) destroyLocal(uri string) {
+	rt.actorsMu.Lock()
+	if a, ok := rt.actors[uri]; ok {
+		delete(rt.actors, uri)
+		a.stop()
+	}
+	rt.actorsMu.Unlock()
+	if rt.server.Published(uri) {
+		rt.server.Unregister(uri)
+		rt.load.Add(-1)
+	}
+}
+
+// nodeLoads returns the cached cluster load vector, refreshing entries when
+// stale. Failures to reach a peer report a very high load so placement
+// avoids it.
+func (rt *Runtime) nodeLoads() []NodeLoad {
+	rt.loadMu.Lock()
+	defer rt.loadMu.Unlock()
+	if time.Since(rt.loadCached) < rt.cfg.LoadCacheTTL && rt.loadCache != nil {
+		return rt.loadCache
+	}
+	rt.mu.Lock()
+	peers := rt.peers
+	rt.mu.Unlock()
+	loads := make([]NodeLoad, len(peers))
+	for i, p := range peers {
+		if p.node == rt.cfg.NodeID {
+			loads[i] = NodeLoad{Node: p.node, Load: rt.Load()}
+			continue
+		}
+		res, err := p.om.Invoke("Load")
+		if err != nil {
+			loads[i] = NodeLoad{Node: p.node, Load: int(^uint(0) >> 1)}
+			continue
+		}
+		n, _ := res.(int)
+		loads[i] = NodeLoad{Node: p.node, Load: n}
+	}
+	rt.loadCache = loads
+	rt.loadCached = time.Now()
+	return loads
+}
+
+// NewParallelObject creates a parallel object of a registered class and
+// returns its proxy, implementing the PO constructor of the paper's Fig. 5:
+// agglomerate locally, create on this node, or request creation from a
+// remote node's factory.
+func (rt *Runtime) NewParallelObject(class string) (*Proxy, error) {
+	rt.stats.objectsCreated.Add(1)
+	if rt.cfg.Agglomeration.Agglomerate(class, rt.ClassStatsFor(class), rt.Load()) {
+		// Intra-grain creation (Fig. 3 call d): passive local object,
+		// serial execution, but still published so references to it
+		// can travel.
+		uri, obj, err := rt.createLocalIO(class, false)
+		if err != nil {
+			return nil, err
+		}
+		rt.stats.objectsAgglomerated.Add(1)
+		return &Proxy{rt: rt, class: class, mode: modeAgglomerated, uri: uri, local: obj}, nil
+	}
+	node := rt.cfg.Placement.Pick(rt.cfg.NodeID, rt.nodeLoads())
+	if node == rt.cfg.NodeID {
+		uri, _, err := rt.createLocalIO(class, true)
+		if err != nil {
+			return nil, err
+		}
+		rt.stats.objectsLocal.Add(1)
+		rt.actorsMu.Lock()
+		a := rt.actors[uri]
+		rt.actorsMu.Unlock()
+		return &Proxy{rt: rt, class: class, mode: modeLocalActive, uri: uri, act: a}, nil
+	}
+	// Inter-grain creation (Fig. 3 call c): ask the remote OM's factory.
+	rt.mu.Lock()
+	var om *remoting.ObjRef
+	var addr string
+	for _, p := range rt.peers {
+		if p.node == node {
+			om, addr = p.om, p.addr
+		}
+	}
+	rt.mu.Unlock()
+	if om == nil {
+		return nil, fmt.Errorf("core: placement chose unknown node %d", node)
+	}
+	res, err := om.Invoke("CreateObject", class)
+	if err != nil {
+		return nil, fmt.Errorf("core: remote creation of %s on node %d: %w", class, node, err)
+	}
+	uri, _ := res.(string)
+	if uri == "" {
+		return nil, fmt.Errorf("core: remote factory returned empty URI")
+	}
+	rt.stats.objectsRemote.Add(1)
+	ref := remoting.NewObjRef(rt.cfg.Channel, addr, uri)
+	p := &Proxy{rt: rt, class: class, mode: modeRemote, uri: uri, netaddr: addr, ref: ref}
+	p.seq = remoting.NewCallSequencer(ref)
+	p.seq.OnError = p.noteAsyncError
+	return p, nil
+}
+
+// Attach rebinds a ProxyRef received as a method argument into a usable
+// proxy on this node. Objects hosted on this node bind to the local
+// implementation; others become remote proxies.
+func (rt *Runtime) Attach(ref ProxyRef) *Proxy {
+	if ref.NetAddr == rt.Addr() {
+		rt.actorsMu.Lock()
+		a := rt.actors[ref.URI]
+		rt.actorsMu.Unlock()
+		if a != nil {
+			return &Proxy{rt: rt, class: ref.Class, mode: modeLocalActive, uri: ref.URI, act: a}
+		}
+	}
+	r := remoting.NewObjRef(rt.cfg.Channel, ref.NetAddr, ref.URI)
+	p := &Proxy{rt: rt, class: ref.Class, mode: modeRemote, uri: ref.URI, netaddr: ref.NetAddr, ref: r}
+	p.seq = remoting.NewCallSequencer(r)
+	p.seq.OnError = p.noteAsyncError
+	return p
+}
+
+// omService is the object manager's remote interface (Fig. 6's
+// RemoteFactory plus load reporting).
+type omService struct {
+	rt *Runtime
+}
+
+// CreateObject instantiates class on this node and returns the new IO's
+// URI.
+func (s *omService) CreateObject(class string) (string, error) {
+	uri, _, err := s.rt.createLocalIO(class, true)
+	return uri, err
+}
+
+// DestroyObject unpublishes an object hosted on this node.
+func (s *omService) DestroyObject(uri string) {
+	s.rt.destroyLocal(uri)
+}
+
+// Load reports the node's live object count for placement decisions.
+func (s *omService) Load() int { return s.rt.Load() }
+
+// Ping lets peers probe liveness.
+func (s *omService) Ping() string { return "pong" }
+
+// ioWrapper wraps an implementation object, measuring execution times for
+// grain-size estimation and replaying batches (the processN method the
+// preprocessor adds in Fig. 7).
+type ioWrapper struct {
+	rt    *Runtime
+	class string
+	obj   any
+}
+
+// Invoke1 executes one method invocation on the IO.
+func (w *ioWrapper) Invoke1(method string, args []any) (any, error) {
+	start := time.Now()
+	res, err := dispatch.Invoke(w.obj, method, args)
+	w.rt.recordExec(w.class, time.Since(start))
+	return res, err
+}
+
+// InvokeBatch replays an aggregate message: calls is a list of argument
+// lists for method. It returns the number of calls applied.
+func (w *ioWrapper) InvokeBatch(method string, calls []any) (int, error) {
+	start := time.Now()
+	for i, c := range calls {
+		args, ok := c.([]any)
+		if !ok {
+			return i, fmt.Errorf("core: batch element %d is %T, want argument list", i, c)
+		}
+		if _, err := dispatch.Invoke(w.obj, method, args); err != nil {
+			return i, err
+		}
+	}
+	if n := len(calls); n > 0 {
+		w.rt.recordExec(w.class, time.Since(start)/time.Duration(n))
+	}
+	return len(calls), nil
+}

@@ -1,0 +1,535 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/remoting"
+	"repro/internal/transport"
+)
+
+// counterObj is a stateful parallel-object class used across the tests.
+type counterObj struct {
+	mu   sync.Mutex
+	vals []int
+	n    int
+}
+
+func (c *counterObj) Add(v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.vals = append(c.vals, v)
+	c.n += v
+}
+
+func (c *counterObj) Total() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counterObj) Values() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int, len(c.vals))
+	copy(out, c.vals)
+	return out
+}
+
+func (c *counterObj) Fail() error { return fmt.Errorf("counter failure") }
+
+// slowObj simulates a coarse grain.
+type slowObj struct{}
+
+func (slowObj) Work(ms int) int {
+	time.Sleep(time.Duration(ms) * time.Millisecond)
+	return ms
+}
+
+// startNodes boots n joined runtimes over one memory network.
+func startNodes(t *testing.T, n int, mutate func(i int, cfg *Config)) []*Runtime {
+	t.Helper()
+	net := transport.NewMemNetwork()
+	rts := make([]*Runtime, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		cfg := Config{NodeID: i, Channel: remoting.NewTCPChannel(net)}
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
+		rt, err := Start(cfg, fmt.Sprintf("mem://n%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rts[i] = rt
+		addrs[i] = rt.Addr()
+		t.Cleanup(rt.Close)
+	}
+	for _, rt := range rts {
+		if err := rt.JoinCluster(addrs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, rt := range rts {
+		rt.RegisterClass("counter", func() any { return &counterObj{} })
+		rt.RegisterClass("slow", func() any { return &slowObj{} })
+	}
+	return rts
+}
+
+func TestLocalParallelObject(t *testing.T) {
+	rts := startNodes(t, 1, nil)
+	p, err := rts[0].NewParallelObject("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsLocal() {
+		t.Error("single-node object should be local")
+	}
+	p.Post("Add", 2)
+	p.Post("Add", 3)
+	got, err := p.Invoke("Total")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Errorf("Total = %v, want 5 (sync call must see prior posts)", got)
+	}
+}
+
+func TestUnregisteredClass(t *testing.T) {
+	rts := startNodes(t, 1, nil)
+	if _, err := rts[0].NewParallelObject("nope"); err == nil {
+		t.Error("creating unregistered class should fail")
+	}
+}
+
+func TestRoundRobinDistribution(t *testing.T) {
+	rts := startNodes(t, 3, nil)
+	placed := map[bool]int{}
+	for i := 0; i < 6; i++ {
+		p, err := rts[0].NewParallelObject("counter")
+		if err != nil {
+			t.Fatal(err)
+		}
+		placed[p.IsLocal()]++
+	}
+	// Round robin over 3 nodes: 2 of 6 local, 4 remote.
+	if placed[true] != 2 || placed[false] != 4 {
+		t.Errorf("placement local=%d remote=%d, want 2/4", placed[true], placed[false])
+	}
+	// Loads spread across nodes (placement counts as hosting).
+	total := 0
+	for _, rt := range rts {
+		total += rt.Load()
+	}
+	if total != 6 {
+		t.Errorf("total hosted objects = %d, want 6", total)
+	}
+}
+
+func TestRemoteInvokeAndOrdering(t *testing.T) {
+	rts := startNodes(t, 2, func(i int, cfg *Config) {
+		cfg.Placement = &forceNode{node: 1}
+	})
+	p, err := rts[0].NewParallelObject("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.IsLocal() {
+		t.Fatal("object should be remote")
+	}
+	const n = 40
+	for i := 1; i <= n; i++ {
+		p.Post("Add", i)
+	}
+	got, err := p.Invoke("Values")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err2 := asIntSlice(got)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if len(vals) != n {
+		t.Fatalf("got %d values, want %d", len(vals), n)
+	}
+	for i, v := range vals {
+		if v != i+1 {
+			t.Fatalf("value %d = %d; async ordering violated", i, v)
+		}
+	}
+	if p.AsyncErr() != nil {
+		t.Errorf("async error: %v", p.AsyncErr())
+	}
+}
+
+// forceNode always places on one node.
+type forceNode struct{ node int }
+
+func (f *forceNode) Pick(self int, loads []NodeLoad) int { return f.node }
+
+func asIntSlice(v any) ([]int, error) {
+	switch x := v.(type) {
+	case []int:
+		return x, nil
+	case []any:
+		out := make([]int, len(x))
+		for i, e := range x {
+			n, ok := e.(int)
+			if !ok {
+				return nil, fmt.Errorf("element %d is %T", i, e)
+			}
+			out[i] = n
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("not an int slice: %T", v)
+}
+
+func TestAggregationBatches(t *testing.T) {
+	rts := startNodes(t, 2, func(i int, cfg *Config) {
+		cfg.Placement = &forceNode{node: 1}
+		cfg.Aggregation = AggregationConfig{MaxCalls: 8}
+	})
+	p, err := rts[0].NewParallelObject("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	for i := 0; i < n; i++ {
+		p.Post("Add", 1)
+	}
+	p.Wait()
+	got, err := p.Invoke("Total")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Errorf("Total = %v, want %d", got, n)
+	}
+	st := rts[0].Stats()
+	if st.BatchesSent != n/8 {
+		t.Errorf("batches sent = %d, want %d", st.BatchesSent, n/8)
+	}
+	if st.CallsAggregated != n {
+		t.Errorf("calls aggregated = %d, want %d", st.CallsAggregated, n)
+	}
+}
+
+func TestAggregationFlushOnSyncCall(t *testing.T) {
+	rts := startNodes(t, 2, func(i int, cfg *Config) {
+		cfg.Placement = &forceNode{node: 1}
+		cfg.Aggregation = AggregationConfig{MaxCalls: 100}
+	})
+	p, _ := rts[0].NewParallelObject("counter")
+	p.Post("Add", 7) // buffered, far below MaxCalls
+	got, err := p.Invoke("Total")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Errorf("sync call did not flush buffered posts: Total = %v", got)
+	}
+}
+
+func TestAggregationMaxDelayTimer(t *testing.T) {
+	rts := startNodes(t, 2, func(i int, cfg *Config) {
+		cfg.Placement = &forceNode{node: 1}
+		cfg.Aggregation = AggregationConfig{MaxCalls: 1000, MaxDelay: 20 * time.Millisecond}
+	})
+	p, _ := rts[0].NewParallelObject("counter")
+	p.Post("Add", 5)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		got, err := p.Invoke2Total(t)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == 5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("MaxDelay timer never flushed the buffer")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Invoke2Total reads Total without flushing the aggregation buffer, so the
+// timer path is observable. It bypasses Proxy.Invoke's flush-first rule via
+// the raw remote endpoint.
+func (p *Proxy) Invoke2Total(t *testing.T) (any, error) {
+	t.Helper()
+	return p.ref.Invoke("Invoke1", "Total", []any{})
+}
+
+func TestAggregationMethodChangeFlushes(t *testing.T) {
+	rts := startNodes(t, 2, func(i int, cfg *Config) {
+		cfg.Placement = &forceNode{node: 1}
+		cfg.Aggregation = AggregationConfig{MaxCalls: 100}
+	})
+	p, _ := rts[0].NewParallelObject("counter")
+	p.Post("Add", 1)
+	p.Post("Add", 2)
+	// Switching methods must flush the Add buffer first to keep order.
+	p.Post("Fail")
+	p.Wait()
+	got, err := p.Invoke("Total")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Errorf("Total = %v, want 3", got)
+	}
+	if p.AsyncErr() == nil {
+		t.Error("Fail error not surfaced through AsyncErr")
+	}
+}
+
+func TestAlwaysAgglomerate(t *testing.T) {
+	rts := startNodes(t, 2, func(i int, cfg *Config) {
+		cfg.Agglomeration = AlwaysAgglomerate{}
+	})
+	p, err := rts[0].NewParallelObject("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsAgglomerated() {
+		t.Fatal("policy Always should agglomerate")
+	}
+	// Posts execute synchronously and serially: effects visible at once.
+	p.Post("Add", 4)
+	got, _ := p.Invoke("Total")
+	if got != 4 {
+		t.Errorf("Total = %v immediately after post", got)
+	}
+	if rts[0].Stats().ObjectsAgglomerated != 1 {
+		t.Errorf("stats agglomerated = %d", rts[0].Stats().ObjectsAgglomerated)
+	}
+}
+
+func TestAdaptiveAgglomeration(t *testing.T) {
+	policy := AdaptiveAgglomeration{MinGrain: 10 * time.Millisecond, MinLocalLoad: 0, MinSamples: 3}
+	rts := startNodes(t, 1, func(i int, cfg *Config) {
+		cfg.Agglomeration = policy
+	})
+	rt := rts[0]
+	// Before samples exist, objects stay parallel.
+	p1, _ := rt.NewParallelObject("counter")
+	if p1.IsAgglomerated() {
+		t.Fatal("agglomerated without samples")
+	}
+	// Feed fine-grain samples (fast Add calls).
+	for i := 0; i < 5; i++ {
+		if _, err := p1.Invoke("Total"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := rt.ClassStatsFor("counter")
+	if stats.Calls < 3 {
+		t.Fatalf("class stats not recorded: %+v", stats)
+	}
+	p2, _ := rt.NewParallelObject("counter")
+	if !p2.IsAgglomerated() {
+		t.Error("fine-grain class not agglomerated")
+	}
+	// Coarse class stays parallel.
+	ps, _ := rt.NewParallelObject("slow")
+	for i := 0; i < 3; i++ {
+		ps.Invoke("Work", 15)
+	}
+	ps2, _ := rt.NewParallelObject("slow")
+	if ps2.IsAgglomerated() {
+		t.Error("coarse-grain class wrongly agglomerated")
+	}
+}
+
+func TestLeastLoadedPlacement(t *testing.T) {
+	loads := []NodeLoad{{Node: 0, Load: 5}, {Node: 1, Load: 2}, {Node: 2, Load: 9}}
+	if got := (LeastLoaded{}).Pick(0, loads); got != 1 {
+		t.Errorf("LeastLoaded picked %d, want 1", got)
+	}
+	// Tie breaks toward self.
+	loads = []NodeLoad{{Node: 0, Load: 2}, {Node: 1, Load: 2}}
+	if got := (LeastLoaded{}).Pick(1, loads); got != 1 {
+		t.Errorf("tie broke to %d, want self 1", got)
+	}
+}
+
+func TestLocalOnlyPlacement(t *testing.T) {
+	if got := (LocalOnly{}).Pick(3, []NodeLoad{{Node: 0}, {Node: 3}}); got != 3 {
+		t.Errorf("LocalOnly picked %d", got)
+	}
+}
+
+func TestProxyRefAttachAcrossNodes(t *testing.T) {
+	rts := startNodes(t, 2, func(i int, cfg *Config) {
+		cfg.Placement = LocalOnly{}
+	})
+	// Node 0 creates a local object and ships its ref to node 1.
+	p0, err := rts[0].NewParallelObject("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := p0.Ref()
+	p1 := rts[1].Attach(ref)
+	if p1.IsLocal() {
+		t.Fatal("attached proxy on another node should be remote")
+	}
+	p1.Post("Add", 11)
+	p1.Wait()
+	got, err := p0.Invoke("Total")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 11 {
+		t.Errorf("Total = %v after remote post through attached ref", got)
+	}
+	// Attaching on the hosting node binds locally.
+	pSelf := rts[0].Attach(ref)
+	if !pSelf.IsLocal() {
+		t.Error("attach on hosting node should be local")
+	}
+}
+
+func TestFutureInvokeAsync(t *testing.T) {
+	rts := startNodes(t, 1, nil)
+	p, _ := rts[0].NewParallelObject("slow")
+	start := time.Now()
+	f := p.InvokeAsync("Work", 30)
+	if time.Since(start) > 20*time.Millisecond {
+		t.Error("InvokeAsync blocked the caller")
+	}
+	got, err := f.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 30 {
+		t.Errorf("Work = %v", got)
+	}
+}
+
+func TestDestroyLocalAndRemote(t *testing.T) {
+	rts := startNodes(t, 2, func(i int, cfg *Config) {
+		cfg.Placement = &forceNode{node: 1}
+	})
+	p, err := rts[0].NewParallelObject("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rts[1].Load() != 1 {
+		t.Fatalf("remote node load = %d", rts[1].Load())
+	}
+	if err := p.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if rts[1].Load() != 0 {
+		t.Errorf("load after destroy = %d", rts[1].Load())
+	}
+	if _, err := p.Invoke("Total"); err == nil {
+		t.Error("invoke after destroy should fail")
+	}
+}
+
+func TestRuntimeStatsCounting(t *testing.T) {
+	rts := startNodes(t, 2, func(i int, cfg *Config) {
+		cfg.Placement = &forceNode{node: 1}
+	})
+	p, _ := rts[0].NewParallelObject("counter")
+	p.Post("Add", 1)
+	p.Invoke("Total")
+	st := rts[0].Stats()
+	if st.ObjectsCreated != 1 || st.ObjectsRemote != 1 {
+		t.Errorf("creation stats = %+v", st)
+	}
+	if st.AsyncCalls != 1 || st.SyncCalls != 1 {
+		t.Errorf("call stats = %+v", st)
+	}
+}
+
+func TestOMServiceRemoteAPI(t *testing.T) {
+	rts := startNodes(t, 2, nil)
+	om := remoting.NewObjRef(rts[0].cfg.Channel, rts[1].Addr(), omURI)
+	res, err := om.Invoke("Ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != "pong" {
+		t.Errorf("Ping = %v", res)
+	}
+	loadRes, err := om.Invoke("Load")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loadRes != 0 {
+		t.Errorf("Load = %v", loadRes)
+	}
+}
+
+func TestJoinClusterValidation(t *testing.T) {
+	rts := startNodes(t, 1, nil)
+	if err := rts[0].JoinCluster([]string{}); err == nil {
+		t.Error("empty cluster accepted")
+	}
+	if err := rts[0].JoinCluster([]string{"mem://wrong"}); err == nil {
+		t.Error("mismatched self address accepted")
+	}
+}
+
+func TestConcurrentCreations(t *testing.T) {
+	rts := startNodes(t, 3, nil)
+	var wg sync.WaitGroup
+	errs := make(chan error, 30)
+	for i := 0; i < 30; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p, err := rts[0].NewParallelObject("counter")
+			if err != nil {
+				errs <- err
+				return
+			}
+			p.Post("Add", 1)
+			if got, err := p.Invoke("Total"); err != nil {
+				errs <- err
+			} else if got != 1 {
+				errs <- fmt.Errorf("Total = %v", got)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestActorSequentialExecution(t *testing.T) {
+	// A local active object must process posts strictly sequentially even
+	// under concurrent posters (active-object semantics: no data races in
+	// the IO).
+	rts := startNodes(t, 1, nil)
+	p, _ := rts[0].NewParallelObject("counter")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				p.Post("Add", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	p.Wait()
+	got, err := p.Invoke("Total")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 400 {
+		t.Errorf("Total = %v, want 400", got)
+	}
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/remoting"
+)
+
+// proxyMode distinguishes the three call paths of the RTS.
+type proxyMode int
+
+const (
+	// modeAgglomerated: object packed into the creator's grain; calls
+	// execute synchronously and serially in the caller (Fig. 3 call b
+	// after a call-d creation).
+	modeAgglomerated proxyMode = iota
+	// modeLocalActive: object on this node with its own thread of
+	// control (mailbox).
+	modeLocalActive
+	// modeRemote: object on another node, reached through remoting
+	// (Fig. 3 calls a).
+	modeRemote
+)
+
+// Proxy is the PO of the paper: it has the same interface role as the
+// object it represents (dynamically, via method names) and transparently
+// forwards invocations to the implementation object, applying grain-size
+// adaptations on the way.
+type Proxy struct {
+	rt      *Runtime
+	class   string
+	mode    proxyMode
+	uri     string
+	netaddr string
+
+	local any                     // agglomerated IO
+	act   *actor                  // local active IO
+	ref   *remoting.ObjRef        // remote IO endpoint
+	seq   *remoting.CallSequencer // ordered async lane for remote IO
+
+	// aggregation state (remote mode only)
+	aggMu     sync.Mutex
+	aggMethod string
+	aggCalls  []any
+	aggTimer  *time.Timer
+
+	errMu   sync.Mutex
+	asyncEr error
+}
+
+// Class returns the object's registered class name.
+func (p *Proxy) Class() string { return p.class }
+
+// URI returns the object's published URI.
+func (p *Proxy) URI() string { return p.uri }
+
+// IsLocal reports whether calls execute on this node.
+func (p *Proxy) IsLocal() bool { return p.mode != modeRemote }
+
+// IsAgglomerated reports whether the object was packed into its creator's
+// grain (parallelism removed).
+func (p *Proxy) IsAgglomerated() bool { return p.mode == modeAgglomerated }
+
+// Ref returns a wire-encodable reference that other nodes can Attach.
+func (p *Proxy) Ref() ProxyRef {
+	addr := p.netaddr
+	if addr == "" {
+		addr = p.rt.Addr()
+	}
+	return ProxyRef{NetAddr: addr, URI: p.uri, Class: p.class}
+}
+
+// noteAsyncError records the first asynchronous failure for AsyncErr.
+func (p *Proxy) noteAsyncError(err error) {
+	p.errMu.Lock()
+	if p.asyncEr == nil {
+		p.asyncEr = err
+	}
+	p.errMu.Unlock()
+}
+
+// AsyncErr returns the first error produced by an asynchronous call, if
+// any. Call after Flush/Wait to check a stream of Posts.
+func (p *Proxy) AsyncErr() error {
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	return p.asyncEr
+}
+
+// Invoke performs a synchronous method call (the paper's "synchronous
+// method calls (when a value is returned)"). It is ordered after all
+// previously posted asynchronous calls on this proxy.
+func (p *Proxy) Invoke(method string, args ...any) (any, error) {
+	p.rt.stats.syncCalls.Add(1)
+	switch p.mode {
+	case modeAgglomerated:
+		w := &ioWrapper{rt: p.rt, class: p.class, obj: p.local}
+		return w.Invoke1(method, args)
+	case modeLocalActive:
+		return p.act.call(method, args)
+	default:
+		p.FlushAggregation()
+		p.seq.Flush()
+		return p.ref.Invoke("Invoke1", method, args)
+	}
+}
+
+// Future is the handle of an asynchronous call with a result.
+type Future struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Get blocks until the call completes.
+func (f *Future) Get() (any, error) {
+	<-f.done
+	return f.val, f.err
+}
+
+// Done returns a channel closed on completion.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// InvokeAsync starts a synchronous-style call without blocking the caller
+// (the delegate BeginInvoke pattern of Fig. 4). The call is ordered after
+// previously posted asynchronous calls on this proxy.
+func (p *Proxy) InvokeAsync(method string, args ...any) *Future {
+	f := &Future{done: make(chan struct{})}
+	go func() {
+		defer close(f.done)
+		f.val, f.err = p.Invoke(method, args...)
+	}()
+	return f
+}
+
+// Post performs an asynchronous method call with no result (the paper's
+// "asynchronous (when no value is returned)" calls). On remote proxies
+// Posts are subject to method-call aggregation; Posts to one proxy execute
+// in order.
+func (p *Proxy) Post(method string, args ...any) {
+	p.rt.stats.asyncCalls.Add(1)
+	switch p.mode {
+	case modeAgglomerated:
+		// Agglomeration turned this object passive: the "async" call
+		// executes synchronously and serially, which is precisely the
+		// parallelism-removal optimisation.
+		w := &ioWrapper{rt: p.rt, class: p.class, obj: p.local}
+		if _, err := w.Invoke1(method, args); err != nil {
+			p.noteAsyncError(err)
+		}
+	case modeLocalActive:
+		p.act.post(method, args, p.noteAsyncError)
+	default:
+		if p.rt.cfg.Aggregation.enabled() {
+			p.aggregate(method, args)
+			return
+		}
+		p.seq.Post("Invoke1", method, args)
+	}
+}
+
+// aggregate buffers one asynchronous call, flushing when the method
+// changes, the buffer reaches MaxCalls, or the MaxDelay timer fires —
+// the delay-and-combine of the paper's Fig. 7.
+func (p *Proxy) aggregate(method string, args []any) {
+	p.aggMu.Lock()
+	if p.aggMethod != "" && p.aggMethod != method {
+		p.flushLocked()
+	}
+	p.aggMethod = method
+	p.aggCalls = append(p.aggCalls, []any(args))
+	p.rt.stats.callsAggregated.Add(1)
+	if len(p.aggCalls) >= p.rt.cfg.Aggregation.MaxCalls {
+		p.flushLocked()
+	} else if p.rt.cfg.Aggregation.MaxDelay > 0 && p.aggTimer == nil {
+		p.aggTimer = time.AfterFunc(p.rt.cfg.Aggregation.MaxDelay, p.FlushAggregation)
+	}
+	p.aggMu.Unlock()
+}
+
+// FlushAggregation sends any buffered aggregate immediately.
+func (p *Proxy) FlushAggregation() {
+	p.aggMu.Lock()
+	p.flushLocked()
+	p.aggMu.Unlock()
+}
+
+// flushLocked requires aggMu held.
+func (p *Proxy) flushLocked() {
+	if p.aggTimer != nil {
+		p.aggTimer.Stop()
+		p.aggTimer = nil
+	}
+	if len(p.aggCalls) == 0 {
+		p.aggMethod = ""
+		return
+	}
+	method := p.aggMethod
+	calls := p.aggCalls
+	p.aggMethod = ""
+	p.aggCalls = nil
+	p.rt.stats.batchesSent.Add(1)
+	p.seq.Post("InvokeBatch", method, calls)
+}
+
+// Wait blocks until every asynchronous call posted on this proxy has
+// executed (aggregation buffers are flushed first). It is the
+// synchronisation point farming masters use before reading results.
+func (p *Proxy) Wait() {
+	switch p.mode {
+	case modeAgglomerated:
+		// Posts already executed inline.
+	case modeLocalActive:
+		p.act.wait()
+	default:
+		p.FlushAggregation()
+		p.seq.Flush()
+	}
+}
+
+// Destroy releases the parallel object. Local objects unpublish
+// immediately; remote objects are destroyed through their hosting OM, as
+// the ParC++ RTS did on PO requests.
+func (p *Proxy) Destroy() error {
+	p.Wait()
+	switch p.mode {
+	case modeAgglomerated, modeLocalActive:
+		p.rt.destroyLocal(p.uri)
+		return nil
+	default:
+		om := remoting.NewObjRef(p.rt.cfg.Channel, p.netaddr, omURI)
+		if _, err := om.Invoke("DestroyObject", p.uri); err != nil {
+			return fmt.Errorf("core: destroy %s: %w", p.uri, err)
+		}
+		return nil
+	}
+}
+
+// String implements fmt.Stringer.
+func (p *Proxy) String() string {
+	mode := map[proxyMode]string{
+		modeAgglomerated: "agglomerated",
+		modeLocalActive:  "local",
+		modeRemote:       "remote",
+	}[p.mode]
+	return fmt.Sprintf("Proxy(%s %s %s)", p.class, mode, p.uri)
+}

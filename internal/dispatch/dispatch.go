@@ -1,0 +1,75 @@
+// Package dispatch implements dynamic method invocation on arbitrary
+// objects: the server-side half of every transparent proxy in this
+// repository. Both RPC stacks (remoting, rmi) and the SCOOPP runtime's
+// intra-grain direct calls route through Invoke.
+package dispatch
+
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/wire"
+)
+
+var errorType = reflect.TypeOf((*error)(nil)).Elem()
+
+// Invoke calls an exported method on obj by name with decoded wire
+// arguments, converting them to the declared parameter types.
+//
+// Supported method shapes: any number of non-variadic parameters and 0, 1
+// or 2 results. A trailing error result is mapped onto the returned error;
+// a single non-error result is returned as the value.
+func Invoke(obj any, method string, args []any) (any, error) {
+	rv := reflect.ValueOf(obj)
+	m := rv.MethodByName(method)
+	if !m.IsValid() {
+		return nil, fmt.Errorf("type %T has no method %q", obj, method)
+	}
+	mt := m.Type()
+	if mt.IsVariadic() {
+		return nil, fmt.Errorf("method %T.%s is variadic; not supported over the wire", obj, method)
+	}
+	params := make([]reflect.Type, mt.NumIn())
+	for i := range params {
+		params[i] = mt.In(i)
+	}
+	in, err := wire.AssignArgs(params, args)
+	if err != nil {
+		return nil, fmt.Errorf("method %T.%s: %w", obj, method, err)
+	}
+	outs := m.Call(in)
+	switch len(outs) {
+	case 0:
+		return nil, nil
+	case 1:
+		if isErrorValue(outs[0]) {
+			return nil, errOrNil(outs[0])
+		}
+		return outs[0].Interface(), nil
+	case 2:
+		if !isErrorValue(outs[1]) {
+			return nil, fmt.Errorf("method %T.%s: second result must be error", obj, method)
+		}
+		if err := errOrNil(outs[1]); err != nil {
+			return nil, err
+		}
+		return outs[0].Interface(), nil
+	default:
+		return nil, fmt.Errorf("method %T.%s: too many results (%d)", obj, method, len(outs))
+	}
+}
+
+// HasMethod reports whether obj exposes an exported method with the given
+// name; proxies use it to fail fast on typos.
+func HasMethod(obj any, method string) bool {
+	return reflect.ValueOf(obj).MethodByName(method).IsValid()
+}
+
+func isErrorValue(v reflect.Value) bool { return v.Type().Implements(errorType) }
+
+func errOrNil(v reflect.Value) error {
+	if v.IsNil() {
+		return nil
+	}
+	return v.Interface().(error)
+}

@@ -1,0 +1,362 @@
+// Package jgf implements kernels from the Java Grande Forum benchmark
+// suite, the benchmark family the paper's high-level evaluation draws on
+// ("a parallel Ray Tracer from the Java Grande Forum"; the ray tracer
+// itself lives in internal/raytracer). Three section-2 kernels are
+// provided, each with a sequential reference and a parallel-objects version
+// over the SCOOPP runtime:
+//
+//   - Series: Fourier coefficients of (x+1)^x on [0,2] — embarrassingly
+//     parallel, coefficient ranges farmed to workers;
+//   - Crypt: IDEA encryption/decryption over a byte array — block ranges
+//     farmed to workers;
+//   - SOR: red-black successive over-relaxation — workers own row bands
+//     and exchange boundary rows with their neighbours through parallel
+//     object references each sweep, exercising PO-to-PO communication.
+//
+// Every parallel version must produce bit-identical results to its
+// sequential reference; the tests enforce it.
+package jgf
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// ----------------------------------------------------------------- Series
+
+// SeriesCoefficients returns the first n Fourier coefficient pairs (a_k,
+// b_k) of f(x) = (x+1)^x on [0,2], computed with trapezoid integration at
+// the JGF resolution (1000 intervals per coefficient).
+func SeriesCoefficients(first, count int) []float64 {
+	out := make([]float64, 0, count*2)
+	for k := first; k < first+count; k++ {
+		a := trapezoid(func(x float64) float64 {
+			return math.Pow(x+1, x) * math.Cos(float64(k)*math.Pi*x)
+		})
+		b := trapezoid(func(x float64) float64 {
+			return math.Pow(x+1, x) * math.Sin(float64(k)*math.Pi*x)
+		})
+		out = append(out, a, b)
+	}
+	return out
+}
+
+// trapezoid integrates f over [0,2] with the JGF interval count.
+func trapezoid(f func(float64) float64) float64 {
+	const n = 1000
+	h := 2.0 / n
+	sum := (f(0) + f(2)) / 2
+	for i := 1; i < n; i++ {
+		sum += f(float64(i) * h)
+	}
+	return sum * h
+}
+
+// SeriesWorker is the parallel-object class for the farmed Series kernel.
+type SeriesWorker struct{}
+
+// Coefficients computes the coefficient pairs for [first, first+count).
+func (SeriesWorker) Coefficients(first, count int) []float64 {
+	return SeriesCoefficients(first, count)
+}
+
+// RunSeries farms n coefficients over workers parallel objects created on
+// rt and returns the coefficients in order.
+func RunSeries(rt *core.Runtime, n, workers int) ([]float64, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	proxies := make([]*core.Proxy, workers)
+	for i := range proxies {
+		p, err := rt.NewParallelObject("jgf.SeriesWorker")
+		if err != nil {
+			return nil, err
+		}
+		defer p.Destroy()
+		proxies[i] = p
+	}
+	futures := make([]*core.Future, workers)
+	counts := make([]int, workers)
+	firsts := make([]int, workers)
+	for i := range proxies {
+		first := i * n / workers
+		count := (i+1)*n/workers - first
+		firsts[i], counts[i] = first, count
+		futures[i] = proxies[i].InvokeAsync("Coefficients", first, count)
+	}
+	out := make([]float64, 0, n*2)
+	for i, f := range futures {
+		res, err := f.Get()
+		if err != nil {
+			return nil, fmt.Errorf("jgf: series worker %d: %w", i, err)
+		}
+		part, err := asFloat64s(res)
+		if err != nil {
+			return nil, err
+		}
+		if len(part) != counts[i]*2 {
+			return nil, fmt.Errorf("jgf: series worker %d returned %d values, want %d", i, len(part), counts[i]*2)
+		}
+		out = append(out, part...)
+	}
+	return out, nil
+}
+
+// ----------------------------------------------------------------- Crypt
+
+// IdeaKey is the 52-subkey IDEA encryption schedule plus its inverse.
+type IdeaKey struct {
+	Enc []int32 // 52 subkeys
+	Dec []int32
+}
+
+// NewIdeaKey derives a deterministic key schedule from seed, following the
+// JGF Crypt construction (user key expanded by rotation).
+func NewIdeaKey(seed int64) IdeaKey {
+	user := make([]uint16, 8)
+	s := seed
+	for i := range user {
+		s = s*25214903917 + 11
+		user[i] = uint16(s >> 16)
+	}
+	enc := expandKey(user)
+	return IdeaKey{Enc: enc, Dec: invertKey(enc)}
+}
+
+func expandKey(user []uint16) []int32 {
+	z := make([]int32, 52)
+	for i := 0; i < 8; i++ {
+		z[i] = int32(user[i])
+	}
+	for i := 8; i < 52; i++ {
+		if i&7 < 6 {
+			z[i] = ((z[i-7] & 127) << 9) | (z[i-6] >> 7)
+		} else if i&7 == 6 {
+			z[i] = ((z[i-7] & 127) << 9) | (z[i-14] >> 7)
+		} else {
+			z[i] = ((z[i-15] & 127) << 9) | (z[i-14] >> 7)
+		}
+		z[i] &= 0xffff
+	}
+	return z
+}
+
+func invertKey(z []int32) []int32 {
+	dk := make([]int32, 52)
+	dk[51] = mulInv(z[3])
+	dk[50] = -z[2] & 0xffff
+	dk[49] = -z[1] & 0xffff
+	dk[48] = mulInv(z[0])
+	j, k := 47, 4
+	for i := 0; i < 7; i++ {
+		t1 := z[k]
+		k++
+		dk[j] = z[k]
+		j--
+		k++
+		dk[j] = t1
+		j--
+		t1 = mulInv(z[k])
+		k++
+		t2 := -z[k] & 0xffff
+		k++
+		t3 := -z[k] & 0xffff
+		k++
+		dk[j] = mulInv(z[k])
+		j--
+		k++
+		dk[j] = t2
+		j--
+		dk[j] = t3
+		j--
+		dk[j] = t1
+		j--
+	}
+	t1 := z[k]
+	k++
+	dk[j] = z[k]
+	j--
+	k++
+	dk[j] = t1
+	j--
+	t1 = mulInv(z[k])
+	k++
+	t2 := -z[k] & 0xffff
+	k++
+	t3 := -z[k] & 0xffff
+	k++
+	dk[j] = mulInv(z[k])
+	j--
+	dk[j] = t3
+	j--
+	dk[j] = t2
+	j--
+	dk[j] = t1
+	return dk
+}
+
+// mulInv computes the multiplicative inverse modulo 2^16+1 (IDEA's odd
+// multiplication group), with IDEA's convention that 0 represents 2^16.
+func mulInv(x int32) int32 {
+	if x <= 1 {
+		return x
+	}
+	t0 := int32(1)
+	t1 := int32(0x10001) / x
+	y := int32(0x10001) % x
+	for y != 1 {
+		q := x / y
+		x = x % y
+		t0 = (t0 + t1*q) & 0xffff
+		if x == 1 {
+			return t0
+		}
+		q = y / x
+		y = y % x
+		t1 = (t1 + t0*q) & 0xffff
+	}
+	return (1 - t1) & 0xffff
+}
+
+// mul is IDEA multiplication modulo 2^16+1.
+func mul(a, b int32) int32 {
+	if a == 0 {
+		return (0x10001 - b) & 0xffff
+	}
+	if b == 0 {
+		return (0x10001 - a) & 0xffff
+	}
+	p := int64(a) * int64(b)
+	lo := int32(p & 0xffff)
+	hi := int32((p >> 16) & 0xffff)
+	r := lo - hi
+	if lo < hi {
+		r++
+	}
+	return r & 0xffff
+}
+
+// IdeaCrypt runs the IDEA cipher over data (length must be a multiple of
+// 8) with the given 52-subkey schedule; encryption and decryption use the
+// same routine with the respective schedule, as in JGF Crypt.
+func IdeaCrypt(data []byte, key []int32) ([]byte, error) {
+	if len(data)%8 != 0 {
+		return nil, fmt.Errorf("jgf: IDEA data length %d not a multiple of 8", len(data))
+	}
+	out := make([]byte, len(data))
+	for off := 0; off < len(data); off += 8 {
+		x1 := int32(data[off]) | int32(data[off+1])<<8
+		x2 := int32(data[off+2]) | int32(data[off+3])<<8
+		x3 := int32(data[off+4]) | int32(data[off+5])<<8
+		x4 := int32(data[off+6]) | int32(data[off+7])<<8
+		k := 0
+		for round := 0; round < 8; round++ {
+			x1 = mul(x1, key[k])
+			x2 = (x2 + key[k+1]) & 0xffff
+			x3 = (x3 + key[k+2]) & 0xffff
+			x4 = mul(x4, key[k+3])
+			t2 := x1 ^ x3
+			t2 = mul(t2, key[k+4])
+			t1 := (t2 + (x2 ^ x4)) & 0xffff
+			t1 = mul(t1, key[k+5])
+			t2 = (t1 + t2) & 0xffff
+			x1 ^= t1
+			x4 ^= t2
+			t2 ^= x2
+			x2 = x3 ^ t1
+			x3 = t2
+			k += 6
+		}
+		r1 := mul(x1, key[48])
+		r2 := (x3 + key[49]) & 0xffff
+		r3 := (x2 + key[50]) & 0xffff
+		r4 := mul(x4, key[51])
+		out[off] = byte(r1)
+		out[off+1] = byte(r1 >> 8)
+		out[off+2] = byte(r2)
+		out[off+3] = byte(r2 >> 8)
+		out[off+4] = byte(r3)
+		out[off+5] = byte(r3 >> 8)
+		out[off+6] = byte(r4)
+		out[off+7] = byte(r4 >> 8)
+	}
+	return out, nil
+}
+
+// CryptWorker is the parallel-object class for the farmed Crypt kernel.
+type CryptWorker struct{}
+
+// Crypt applies the schedule to one block range.
+func (CryptWorker) Crypt(data []byte, key []int32) ([]byte, error) {
+	return IdeaCrypt(data, key)
+}
+
+// RunCrypt encrypts data (multiple of 8 bytes) by farming block ranges to
+// workers parallel objects.
+func RunCrypt(rt *core.Runtime, data []byte, key []int32, workers int) ([]byte, error) {
+	if len(data)%8 != 0 {
+		return nil, fmt.Errorf("jgf: data length %d not a multiple of 8", len(data))
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	blocks := len(data) / 8
+	proxies := make([]*core.Proxy, workers)
+	for i := range proxies {
+		p, err := rt.NewParallelObject("jgf.CryptWorker")
+		if err != nil {
+			return nil, err
+		}
+		defer p.Destroy()
+		proxies[i] = p
+	}
+	futures := make([]*core.Future, workers)
+	bounds := make([][2]int, workers)
+	for i := range proxies {
+		lo := i * blocks / workers * 8
+		hi := (i + 1) * blocks / workers * 8
+		bounds[i] = [2]int{lo, hi}
+		futures[i] = proxies[i].InvokeAsync("Crypt", data[lo:hi], key)
+	}
+	out := make([]byte, len(data))
+	for i, f := range futures {
+		res, err := f.Get()
+		if err != nil {
+			return nil, fmt.Errorf("jgf: crypt worker %d: %w", i, err)
+		}
+		part, ok := res.([]byte)
+		if !ok {
+			return nil, fmt.Errorf("jgf: crypt worker %d returned %T", i, res)
+		}
+		copy(out[bounds[i][0]:bounds[i][1]], part)
+	}
+	return out, nil
+}
+
+func asFloat64s(v any) ([]float64, error) {
+	switch x := v.(type) {
+	case []float64:
+		return x, nil
+	case []any:
+		out := make([]float64, len(x))
+		for i, e := range x {
+			f, ok := e.(float64)
+			if !ok {
+				return nil, fmt.Errorf("jgf: element %d is %T", i, e)
+			}
+			out[i] = f
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("jgf: not a float64 slice: %T", v)
+}
+
+// RegisterClasses registers the kernel worker classes on a runtime; call on
+// every node.
+func RegisterClasses(rt *core.Runtime) {
+	rt.RegisterClass("jgf.SeriesWorker", func() any { return SeriesWorker{} })
+	rt.RegisterClass("jgf.CryptWorker", func() any { return CryptWorker{} })
+	rt.RegisterClass("jgf.SORWorker", func() any { return &SORWorker{} })
+}

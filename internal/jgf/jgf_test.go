@@ -1,0 +1,281 @@
+package jgf
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func newJGFCluster(t *testing.T, nodes int) *cluster.Cluster {
+	t.Helper()
+	cl, err := cluster.New(cluster.Options{Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	for i := 0; i < cl.Size(); i++ {
+		RegisterClasses(cl.Node(i))
+	}
+	return cl
+}
+
+// ----------------------------------------------------------------- Series
+
+func TestSeriesFirstCoefficientKnown(t *testing.T) {
+	// a_0 = ∫ (x+1)^x dx over [0,2]. Validate against an independent
+	// high-resolution Simpson integration of the same integrand.
+	got := SeriesCoefficients(0, 1)
+	want := simpson(func(x float64) float64 { return math.Pow(x+1, x) }, 0, 2, 100000)
+	if math.Abs(got[0]-want) > 1e-4 {
+		t.Errorf("a_0 = %v, want ≈%v", got[0], want)
+	}
+	if math.Abs(got[1]) > 1e-9 {
+		t.Errorf("b_0 = %v, want 0", got[1])
+	}
+}
+
+// simpson is an independent reference integrator for the test.
+func simpson(f func(float64) float64, a, b float64, n int) float64 {
+	h := (b - a) / float64(n)
+	sum := f(a) + f(b)
+	for i := 1; i < n; i++ {
+		x := a + float64(i)*h
+		if i%2 == 1 {
+			sum += 4 * f(x)
+		} else {
+			sum += 2 * f(x)
+		}
+	}
+	return sum * h / 3
+}
+
+func TestSeriesCoefficientsDecay(t *testing.T) {
+	c := SeriesCoefficients(0, 8)
+	if len(c) != 16 {
+		t.Fatalf("len = %d", len(c))
+	}
+	// Fourier coefficients of a smooth function decay: |a_7| < |a_1|.
+	if math.Abs(c[14]) >= math.Abs(c[2]) {
+		t.Errorf("no decay: |a_7| = %v, |a_1| = %v", math.Abs(c[14]), math.Abs(c[2]))
+	}
+}
+
+func TestSeriesRangeSplitting(t *testing.T) {
+	whole := SeriesCoefficients(0, 6)
+	var split []float64
+	split = append(split, SeriesCoefficients(0, 2)...)
+	split = append(split, SeriesCoefficients(2, 3)...)
+	split = append(split, SeriesCoefficients(5, 1)...)
+	if len(split) != len(whole) {
+		t.Fatalf("len %d != %d", len(split), len(whole))
+	}
+	for i := range whole {
+		if whole[i] != split[i] {
+			t.Fatalf("coefficient %d differs: %v vs %v", i, whole[i], split[i])
+		}
+	}
+}
+
+func TestRunSeriesMatchesSequential(t *testing.T) {
+	cl := newJGFCluster(t, 3)
+	got, err := RunSeries(cl.Node(0), 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SeriesCoefficients(0, 10)
+	if len(got) != len(want) {
+		t.Fatalf("len %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("coefficient %d: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+// ----------------------------------------------------------------- Crypt
+
+func TestIdeaRoundTrip(t *testing.T) {
+	key := NewIdeaKey(99)
+	plain := make([]byte, 256)
+	for i := range plain {
+		plain[i] = byte(i * 31)
+	}
+	cipher, err := IdeaCrypt(plain, key.Enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(cipher, plain) {
+		t.Fatal("cipher equals plaintext")
+	}
+	back, err := IdeaCrypt(cipher, key.Dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, plain) {
+		t.Fatal("IDEA round trip failed")
+	}
+}
+
+func TestIdeaRejectsBadLength(t *testing.T) {
+	key := NewIdeaKey(1)
+	if _, err := IdeaCrypt(make([]byte, 7), key.Enc); err == nil {
+		t.Error("length 7 accepted")
+	}
+}
+
+func TestIdeaKeyDeterministic(t *testing.T) {
+	a := NewIdeaKey(7)
+	b := NewIdeaKey(7)
+	c := NewIdeaKey(8)
+	for i := range a.Enc {
+		if a.Enc[i] != b.Enc[i] {
+			t.Fatal("key schedule not deterministic")
+		}
+	}
+	same := true
+	for i := range a.Enc {
+		if a.Enc[i] != c.Enc[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced the same schedule")
+	}
+}
+
+func TestIdeaBlockIndependence(t *testing.T) {
+	// ECB property: encrypting blocks separately equals encrypting the
+	// concatenation — the property the farmed version relies on.
+	key := NewIdeaKey(5)
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	whole, err := IdeaCrypt(data, key.Enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parts []byte
+	for off := 0; off < len(data); off += 16 {
+		p, err := IdeaCrypt(data[off:off+16], key.Enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, p...)
+	}
+	if !bytes.Equal(whole, parts) {
+		t.Error("block-split encryption differs")
+	}
+}
+
+func TestRunCryptMatchesSequential(t *testing.T) {
+	cl := newJGFCluster(t, 2)
+	key := NewIdeaKey(42)
+	data := make([]byte, 800)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	got, err := RunCrypt(cl.Node(0), data, key.Enc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := IdeaCrypt(data, key.Enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("farmed encryption differs from sequential")
+	}
+	// And decryption round-trips through the farm too.
+	back, err := RunCrypt(cl.Node(0), got, key.Dec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatal("farmed decryption failed")
+	}
+}
+
+// ----------------------------------------------------------------- SOR
+
+func TestSORSequentialConverges(t *testing.T) {
+	// With omega in (0,2) SOR smooths the grid: the residual sum changes
+	// but stays finite and the grid remains in (0,1) bounds (boundary
+	// rows are untouched).
+	sum0 := SORSequential(16, 0, 1.25)
+	sum10 := SORSequential(16, 10, 1.25)
+	if math.IsNaN(sum10) || math.IsInf(sum10, 0) {
+		t.Fatal("SOR diverged")
+	}
+	if sum0 == sum10 {
+		t.Error("SOR did nothing")
+	}
+}
+
+func TestSORDeterministic(t *testing.T) {
+	a := SORSequential(20, 5, 1.25)
+	b := SORSequential(20, 5, 1.25)
+	if a != b {
+		t.Error("sequential SOR not deterministic")
+	}
+}
+
+func TestRunSORMatchesSequentialSingleWorker(t *testing.T) {
+	cl := newJGFCluster(t, 1)
+	got, err := RunSOR(cl.Node(0), 16, 4, 1, 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SORSequential(16, 4, 1.25)
+	if got != want {
+		t.Errorf("1-worker SOR = %v, want %v", got, want)
+	}
+}
+
+func TestRunSORMatchesSequentialMultiWorker(t *testing.T) {
+	for _, workers := range []int{2, 3, 4} {
+		cl := newJGFCluster(t, 2)
+		got, err := RunSOR(cl.Node(0), 24, 6, workers, 1.25)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		want := SORSequential(24, 6, 1.25)
+		if got != want {
+			t.Errorf("workers=%d: SOR = %v, want %v (bitwise)", workers, got, want)
+		}
+		cl.Close()
+	}
+}
+
+func TestRunSORWorkerCap(t *testing.T) {
+	cl := newJGFCluster(t, 1)
+	// More workers than rows must clamp, not crash.
+	got, err := RunSOR(cl.Node(0), 8, 2, 20, 1.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SORSequential(8, 2, 1.25)
+	if got != want {
+		t.Errorf("clamped SOR = %v, want %v", got, want)
+	}
+}
+
+func BenchmarkSeriesKernel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		SeriesCoefficients(0, 4)
+	}
+}
+
+func BenchmarkIdeaKernel(b *testing.B) {
+	key := NewIdeaKey(3)
+	data := make([]byte, 8192)
+	b.SetBytes(8192)
+	for i := 0; i < b.N; i++ {
+		if _, err := IdeaCrypt(data, key.Enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package jgf
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// SOR is the JGF red-black successive over-relaxation kernel. The grid is
+// updated in two colour phases per sweep; within a phase every update reads
+// only cells of the opposite colour, so the parallel banded version is
+// bitwise identical to the sequential reference regardless of update order.
+
+// SORGrid builds the deterministic n×n initial grid (LCG-seeded, as the JGF
+// generator seeds its random grid).
+func SORGrid(n int) [][]float64 {
+	g := make([][]float64, n)
+	state := int64(4357)
+	for i := range g {
+		g[i] = make([]float64, n)
+		for j := range g[i] {
+			state = state*25214903917 + 11
+			g[i][j] = float64((state>>16)&0xffff) / 65536.0
+		}
+	}
+	return g
+}
+
+// SORSequential runs iters red-black sweeps with relaxation omega and
+// returns the grid sum (the JGF validation value).
+func SORSequential(n, iters int, omega float64) float64 {
+	g := SORGrid(n)
+	for it := 0; it < iters; it++ {
+		for phase := 0; phase < 2; phase++ {
+			sorPhase(g, 1, n-1, phase, it, omega)
+		}
+	}
+	return gridSum(g)
+}
+
+// sorPhase relaxes rows [lo, hi) of the given colour. The colour of cell
+// (i, j) is (i+j+it)%2 == phase, matching the JGF kernel's alternation.
+func sorPhase(g [][]float64, lo, hi, phase, it int, omega float64) {
+	n := len(g)
+	if lo < 1 {
+		lo = 1
+	}
+	if hi > n-1 {
+		hi = n - 1
+	}
+	for i := lo; i < hi; i++ {
+		start := 1 + (i+phase+it)%2
+		for j := start; j < n-1; j += 2 {
+			g[i][j] = omega/4*(g[i-1][j]+g[i+1][j]+g[i][j-1]+g[i][j+1]) +
+				(1-omega)*g[i][j]
+		}
+	}
+}
+
+func gridSum(g [][]float64) float64 {
+	var sum float64
+	for _, row := range g {
+		for _, v := range row {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// SORWorker owns a band of grid rows as a parallel object. Halo rows are
+// refreshed by the coordinator between phases (a BSP-style lockstep: the
+// actor model would deadlock on mutual pulls, so neighbours communicate
+// through the coordinator's halo exchange).
+type SORWorker struct {
+	mu    sync.Mutex
+	n     int
+	lo    int // first owned row
+	hi    int // one past last owned row
+	omega float64
+	rows  [][]float64 // owned rows plus one halo row on each side
+}
+
+// Init installs the worker's band: rows [lo, hi) of the deterministic grid.
+func (w *SORWorker) Init(n, lo, hi int, omega float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	full := SORGrid(n)
+	w.n, w.lo, w.hi, w.omega = n, lo, hi, omega
+	w.rows = make([][]float64, hi-lo+2)
+	for i := range w.rows {
+		src := lo - 1 + i
+		w.rows[i] = make([]float64, n)
+		if src >= 0 && src < n {
+			copy(w.rows[i], full[src])
+		}
+	}
+}
+
+// SetHalo refreshes the halo rows around the band.
+func (w *SORWorker) SetHalo(top, bottom []float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(top) == w.n {
+		copy(w.rows[0], top)
+	}
+	if len(bottom) == w.n {
+		copy(w.rows[len(w.rows)-1], bottom)
+	}
+}
+
+// SweepPhase relaxes the owned rows for one colour phase of iteration it.
+func (w *SORWorker) SweepPhase(phase, it int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i := w.lo; i < w.hi; i++ {
+		if i < 1 || i >= w.n-1 {
+			continue
+		}
+		row := w.rows[i-w.lo+1]
+		up := w.rows[i-w.lo]
+		down := w.rows[i-w.lo+2]
+		start := 1 + (i+phase+it)%2
+		for j := start; j < w.n-1; j += 2 {
+			row[j] = w.omega/4*(up[j]+down[j]+row[j-1]+row[j+1]) +
+				(1-w.omega)*row[j]
+		}
+	}
+}
+
+// TopRow returns the first owned row (the neighbour-facing boundary).
+func (w *SORWorker) TopRow() []float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]float64(nil), w.rows[1]...)
+}
+
+// BottomRow returns the last owned row.
+func (w *SORWorker) BottomRow() []float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]float64(nil), w.rows[len(w.rows)-2]...)
+}
+
+// Rows returns the owned rows flattened row-major (n values per row), so
+// the coordinator can reassemble the full grid and validate bitwise against
+// the sequential reference (summing per band would change float addition
+// order).
+func (w *SORWorker) Rows() []float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]float64, 0, (len(w.rows)-2)*w.n)
+	for i := 1; i < len(w.rows)-1; i++ {
+		out = append(out, w.rows[i]...)
+	}
+	return out
+}
+
+// BandSum returns the sum over owned rows.
+func (w *SORWorker) BandSum() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var sum float64
+	for i := 1; i < len(w.rows)-1; i++ {
+		for _, v := range w.rows[i] {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// RunSOR runs the banded parallel SOR on rt and returns the grid sum; it
+// must equal SORSequential(n, iters, omega) exactly.
+func RunSOR(rt *core.Runtime, n, iters, workers int, omega float64) (float64, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	proxies := make([]*core.Proxy, workers)
+	bounds := make([][2]int, workers)
+	for i := range proxies {
+		p, err := rt.NewParallelObject("jgf.SORWorker")
+		if err != nil {
+			return 0, err
+		}
+		defer p.Destroy()
+		proxies[i] = p
+		lo := i * n / workers
+		hi := (i + 1) * n / workers
+		bounds[i] = [2]int{lo, hi}
+		if _, err := p.Invoke("Init", n, lo, hi, omega); err != nil {
+			return 0, err
+		}
+	}
+	exchange := func() error {
+		tops := make([][]float64, workers)
+		bottoms := make([][]float64, workers)
+		for i, p := range proxies {
+			res, err := p.Invoke("TopRow")
+			if err != nil {
+				return err
+			}
+			if tops[i], err = asFloat64s(res); err != nil {
+				return err
+			}
+			res, err = p.Invoke("BottomRow")
+			if err != nil {
+				return err
+			}
+			if bottoms[i], err = asFloat64s(res); err != nil {
+				return err
+			}
+		}
+		for i, p := range proxies {
+			var top, bottom []float64
+			if i > 0 {
+				top = bottoms[i-1]
+			}
+			if i < workers-1 {
+				bottom = tops[i+1]
+			}
+			if _, err := p.Invoke("SetHalo", top, bottom); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for it := 0; it < iters; it++ {
+		for phase := 0; phase < 2; phase++ {
+			if err := exchange(); err != nil {
+				return 0, fmt.Errorf("jgf: halo exchange: %w", err)
+			}
+			futures := make([]*core.Future, workers)
+			for i, p := range proxies {
+				futures[i] = p.InvokeAsync("SweepPhase", phase, it)
+			}
+			for i, f := range futures {
+				if _, err := f.Get(); err != nil {
+					return 0, fmt.Errorf("jgf: sweep worker %d: %w", i, err)
+				}
+			}
+		}
+	}
+	// Reassemble the grid and sum it in row-major order — the same float
+	// addition order as the sequential reference, so the results compare
+	// bitwise.
+	var sum float64
+	for i, p := range proxies {
+		res, err := p.Invoke("Rows")
+		if err != nil {
+			return 0, fmt.Errorf("jgf: rows from worker %d: %w", i, err)
+		}
+		band, err := asFloat64s(res)
+		if err != nil {
+			return 0, err
+		}
+		want := (bounds[i][1] - bounds[i][0]) * n
+		if len(band) != want {
+			return 0, fmt.Errorf("jgf: worker %d returned %d values, want %d", i, len(band), want)
+		}
+		for _, v := range band {
+			sum += v
+		}
+	}
+	return sum, nil
+}

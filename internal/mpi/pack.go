@@ -1,0 +1,184 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Buffer is an MPI_Pack-style packing buffer. The paper's §2 contrasts this
+// explicit pack/unpack discipline ("a data structure residing in a
+// non-continuous memory must be packed into a continuous memory area before
+// being sent") with the automatic serialisation of Java/C# — the ParC++
+// implementation had to generate exactly this code, and its removal is the
+// main simplification ParC# reports in §3.2.
+//
+// A Buffer is either in packing mode (zero value, write methods) or
+// unpacking mode (NewUnpackBuffer, read methods). All integers are packed
+// big-endian.
+type Buffer struct {
+	data []byte
+	pos  int
+}
+
+// NewUnpackBuffer wraps received bytes for unpacking.
+func NewUnpackBuffer(data []byte) *Buffer {
+	return &Buffer{data: data}
+}
+
+// Bytes returns the packed bytes for sending.
+func (b *Buffer) Bytes() []byte { return b.data }
+
+// Len returns the packed length.
+func (b *Buffer) Len() int { return len(b.data) }
+
+// PackInt32 appends one int32.
+func (b *Buffer) PackInt32(v int32) {
+	b.data = binary.BigEndian.AppendUint32(b.data, uint32(v))
+}
+
+// PackInt64 appends one int64.
+func (b *Buffer) PackInt64(v int64) {
+	b.data = binary.BigEndian.AppendUint64(b.data, uint64(v))
+}
+
+// PackFloat64 appends one float64.
+func (b *Buffer) PackFloat64(v float64) {
+	b.data = binary.BigEndian.AppendUint64(b.data, math.Float64bits(v))
+}
+
+// PackString appends a length-prefixed string.
+func (b *Buffer) PackString(s string) {
+	b.PackInt32(int32(len(s)))
+	b.data = append(b.data, s...)
+}
+
+// PackBytes appends a length-prefixed byte slice.
+func (b *Buffer) PackBytes(p []byte) {
+	b.PackInt32(int32(len(p)))
+	b.data = append(b.data, p...)
+}
+
+// PackInt32s appends a length-prefixed int32 array.
+func (b *Buffer) PackInt32s(vs []int32) {
+	b.PackInt32(int32(len(vs)))
+	for _, v := range vs {
+		b.PackInt32(v)
+	}
+}
+
+// PackFloat64s appends a length-prefixed float64 array.
+func (b *Buffer) PackFloat64s(vs []float64) {
+	b.PackInt32(int32(len(vs)))
+	for _, v := range vs {
+		b.PackFloat64(v)
+	}
+}
+
+func (b *Buffer) need(n int) error {
+	if b.pos+n > len(b.data) {
+		return fmt.Errorf("mpi: unpack past end of buffer (pos %d, need %d, len %d)", b.pos, n, len(b.data))
+	}
+	return nil
+}
+
+// UnpackInt32 reads one int32.
+func (b *Buffer) UnpackInt32() (int32, error) {
+	if err := b.need(4); err != nil {
+		return 0, err
+	}
+	v := int32(binary.BigEndian.Uint32(b.data[b.pos:]))
+	b.pos += 4
+	return v, nil
+}
+
+// UnpackInt64 reads one int64.
+func (b *Buffer) UnpackInt64() (int64, error) {
+	if err := b.need(8); err != nil {
+		return 0, err
+	}
+	v := int64(binary.BigEndian.Uint64(b.data[b.pos:]))
+	b.pos += 8
+	return v, nil
+}
+
+// UnpackFloat64 reads one float64.
+func (b *Buffer) UnpackFloat64() (float64, error) {
+	if err := b.need(8); err != nil {
+		return 0, err
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(b.data[b.pos:]))
+	b.pos += 8
+	return v, nil
+}
+
+// UnpackString reads a length-prefixed string.
+func (b *Buffer) UnpackString() (string, error) {
+	n, err := b.UnpackInt32()
+	if err != nil {
+		return "", err
+	}
+	if n < 0 {
+		return "", fmt.Errorf("mpi: negative string length %d", n)
+	}
+	if err := b.need(int(n)); err != nil {
+		return "", err
+	}
+	s := string(b.data[b.pos : b.pos+int(n)])
+	b.pos += int(n)
+	return s, nil
+}
+
+// UnpackBytes reads a length-prefixed byte slice.
+func (b *Buffer) UnpackBytes() ([]byte, error) {
+	n, err := b.UnpackInt32()
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("mpi: negative byte length %d", n)
+	}
+	if err := b.need(int(n)); err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, b.data[b.pos:])
+	b.pos += int(n)
+	return out, nil
+}
+
+// UnpackInt32s reads a length-prefixed int32 array.
+func (b *Buffer) UnpackInt32s() ([]int32, error) {
+	n, err := b.UnpackInt32()
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("mpi: negative array length %d", n)
+	}
+	out := make([]int32, n)
+	for i := range out {
+		if out[i], err = b.UnpackInt32(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// UnpackFloat64s reads a length-prefixed float64 array.
+func (b *Buffer) UnpackFloat64s() ([]float64, error) {
+	n, err := b.UnpackInt32()
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("mpi: negative array length %d", n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		if out[i], err = b.UnpackFloat64(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,62 @@
+package example
+
+import (
+	"testing"
+
+	"repro/parc"
+)
+
+// TestGeneratedProxyEndToEnd drives the parcgen-generated PO against a real
+// 2-node cluster: the paper's PrimeServer example, typed wrappers and all.
+func TestGeneratedProxyEndToEnd(t *testing.T) {
+	cl, err := parc.NewCluster(parc.ClusterConfig{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < cl.Size(); i++ {
+		RegisterPrimeServer(cl.Node(i))
+	}
+	po, err := NewPrimeServer(cl.Entry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Asynchronous posts (void method), like the paper's delegate calls.
+	po.Process([]int{2, 3, 4, 5, 6})
+	po.Process([]int{7, 8, 9, 10, 11})
+	// Synchronous typed call sees all prior posts.
+	count, err := po.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 { // 2 3 5 7 11
+		t.Errorf("Count = %d, want 5", count)
+	}
+	primes, err := po.Primes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(primes) != 5 || primes[0] != 2 || primes[4] != 11 {
+		t.Errorf("Primes = %v", primes)
+	}
+	// Future variant.
+	f := po.BeginCount()
+	v, err := f.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := parc.As[int](v, nil); err != nil || got != 5 {
+		t.Errorf("BeginCount = %v, %v", got, err)
+	}
+	// Reference passing: attach on the other node and post from there.
+	po2 := AttachPrimeServer(cl.Node(1), po.Ref())
+	po2.Process([]int{13})
+	po2.Wait()
+	count, err = po.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 6 {
+		t.Errorf("Count after attached post = %d, want 6", count)
+	}
+}

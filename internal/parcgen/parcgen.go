@@ -1,0 +1,358 @@
+// Package parcgen is the reproduction of the ParC# preprocessor (paper
+// §3.2): a source-to-source generator that turns annotated classes into
+// proxy-object (PO) code. The C# preprocessor "analyses the application —
+// retrieving information about the declared parallel objects — and
+// generates code for remote object creation and remote method invocation"
+// (Figs. 4–6); parcgen does the same for Go.
+//
+// Usage: mark a struct type with the directive comment
+//
+//	//parc:parallel
+//	type PrimeServer struct{ ... }
+//
+// and run cmd/parcgen over the file (or a go:generate line). For every
+// marked type T the generator emits, into <file>_parc.go:
+//
+//   - RegisterT(rt) — the per-node factory registration (paper Fig. 6's
+//     generated RemoteFactory + boot registration);
+//   - NewT(rt) (*TPO, error) — PO creation through the object manager
+//     (Fig. 5's generated constructor);
+//   - TPO with one typed wrapper per exported method: void methods become
+//     asynchronous posts (Fig. 4's delegate BeginInvoke), value-returning
+//     methods become synchronous invokes plus BeginM asynchronous variants
+//     returning futures.
+package parcgen
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Directive is the comment that marks a parallel-object class.
+const Directive = "parc:parallel"
+
+// Class describes one annotated type and its wire-callable methods.
+type Class struct {
+	Name    string
+	Methods []Method
+}
+
+// Method is one exported method eligible for remote invocation.
+type Method struct {
+	Name    string
+	Params  []Param
+	Results []string // rendered result types, excluding a trailing error
+	HasErr  bool     // trailing error result present
+}
+
+// Param is a typed parameter.
+type Param struct {
+	Name string
+	Type string
+}
+
+// File is the analysis result of one source file.
+type File struct {
+	Package string
+	Classes []Class
+	// Imports are the source imports referenced by the generated
+	// signatures (path, optional alias).
+	Imports []ImportSpec
+}
+
+// ImportSpec is one import retained in the generated file.
+type ImportSpec struct {
+	Alias string
+	Path  string
+}
+
+// Analyze parses src (file name used for positions only) and extracts the
+// annotated classes.
+func Analyze(filename string, src []byte) (*File, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("parcgen: parse %s: %w", filename, err)
+	}
+	out := &File{Package: f.Name.Name}
+
+	marked := map[string]bool{}
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.TYPE {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok {
+				continue
+			}
+			if hasDirective(gd.Doc) || hasDirective(ts.Doc) || hasDirective(ts.Comment) {
+				if _, isStruct := ts.Type.(*ast.StructType); !isStruct {
+					return nil, fmt.Errorf("parcgen: %s: directive on non-struct type %s", filename, ts.Name.Name)
+				}
+				marked[ts.Name.Name] = true
+			}
+		}
+	}
+	if len(marked) == 0 {
+		return out, nil
+	}
+
+	methods := map[string][]Method{}
+	usedPkgs := map[string]bool{}
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 {
+			continue
+		}
+		recv := receiverType(fd.Recv.List[0].Type)
+		if recv == "" || !marked[recv] {
+			continue
+		}
+		if !fd.Name.IsExported() {
+			continue
+		}
+		m, ok, err := analyzeMethod(fset, fd, usedPkgs)
+		if err != nil {
+			return nil, fmt.Errorf("parcgen: %s: method %s.%s: %w", filename, recv, fd.Name.Name, err)
+		}
+		if ok {
+			methods[recv] = append(methods[recv], m)
+		}
+	}
+
+	names := make([]string, 0, len(marked))
+	for n := range marked {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		out.Classes = append(out.Classes, Class{Name: n, Methods: methods[n]})
+	}
+	for _, imp := range f.Imports {
+		path, _ := strconv.Unquote(imp.Path.Value)
+		name := importName(imp)
+		if usedPkgs[name] {
+			alias := ""
+			if imp.Name != nil {
+				alias = imp.Name.Name
+			}
+			out.Imports = append(out.Imports, ImportSpec{Alias: alias, Path: path})
+		}
+	}
+	return out, nil
+}
+
+func hasDirective(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		if strings.TrimSpace(text) == Directive {
+			return true
+		}
+	}
+	return false
+}
+
+func receiverType(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
+}
+
+func importName(imp *ast.ImportSpec) string {
+	if imp.Name != nil {
+		return imp.Name.Name
+	}
+	path, _ := strconv.Unquote(imp.Path.Value)
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+var errType = "error"
+
+// analyzeMethod extracts a wire-callable method; ok=false skips methods the
+// runtime cannot dispatch (variadic, >1 non-error result).
+func analyzeMethod(fset *token.FileSet, fd *ast.FuncDecl, usedPkgs map[string]bool) (Method, bool, error) {
+	m := Method{Name: fd.Name.Name}
+	ft := fd.Type
+	if ft.Params != nil {
+		idx := 0
+		for _, field := range ft.Params.List {
+			if _, variadic := field.Type.(*ast.Ellipsis); variadic {
+				return m, false, nil
+			}
+			typ := renderExpr(fset, field.Type)
+			collectPkgs(field.Type, usedPkgs)
+			if len(field.Names) == 0 {
+				m.Params = append(m.Params, Param{Name: fmt.Sprintf("a%d", idx), Type: typ})
+				idx++
+				continue
+			}
+			for _, name := range field.Names {
+				pname := name.Name
+				if pname == "_" || pname == "" {
+					pname = fmt.Sprintf("a%d", idx)
+				}
+				m.Params = append(m.Params, Param{Name: pname, Type: typ})
+				idx++
+			}
+		}
+	}
+	if ft.Results != nil {
+		var rendered []string
+		for _, field := range ft.Results.List {
+			typ := renderExpr(fset, field.Type)
+			n := len(field.Names)
+			if n == 0 {
+				n = 1
+			}
+			for i := 0; i < n; i++ {
+				rendered = append(rendered, typ)
+			}
+			collectPkgs(field.Type, usedPkgs)
+		}
+		if len(rendered) > 0 && rendered[len(rendered)-1] == errType {
+			m.HasErr = true
+			rendered = rendered[:len(rendered)-1]
+		}
+		if len(rendered) > 1 {
+			return m, false, nil // dispatcher supports at most one value
+		}
+		m.Results = rendered
+	}
+	return m, true, nil
+}
+
+func renderExpr(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	printer.Fprint(&buf, fset, e)
+	return buf.String()
+}
+
+func collectPkgs(e ast.Expr, used map[string]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok {
+				used[id.Name] = true
+			}
+		}
+		return true
+	})
+}
+
+// Generate emits the PO source for an analysed file. The class's wire name
+// is "<package>.<Type>", matching what RegisterT registers.
+func Generate(f *File) ([]byte, error) {
+	if len(f.Classes) == 0 {
+		return nil, fmt.Errorf("parcgen: no //%s types found", Directive)
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "// Code generated by parcgen; DO NOT EDIT.\n")
+	fmt.Fprintf(&b, "// Proxy objects for the SCOOPP runtime (paper Figs. 4-6).\n\n")
+	fmt.Fprintf(&b, "package %s\n\n", f.Package)
+	fmt.Fprintf(&b, "import (\n")
+	fmt.Fprintf(&b, "\t\"repro/parc\"\n")
+	for _, imp := range f.Imports {
+		if imp.Alias != "" {
+			fmt.Fprintf(&b, "\t%s %q\n", imp.Alias, imp.Path)
+		} else {
+			fmt.Fprintf(&b, "\t%q\n", imp.Path)
+		}
+	}
+	fmt.Fprintf(&b, ")\n\n")
+
+	for _, c := range f.Classes {
+		class := f.Package + "." + c.Name
+		fmt.Fprintf(&b, "// %sPO is the proxy object (PO) for parallel objects of class %q.\n", c.Name, class)
+		fmt.Fprintf(&b, "type %sPO struct {\n\tp *parc.Proxy\n}\n\n", c.Name)
+
+		fmt.Fprintf(&b, "// Register%s registers the %s factory on a node; call it on every\n// node before creating objects (the paper's per-node boot registration).\n", c.Name, c.Name)
+		fmt.Fprintf(&b, "func Register%s(rt *parc.Runtime) {\n", c.Name)
+		fmt.Fprintf(&b, "\trt.RegisterClass(%q, func() any { return new(%s) })\n}\n\n", class, c.Name)
+
+		fmt.Fprintf(&b, "// New%s creates a parallel %s through the object manager.\n", c.Name, c.Name)
+		fmt.Fprintf(&b, "func New%s(rt *parc.Runtime) (*%sPO, error) {\n", c.Name, c.Name)
+		fmt.Fprintf(&b, "\tp, err := rt.NewParallelObject(%q)\n", class)
+		fmt.Fprintf(&b, "\tif err != nil {\n\t\treturn nil, err\n\t}\n")
+		fmt.Fprintf(&b, "\treturn &%sPO{p: p}, nil\n}\n\n", c.Name)
+
+		fmt.Fprintf(&b, "// Attach%s binds a received reference to a usable proxy.\n", c.Name)
+		fmt.Fprintf(&b, "func Attach%s(rt *parc.Runtime, ref parc.ProxyRef) *%sPO {\n", c.Name, c.Name)
+		fmt.Fprintf(&b, "\treturn &%sPO{p: rt.Attach(ref)}\n}\n\n", c.Name)
+
+		fmt.Fprintf(&b, "// Proxy exposes the underlying dynamic proxy.\n")
+		fmt.Fprintf(&b, "func (po *%sPO) Proxy() *parc.Proxy { return po.p }\n\n", c.Name)
+		fmt.Fprintf(&b, "// Ref returns a wire-encodable reference to the object.\n")
+		fmt.Fprintf(&b, "func (po *%sPO) Ref() parc.ProxyRef { return po.p.Ref() }\n\n", c.Name)
+		fmt.Fprintf(&b, "// Wait blocks until all asynchronous calls have executed.\n")
+		fmt.Fprintf(&b, "func (po *%sPO) Wait() { po.p.Wait() }\n\n", c.Name)
+
+		for _, m := range c.Methods {
+			genMethod(&b, c.Name, m)
+		}
+	}
+	src, err := format.Source(b.Bytes())
+	if err != nil {
+		return nil, fmt.Errorf("parcgen: generated code does not format: %w\n%s", err, b.String())
+	}
+	return src, nil
+}
+
+func genMethod(b *bytes.Buffer, typ string, m Method) {
+	params := make([]string, len(m.Params))
+	args := make([]string, 0, len(m.Params)+1)
+	args = append(args, strconv.Quote(m.Name))
+	for i, p := range m.Params {
+		params[i] = p.Name + " " + p.Type
+		args = append(args, p.Name)
+	}
+	paramList := strings.Join(params, ", ")
+	argList := strings.Join(args, ", ")
+
+	if len(m.Results) == 0 {
+		// Void (possibly error-only) methods are asynchronous — the
+		// paper's delegate BeginInvoke path (Fig. 4).
+		fmt.Fprintf(b, "// %s invokes the method asynchronously (no result), as the\n// preprocessor's delegate-based PO did.\n", m.Name)
+		fmt.Fprintf(b, "func (po *%sPO) %s(%s) {\n\tpo.p.Post(%s)\n}\n\n", typ, m.Name, paramList, argList)
+		fmt.Fprintf(b, "// %sSync invokes the method synchronously and reports the error.\n", m.Name)
+		fmt.Fprintf(b, "func (po *%sPO) %sSync(%s) error {\n\t_, err := po.p.Invoke(%s)\n\treturn err\n}\n\n",
+			typ, m.Name, paramList, argList)
+		return
+	}
+	res := m.Results[0]
+	fmt.Fprintf(b, "// %s invokes the method synchronously and returns its result.\n", m.Name)
+	fmt.Fprintf(b, "func (po *%sPO) %s(%s) (%s, error) {\n", typ, m.Name, paramList, res)
+	fmt.Fprintf(b, "\treturn parc.As[%s](po.p.Invoke(%s))\n}\n\n", res, argList)
+	fmt.Fprintf(b, "// Begin%s starts the call asynchronously and returns a future.\n", m.Name)
+	fmt.Fprintf(b, "func (po *%sPO) Begin%s(%s) *parc.Future {\n\treturn po.p.InvokeAsync(%s)\n}\n\n",
+		typ, m.Name, paramList, argList)
+}
+
+// GenerateFile is the single-call convenience used by cmd/parcgen.
+func GenerateFile(filename string, src []byte) ([]byte, error) {
+	f, err := Analyze(filename, src)
+	if err != nil {
+		return nil, err
+	}
+	return Generate(f)
+}

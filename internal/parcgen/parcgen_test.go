@@ -1,0 +1,172 @@
+package parcgen
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+const sample = `package demo
+
+import (
+	"sort"
+	"unused/pkg"
+)
+
+var _ = pkg.Thing // keeps the import honest in the original file
+
+// Worker is a parallel class.
+//
+//parc:parallel
+type Worker struct{ n int }
+
+// Bump is a void method (becomes an asynchronous post).
+func (w *Worker) Bump(v int) { w.n += v }
+
+// Total returns a value (becomes a synchronous invoke).
+func (w *Worker) Total() int { return w.n }
+
+// SortAll uses an imported type in its signature.
+func (w *Worker) SortAll(s sort.IntSlice) sort.IntSlice { sort.Sort(s); return s }
+
+// Fallible returns (value, error).
+func (w *Worker) Fallible(x float64) (float64, error) { return x, nil }
+
+// ErrOnly returns only an error (async + Sync variant).
+func (w *Worker) ErrOnly() error { return nil }
+
+// variadic methods are skipped.
+func (w *Worker) Var(xs ...int) {}
+
+// twoResults methods are skipped.
+func (w *Worker) Two() (int, int) { return 1, 2 }
+
+// unexported methods are skipped.
+func (w *Worker) hidden() {}
+
+// Passive is not annotated; no code is generated for it.
+type Passive struct{}
+
+func (p *Passive) Noop() {}
+`
+
+func generate(t *testing.T, src string) string {
+	t.Helper()
+	out, err := GenerateFile("sample.go", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+func TestGenerateBasics(t *testing.T) {
+	got := generate(t, sample)
+	for _, want := range []string{
+		"package demo",
+		"type WorkerPO struct",
+		`rt.RegisterClass("demo.Worker", func() any { return new(Worker) })`,
+		`rt.NewParallelObject("demo.Worker")`,
+		"func (po *WorkerPO) Bump(v int) {",
+		`po.p.Post("Bump", v)`,
+		"func (po *WorkerPO) BumpSync(v int) error {",
+		"func (po *WorkerPO) Total() (int, error) {",
+		`parc.As[int](po.p.Invoke("Total"))`,
+		"func (po *WorkerPO) BeginTotal() *parc.Future {",
+		"func (po *WorkerPO) Fallible(x float64) (float64, error) {",
+		"func (po *WorkerPO) ErrOnly() {",
+		"func (po *WorkerPO) SortAll(s sort.IntSlice) (sort.IntSlice, error) {",
+		`"sort"`,
+		"func AttachWorker(",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("generated code missing %q", want)
+		}
+	}
+	for _, reject := range []string{
+		"Var(", "Two(", "hidden", "PassivePO", `"unused/pkg"`,
+	} {
+		if strings.Contains(got, reject) {
+			t.Errorf("generated code wrongly contains %q", reject)
+		}
+	}
+}
+
+func TestDirectiveOnNonStruct(t *testing.T) {
+	src := `package p
+
+//parc:parallel
+type NotAStruct int
+`
+	if _, err := GenerateFile("x.go", []byte(src)); err == nil {
+		t.Error("directive on non-struct should fail")
+	}
+}
+
+func TestNoDirectives(t *testing.T) {
+	if _, err := GenerateFile("x.go", []byte("package p\ntype T struct{}\n")); err == nil {
+		t.Error("expected error when no annotated types exist")
+	}
+}
+
+func TestParseError(t *testing.T) {
+	if _, err := GenerateFile("x.go", []byte("not go")); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestUnnamedAndBlankParams(t *testing.T) {
+	src := `package p
+
+//parc:parallel
+type S struct{}
+
+func (s *S) M(_ int, _ string) {}
+
+func (s *S) N(int, string) {}
+`
+	got := generate(t, src)
+	if !strings.Contains(got, "func (po *SPO) M(a0 int, a1 string)") {
+		t.Errorf("blank params not synthesised:\n%s", got)
+	}
+	if !strings.Contains(got, "func (po *SPO) N(a0 int, a1 string)") {
+		t.Errorf("unnamed params not synthesised:\n%s", got)
+	}
+}
+
+func TestDirectiveVariants(t *testing.T) {
+	src := `package p
+
+type A struct{} //parc:parallel
+
+//parc:parallel
+type B struct{}
+`
+	f, err := Analyze("x.go", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Classes) != 2 {
+		t.Fatalf("found %d classes, want 2 (line-comment and doc-comment)", len(f.Classes))
+	}
+}
+
+// TestGoldenUpToDate ensures the checked-in generated file for the example
+// package matches what the current generator produces — the same guarantee
+// a go:generate + CI diff gives.
+func TestGoldenUpToDate(t *testing.T) {
+	src, err := os.ReadFile("example/prime.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("example/prime_parc.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := GenerateFile("prime.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Error("example/prime_parc.go is stale; rerun go generate ./internal/parcgen/example")
+	}
+}

@@ -1,0 +1,274 @@
+// Package raytracer implements a sphere ray tracer in the style of the
+// Java Grande Forum section-3 RayTracer benchmark, the application the
+// paper parallelises with a farming approach for Fig. 9 ("each worker
+// renders several lines from the generated image", 500×500 pixels).
+//
+// The tracer is deterministic: a scene plus resolution always produces the
+// same pixels and therefore the same checksum, which is how the tests
+// verify that the farmed parallel versions compute exactly the sequential
+// image. The WorkFactor parameter injects the calibrated VM compute factor
+// (profile.VM.RayTracerFactor) by re-shading a deterministic fraction of
+// the rays — real extra floating-point work, not sleeps.
+package raytracer
+
+import "math"
+
+// Vec is a 3-component vector.
+type Vec struct {
+	X, Y, Z float64
+}
+
+// Add returns v + w.
+func (v Vec) Add(w Vec) Vec { return Vec{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec) Sub(w Vec) Vec { return Vec{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns v * s.
+func (v Vec) Scale(s float64) Vec { return Vec{v.X * s, v.Y * s, v.Z * s} }
+
+// Mul returns the component-wise product.
+func (v Vec) Mul(w Vec) Vec { return Vec{v.X * w.X, v.Y * w.Y, v.Z * w.Z} }
+
+// Dot returns the dot product.
+func (v Vec) Dot(w Vec) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Norm returns the unit vector of v.
+func (v Vec) Norm() Vec {
+	l := math.Sqrt(v.Dot(v))
+	if l == 0 {
+		return v
+	}
+	return v.Scale(1 / l)
+}
+
+// Sphere is a scene primitive with Phong material parameters.
+type Sphere struct {
+	Center Vec
+	Radius float64
+	Color  Vec
+	// Refl in [0,1] mixes the reflected ray's colour into the surface.
+	Refl float64
+	// Shine is the Phong specular exponent.
+	Shine float64
+}
+
+// Light is a point light source.
+type Light struct {
+	Pos       Vec
+	Intensity float64
+}
+
+// Scene is a complete render input. It is wire-encodable so farming
+// masters can ship it to workers once at setup.
+type Scene struct {
+	Spheres []Sphere
+	Lights  []Light
+	// Eye is the camera origin; the view plane is z=0 spanning
+	// [-1,1]×[-1,1] scaled by aspect.
+	Eye    Vec
+	Width  int
+	Height int
+	// MaxDepth bounds reflection recursion (JGF uses small depths).
+	MaxDepth int
+}
+
+// JGFScene builds the canonical benchmark scene: an n×n grid of reflective
+// spheres over a ground sphere with two lights, in the spirit of the Java
+// Grande scene (64 spheres at its default size). The scene is deterministic
+// in n and the resolution.
+func JGFScene(grid, width, height int) Scene {
+	s := Scene{
+		Eye:      Vec{0, 0.5, -3},
+		Width:    width,
+		Height:   height,
+		MaxDepth: 3,
+	}
+	// Ground "plane" as a huge sphere.
+	s.Spheres = append(s.Spheres, Sphere{
+		Center: Vec{0, -10001, 0},
+		Radius: 10000,
+		Color:  Vec{0.8, 0.8, 0.85},
+		Refl:   0.25,
+		Shine:  8,
+	})
+	for i := 0; i < grid; i++ {
+		for j := 0; j < grid; j++ {
+			fi, fj := float64(i), float64(j)
+			g := float64(grid)
+			s.Spheres = append(s.Spheres, Sphere{
+				Center: Vec{
+					X: (fi - g/2 + 0.5) * 0.9,
+					Y: -0.7 + 0.55*math.Mod(fi*3+fj*7, 3),
+					Z: 1.5 + fj*0.8,
+				},
+				Radius: 0.38,
+				Color: Vec{
+					X: 0.35 + 0.6*math.Mod(fi*5+fj, 4)/4,
+					Y: 0.35 + 0.6*math.Mod(fj*3+fi, 5)/5,
+					Z: 0.45 + 0.5*math.Mod(fi+fj*2, 3)/3,
+				},
+				Refl:  0.3,
+				Shine: 24,
+			})
+		}
+	}
+	s.Lights = []Light{
+		{Pos: Vec{-4, 6, -2}, Intensity: 0.85},
+		{Pos: Vec{5, 4, -3}, Intensity: 0.5},
+	}
+	return s
+}
+
+// ray is a parametric line origin + t*dir.
+type ray struct {
+	orig, dir Vec
+}
+
+// hit finds the nearest sphere intersection with t > eps.
+func (s *Scene) hit(r ray) (int, float64) {
+	const eps = 1e-7
+	best := -1
+	bestT := math.Inf(1)
+	for i := range s.Spheres {
+		sp := &s.Spheres[i]
+		oc := r.orig.Sub(sp.Center)
+		b := oc.Dot(r.dir)
+		c := oc.Dot(oc) - sp.Radius*sp.Radius
+		disc := b*b - c
+		if disc < 0 {
+			continue
+		}
+		sq := math.Sqrt(disc)
+		t := -b - sq
+		if t < eps {
+			t = -b + sq
+		}
+		if t > eps && t < bestT {
+			bestT = t
+			best = i
+		}
+	}
+	return best, bestT
+}
+
+// shade computes the colour seen along r.
+func (s *Scene) shade(r ray, depth int) Vec {
+	idx, t := s.hit(r)
+	if idx < 0 {
+		// Sky gradient.
+		f := 0.5 * (r.dir.Y + 1)
+		return Vec{0.15, 0.18, 0.25}.Scale(1 - f).Add(Vec{0.5, 0.6, 0.8}.Scale(f))
+	}
+	sp := &s.Spheres[idx]
+	p := r.orig.Add(r.dir.Scale(t))
+	n := p.Sub(sp.Center).Norm()
+	col := sp.Color.Scale(0.1) // ambient
+	for _, l := range s.Lights {
+		ld := l.Pos.Sub(p)
+		dist2 := ld.Dot(ld)
+		ldir := ld.Norm()
+		// Shadow ray.
+		if si, st := s.hit(ray{orig: p.Add(n.Scale(1e-6)), dir: ldir}); si >= 0 && st*st < dist2 {
+			continue
+		}
+		diff := n.Dot(ldir)
+		if diff > 0 {
+			col = col.Add(sp.Color.Scale(diff * l.Intensity))
+		}
+		// Phong specular.
+		h := ldir.Sub(r.dir).Norm()
+		if spec := n.Dot(h); spec > 0 {
+			col = col.Add(Vec{1, 1, 1}.Scale(math.Pow(spec, sp.Shine) * l.Intensity * 0.6))
+		}
+	}
+	if sp.Refl > 0 && depth < s.MaxDepth {
+		rd := r.dir.Sub(n.Scale(2 * r.dir.Dot(n)))
+		rc := s.shade(ray{orig: p.Add(n.Scale(1e-6)), dir: rd.Norm()}, depth+1)
+		col = col.Scale(1 - sp.Refl).Add(rc.Scale(sp.Refl))
+	}
+	return col
+}
+
+// primary builds the camera ray through pixel (x, y).
+func (s *Scene) primary(x, y int) ray {
+	aspect := float64(s.Width) / float64(s.Height)
+	px := (2*(float64(x)+0.5)/float64(s.Width) - 1) * aspect
+	py := 1 - 2*(float64(y)+0.5)/float64(s.Height)
+	dir := Vec{px, py, 0}.Sub(s.Eye).Norm()
+	return ray{orig: s.Eye, dir: dir}
+}
+
+// RenderRows renders rows [y0, y1) and returns packed 0x00RRGGBB pixels,
+// row-major. workFactor >= 1 injects the VM compute factor: each pixel is
+// shaded extra times so total floating-point work scales by the factor
+// (fractional parts are applied to a deterministic pixel subset).
+func (s *Scene) RenderRows(y0, y1 int, workFactor float64) []int32 {
+	if y0 < 0 {
+		y0 = 0
+	}
+	if y1 > s.Height {
+		y1 = s.Height
+	}
+	if y1 < y0 {
+		y1 = y0
+	}
+	if workFactor < 1 {
+		workFactor = 1
+	}
+	whole := int(workFactor)            // guaranteed shades per pixel
+	frac := workFactor - float64(whole) // probability of one extra shade
+	out := make([]int32, 0, (y1-y0)*s.Width)
+	for y := y0; y < y1; y++ {
+		for x := 0; x < s.Width; x++ {
+			r := s.primary(x, y)
+			col := s.shade(r, 0)
+			// Redundant extra shades model the slower JIT: same
+			// result, proportionally more work.
+			extra := whole - 1
+			if frac > 0 && mix(x, y)%1000 < int(frac*1000) {
+				extra++
+			}
+			for k := 0; k < extra; k++ {
+				col = col.Add(s.shade(r, 0)).Scale(0.5)
+			}
+			out = append(out, packPixel(col))
+		}
+	}
+	return out
+}
+
+// Render renders the whole image sequentially.
+func (s *Scene) Render(workFactor float64) []int32 {
+	return s.RenderRows(0, s.Height, workFactor)
+}
+
+// mix is a deterministic pixel hash for the fractional work factor.
+func mix(x, y int) int {
+	h := uint32(x)*2654435761 + uint32(y)*40503
+	h ^= h >> 13
+	return int(h % 1000)
+}
+
+func packPixel(c Vec) int32 {
+	return int32(channel(c.X))<<16 | int32(channel(c.Y))<<8 | int32(channel(c.Z))
+}
+
+func channel(v float64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	return int(v * 255)
+}
+
+// Checksum folds pixels into the JGF-style validation value.
+func Checksum(pixels []int32) int64 {
+	var sum int64
+	for i, p := range pixels {
+		sum += int64(p) * int64(i%97+1)
+	}
+	return sum
+}

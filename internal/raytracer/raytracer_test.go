@@ -1,0 +1,160 @@
+package raytracer
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func smallScene() Scene { return JGFScene(4, 64, 64) }
+
+func TestDeterministic(t *testing.T) {
+	s := smallScene()
+	a := s.Render(1)
+	b := s.Render(1)
+	if Checksum(a) != Checksum(b) {
+		t.Error("render is not deterministic")
+	}
+	if len(a) != 64*64 {
+		t.Errorf("pixel count = %d", len(a))
+	}
+}
+
+func TestWorkFactorPreservesImage(t *testing.T) {
+	// The extra redundant shading must not change the image: the farmed
+	// "Mono" run renders the same picture, just slower.
+	s := smallScene()
+	base := s.Render(1)
+	heavy := s.Render(1.4)
+	if Checksum(base) != Checksum(heavy) {
+		t.Error("work factor changed pixels")
+	}
+}
+
+func TestRowDecompositionMatchesFull(t *testing.T) {
+	s := smallScene()
+	full := s.Render(1)
+	var stitched []int32
+	for y := 0; y < s.Height; y += 7 {
+		end := y + 7
+		if end > s.Height {
+			end = s.Height
+		}
+		stitched = append(stitched, s.RenderRows(y, end, 1)...)
+	}
+	if len(stitched) != len(full) {
+		t.Fatalf("stitched %d pixels, want %d", len(stitched), len(full))
+	}
+	for i := range full {
+		if full[i] != stitched[i] {
+			t.Fatalf("pixel %d differs: %x vs %x", i, full[i], stitched[i])
+		}
+	}
+}
+
+func TestRowRangeClamping(t *testing.T) {
+	s := smallScene()
+	if got := s.RenderRows(-5, 2, 1); len(got) != 2*s.Width {
+		t.Errorf("clamped low render returned %d pixels", len(got))
+	}
+	if got := s.RenderRows(60, 200, 1); len(got) != 4*s.Width {
+		t.Errorf("clamped high render returned %d pixels", len(got))
+	}
+	if got := s.RenderRows(10, 5, 1); len(got) != 0 {
+		t.Errorf("inverted range returned %d pixels", len(got))
+	}
+}
+
+func TestSceneHasContent(t *testing.T) {
+	s := smallScene()
+	pixels := s.Render(1)
+	distinct := map[int32]bool{}
+	for _, p := range pixels {
+		distinct[p] = true
+	}
+	// A real image has plenty of distinct colours; a bug that paints
+	// everything sky or black would collapse this.
+	if len(distinct) < 50 {
+		t.Errorf("only %d distinct colours; image looks degenerate", len(distinct))
+	}
+}
+
+func TestSpheresVisible(t *testing.T) {
+	s := smallScene()
+	// The centre of the image must hit geometry, not sky: compare the
+	// centre pixel against a top corner (sky).
+	pixels := s.Render(1)
+	centre := pixels[(s.Height/2)*s.Width+s.Width/2]
+	corner := pixels[0]
+	if centre == corner {
+		t.Error("centre pixel equals sky; spheres not rendered")
+	}
+}
+
+func TestVecOps(t *testing.T) {
+	v := Vec{1, 2, 3}
+	w := Vec{4, 5, 6}
+	if got := v.Add(w); got != (Vec{5, 7, 9}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(w); got != (Vec{-3, -3, -3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Dot(w); got != 32 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := v.Scale(2); got != (Vec{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Mul(w); got != (Vec{4, 10, 18}) {
+		t.Errorf("Mul = %v", got)
+	}
+	n := Vec{3, 0, 4}.Norm()
+	if math.Abs(n.X-0.6) > 1e-12 || math.Abs(n.Z-0.8) > 1e-12 {
+		t.Errorf("Norm = %v", n)
+	}
+	zero := Vec{}.Norm()
+	if zero != (Vec{}) {
+		t.Errorf("Norm(0) = %v", zero)
+	}
+}
+
+func TestChecksumSensitive(t *testing.T) {
+	s := smallScene()
+	pixels := s.Render(1)
+	sum := Checksum(pixels)
+	pixels[100] ^= 1
+	if Checksum(pixels) == sum {
+		t.Error("checksum insensitive to pixel change")
+	}
+}
+
+func TestPackPixelClamps(t *testing.T) {
+	if p := packPixel(Vec{2, -1, 0.5}); p != int32(255)<<16|int32(0)<<8|127 {
+		t.Errorf("packPixel = %x", p)
+	}
+}
+
+func TestChecksumQuickProperties(t *testing.T) {
+	// Permutation sensitivity: swapping two unequal pixels at positions
+	// with different weights changes the checksum.
+	f := func(a, b int32) bool {
+		if a == b {
+			return true
+		}
+		p := []int32{a, b, 0, 0}
+		q := []int32{b, a, 0, 0}
+		return Checksum(p) != Checksum(q)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRenderRow(b *testing.B) {
+	s := JGFScene(8, 200, 200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.RenderRows(i%s.Height, i%s.Height+1, 1)
+	}
+}

@@ -1,0 +1,348 @@
+package remoting
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Kind selects a channel implementation, mirroring the channel classes the
+// paper benchmarks against each other in Fig. 8b.
+type Kind int
+
+const (
+	// TCP is the modern binary TCP channel (Mono 1.1.7 behaviour):
+	// compact binary formatter, connection pooling, single-frame bodies.
+	TCP Kind = iota
+	// LegacyTCP is the Mono 1.0.5 behaviour: no connection pooling (a
+	// dial per call) and bodies flushed in small 1 KiB chunks, each a
+	// separate wire message — the mechanism behind its bandwidth
+	// collapse in Fig. 8b.
+	LegacyTCP
+	// HTTP is the SOAP/HTTP channel: verbose textual encoding wrapped in
+	// HTTP/1.0-style requests without keep-alive.
+	HTTP
+)
+
+// String returns the .NET-style scheme name.
+func (k Kind) String() string {
+	switch k {
+	case TCP:
+		return "tcp"
+	case LegacyTCP:
+		return "tcp-legacy"
+	case HTTP:
+		return "http"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// legacyChunk is the flush granularity of the legacy channel.
+const legacyChunk = 1024
+
+// Channel is a configured remoting channel bound to a transport network. A
+// single Channel value serves both roles: clients call GetObject/Invoke
+// through it and servers call ListenAndServe on it, mirroring
+// ChannelServices.RegisterChannel making one channel object serve both
+// directions.
+type Channel struct {
+	kind   Kind
+	net    transport.Network
+	codec  wire.Codec
+	pooled bool
+
+	// Cost injects endpoint software costs; see CostModel.
+	Cost CostModel
+
+	seq  atomic.Uint64
+	pool connPool
+}
+
+// NewTCPChannel returns the modern binary channel over net.
+func NewTCPChannel(net transport.Network) *Channel {
+	return &Channel{kind: TCP, net: net, codec: wire.BinFmt{}, pooled: true}
+}
+
+// NewLegacyTCPChannel returns the Mono 1.0.5-style channel over net.
+func NewLegacyTCPChannel(net transport.Network) *Channel {
+	return &Channel{kind: LegacyTCP, net: net, codec: wire.BinFmt{}, pooled: false}
+}
+
+// NewHTTPChannel returns the SOAP/HTTP channel over net.
+func NewHTTPChannel(net transport.Network) *Channel {
+	return &Channel{kind: HTTP, net: net, codec: wire.SoapFmt{}, pooled: false}
+}
+
+// Kind reports the channel implementation.
+func (ch *Channel) Kind() Kind { return ch.kind }
+
+// Codec reports the channel's wire codec.
+func (ch *Channel) Codec() wire.Codec { return ch.codec }
+
+// Network returns the transport the channel is bound to.
+func (ch *Channel) Network() transport.Network { return ch.net }
+
+// Scheme returns the URL scheme for BuildURL ("tcp" or "http"; the legacy
+// channel shares the "tcp" scheme, and memory transports use "mem"
+// addresses transparently).
+func (ch *Channel) Scheme() string {
+	if ch.kind == HTTP {
+		return "http"
+	}
+	return "tcp"
+}
+
+// nextSeq allocates a call sequence number.
+func (ch *Channel) nextSeq() uint64 { return ch.seq.Add(1) }
+
+// encodeRequest produces the wire bytes for a request, including channel
+// framing (HTTP text or legacy chunking markers are applied at send time).
+func (ch *Channel) encodeRequest(req *callRequest) ([]byte, error) {
+	body, err := ch.codec.Marshal(*req)
+	if err != nil {
+		return nil, fmt.Errorf("remoting: encode request %s.%s: %w", req.URI, req.Method, err)
+	}
+	if ch.kind == HTTP {
+		return buildHTTPMessage("POST /"+req.URI+" HTTP/1.0", body), nil
+	}
+	return body, nil
+}
+
+func (ch *Channel) decodeRequest(raw []byte) (*callRequest, error) {
+	if ch.kind == HTTP {
+		var err error
+		raw, err = parseHTTPMessage(raw)
+		if err != nil {
+			return nil, err
+		}
+	}
+	v, err := ch.codec.Unmarshal(raw)
+	if err != nil {
+		return nil, fmt.Errorf("remoting: decode request: %w", err)
+	}
+	req, ok := v.(callRequest)
+	if !ok {
+		return nil, fmt.Errorf("remoting: decoded %T, want callRequest", v)
+	}
+	return &req, nil
+}
+
+func (ch *Channel) encodeResponse(resp *callResponse) ([]byte, error) {
+	body, err := ch.codec.Marshal(*resp)
+	if err != nil {
+		return nil, fmt.Errorf("remoting: encode response: %w", err)
+	}
+	if ch.kind == HTTP {
+		return buildHTTPMessage("HTTP/1.0 200 OK", body), nil
+	}
+	return body, nil
+}
+
+func (ch *Channel) decodeResponse(raw []byte) (*callResponse, error) {
+	if ch.kind == HTTP {
+		var err error
+		raw, err = parseHTTPMessage(raw)
+		if err != nil {
+			return nil, err
+		}
+	}
+	v, err := ch.codec.Unmarshal(raw)
+	if err != nil {
+		return nil, fmt.Errorf("remoting: decode response: %w", err)
+	}
+	resp, ok := v.(callResponse)
+	if !ok {
+		return nil, fmt.Errorf("remoting: decoded %T, want callResponse", v)
+	}
+	return &resp, nil
+}
+
+// sendMsg transmits one encoded message, applying the legacy channel's
+// chunked flushing when configured, and charges the endpoint cost model.
+func (ch *Channel) sendMsg(c transport.Conn, msg []byte) error {
+	ch.Cost.Charge(len(msg))
+	if ch.kind != LegacyTCP {
+		return c.Send(msg)
+	}
+	// Legacy: flush in legacyChunk-sized wire messages, each prefixed
+	// with a continuation flag. Every chunk pays the per-message costs
+	// of the transport and network, reproducing Mono 1.0.5's unbuffered
+	// small writes.
+	for off := 0; off < len(msg) || off == 0; off += legacyChunk {
+		end := off + legacyChunk
+		more := byte(1)
+		if end >= len(msg) {
+			end = len(msg)
+			more = 0
+		}
+		frame := make([]byte, 1+end-off)
+		frame[0] = more
+		copy(frame[1:], msg[off:end])
+		if err := c.Send(frame); err != nil {
+			return err
+		}
+		if end == len(msg) {
+			break
+		}
+	}
+	return nil
+}
+
+// recvMsg receives one message, reassembling legacy chunks, and charges the
+// endpoint cost model.
+func (ch *Channel) recvMsg(c transport.Conn) ([]byte, error) {
+	if ch.kind != LegacyTCP {
+		msg, err := c.Recv()
+		if err != nil {
+			return nil, err
+		}
+		ch.Cost.Charge(len(msg))
+		return msg, nil
+	}
+	var buf bytes.Buffer
+	for {
+		frame, err := c.Recv()
+		if err != nil {
+			return nil, err
+		}
+		if len(frame) < 1 {
+			return nil, fmt.Errorf("remoting: empty legacy chunk")
+		}
+		buf.Write(frame[1:])
+		if frame[0] == 0 {
+			break
+		}
+	}
+	msg := buf.Bytes()
+	ch.Cost.Charge(len(msg))
+	return msg, nil
+}
+
+// roundTrip performs one request/response exchange against netaddr.
+func (ch *Channel) roundTrip(netaddr string, req *callRequest) (*callResponse, error) {
+	raw, err := ch.encodeRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	c, err := ch.getConn(netaddr)
+	if err != nil {
+		return nil, err
+	}
+	reuse := false
+	defer func() {
+		if reuse && ch.pooled {
+			ch.pool.put(netaddr, c)
+		} else {
+			c.Close()
+		}
+	}()
+	if err := ch.sendMsg(c, raw); err != nil {
+		return nil, fmt.Errorf("remoting: send to %s: %w", netaddr, err)
+	}
+	rawResp, err := ch.recvMsg(c)
+	if err != nil {
+		return nil, fmt.Errorf("remoting: receive from %s: %w", netaddr, err)
+	}
+	resp, err := ch.decodeResponse(rawResp)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Seq != req.Seq {
+		return nil, fmt.Errorf("remoting: response seq %d does not match request %d", resp.Seq, req.Seq)
+	}
+	reuse = true
+	return resp, nil
+}
+
+// getConn returns a pooled or freshly dialled connection.
+func (ch *Channel) getConn(netaddr string) (transport.Conn, error) {
+	if ch.pooled {
+		if c := ch.pool.get(netaddr); c != nil {
+			return c, nil
+		}
+	}
+	ch.Cost.ChargeConnect()
+	c, err := ch.net.Dial(netaddr)
+	if err != nil {
+		return nil, fmt.Errorf("remoting: dial %s: %w", netaddr, err)
+	}
+	return c, nil
+}
+
+// connPool keeps idle client connections per address. At most maxIdle
+// connections are retained per target; surplus connections are closed.
+type connPool struct {
+	mu   sync.Mutex
+	idle map[string][]transport.Conn
+}
+
+const maxIdle = 16
+
+func (p *connPool) get(addr string) transport.Conn {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	conns := p.idle[addr]
+	if len(conns) == 0 {
+		return nil
+	}
+	c := conns[len(conns)-1]
+	p.idle[addr] = conns[:len(conns)-1]
+	return c
+}
+
+func (p *connPool) put(addr string, c transport.Conn) {
+	p.mu.Lock()
+	if p.idle == nil {
+		p.idle = make(map[string][]transport.Conn)
+	}
+	if len(p.idle[addr]) >= maxIdle {
+		p.mu.Unlock()
+		c.Close()
+		return
+	}
+	p.idle[addr] = append(p.idle[addr], c)
+	p.mu.Unlock()
+}
+
+// buildHTTPMessage wraps a body in minimal HTTP-style text framing. The
+// whole message still travels as one transport frame; the point is the
+// byte-count and parse cost of the textual envelope, as with the real SOAP
+// channel.
+func buildHTTPMessage(startLine string, body []byte) []byte {
+	var b bytes.Buffer
+	b.WriteString(startLine)
+	b.WriteString("\r\nContent-Type: text/xml; charset=utf-8\r\nConnection: close\r\nSOAPAction: \"#invoke\"\r\nContent-Length: ")
+	b.WriteString(strconv.Itoa(len(body)))
+	b.WriteString("\r\n\r\n")
+	b.Write(body)
+	return b.Bytes()
+}
+
+// parseHTTPMessage strips the HTTP-style framing and returns the body.
+func parseHTTPMessage(raw []byte) ([]byte, error) {
+	i := bytes.Index(raw, []byte("\r\n\r\n"))
+	if i < 0 {
+		return nil, fmt.Errorf("remoting: malformed HTTP message: no header terminator")
+	}
+	head := raw[:i]
+	body := raw[i+4:]
+	// Validate Content-Length when present.
+	for _, line := range bytes.Split(head, []byte("\r\n")) {
+		if k, v, ok := bytes.Cut(line, []byte(":")); ok &&
+			bytes.EqualFold(bytes.TrimSpace(k), []byte("Content-Length")) {
+			n, err := strconv.Atoi(string(bytes.TrimSpace(v)))
+			if err != nil {
+				return nil, fmt.Errorf("remoting: bad Content-Length %q", v)
+			}
+			if n != len(body) {
+				return nil, fmt.Errorf("remoting: Content-Length %d does not match body %d", n, len(body))
+			}
+		}
+	}
+	return body, nil
+}

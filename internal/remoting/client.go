@@ -1,0 +1,220 @@
+package remoting
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ObjRef is the client-side transparent proxy for a remote object — the
+// value Activator.GetObject returns in the paper's Fig. 2. Method calls go
+// through Invoke (synchronous), BeginInvoke/EndInvoke (asynchronous
+// delegate) or OneWay (asynchronous, result discarded).
+type ObjRef struct {
+	ch      *Channel
+	netaddr string
+	uri     string
+}
+
+// GetObject returns a proxy for the object at url, for example
+// "tcp://127.0.0.1:4000/DivideServer". No connection is made until the
+// first call, matching Activator.GetObject's lazy behaviour.
+func GetObject(ch *Channel, url string) (*ObjRef, error) {
+	_, netaddr, uri, err := ParseURL(url)
+	if err != nil {
+		return nil, err
+	}
+	return &ObjRef{ch: ch, netaddr: netaddr, uri: uri}, nil
+}
+
+// NewObjRef builds a proxy from an already-split transport address and
+// object URI (used by the SCOOPP runtime, which receives both from the
+// object manager).
+func NewObjRef(ch *Channel, netaddr, uri string) *ObjRef {
+	return &ObjRef{ch: ch, netaddr: netaddr, uri: uri}
+}
+
+// URL reconstructs the object's remoting URL.
+func (r *ObjRef) URL() string { return BuildURL(r.ch.Scheme(), r.netaddr, r.uri) }
+
+// URI returns the object path component.
+func (r *ObjRef) URI() string { return r.uri }
+
+// NetAddr returns the transport address of the hosting server.
+func (r *ObjRef) NetAddr() string { return r.netaddr }
+
+// Channel returns the channel the proxy calls through.
+func (r *ObjRef) Channel() *Channel { return r.ch }
+
+// Invoke performs a synchronous remote method invocation. Server-side
+// failures come back as *RemoteError.
+func (r *ObjRef) Invoke(method string, args ...any) (any, error) {
+	req := &callRequest{
+		URI:    r.uri,
+		Method: method,
+		Seq:    r.ch.nextSeq(),
+		Args:   args,
+	}
+	resp, err := r.ch.roundTrip(r.netaddr, req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.IsErr {
+		return nil, &RemoteError{URI: r.uri, Method: method, Msg: resp.ErrMsg}
+	}
+	return resp.Result, nil
+}
+
+// AsyncResult is the handle returned by BeginInvoke, the analogue of
+// System.IAsyncResult for delegate BeginInvoke in the paper's Fig. 4.
+type AsyncResult struct {
+	done   chan struct{}
+	result any
+	err    error
+}
+
+// Done returns a channel closed when the call completes.
+func (ar *AsyncResult) Done() <-chan struct{} { return ar.done }
+
+// IsCompleted reports whether the call has finished without blocking.
+func (ar *AsyncResult) IsCompleted() bool {
+	select {
+	case <-ar.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// EndInvoke blocks until the call completes and returns its result, the
+// analogue of delegate EndInvoke.
+func (ar *AsyncResult) EndInvoke() (any, error) {
+	<-ar.done
+	return ar.result, ar.err
+}
+
+// BeginInvoke starts an asynchronous remote method invocation and returns
+// immediately. Each in-flight call uses its own pooled connection, so
+// concurrent BeginInvokes overlap on the wire.
+func (r *ObjRef) BeginInvoke(method string, args ...any) *AsyncResult {
+	ar := &AsyncResult{done: make(chan struct{})}
+	go func() {
+		defer close(ar.done)
+		ar.result, ar.err = r.Invoke(method, args...)
+	}()
+	return ar
+}
+
+// OneWay invokes method asynchronously and discards the result. Transport
+// errors are reported to onErr when non-nil. It is the building block the
+// SCOOPP proxy uses for asynchronous void methods.
+func (r *ObjRef) OneWay(method string, onErr func(error), args ...any) {
+	go func() {
+		if _, err := r.Invoke(method, args...); err != nil && onErr != nil {
+			onErr(err)
+		}
+	}()
+}
+
+// Delegate is a typed wrapper around one remote method, mirroring a C#
+// delegate bound to a proxy method (paper Fig. 4: RemoteAsyncDelegate). It
+// exists so call sites read like the paper's generated code.
+type Delegate struct {
+	ref    *ObjRef
+	method string
+}
+
+// NewDelegate binds a delegate to a method of a remote object.
+func NewDelegate(ref *ObjRef, method string) *Delegate {
+	return &Delegate{ref: ref, method: method}
+}
+
+// BeginInvoke starts the call asynchronously.
+func (d *Delegate) BeginInvoke(args ...any) *AsyncResult {
+	return d.ref.BeginInvoke(d.method, args...)
+}
+
+// Invoke performs the call synchronously.
+func (d *Delegate) Invoke(args ...any) (any, error) {
+	return d.ref.Invoke(d.method, args...)
+}
+
+// CallSequencer serialises asynchronous calls issued through it while
+// letting the caller continue immediately — the ordering guarantee the
+// SCOOPP runtime needs for method streams between one proxy object and its
+// implementation object. Errors are delivered to the OnError callback.
+type CallSequencer struct {
+	ref     *ObjRef
+	OnError func(error)
+
+	mu      sync.Mutex
+	queue   []queuedCall
+	running bool
+	idle    *sync.Cond
+	pending int
+}
+
+type queuedCall struct {
+	method string
+	args   []any
+}
+
+// NewCallSequencer returns a sequencer for ref.
+func NewCallSequencer(ref *ObjRef) *CallSequencer {
+	cs := &CallSequencer{ref: ref}
+	cs.idle = sync.NewCond(&cs.mu)
+	return cs
+}
+
+// Post enqueues an asynchronous call. Calls posted from one goroutine
+// execute remotely in post order.
+func (cs *CallSequencer) Post(method string, args ...any) {
+	cs.mu.Lock()
+	cs.queue = append(cs.queue, queuedCall{method: method, args: args})
+	cs.pending++
+	if !cs.running {
+		cs.running = true
+		go cs.drain()
+	}
+	cs.mu.Unlock()
+}
+
+func (cs *CallSequencer) drain() {
+	for {
+		cs.mu.Lock()
+		if len(cs.queue) == 0 {
+			cs.running = false
+			cs.idle.Broadcast()
+			cs.mu.Unlock()
+			return
+		}
+		call := cs.queue[0]
+		cs.queue = cs.queue[1:]
+		cs.mu.Unlock()
+
+		_, err := cs.ref.Invoke(call.method, call.args...)
+		if err != nil && cs.OnError != nil {
+			cs.OnError(err)
+		}
+
+		cs.mu.Lock()
+		cs.pending--
+		if cs.pending == 0 {
+			cs.idle.Broadcast()
+		}
+		cs.mu.Unlock()
+	}
+}
+
+// Flush blocks until every posted call has completed.
+func (cs *CallSequencer) Flush() {
+	cs.mu.Lock()
+	for cs.pending > 0 {
+		cs.idle.Wait()
+	}
+	cs.mu.Unlock()
+}
+
+// String implements fmt.Stringer.
+func (r *ObjRef) String() string {
+	return fmt.Sprintf("ObjRef(%s)", r.URL())
+}

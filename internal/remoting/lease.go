@@ -1,0 +1,79 @@
+package remoting
+
+import (
+	"sync"
+	"time"
+)
+
+// lease implements the lifetime service for objects published with Marshal.
+// The paper notes (§3.2) that ParC++ destroyed implementation objects
+// explicitly while "in the new platform object lifetime is managed by the
+// .Net implementation"; .NET does this with renew-on-call leases, which is
+// what this type provides. When the lease expires without renewal the
+// onExpire callback unpublishes the object.
+type lease struct {
+	ttl      time.Duration
+	onExpire func()
+
+	mu       sync.Mutex
+	deadline time.Time
+	stopped  bool
+	timer    *time.Timer
+}
+
+func newLease(ttl time.Duration, onExpire func()) *lease {
+	if ttl <= 0 {
+		ttl = 5 * time.Minute
+	}
+	l := &lease{ttl: ttl, onExpire: onExpire}
+	l.deadline = time.Now().Add(ttl)
+	l.timer = time.AfterFunc(ttl, l.expire)
+	return l
+}
+
+// renew extends the lease by its TTL and reports whether the lease is still
+// live.
+func (l *lease) renew() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.stopped {
+		return false
+	}
+	if time.Now().After(l.deadline) {
+		return false
+	}
+	l.deadline = time.Now().Add(l.ttl)
+	l.timer.Reset(l.ttl)
+	return true
+}
+
+// expire fires when the timer lapses; it re-checks the deadline because a
+// renewal may have raced the timer.
+func (l *lease) expire() {
+	l.mu.Lock()
+	if l.stopped || time.Now().Before(l.deadline) {
+		l.mu.Unlock()
+		return
+	}
+	l.stopped = true
+	cb := l.onExpire
+	l.mu.Unlock()
+	if cb != nil {
+		cb()
+	}
+}
+
+// cancel stops the lease without firing onExpire.
+func (l *lease) cancel() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.stopped = true
+	l.timer.Stop()
+}
+
+// remaining reports the time left on the lease; for tests.
+func (l *lease) remaining() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return time.Until(l.deadline)
+}

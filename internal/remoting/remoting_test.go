@@ -1,0 +1,558 @@
+package remoting
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/threadpool"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// divideServer mirrors the paper's Fig. 1/2 example service.
+type divideServer struct {
+	calls atomic.Int64
+}
+
+func (d *divideServer) Divide(a, b float64) (float64, error) {
+	d.calls.Add(1)
+	if b == 0 {
+		return 0, errors.New("division by zero")
+	}
+	return a / b, nil
+}
+
+func (d *divideServer) Calls() int { return int(d.calls.Load()) }
+
+func (d *divideServer) Echo(nums []int32) []int32 { return nums }
+
+func (d *divideServer) Noop() {}
+
+func (d *divideServer) Fail() error { return errors.New("always fails") }
+
+type statefulCounter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *statefulCounter) Incr() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.n
+}
+
+func newTestServer(t *testing.T, kind Kind, opts ...ServerOption) (*Channel, *Server) {
+	t.Helper()
+	net := transport.NewMemNetwork()
+	var ch *Channel
+	switch kind {
+	case TCP:
+		ch = NewTCPChannel(net)
+	case LegacyTCP:
+		ch = NewLegacyTCPChannel(net)
+	case HTTP:
+		ch = NewHTTPChannel(net)
+	}
+	srv, err := ch.ListenAndServe("mem://server", opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return ch, srv
+}
+
+func TestParseURL(t *testing.T) {
+	cases := []struct {
+		url                  string
+		scheme, netaddr, uri string
+		wantErr              bool
+	}{
+		{url: "tcp://127.0.0.1:4000/DivideServer", scheme: "tcp", netaddr: "127.0.0.1:4000", uri: "DivideServer"},
+		{url: "mem://node0/factory", scheme: "mem", netaddr: "mem://node0", uri: "factory"},
+		{url: "http://h:1/a/b", scheme: "http", netaddr: "h:1", uri: "a/b"},
+		{url: "nonsense", wantErr: true},
+		{url: "tcp://hostonly", wantErr: true},
+		{url: "tcp:///nouri", wantErr: true},
+	}
+	for _, c := range cases {
+		scheme, netaddr, uri, err := ParseURL(c.url)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseURL(%q): expected error", c.url)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseURL(%q): %v", c.url, err)
+			continue
+		}
+		if scheme != c.scheme || netaddr != c.netaddr || uri != c.uri {
+			t.Errorf("ParseURL(%q) = %q,%q,%q", c.url, scheme, netaddr, uri)
+		}
+	}
+}
+
+func TestBuildURLRoundtrip(t *testing.T) {
+	url := BuildURL("tcp", "mem://node3", "om")
+	_, netaddr, uri, err := ParseURL(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The scheme is advisory; the mem transport address must survive.
+	if netaddr != "mem://node3" || uri != "om" {
+		t.Errorf("roundtrip = %q %q", netaddr, uri)
+	}
+}
+
+func TestSingletonInvoke(t *testing.T) {
+	for _, kind := range []Kind{TCP, LegacyTCP, HTTP} {
+		t.Run(kind.String(), func(t *testing.T) {
+			ch, srv := newTestServer(t, kind)
+			shared := &divideServer{}
+			srv.RegisterWellKnown("DivideServer", Singleton, func() any { return shared })
+			ref, err := GetObject(ch, srv.URLFor("DivideServer"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ref.Invoke("Divide", 10.0, 4.0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != 2.5 {
+				t.Errorf("Divide = %v", got)
+			}
+			if _, err := ref.Invoke("Divide", 1.0, 0.0); err == nil {
+				t.Error("expected division by zero error")
+			} else {
+				var re *RemoteError
+				if !errors.As(err, &re) {
+					t.Errorf("error type %T, want *RemoteError", err)
+				}
+			}
+		})
+	}
+}
+
+func TestSingletonSharesState(t *testing.T) {
+	ch, srv := newTestServer(t, TCP)
+	srv.RegisterWellKnown("counter", Singleton, func() any { return &statefulCounter{} })
+	ref, _ := GetObject(ch, srv.URLFor("counter"))
+	for want := 1; want <= 3; want++ {
+		got, err := ref.Invoke("Incr")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("Incr = %v, want %d", got, want)
+		}
+	}
+}
+
+func TestSingleCallFreshInstancePerCall(t *testing.T) {
+	ch, srv := newTestServer(t, TCP)
+	srv.RegisterWellKnown("counter", SingleCall, func() any { return &statefulCounter{} })
+	ref, _ := GetObject(ch, srv.URLFor("counter"))
+	for i := 0; i < 3; i++ {
+		got, err := ref.Invoke("Incr")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 1 {
+			t.Errorf("SingleCall Incr = %v, want 1 (state must not persist)", got)
+		}
+	}
+}
+
+func TestEchoArrays(t *testing.T) {
+	for _, kind := range []Kind{TCP, LegacyTCP, HTTP} {
+		t.Run(kind.String(), func(t *testing.T) {
+			ch, srv := newTestServer(t, kind)
+			srv.RegisterWellKnown("d", Singleton, func() any { return &divideServer{} })
+			ref, _ := GetObject(ch, srv.URLFor("d"))
+			payload := make([]int32, 5000) // > legacy chunk size when encoded
+			for i := range payload {
+				payload[i] = int32(i)
+			}
+			got, err := ref.Invoke("Echo", payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gs, ok := got.([]int32)
+			if !ok || len(gs) != len(payload) || gs[4999] != 4999 {
+				t.Errorf("Echo returned %T len %d", got, len(gs))
+			}
+		})
+	}
+}
+
+func TestVoidMethod(t *testing.T) {
+	ch, srv := newTestServer(t, TCP)
+	srv.RegisterWellKnown("d", Singleton, func() any { return &divideServer{} })
+	ref, _ := GetObject(ch, srv.URLFor("d"))
+	got, err := ref.Invoke("Noop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Errorf("Noop = %v, want nil", got)
+	}
+}
+
+func TestErrorOnlyMethod(t *testing.T) {
+	ch, srv := newTestServer(t, TCP)
+	srv.RegisterWellKnown("d", Singleton, func() any { return &divideServer{} })
+	ref, _ := GetObject(ch, srv.URLFor("d"))
+	if _, err := ref.Invoke("Fail"); err == nil || !strings.Contains(err.Error(), "always fails") {
+		t.Errorf("Fail error = %v", err)
+	}
+}
+
+func TestUnknownURIAndMethod(t *testing.T) {
+	ch, srv := newTestServer(t, TCP)
+	srv.RegisterWellKnown("d", Singleton, func() any { return &divideServer{} })
+	ref, _ := GetObject(ch, srv.URLFor("missing"))
+	if _, err := ref.Invoke("Divide", 1.0, 1.0); err == nil {
+		t.Error("expected unknown-URI error")
+	}
+	ref2, _ := GetObject(ch, srv.URLFor("d"))
+	if _, err := ref2.Invoke("NoSuchMethod"); err == nil {
+		t.Error("expected unknown-method error")
+	}
+}
+
+func TestArgumentMismatch(t *testing.T) {
+	ch, srv := newTestServer(t, TCP)
+	srv.RegisterWellKnown("d", Singleton, func() any { return &divideServer{} })
+	ref, _ := GetObject(ch, srv.URLFor("d"))
+	if _, err := ref.Invoke("Divide", 1.0); err == nil {
+		t.Error("expected arity error")
+	}
+	if _, err := ref.Invoke("Divide", "x", "y"); err == nil {
+		t.Error("expected type error")
+	}
+}
+
+func TestNumericArgumentWidening(t *testing.T) {
+	ch, srv := newTestServer(t, TCP)
+	srv.RegisterWellKnown("d", Singleton, func() any { return &divideServer{} })
+	ref, _ := GetObject(ch, srv.URLFor("d"))
+	// ints convert to the float64 parameters.
+	got, err := ref.Invoke("Divide", 9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3.0 {
+		t.Errorf("Divide(9,3) = %v", got)
+	}
+}
+
+func TestBeginEndInvoke(t *testing.T) {
+	ch, srv := newTestServer(t, TCP)
+	srv.RegisterWellKnown("d", Singleton, func() any { return &divideServer{} })
+	ref, _ := GetObject(ch, srv.URLFor("d"))
+	ar := ref.BeginInvoke("Divide", 8.0, 2.0)
+	got, err := ar.EndInvoke()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4.0 {
+		t.Errorf("async Divide = %v", got)
+	}
+	if !ar.IsCompleted() {
+		t.Error("IsCompleted false after EndInvoke")
+	}
+}
+
+func TestDelegate(t *testing.T) {
+	ch, srv := newTestServer(t, TCP)
+	srv.RegisterWellKnown("d", Singleton, func() any { return &divideServer{} })
+	ref, _ := GetObject(ch, srv.URLFor("d"))
+	del := NewDelegate(ref, "Divide")
+	ar := del.BeginInvoke(6.0, 3.0)
+	got, err := ar.EndInvoke()
+	if err != nil || got != 2.0 {
+		t.Errorf("delegate = %v, %v", got, err)
+	}
+	if got, err := del.Invoke(6.0, 2.0); err != nil || got != 3.0 {
+		t.Errorf("delegate sync = %v, %v", got, err)
+	}
+}
+
+func TestConcurrentInvokes(t *testing.T) {
+	ch, srv := newTestServer(t, TCP)
+	shared := &divideServer{}
+	srv.RegisterWellKnown("d", Singleton, func() any { return shared })
+	ref, _ := GetObject(ch, srv.URLFor("d"))
+	var wg sync.WaitGroup
+	errs := make(chan error, 200)
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 1; j <= 10; j++ {
+				got, err := ref.Invoke("Divide", float64(j*2), float64(j))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got != 2.0 {
+					errs <- errors.New("wrong result")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if shared.Calls() != 200 {
+		t.Errorf("calls = %d, want 200", shared.Calls())
+	}
+}
+
+func TestCallSequencerOrdering(t *testing.T) {
+	ch, srv := newTestServer(t, TCP)
+	rec := &recorder{}
+	srv.RegisterWellKnown("r", Singleton, func() any { return rec })
+	ref, _ := GetObject(ch, srv.URLFor("r"))
+	cs := NewCallSequencer(ref)
+	const n = 50
+	for i := 0; i < n; i++ {
+		cs.Post("Add", i)
+	}
+	cs.Flush()
+	got := rec.snapshot()
+	if len(got) != n {
+		t.Fatalf("recorded %d calls, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("call %d recorded value %d; ordering violated", i, v)
+		}
+	}
+}
+
+func TestCallSequencerErrorCallback(t *testing.T) {
+	ch, srv := newTestServer(t, TCP)
+	srv.RegisterWellKnown("d", Singleton, func() any { return &divideServer{} })
+	ref, _ := GetObject(ch, srv.URLFor("d"))
+	cs := NewCallSequencer(ref)
+	var got atomic.Int64
+	cs.OnError = func(error) { got.Add(1) }
+	cs.Post("NoSuchMethod")
+	cs.Post("Noop")
+	cs.Flush()
+	if got.Load() != 1 {
+		t.Errorf("error callbacks = %d, want 1", got.Load())
+	}
+}
+
+type recorder struct {
+	mu   sync.Mutex
+	vals []int
+}
+
+func (r *recorder) Add(v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.vals = append(r.vals, v)
+}
+
+func (r *recorder) snapshot() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]int, len(r.vals))
+	copy(out, r.vals)
+	return out
+}
+
+func TestMarshalAndLeaseExpiry(t *testing.T) {
+	// Generous windows: the suite runs alongside other packages and a
+	// scheduler stall between renewals must not flake the test.
+	ch, srv := newTestServer(t, TCP, WithLeaseTTL(250*time.Millisecond))
+	srv.Marshal("obj", &divideServer{})
+	ref, _ := GetObject(ch, srv.URLFor("obj"))
+	// Calls within the TTL keep renewing.
+	for i := 0; i < 3; i++ {
+		if _, err := ref.Invoke("Noop"); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		time.Sleep(30 * time.Millisecond)
+	}
+	// Silence for > TTL expires the lease and unpublishes the object.
+	time.Sleep(600 * time.Millisecond)
+	if srv.Published("obj") {
+		t.Fatal("lease did not expire")
+	}
+	if _, err := ref.Invoke("Noop"); err == nil {
+		t.Error("call after lease expiry should fail")
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	ch, srv := newTestServer(t, TCP)
+	srv.Marshal("obj", &divideServer{})
+	ref, _ := GetObject(ch, srv.URLFor("obj"))
+	if _, err := ref.Invoke("Noop"); err != nil {
+		t.Fatal(err)
+	}
+	srv.Unregister("obj")
+	if _, err := ref.Invoke("Noop"); err == nil {
+		t.Error("call after Unregister should fail")
+	}
+	srv.Unregister("obj") // idempotent
+}
+
+func TestServerWithThreadPoolCap(t *testing.T) {
+	pool := threadpool.New(2, 0)
+	defer pool.Close()
+	ch, srv := newTestServer(t, TCP, WithPool(pool))
+	var cur, peak atomic.Int64
+	blocker := &blockingService{cur: &cur, peak: &peak, dur: 30 * time.Millisecond}
+	srv.RegisterWellKnown("b", Singleton, func() any { return blocker })
+	ref, _ := GetObject(ch, srv.URLFor("b"))
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ref.Invoke("Work")
+		}()
+	}
+	wg.Wait()
+	if peak.Load() > 2 {
+		t.Errorf("pool cap violated: peak concurrency %d", peak.Load())
+	}
+}
+
+type blockingService struct {
+	cur, peak *atomic.Int64
+	dur       time.Duration
+}
+
+func (b *blockingService) Work() {
+	c := b.cur.Add(1)
+	for {
+		p := b.peak.Load()
+		if c <= p || b.peak.CompareAndSwap(p, c) {
+			break
+		}
+	}
+	time.Sleep(b.dur)
+	b.cur.Add(-1)
+}
+
+func TestTCPTransportIntegration(t *testing.T) {
+	ch := NewTCPChannel(transport.TCPNetwork{})
+	srv, err := ch.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.RegisterWellKnown("d", Singleton, func() any { return &divideServer{} })
+	ref, err := GetObject(ch, srv.URLFor("d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ref.Invoke("Divide", 10.0, 5.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2.0 {
+		t.Errorf("Divide over TCP = %v", got)
+	}
+}
+
+func TestStructArguments(t *testing.T) {
+	ch, srv := newTestServer(t, TCP)
+	srv.RegisterWellKnown("s", Singleton, func() any { return &structService{} })
+	ref, _ := GetObject(ch, srv.URLFor("s"))
+	got, err := ref.Invoke("Sum", wirePoint{X: 3, Y: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Errorf("Sum = %v", got)
+	}
+	got2, err := ref.Invoke("Mirror", &wirePoint{X: 1, Y: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := got2.(*wirePoint)
+	if !ok || p.X != 2 || p.Y != 1 {
+		t.Errorf("Mirror = %#v", got2)
+	}
+}
+
+type wirePoint struct{ X, Y int }
+
+func init() { wire.Register(wirePoint{}) }
+
+type structService struct{}
+
+func (structService) Sum(p wirePoint) int { return p.X + p.Y }
+
+func (structService) Mirror(p *wirePoint) *wirePoint { return &wirePoint{X: p.Y, Y: p.X} }
+
+func TestCostModelChargesLatency(t *testing.T) {
+	net := transport.NewMemNetwork()
+	ch := NewTCPChannel(net)
+	ch.Cost = CostModel{PerMessage: 5 * time.Millisecond}
+	srv, err := ch.ListenAndServe("mem://cost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.RegisterWellKnown("d", Singleton, func() any { return &divideServer{} })
+	ref, _ := GetObject(ch, srv.URLFor("d"))
+	start := time.Now()
+	if _, err := ref.Invoke("Noop"); err != nil {
+		t.Fatal(err)
+	}
+	// 4 charged messages (client send, server recv, server send, client
+	// recv) of 5 ms each.
+	if rtt := time.Since(start); rtt < 18*time.Millisecond {
+		t.Errorf("cost model under-charged: rtt %v", rtt)
+	}
+}
+
+func TestLeaseRenewAndCancel(t *testing.T) {
+	// Wide windows: scheduler stalls while the whole suite runs in
+	// parallel must not eat the TTL between steps.
+	fired := make(chan struct{}, 1)
+	l := newLease(300*time.Millisecond, func() { fired <- struct{}{} })
+	time.Sleep(50 * time.Millisecond)
+	if !l.renew() {
+		t.Fatal("renew on live lease failed")
+	}
+	if l.remaining() < 150*time.Millisecond {
+		t.Errorf("renew did not extend: %v", l.remaining())
+	}
+	l.cancel()
+	if l.renew() {
+		t.Error("renew after cancel succeeded")
+	}
+	select {
+	case <-fired:
+		t.Error("cancelled lease fired onExpire")
+	case <-time.After(500 * time.Millisecond):
+	}
+}
+
+func TestServerCloseStopsAccepting(t *testing.T) {
+	ch, srv := newTestServer(t, TCP)
+	srv.RegisterWellKnown("d", Singleton, func() any { return &divideServer{} })
+	srv.Close()
+	srv.Close() // idempotent
+	ref, _ := GetObject(ch, srv.URLFor("d"))
+	if _, err := ref.Invoke("Noop"); err == nil {
+		t.Error("invoke after server close should fail")
+	}
+}

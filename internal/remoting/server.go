@@ -1,0 +1,296 @@
+package remoting
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/dispatch"
+	"repro/internal/threadpool"
+	"repro/internal/transport"
+)
+
+// WellKnownMode selects how the server activates a well-known object,
+// mirroring System.Runtime.Remoting.WellKnownObjectMode — the facility the
+// paper singles out (§2) as the improvement over RMI's manual export.
+type WellKnownMode int
+
+const (
+	// Singleton serves every call with one lazily created instance.
+	Singleton WellKnownMode = iota
+	// SingleCall creates a fresh instance per call; no state is retained
+	// between invocations.
+	SingleCall
+)
+
+// String names the mode.
+func (m WellKnownMode) String() string {
+	if m == Singleton {
+		return "Singleton"
+	}
+	return "SingleCall"
+}
+
+// registration is one published URI.
+type registration struct {
+	mode    WellKnownMode
+	factory func() any
+
+	mu        sync.Mutex
+	singleton any
+
+	// instance-mode (Marshal) objects carry a lease.
+	instance any
+	lease    *lease
+}
+
+// resolve returns the object a call should execute on.
+func (r *registration) resolve() (any, error) {
+	if r.instance != nil {
+		if r.lease != nil && !r.lease.renew() {
+			return nil, fmt.Errorf("object lease expired")
+		}
+		return r.instance, nil
+	}
+	switch r.mode {
+	case SingleCall:
+		return r.factory(), nil
+	default:
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if r.singleton == nil {
+			r.singleton = r.factory()
+		}
+		return r.singleton, nil
+	}
+}
+
+// ServerOption configures ListenAndServe.
+type ServerOption func(*Server)
+
+// WithPool dispatches method execution on the given bounded pool, modelling
+// the Mono thread pool the paper holds responsible for starvation in Fig. 9.
+// Without it every request runs on its own goroutine (the idealised
+// unbounded runtime).
+func WithPool(p *threadpool.Pool) ServerOption {
+	return func(s *Server) { s.pool = p }
+}
+
+// WithLeaseTTL sets the initial/renewal time-to-live for objects published
+// with Marshal. Zero keeps the default of 5 minutes (the .NET default).
+func WithLeaseTTL(ttl time.Duration) ServerOption {
+	return func(s *Server) { s.leaseTTL = ttl }
+}
+
+// Server publishes objects on a channel, playing the role of
+// ChannelServices + RemotingConfiguration for one endpoint.
+type Server struct {
+	ch       *Channel
+	listener transport.Listener
+	pool     *threadpool.Pool
+	leaseTTL time.Duration
+
+	mu      sync.Mutex
+	objects map[string]*registration
+	conns   map[transport.Conn]struct{}
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+// ListenAndServe starts serving on addr (transport syntax, for example
+// "127.0.0.1:0" or "mem://node1") and returns immediately.
+func (ch *Channel) ListenAndServe(addr string, opts ...ServerOption) (*Server, error) {
+	l, err := ch.net.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		ch:       ch,
+		listener: l,
+		leaseTTL: 5 * time.Minute,
+		objects:  make(map[string]*registration),
+		conns:    make(map[transport.Conn]struct{}),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the transport address clients dial.
+func (s *Server) Addr() string { return s.listener.Addr() }
+
+// URLFor returns the full remoting URL for a URI published on this server.
+func (s *Server) URLFor(uri string) string {
+	return BuildURL(s.ch.Scheme(), s.Addr(), uri)
+}
+
+// RegisterWellKnown publishes factory under uri with the given activation
+// mode (RemotingConfiguration.RegisterWellKnownServiceType).
+func (s *Server) RegisterWellKnown(uri string, mode WellKnownMode, factory func() any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objects[uri] = &registration{mode: mode, factory: factory}
+}
+
+// Marshal publishes an explicitly instantiated object under uri with a
+// lease. The lease renews on every call and the object is unpublished when
+// it expires, standing in for .NET's lifetime service.
+func (s *Server) Marshal(uri string, obj any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	reg := &registration{instance: obj}
+	reg.lease = newLease(s.leaseTTL, func() { s.Unregister(uri) })
+	s.objects[uri] = reg
+}
+
+// Unregister removes a published URI. Safe to call for absent URIs.
+func (s *Server) Unregister(uri string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if reg, ok := s.objects[uri]; ok {
+		if reg.lease != nil {
+			reg.lease.cancel()
+		}
+		delete(s.objects, uri)
+	}
+}
+
+// Published reports whether uri is currently resolvable.
+func (s *Server) Published(uri string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.objects[uri]
+	return ok
+}
+
+// Close stops accepting connections. In-flight calls are allowed to finish.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for _, reg := range s.objects {
+		if reg.lease != nil {
+			reg.lease.cancel()
+		}
+	}
+	conns := make([]transport.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.listener.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.listener.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handleConn(c)
+	}
+}
+
+// handleConn serves one client connection. The connection carries at most
+// one outstanding call (the client pools connections instead of pipelining),
+// so responses are written in request order. When a thread pool is
+// configured, the method body executes on the pool — the read loop plays the
+// channel's IO thread — so the pool's cap bounds server-side concurrency
+// exactly as Mono's ThreadPool did.
+func (s *Server) handleConn(c transport.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+	}()
+	for {
+		raw, err := s.ch.recvMsg(c)
+		if err != nil {
+			return
+		}
+		req, err := s.ch.decodeRequest(raw)
+		if err != nil {
+			// Without a sequence number we cannot form a matching
+			// reply; drop the connection.
+			return
+		}
+		var resp *callResponse
+		if s.pool != nil {
+			done := make(chan *callResponse, 1)
+			submitErr := s.pool.Submit(func() { done <- s.dispatch(req) })
+			if submitErr != nil {
+				resp = errorResponse(req, fmt.Sprintf("server shutting down: %v", submitErr))
+			} else {
+				resp = <-done
+			}
+		} else {
+			resp = s.dispatch(req)
+		}
+		rawResp, err := s.ch.encodeResponse(resp)
+		if err != nil {
+			rawResp, err = s.ch.encodeResponse(errorResponse(req, fmt.Sprintf("unencodable result: %v", err)))
+			if err != nil {
+				return
+			}
+		}
+		if err := s.ch.sendMsg(c, rawResp); err != nil {
+			return
+		}
+	}
+}
+
+func errorResponse(req *callRequest, msg string) *callResponse {
+	return &callResponse{Seq: req.Seq, IsErr: true, ErrMsg: msg}
+}
+
+// dispatch resolves the target object and invokes the requested method by
+// reflection.
+func (s *Server) dispatch(req *callRequest) *callResponse {
+	s.mu.Lock()
+	reg, ok := s.objects[req.URI]
+	s.mu.Unlock()
+	if !ok {
+		return errorResponse(req, fmt.Sprintf("no object published at %q", req.URI))
+	}
+	obj, err := reg.resolve()
+	if err != nil {
+		return errorResponse(req, err.Error())
+	}
+	result, err := InvokeLocal(obj, req.Method, req.Args)
+	if err != nil {
+		return errorResponse(req, err.Error())
+	}
+	resp := &callResponse{Seq: req.Seq, Result: result}
+	return resp
+}
+
+// InvokeLocal calls an exported method on obj by name with decoded wire
+// arguments; see dispatch.Invoke. It is reused by the SCOOPP runtime for
+// agglomerated (intra-grain) calls, which the paper routes directly to the
+// local IO (Fig. 3, call b).
+func InvokeLocal(obj any, method string, args []any) (any, error) {
+	return dispatch.Invoke(obj, method, args)
+}

@@ -1,0 +1,248 @@
+package rmi
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+// dServer mirrors the paper's Fig. 1 Java divide server.
+type dServer struct{}
+
+func (dServer) Divide(d1, d2 float64) (float64, error) {
+	if d2 == 0 {
+		return 0, errors.New("ArithmeticException: / by zero")
+	}
+	return d1 / d2, nil
+}
+
+func (dServer) Echo(nums []int32) []int32 { return nums }
+
+func newPair(t *testing.T) (server, client *Runtime) {
+	t.Helper()
+	net := transport.NewMemNetwork()
+	server = NewRuntime(net)
+	if err := server.Listen("mem://rmiserver"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(server.Close)
+	client = NewRuntime(net)
+	return server, client
+}
+
+func TestLookupAndInvoke(t *testing.T) {
+	server, client := newPair(t)
+	if err := server.Rebind("DivideServer", dServer{}); err != nil {
+		t.Fatal(err)
+	}
+	stub, err := client.Lookup(server.URLFor("DivideServer"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := stub.Invoke("Divide", 10.0, 4.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2.5 {
+		t.Errorf("Divide = %v", got)
+	}
+}
+
+func TestRemoteExceptionOnServerError(t *testing.T) {
+	server, client := newPair(t)
+	server.Rebind("d", dServer{})
+	stub, err := client.Lookup(server.URLFor("d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = stub.Invoke("Divide", 1.0, 0.0)
+	var re *RemoteException
+	if !errors.As(err, &re) {
+		t.Fatalf("error = %v (%T), want *RemoteException", err, err)
+	}
+	if !strings.Contains(re.Msg, "zero") {
+		t.Errorf("message = %q", re.Msg)
+	}
+}
+
+func TestLookupUnbound(t *testing.T) {
+	server, client := newPair(t)
+	if _, err := client.Lookup(server.URLFor("missing")); err == nil {
+		t.Error("lookup of unbound name should fail")
+	}
+}
+
+func TestUnbind(t *testing.T) {
+	server, client := newPair(t)
+	server.Rebind("d", dServer{})
+	stub, err := client.Lookup(server.URLFor("d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := server.Unbind("d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := server.Unbind("d"); err == nil {
+		t.Error("double unbind should return NotBoundException")
+	}
+	if _, err := stub.Invoke("Divide", 4.0, 2.0); err == nil {
+		t.Error("call after unbind should fail")
+	}
+}
+
+func TestRebindReplaces(t *testing.T) {
+	server, client := newPair(t)
+	server.Rebind("svc", dServer{})
+	server.Rebind("svc", replacement{})
+	stub, err := client.Lookup(server.URLFor("svc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := stub.Invoke("Marco")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "polo" {
+		t.Errorf("Marco = %v", got)
+	}
+}
+
+type replacement struct{}
+
+func (replacement) Marco() string { return "polo" }
+
+func TestList(t *testing.T) {
+	server, _ := newPair(t)
+	server.Rebind("a", dServer{})
+	server.Rebind("b", dServer{})
+	names := server.List()
+	sort.Strings(names)
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("List = %v", names)
+	}
+}
+
+func TestReservedRegistryName(t *testing.T) {
+	server, _ := newPair(t)
+	if err := server.Rebind(registryURI, dServer{}); err == nil {
+		t.Error("binding the reserved registry name should fail")
+	}
+}
+
+func TestRegistryServiceRemote(t *testing.T) {
+	server, client := newPair(t)
+	server.Rebind("x", dServer{})
+	stub, err := client.LookupStubUnchecked(server.URLFor(registryURI))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := stub.Invoke("ListNames")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, ok := got.([]string)
+	if !ok || len(names) != 1 || names[0] != "x" {
+		t.Errorf("remote ListNames = %#v", got)
+	}
+}
+
+func TestMalformedURLs(t *testing.T) {
+	_, client := newPair(t)
+	for _, url := range []string{"", "d", "http://x/y", "rmi://hostonly", "rmi://host/"} {
+		if _, err := client.Lookup(url); err == nil {
+			t.Errorf("Lookup(%q) should fail", url)
+		}
+	}
+}
+
+func TestEchoLargeArray(t *testing.T) {
+	server, client := newPair(t)
+	server.Rebind("d", dServer{})
+	stub, err := client.Lookup(server.URLFor("d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]int32, 10000)
+	for i := range payload {
+		payload[i] = int32(i * 3)
+	}
+	got, err := stub.Invoke("Echo", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, ok := got.([]int32)
+	if !ok || len(gs) != len(payload) || gs[9999] != 29997 {
+		t.Errorf("Echo = %T len %d", got, len(gs))
+	}
+}
+
+func TestConcurrentStubs(t *testing.T) {
+	server, client := newPair(t)
+	server.Rebind("d", dServer{})
+	stub, err := client.Lookup(server.URLFor("d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 1; j <= 8; j++ {
+				got, err := stub.Invoke("Divide", float64(2*j), float64(j))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got != 2.0 {
+					errs <- errors.New("wrong quotient")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPIntegration(t *testing.T) {
+	net := transport.TCPNetwork{}
+	server := NewRuntime(net)
+	if err := server.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	server.Rebind("d", dServer{})
+	client := NewRuntime(net)
+	stub, err := client.Lookup(server.URLFor("d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := stub.Invoke("Divide", 9.0, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3.0 {
+		t.Errorf("Divide over TCP = %v", got)
+	}
+}
+
+func TestOpnumStable(t *testing.T) {
+	a := opnum("svc", "Divide")
+	b := opnum("svc", "Divide")
+	c := opnum("svc", "Echo")
+	if a != b {
+		t.Error("opnum not deterministic")
+	}
+	if a == c {
+		t.Error("opnum collision across methods (unlikely)")
+	}
+}

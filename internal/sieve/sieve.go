@@ -1,0 +1,261 @@
+// Package sieve implements the prime-number workloads of the paper: the
+// pipelined prime sieve built from PrimeFilter parallel objects (the
+// running example of Figs. 4–7, where each filter's process method receives
+// candidate numbers and forwards survivors) and the sequential array sieve
+// used for the Mono-vs-JVM sequential comparison ("running another
+// application, a prime number sieve, the Mono execution time is about the
+// same as the JVM").
+package sieve
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// SequentialCount counts primes <= n with a classic sieve of Eratosthenes.
+// workFactor >= 1 injects the VM compute factor by re-running a fraction of
+// the marking passes (real integer work, same result).
+func SequentialCount(n int, workFactor float64) int {
+	if n < 2 {
+		return 0
+	}
+	if workFactor < 1 {
+		workFactor = 1
+	}
+	passes := int(workFactor)
+	frac := workFactor - float64(passes)
+	composite := make([]bool, n+1)
+	for p := 2; p*p <= n; p++ {
+		if composite[p] {
+			continue
+		}
+		reps := passes
+		if frac > 0 && p%1000 < int(frac*1000) {
+			reps++
+		}
+		for r := 0; r < reps; r++ {
+			for m := p * p; m <= n; m += p {
+				composite[m] = true
+			}
+		}
+	}
+	count := 0
+	for p := 2; p <= n; p++ {
+		if !composite[p] {
+			count++
+		}
+	}
+	return count
+}
+
+// SequentialList returns the primes <= n.
+func SequentialList(n int) []int {
+	if n < 2 {
+		return nil
+	}
+	composite := make([]bool, n+1)
+	var out []int
+	for p := 2; p <= n; p++ {
+		if composite[p] {
+			continue
+		}
+		out = append(out, p)
+		for m := p * p; m <= n; m += p {
+			composite[m] = true
+		}
+	}
+	return out
+}
+
+// Sink collects the primes discovered by the filter pipeline. It is a
+// parallel-object class: register with RegisterClasses.
+type Sink struct {
+	mu     sync.Mutex
+	primes []int
+	done   chan struct{}
+	want   int
+}
+
+// Configure sets how many candidate numbers will flow so Done can fire
+// after the final Flush marker.
+func (s *Sink) Configure(expectFlushes int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.want = expectFlushes
+	s.done = make(chan struct{})
+}
+
+// Add records one discovered prime.
+func (s *Sink) Add(p int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.primes = append(s.primes, p)
+}
+
+// Flushed signals that a flush marker traversed the whole pipeline.
+func (s *Sink) Flushed() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.want--
+	if s.want == 0 && s.done != nil {
+		close(s.done)
+	}
+}
+
+// Primes returns the collected primes in ascending order.
+func (s *Sink) Primes() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int, len(s.primes))
+	copy(out, s.primes)
+	sort.Ints(out)
+	return out
+}
+
+// WaitDone blocks until the expected flush markers arrived.
+func (s *Sink) WaitDone() {
+	s.mu.Lock()
+	ch := s.done
+	s.mu.Unlock()
+	if ch != nil {
+		<-ch
+	}
+}
+
+// Filter is the PrimeFilter parallel object of the paper's running example.
+// Each filter owns one prime; candidates that survive every filter are new
+// primes: the last filter reports them to the sink and extends the pipeline
+// with a new filter, exactly the classic sieve-of-Eratosthenes process
+// pipeline SCOOPP papers use to stress fine grains.
+type Filter struct {
+	rt *core.Runtime
+
+	mu    sync.Mutex
+	prime int
+	next  *core.Proxy
+	sink  *core.Proxy
+	sref  core.ProxyRef
+}
+
+// NewFilterFactory returns the factory to register on a node; filters need
+// their node's runtime to create successor filters.
+func NewFilterFactory(rt *core.Runtime) func() any {
+	return func() any { return &Filter{rt: rt} }
+}
+
+// Setup initialises the filter with its prime and the sink reference.
+func (f *Filter) Setup(prime int, sink core.ProxyRef) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.prime = prime
+	f.sref = sink
+	f.sink = f.rt.Attach(sink)
+	f.sink.Post("Add", prime)
+}
+
+// Process handles one candidate: drop multiples of the filter's prime,
+// forward survivors, and extend the pipeline when a survivor reaches the
+// end (it is a newly discovered prime). This is the fine-grain method whose
+// per-number messages the RTS aggregates in ablation A1.
+func (f *Filter) Process(n int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.prime == 0 {
+		// First candidate seeds this filter.
+		f.prime = n
+		f.sink.Post("Add", n)
+		return nil
+	}
+	if n%f.prime == 0 {
+		return nil
+	}
+	if f.next == nil {
+		next, err := f.rt.NewParallelObject("sieve.Filter")
+		if err != nil {
+			return err
+		}
+		if _, err := next.Invoke("Setup", n, f.sref); err != nil {
+			return err
+		}
+		f.next = next
+		return nil
+	}
+	f.next.Post("Process", n)
+	return nil
+}
+
+// Flush propagates the end-of-stream marker down the pipeline and then
+// notifies the sink. Each filter first drains its own lane to the sink so
+// that, when the marker arrives at the sink, every prime discovered by a
+// filter the marker already passed has landed.
+func (f *Filter) Flush() {
+	f.mu.Lock()
+	next := f.next
+	sink := f.sink
+	f.mu.Unlock()
+	if sink != nil {
+		sink.Wait()
+	}
+	if next != nil {
+		next.Post("Flush")
+		next.Wait()
+		return
+	}
+	if sink != nil {
+		sink.Post("Flushed")
+		sink.Wait()
+	}
+}
+
+// RegisterClasses registers the pipeline classes on a runtime.
+func RegisterClasses(rt *core.Runtime) {
+	rt.RegisterClass("sieve.Filter", NewFilterFactory(rt))
+	rt.RegisterClass("sieve.Sink", func() any { return &Sink{} })
+}
+
+// Pipeline drives a full pipelined sieve on an existing runtime and
+// returns the primes <= n. The entry node creates the sink and the first
+// filter, streams candidates with asynchronous Posts (subject to the
+// runtime's aggregation configuration) and waits for the flush marker.
+func Pipeline(rt *core.Runtime, n int) ([]int, error) {
+	sinkP, err := rt.NewParallelObject("sieve.Sink")
+	if err != nil {
+		return nil, err
+	}
+	defer sinkP.Destroy()
+	if _, err := sinkP.Invoke("Configure", 1); err != nil {
+		return nil, err
+	}
+	first, err := rt.NewParallelObject("sieve.Filter")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := first.Invoke("Setup", 2, sinkP.Ref()); err != nil {
+		return nil, err
+	}
+	for i := 3; i <= n; i++ {
+		first.Post("Process", i)
+	}
+	first.Post("Flush")
+	first.Wait()
+	if err := first.AsyncErr(); err != nil {
+		return nil, err
+	}
+	res, err := sinkP.Invoke("Primes")
+	if err != nil {
+		return nil, err
+	}
+	switch v := res.(type) {
+	case []int:
+		return v, nil
+	case []any:
+		out := make([]int, len(v))
+		for i, e := range v {
+			out[i], _ = e.(int)
+		}
+		return out, nil
+	}
+	return nil, nil
+}

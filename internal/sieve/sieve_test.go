@@ -1,0 +1,134 @@
+package sieve
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+func TestSequentialCountKnownValues(t *testing.T) {
+	cases := map[int]int{
+		1:    0,
+		2:    1,
+		10:   4,
+		100:  25,
+		1000: 168,
+		5000: 669,
+	}
+	for n, want := range cases {
+		if got := SequentialCount(n, 1); got != want {
+			t.Errorf("SequentialCount(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestWorkFactorPreservesCount(t *testing.T) {
+	for _, f := range []float64{1, 1.2, 1.4, 2.0} {
+		if got := SequentialCount(2000, f); got != 303 {
+			t.Errorf("SequentialCount(2000, %v) = %d, want 303", f, got)
+		}
+	}
+}
+
+func TestSequentialList(t *testing.T) {
+	got := SequentialList(30)
+	want := []int{2, 3, 5, 7, 11, 13, 17, 19, 23, 29}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SequentialList(30) = %v", got)
+	}
+	if SequentialList(1) != nil {
+		t.Error("SequentialList(1) should be empty")
+	}
+}
+
+func TestListMatchesCountQuick(t *testing.T) {
+	f := func(raw uint16) bool {
+		n := int(raw%3000) + 2
+		return len(SequentialList(n)) == SequentialCount(n, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func newSieveCluster(t *testing.T, nodes int, agg core.AggregationConfig) *cluster.Cluster {
+	t.Helper()
+	cl, err := cluster.New(cluster.Options{
+		Nodes:       nodes,
+		Aggregation: agg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	for i := 0; i < cl.Size(); i++ {
+		RegisterClasses(cl.Node(i))
+	}
+	return cl
+}
+
+func TestPipelineSingleNode(t *testing.T) {
+	cl := newSieveCluster(t, 1, core.AggregationConfig{})
+	primes, err := Pipeline(cl.Node(0), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(primes, SequentialList(100)) {
+		t.Errorf("pipeline primes = %v", primes)
+	}
+}
+
+func TestPipelineMultiNode(t *testing.T) {
+	cl := newSieveCluster(t, 3, core.AggregationConfig{})
+	primes, err := Pipeline(cl.Node(0), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(primes, SequentialList(200)) {
+		t.Errorf("pipeline primes = %v", primes)
+	}
+	// The pipeline must actually have distributed filters.
+	remoteHosted := 0
+	for i := 1; i < cl.Size(); i++ {
+		remoteHosted += cl.Node(i).Load()
+	}
+	if remoteHosted == 0 {
+		t.Error("no filters placed on remote nodes")
+	}
+}
+
+func TestPipelineWithAggregation(t *testing.T) {
+	cl := newSieveCluster(t, 2, core.AggregationConfig{MaxCalls: 16})
+	primes, err := Pipeline(cl.Node(0), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(primes, SequentialList(300)) {
+		t.Errorf("aggregated pipeline primes wrong: %d found", len(primes))
+	}
+	// Aggregation must actually have batched messages.
+	st := cl.Node(0).Stats()
+	if st.BatchesSent == 0 {
+		t.Error("no batches sent despite aggregation enabled")
+	}
+	if st.BatchesSent >= st.CallsAggregated {
+		t.Errorf("batches (%d) not smaller than aggregated calls (%d)",
+			st.BatchesSent, st.CallsAggregated)
+	}
+}
+
+func TestPipelineRepeatable(t *testing.T) {
+	cl := newSieveCluster(t, 2, core.AggregationConfig{})
+	for round := 0; round < 2; round++ {
+		primes, err := Pipeline(cl.Node(0), 50)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if len(primes) != 15 {
+			t.Fatalf("round %d: %d primes", round, len(primes))
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Package threadpool implements a bounded worker pool modelled on the .NET
+// ThreadPool as shipped by Mono in 2005. The paper attributes part of
+// ParC#'s weaker scaling (Fig. 9) to this pool: "limiting the number of
+// running threads in parallel applications reduces the overlap among
+// computation and communication and also produces starvation in some
+// application threads". The pool therefore exposes exactly those knobs —
+// a hard cap on concurrently running workers and a FIFO queue whose depth
+// and wait times are observable — so experiment A4 can sweep the cap.
+package threadpool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("threadpool: pool closed")
+
+// Pool runs submitted work items on at most MaxWorkers goroutines. Work
+// items queue FIFO when all workers are busy. The zero value is not usable;
+// construct with New.
+type Pool struct {
+	max   int
+	queue chan func()
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+
+	running   atomic.Int64
+	completed atomic.Int64
+	submitted atomic.Int64
+	// queuedNanos accumulates time items spent waiting in the queue, the
+	// starvation signal the paper describes.
+	queuedNanos atomic.Int64
+	maxQueueLen atomic.Int64
+}
+
+// New creates a pool with the given worker cap and queue capacity. Mono's
+// 2005 default was roughly 25 workers per CPU with a modest queue; callers
+// model specific runtimes by choosing maxWorkers. queueCap <= 0 selects an
+// effectively unbounded queue (the .NET pool never rejected work, it just
+// starved it).
+func New(maxWorkers, queueCap int) *Pool {
+	if maxWorkers < 1 {
+		maxWorkers = 1
+	}
+	if queueCap <= 0 {
+		queueCap = 1 << 16
+	}
+	p := &Pool{
+		max:   maxWorkers,
+		queue: make(chan func(), queueCap),
+	}
+	for i := 0; i < maxWorkers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for job := range p.queue {
+		p.running.Add(1)
+		job()
+		p.running.Add(-1)
+		p.completed.Add(1)
+	}
+}
+
+// Submit enqueues f. It blocks when the queue is full and returns ErrClosed
+// after Close. The panic of a work item is recovered and accounted as a
+// completion so one bad request cannot kill a server dispatch loop.
+func (p *Pool) Submit(f func()) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.submitted.Add(1)
+	enqueued := time.Now()
+	wrapped := func() {
+		p.queuedNanos.Add(time.Since(enqueued).Nanoseconds())
+		defer func() { recover() }()
+		f()
+	}
+	// Track high-water mark of the queue under the lock so the reading
+	// is consistent with the send below.
+	if l := int64(len(p.queue) + 1); l > p.maxQueueLen.Load() {
+		p.maxQueueLen.Store(l)
+	}
+	p.mu.Unlock()
+	p.queue <- wrapped
+	return nil
+}
+
+// Wait blocks until every submitted item has completed. It does not close
+// the pool.
+func (p *Pool) Wait() {
+	for p.completed.Load() < p.submitted.Load() {
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// Close stops accepting work, waits for queued work to drain and releases
+// the workers.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.queue)
+	p.wg.Wait()
+}
+
+// MaxWorkers returns the configured worker cap.
+func (p *Pool) MaxWorkers() int { return p.max }
+
+// Stats is a snapshot of pool accounting.
+type Stats struct {
+	MaxWorkers  int
+	Running     int64
+	Submitted   int64
+	Completed   int64
+	QueueLen    int
+	MaxQueueLen int64
+	// TotalQueueWait is the cumulative time items waited before a worker
+	// picked them up — the starvation measure for experiment A4.
+	TotalQueueWait time.Duration
+}
+
+// Snapshot returns current statistics.
+func (p *Pool) Snapshot() Stats {
+	return Stats{
+		MaxWorkers:     p.max,
+		Running:        p.running.Load(),
+		Submitted:      p.submitted.Load(),
+		Completed:      p.completed.Load(),
+		QueueLen:       len(p.queue),
+		MaxQueueLen:    p.maxQueueLen.Load(),
+		TotalQueueWait: time.Duration(p.queuedNanos.Load()),
+	}
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (s Stats) String() string {
+	return fmt.Sprintf("workers=%d running=%d submitted=%d completed=%d queue=%d maxqueue=%d wait=%v",
+		s.MaxWorkers, s.Running, s.Submitted, s.Completed, s.QueueLen, s.MaxQueueLen, s.TotalQueueWait)
+}

@@ -1,0 +1,165 @@
+package threadpool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunsAllWork(t *testing.T) {
+	p := New(4, 0)
+	defer p.Close()
+	var n atomic.Int64
+	const jobs = 100
+	for i := 0; i < jobs; i++ {
+		if err := p.Submit(func() { n.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Wait()
+	if n.Load() != jobs {
+		t.Errorf("ran %d jobs, want %d", n.Load(), jobs)
+	}
+}
+
+func TestConcurrencyCap(t *testing.T) {
+	const cap = 3
+	p := New(cap, 0)
+	defer p.Close()
+	var cur, peak atomic.Int64
+	var mu sync.Mutex
+	block := make(chan struct{})
+	for i := 0; i < 10; i++ {
+		p.Submit(func() {
+			c := cur.Add(1)
+			mu.Lock()
+			if c > peak.Load() {
+				peak.Store(c)
+			}
+			mu.Unlock()
+			<-block
+			cur.Add(-1)
+		})
+	}
+	// Wait (with deadline) for the workers to pick jobs up; a fixed
+	// sleep flakes when the host is loaded.
+	deadline := time.Now().Add(2 * time.Second)
+	for cur.Load() != cap && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := cur.Load(); got != cap {
+		t.Errorf("running = %d, want exactly the cap %d", got, cap)
+	}
+	close(block)
+	p.Wait()
+	if peak.Load() > cap {
+		t.Errorf("peak concurrency %d exceeded cap %d", peak.Load(), cap)
+	}
+}
+
+func TestQueueWaitAccounting(t *testing.T) {
+	p := New(1, 0)
+	defer p.Close()
+	block := make(chan struct{})
+	p.Submit(func() { <-block })
+	p.Submit(func() {}) // must wait behind the blocker
+	time.Sleep(10 * time.Millisecond)
+	close(block)
+	p.Wait()
+	if w := p.Snapshot().TotalQueueWait; w < 5*time.Millisecond {
+		t.Errorf("queue wait %v not accounted", w)
+	}
+}
+
+func TestPanicRecovered(t *testing.T) {
+	p := New(2, 0)
+	defer p.Close()
+	p.Submit(func() { panic("boom") })
+	var ok atomic.Bool
+	p.Submit(func() { ok.Store(true) })
+	p.Wait()
+	if !ok.Load() {
+		t.Error("pool died after panic")
+	}
+	if p.Snapshot().Completed != 2 {
+		t.Errorf("completed = %d, want 2", p.Snapshot().Completed)
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	p := New(1, 0)
+	p.Close()
+	if err := p.Submit(func() {}); err != ErrClosed {
+		t.Errorf("Submit after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	p := New(1, 0)
+	p.Close()
+	p.Close() // must not panic
+}
+
+func TestCloseDrainsQueue(t *testing.T) {
+	p := New(1, 0)
+	var n atomic.Int64
+	for i := 0; i < 20; i++ {
+		p.Submit(func() {
+			time.Sleep(time.Millisecond)
+			n.Add(1)
+		})
+	}
+	p.Close()
+	if n.Load() != 20 {
+		t.Errorf("close dropped work: ran %d of 20", n.Load())
+	}
+}
+
+func TestMinWorkerFloor(t *testing.T) {
+	p := New(0, 0)
+	defer p.Close()
+	if p.MaxWorkers() != 1 {
+		t.Errorf("MaxWorkers = %d, want floor of 1", p.MaxWorkers())
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	p := New(2, 0)
+	defer p.Close()
+	p.Submit(func() {})
+	p.Wait()
+	s := p.Snapshot()
+	if s.Submitted != 1 || s.Completed != 1 {
+		t.Errorf("stats = %s", s)
+	}
+	if s.String() == "" {
+		t.Error("empty stats string")
+	}
+}
+
+// TestStarvationUnderCap reproduces in miniature the paper's observation:
+// with a small cap, long-running compute items starve short communication
+// items; with a larger cap they do not.
+func TestStarvationUnderCap(t *testing.T) {
+	run := func(cap int) time.Duration {
+		p := New(cap, 0)
+		defer p.Close()
+		// 4 long compute jobs then 1 short "communication" job.
+		for i := 0; i < 4; i++ {
+			p.Submit(func() { time.Sleep(20 * time.Millisecond) })
+		}
+		done := make(chan time.Time, 1)
+		start := time.Now()
+		p.Submit(func() { done <- time.Now() })
+		return (<-done).Sub(start)
+	}
+	starved := run(1)
+	free := run(8)
+	if starved < 50*time.Millisecond {
+		t.Errorf("cap=1 should starve the short job: waited only %v", starved)
+	}
+	if free > 20*time.Millisecond {
+		t.Errorf("cap=8 should run the short job immediately: waited %v", free)
+	}
+}

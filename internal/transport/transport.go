@@ -1,0 +1,298 @@
+// Package transport provides reliable, ordered message connections used by
+// all three RPC stacks (remoting, rmi, mpi). Two interchangeable networks
+// are provided: real TCP with 4-byte length framing, and an in-process
+// memory network used by tests and by the single-process cluster harness.
+// The netsim package wraps either network with latency/bandwidth shaping to
+// model the paper's 100 Mbit Ethernet testbed.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// MaxFrame is the largest message accepted on the wire (64 MiB). The paper's
+// ping-pong sweep tops out at 1 MB payloads; the guard exists so a corrupt
+// length prefix cannot trigger an arbitrary allocation.
+const MaxFrame = 64 << 20
+
+// ErrClosed is returned by operations on a closed connection or listener.
+var ErrClosed = errors.New("transport: connection closed")
+
+// Conn is a reliable, ordered, message-oriented connection. Send and Recv
+// are independently safe for concurrent use by multiple goroutines;
+// concurrent Sends are serialised internally.
+type Conn interface {
+	// Send transmits one message.
+	Send(msg []byte) error
+	// Recv blocks until the next message arrives or the connection
+	// closes, in which case it returns ErrClosed (or the underlying
+	// error).
+	Recv() ([]byte, error)
+	// Close releases the connection. Pending and future calls fail.
+	Close() error
+	// LocalAddr and RemoteAddr identify the endpoints for diagnostics.
+	LocalAddr() string
+	RemoteAddr() string
+}
+
+// Listener accepts inbound connections.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	// Addr is the address peers dial, for example "127.0.0.1:41730" or
+	// "mem://node0".
+	Addr() string
+}
+
+// Network creates listeners and dials peers. Implementations: TCPNetwork,
+// MemNetwork and netsim.ShapedNetwork.
+type Network interface {
+	Listen(addr string) (Listener, error)
+	Dial(addr string) (Conn, error)
+}
+
+// ---------------------------------------------------------------- TCP
+
+// TCPNetwork is the production network: length-framed messages over TCP.
+// The zero value is ready to use.
+type TCPNetwork struct{}
+
+// Listen implements Network. Use ":0" or "127.0.0.1:0" to pick a free port;
+// the chosen address is available from Listener.Addr.
+func (TCPNetwork) Listen(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &tcpListener{l: l}, nil
+}
+
+// Dial implements Network.
+func (TCPNetwork) Dial(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		// The remoting TCP channel disables Nagle, as Mono 1.1.7 does;
+		// the legacy channel variant re-enables it at a higher layer.
+		tc.SetNoDelay(true)
+	}
+	return newStreamConn(c), nil
+}
+
+type tcpListener struct {
+	l net.Listener
+}
+
+func (t *tcpListener) Accept() (Conn, error) {
+	c, err := t.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return newStreamConn(c), nil
+}
+
+func (t *tcpListener) Close() error { return t.l.Close() }
+func (t *tcpListener) Addr() string { return t.l.Addr().String() }
+
+// streamConn frames messages over any net.Conn.
+type streamConn struct {
+	c       net.Conn
+	sendMu  sync.Mutex
+	recvMu  sync.Mutex
+	lenBuf  [4]byte
+	rLenBuf [4]byte
+}
+
+func newStreamConn(c net.Conn) *streamConn { return &streamConn{c: c} }
+
+func (s *streamConn) Send(msg []byte) error {
+	if len(msg) > MaxFrame {
+		return fmt.Errorf("transport: message of %d bytes exceeds MaxFrame", len(msg))
+	}
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	binary.BigEndian.PutUint32(s.lenBuf[:], uint32(len(msg)))
+	if _, err := s.c.Write(s.lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := s.c.Write(msg)
+	return err
+}
+
+func (s *streamConn) Recv() ([]byte, error) {
+	s.recvMu.Lock()
+	defer s.recvMu.Unlock()
+	if _, err := io.ReadFull(s.c, s.rLenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(s.rLenBuf[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds MaxFrame", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(s.c, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (s *streamConn) Close() error       { return s.c.Close() }
+func (s *streamConn) LocalAddr() string  { return s.c.LocalAddr().String() }
+func (s *streamConn) RemoteAddr() string { return s.c.RemoteAddr().String() }
+
+// ---------------------------------------------------------------- memory
+
+// MemNetwork is an in-process network keyed by "mem://name" addresses. It is
+// used by unit tests and by the single-process cluster harness, where N
+// simulated nodes live in one OS process (the paper's cluster collapsed onto
+// one machine; netsim restores the network costs).
+type MemNetwork struct {
+	mu        sync.Mutex
+	listeners map[string]*memListener
+	seq       int
+}
+
+// NewMemNetwork returns an empty memory network.
+func NewMemNetwork() *MemNetwork {
+	return &MemNetwork{listeners: make(map[string]*memListener)}
+}
+
+// Listen implements Network. An empty addr (or "mem://") allocates a fresh
+// unique address.
+func (m *MemNetwork) Listen(addr string) (Listener, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if addr == "" || addr == "mem://" {
+		m.seq++
+		addr = fmt.Sprintf("mem://auto%d", m.seq)
+	}
+	if _, exists := m.listeners[addr]; exists {
+		return nil, fmt.Errorf("transport: address %s already in use", addr)
+	}
+	l := &memListener{
+		addr:    addr,
+		backlog: make(chan *memConn, 16),
+		done:    make(chan struct{}),
+		net:     m,
+	}
+	m.listeners[addr] = l
+	return l, nil
+}
+
+// Dial implements Network.
+func (m *MemNetwork) Dial(addr string) (Conn, error) {
+	m.mu.Lock()
+	l, ok := m.listeners[addr]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no listener at %s", addr)
+	}
+	client, server := NewPipe(addr+"/client", addr)
+	select {
+	case l.backlog <- server.(*memConn):
+		return client, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+func (m *MemNetwork) remove(addr string) {
+	m.mu.Lock()
+	delete(m.listeners, addr)
+	m.mu.Unlock()
+}
+
+type memListener struct {
+	addr    string
+	backlog chan *memConn
+	done    chan struct{}
+	once    sync.Once
+	net     *MemNetwork
+}
+
+func (l *memListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+func (l *memListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.net.remove(l.addr)
+	})
+	return nil
+}
+
+func (l *memListener) Addr() string { return l.addr }
+
+// NewPipe returns two connected in-memory connections. Messages sent on one
+// side are received on the other in order. Useful directly in tests.
+func NewPipe(addrA, addrB string) (Conn, Conn) {
+	ab := make(chan []byte, 64)
+	ba := make(chan []byte, 64)
+	done := make(chan struct{})
+	var once sync.Once
+	closeFn := func() { once.Do(func() { close(done) }) }
+	a := &memConn{send: ab, recv: ba, done: done, close: closeFn, local: addrA, remote: addrB}
+	b := &memConn{send: ba, recv: ab, done: done, close: closeFn, local: addrB, remote: addrA}
+	return a, b
+}
+
+type memConn struct {
+	send   chan []byte
+	recv   chan []byte
+	done   chan struct{}
+	close  func()
+	local  string
+	remote string
+}
+
+func (c *memConn) Send(msg []byte) error {
+	if len(msg) > MaxFrame {
+		return fmt.Errorf("transport: message of %d bytes exceeds MaxFrame", len(msg))
+	}
+	// Copy so the caller may reuse its buffer, matching TCP semantics.
+	cp := make([]byte, len(msg))
+	copy(cp, msg)
+	select {
+	case c.send <- cp:
+		return nil
+	case <-c.done:
+		return ErrClosed
+	}
+}
+
+func (c *memConn) Recv() ([]byte, error) {
+	select {
+	case msg := <-c.recv:
+		return msg, nil
+	case <-c.done:
+		// Drain messages that raced with close so orderly shutdown
+		// does not drop replies.
+		select {
+		case msg := <-c.recv:
+			return msg, nil
+		default:
+		}
+		return nil, ErrClosed
+	}
+}
+
+func (c *memConn) Close() error {
+	c.close()
+	return nil
+}
+
+func (c *memConn) LocalAddr() string  { return c.local }
+func (c *memConn) RemoteAddr() string { return c.remote }

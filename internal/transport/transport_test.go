@@ -1,0 +1,269 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func testNetworkRoundtrip(t *testing.T, net Network, addr string) {
+	t.Helper()
+	l, err := net.Listen(addr)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer l.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer c.Close()
+		for {
+			msg, err := c.Recv()
+			if err != nil {
+				done <- nil
+				return
+			}
+			if err := c.Send(append([]byte("echo:"), msg...)); err != nil {
+				done <- err
+				return
+			}
+		}
+	}()
+
+	c, err := net.Dial(l.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		msg := []byte(fmt.Sprintf("hello %d", i))
+		if err := c.Send(msg); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+		got, err := c.Recv()
+		if err != nil {
+			t.Fatalf("Recv: %v", err)
+		}
+		want := append([]byte("echo:"), msg...)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("got %q, want %q", got, want)
+		}
+	}
+	c.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+}
+
+func TestTCPRoundtrip(t *testing.T) {
+	testNetworkRoundtrip(t, TCPNetwork{}, "127.0.0.1:0")
+}
+
+func TestMemRoundtrip(t *testing.T) {
+	testNetworkRoundtrip(t, NewMemNetwork(), "mem://echo")
+}
+
+func TestMemAutoAddr(t *testing.T) {
+	net := NewMemNetwork()
+	l1, err := net.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := net.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1.Addr() == l2.Addr() {
+		t.Errorf("auto addresses collide: %s", l1.Addr())
+	}
+}
+
+func TestMemAddrInUse(t *testing.T) {
+	net := NewMemNetwork()
+	if _, err := net.Listen("mem://x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Listen("mem://x"); err == nil {
+		t.Error("expected address-in-use error")
+	}
+}
+
+func TestMemDialUnknown(t *testing.T) {
+	net := NewMemNetwork()
+	if _, err := net.Dial("mem://nowhere"); err == nil {
+		t.Error("expected dial error")
+	}
+}
+
+func TestMemListenerCloseFreesAddr(t *testing.T) {
+	net := NewMemNetwork()
+	l, err := net.Listen("mem://reuse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if _, err := net.Listen("mem://reuse"); err != nil {
+		t.Errorf("address not released after close: %v", err)
+	}
+}
+
+func TestLargeMessages(t *testing.T) {
+	for name, net := range map[string]Network{"tcp": TCPNetwork{}, "mem": NewMemNetwork()} {
+		t.Run(name, func(t *testing.T) {
+			l, err := net.Listen(listenAddr(name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			go func() {
+				c, err := l.Accept()
+				if err != nil {
+					return
+				}
+				msg, err := c.Recv()
+				if err != nil {
+					return
+				}
+				c.Send(msg)
+			}()
+			c, err := net.Dial(l.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			big := make([]byte, 1<<20)
+			for i := range big {
+				big[i] = byte(i * 7)
+			}
+			if err := c.Send(big); err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, big) {
+				t.Error("large message corrupted")
+			}
+		})
+	}
+}
+
+func listenAddr(network string) string {
+	if network == "tcp" {
+		return "127.0.0.1:0"
+	}
+	return ""
+}
+
+func TestOversizeMessageRejected(t *testing.T) {
+	a, _ := NewPipe("a", "b")
+	huge := make([]byte, MaxFrame+1)
+	if err := a.Send(huge); err == nil {
+		t.Error("oversize message accepted")
+	}
+}
+
+func TestPipeOrdering(t *testing.T) {
+	a, b := NewPipe("a", "b")
+	const n = 100
+	go func() {
+		for i := 0; i < n; i++ {
+			a.Send([]byte{byte(i)})
+		}
+	}()
+	for i := 0; i < n; i++ {
+		msg, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg[0] != byte(i) {
+			t.Fatalf("out of order: got %d want %d", msg[0], i)
+		}
+	}
+}
+
+func TestPipeSenderBufferReuse(t *testing.T) {
+	a, b := NewPipe("a", "b")
+	buf := []byte("first")
+	if err := a.Send(buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "XXXXX")
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "first" {
+		t.Errorf("sender buffer reuse leaked: %q", got)
+	}
+}
+
+func TestCloseUnblocksRecv(t *testing.T) {
+	a, b := NewPipe("a", "b")
+	errc := make(chan error, 1)
+	go func() {
+		_, err := b.Recv()
+		errc <- err
+	}()
+	a.Close()
+	if err := <-errc; err != ErrClosed {
+		t.Errorf("Recv after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestConcurrentSenders(t *testing.T) {
+	net := NewMemNetwork()
+	l, err := net.Listen("mem://concurrent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const senders, perSender = 8, 50
+	received := make(chan []byte, senders*perSender)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		for i := 0; i < senders*perSender; i++ {
+			msg, err := c.Recv()
+			if err != nil {
+				return
+			}
+			received <- msg
+		}
+	}()
+	c, err := net.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				if err := c.Send([]byte{byte(s), byte(i)}); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	seen := make(map[[2]byte]bool)
+	for i := 0; i < senders*perSender; i++ {
+		msg := <-received
+		key := [2]byte{msg[0], msg[1]}
+		if seen[key] {
+			t.Fatalf("duplicate message %v", key)
+		}
+		seen[key] = true
+	}
+}

@@ -1,0 +1,767 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+)
+
+// BinFmt is the compact tagged binary codec, the analogue of the .NET
+// BinaryFormatter used by the remoting TCP channel. Struct type and field
+// names are interned per message: the first occurrence carries the string,
+// later occurrences carry a small back-reference, mirroring the
+// BinaryFormatter's object/string id tables.
+type BinFmt struct{}
+
+// Name implements Codec.
+func (BinFmt) Name() string { return "binfmt" }
+
+// Marshal implements Codec.
+func (BinFmt) Marshal(v any) ([]byte, error) {
+	e := &binEncoder{opts: binOpts{internStrings: true}}
+	if err := e.encode(v); err != nil {
+		return nil, err
+	}
+	return e.buf, nil
+}
+
+// Unmarshal implements Codec.
+func (BinFmt) Unmarshal(data []byte) (any, error) {
+	d := &binDecoder{data: data, opts: binOpts{internStrings: true}}
+	v, err := d.decode()
+	if err != nil {
+		return nil, err
+	}
+	if d.pos != len(d.data) {
+		return nil, fmt.Errorf("wire/binfmt: %d trailing bytes after value", len(d.data)-d.pos)
+	}
+	return v, nil
+}
+
+// binOpts selects the encoding dialect shared between BinFmt and JavaSer.
+type binOpts struct {
+	// internStrings enables the per-message name dictionary (BinFmt).
+	internStrings bool
+	// classDescriptors writes a full descriptor (type name plus every
+	// field name) before each struct value instead of field names inline
+	// once per struct occurrence (JavaSer).
+	classDescriptors bool
+	// arrayClassNames prefixes numeric-array fast paths with a Java-style
+	// array class name such as "[I" (JavaSer).
+	arrayClassNames bool
+}
+
+type binEncoder struct {
+	buf    []byte
+	opts   binOpts
+	idents map[string]int // interned names
+}
+
+func (e *binEncoder) writeByte(b byte)    { e.buf = append(e.buf, b) }
+func (e *binEncoder) writeBytes(b []byte) { e.buf = append(e.buf, b...) }
+
+func (e *binEncoder) writeUvarint(u uint64) {
+	e.buf = binary.AppendUvarint(e.buf, u)
+}
+
+func (e *binEncoder) writeVarint(i int64) {
+	e.buf = binary.AppendVarint(e.buf, i)
+}
+
+func (e *binEncoder) writeFixed32(u uint32) {
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, u)
+}
+
+func (e *binEncoder) writeFixed64(u uint64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, u)
+}
+
+func (e *binEncoder) writeString(s string) {
+	e.writeUvarint(uint64(len(s)))
+	e.writeBytes([]byte(s))
+}
+
+// writeName writes an identifier (type or field name), interning it when the
+// dialect supports it. Interned references are encoded as uvarint(id+1)
+// following a zero length, a scheme that keeps plain strings unambiguous.
+func (e *binEncoder) writeName(s string) {
+	if !e.opts.internStrings {
+		e.writeString(s)
+		return
+	}
+	if e.idents == nil {
+		e.idents = make(map[string]int)
+	}
+	if id, ok := e.idents[s]; ok {
+		e.writeUvarint(0)
+		e.writeUvarint(uint64(id + 1))
+		return
+	}
+	e.idents[s] = len(e.idents)
+	// Length+1 distinguishes a literal from the back-reference marker.
+	e.writeUvarint(uint64(len(s)) + 1)
+	e.writeBytes([]byte(s))
+}
+
+func (e *binEncoder) encode(v any) error {
+	if v == nil {
+		e.writeByte(tNil)
+		return nil
+	}
+	switch x := v.(type) {
+	case bool:
+		if x {
+			e.writeByte(tTrue)
+		} else {
+			e.writeByte(tFalse)
+		}
+		return nil
+	case int8:
+		e.writeByte(tInt8)
+		e.writeByte(byte(x))
+		return nil
+	case int16:
+		e.writeByte(tInt16)
+		e.writeVarint(int64(x))
+		return nil
+	case int32:
+		e.writeByte(tInt32)
+		e.writeVarint(int64(x))
+		return nil
+	case int64:
+		e.writeByte(tInt64)
+		e.writeVarint(x)
+		return nil
+	case int:
+		e.writeByte(tInt)
+		e.writeVarint(int64(x))
+		return nil
+	case uint8:
+		e.writeByte(tUint8)
+		e.writeByte(x)
+		return nil
+	case uint16:
+		e.writeByte(tUint16)
+		e.writeUvarint(uint64(x))
+		return nil
+	case uint32:
+		e.writeByte(tUint32)
+		e.writeUvarint(uint64(x))
+		return nil
+	case uint64:
+		e.writeByte(tUint64)
+		e.writeUvarint(x)
+		return nil
+	case uint:
+		e.writeByte(tUint)
+		e.writeUvarint(uint64(x))
+		return nil
+	case float32:
+		e.writeByte(tFloat32)
+		e.writeFixed32(math.Float32bits(x))
+		return nil
+	case float64:
+		e.writeByte(tFloat64)
+		e.writeFixed64(math.Float64bits(x))
+		return nil
+	case string:
+		e.writeByte(tString)
+		e.writeString(x)
+		return nil
+	case []byte:
+		e.writeByte(tBytes)
+		e.writeUvarint(uint64(len(x)))
+		e.writeBytes(x)
+		return nil
+	case []int:
+		e.writeByte(tIntSlice)
+		e.maybeArrayClass("[J")
+		e.writeUvarint(uint64(len(x)))
+		for _, n := range x {
+			e.writeFixed64(uint64(n))
+		}
+		return nil
+	case []int32:
+		e.writeByte(tInt32Slice)
+		e.maybeArrayClass("[I")
+		e.writeUvarint(uint64(len(x)))
+		for _, n := range x {
+			e.writeFixed32(uint32(n))
+		}
+		return nil
+	case []int64:
+		e.writeByte(tInt64Slice)
+		e.maybeArrayClass("[J")
+		e.writeUvarint(uint64(len(x)))
+		for _, n := range x {
+			e.writeFixed64(uint64(n))
+		}
+		return nil
+	case []float32:
+		e.writeByte(tFloat32Slice)
+		e.maybeArrayClass("[F")
+		e.writeUvarint(uint64(len(x)))
+		for _, f := range x {
+			e.writeFixed32(math.Float32bits(f))
+		}
+		return nil
+	case []float64:
+		e.writeByte(tFloat64Slice)
+		e.maybeArrayClass("[D")
+		e.writeUvarint(uint64(len(x)))
+		for _, f := range x {
+			e.writeFixed64(math.Float64bits(f))
+		}
+		return nil
+	case []string:
+		e.writeByte(tStringSlice)
+		e.maybeArrayClass("[Ljava.lang.String;")
+		e.writeUvarint(uint64(len(x)))
+		for _, s := range x {
+			e.writeString(s)
+		}
+		return nil
+	case []bool:
+		e.writeByte(tBoolSlice)
+		e.maybeArrayClass("[Z")
+		e.writeUvarint(uint64(len(x)))
+		for _, b := range x {
+			if b {
+				e.writeByte(1)
+			} else {
+				e.writeByte(0)
+			}
+		}
+		return nil
+	case []any:
+		e.writeByte(tAnySlice)
+		e.writeUvarint(uint64(len(x)))
+		for _, el := range x {
+			if err := e.encode(el); err != nil {
+				return err
+			}
+		}
+		return nil
+	case map[string]any:
+		return e.encodeMap(reflect.ValueOf(x))
+	}
+	return e.encodeReflect(reflect.ValueOf(v))
+}
+
+// maybeArrayClass writes a Java-style array class name for dialects that
+// carry per-array descriptors (JavaSer only).
+func (e *binEncoder) maybeArrayClass(name string) {
+	if e.opts.arrayClassNames {
+		e.writeString(name)
+	}
+}
+
+// encodeReflect handles struct values, struct pointers, generic slices and
+// string-keyed maps that did not match a fast path.
+func (e *binEncoder) encodeReflect(rv reflect.Value) error {
+	switch rv.Kind() {
+	case reflect.Pointer:
+		if rv.IsNil() {
+			e.writeByte(tNil)
+			return nil
+		}
+		if rv.Elem().Kind() == reflect.Struct {
+			e.writeByte(tPtrStruct)
+			return e.encodeStructBody(rv.Elem())
+		}
+		return e.encode(rv.Elem().Interface())
+	case reflect.Struct:
+		e.writeByte(tStruct)
+		return e.encodeStructBody(rv)
+	case reflect.Slice, reflect.Array:
+		e.writeByte(tAnySlice)
+		e.writeUvarint(uint64(rv.Len()))
+		for i := 0; i < rv.Len(); i++ {
+			if err := e.encode(rv.Index(i).Interface()); err != nil {
+				return err
+			}
+		}
+		return nil
+	case reflect.Map:
+		if rv.Type().Key().Kind() != reflect.String {
+			return &UnsupportedTypeError{Type: rv.Type()}
+		}
+		return e.encodeMap(rv)
+	case reflect.Interface:
+		if rv.IsNil() {
+			e.writeByte(tNil)
+			return nil
+		}
+		return e.encode(rv.Elem().Interface())
+	}
+	return &UnsupportedTypeError{Type: rv.Type()}
+}
+
+func (e *binEncoder) encodeMap(rv reflect.Value) error {
+	e.writeByte(tMap)
+	keys := rv.MapKeys()
+	// Deterministic key order keeps encodings reproducible for golden
+	// tests and size accounting.
+	sorted := make([]string, len(keys))
+	for i, k := range keys {
+		sorted[i] = k.String()
+	}
+	sortStrings(sorted)
+	e.writeUvarint(uint64(len(sorted)))
+	for _, k := range sorted {
+		e.writeString(k)
+		if err := e.encode(rv.MapIndex(reflect.ValueOf(k)).Interface()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *binEncoder) encodeStructBody(rv reflect.Value) error {
+	t := rv.Type()
+	name, ok := nameOf(t)
+	if !ok {
+		return &UnsupportedTypeError{Type: t}
+	}
+	fields := fieldsOf(t)
+	if e.opts.classDescriptors {
+		// Full Java-style class descriptor: name, field count and
+		// every field name spelled out on each occurrence.
+		e.writeString(name)
+		e.writeUvarint(uint64(len(fields)))
+		for _, f := range fields {
+			e.writeString(f.name)
+		}
+		for _, f := range fields {
+			if err := e.encode(rv.Field(f.index).Interface()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	e.writeName(name)
+	e.writeUvarint(uint64(len(fields)))
+	for _, f := range fields {
+		e.writeName(f.name)
+		if err := e.encode(rv.Field(f.index).Interface()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type binDecoder struct {
+	data   []byte
+	pos    int
+	opts   binOpts
+	idents []string
+}
+
+func (d *binDecoder) readByte() (byte, error) {
+	if d.pos >= len(d.data) {
+		return 0, fmt.Errorf("wire/binfmt: truncated message at offset %d", d.pos)
+	}
+	b := d.data[d.pos]
+	d.pos++
+	return b, nil
+}
+
+func (d *binDecoder) readUvarint() (uint64, error) {
+	u, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wire/binfmt: bad uvarint at offset %d", d.pos)
+	}
+	d.pos += n
+	return u, nil
+}
+
+func (d *binDecoder) readVarint() (int64, error) {
+	i, n := binary.Varint(d.data[d.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wire/binfmt: bad varint at offset %d", d.pos)
+	}
+	d.pos += n
+	return i, nil
+}
+
+func (d *binDecoder) readFixed32() (uint32, error) {
+	if d.pos+4 > len(d.data) {
+		return 0, fmt.Errorf("wire/binfmt: truncated fixed32 at offset %d", d.pos)
+	}
+	u := binary.LittleEndian.Uint32(d.data[d.pos:])
+	d.pos += 4
+	return u, nil
+}
+
+func (d *binDecoder) readFixed64() (uint64, error) {
+	if d.pos+8 > len(d.data) {
+		return 0, fmt.Errorf("wire/binfmt: truncated fixed64 at offset %d", d.pos)
+	}
+	u := binary.LittleEndian.Uint64(d.data[d.pos:])
+	d.pos += 8
+	return u, nil
+}
+
+func (d *binDecoder) readString() (string, error) {
+	n, err := d.readUvarint()
+	if err != nil {
+		return "", err
+	}
+	if d.pos+int(n) > len(d.data) {
+		return "", fmt.Errorf("wire/binfmt: truncated string of length %d at offset %d", n, d.pos)
+	}
+	s := string(d.data[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s, nil
+}
+
+func (d *binDecoder) readName() (string, error) {
+	if !d.opts.internStrings {
+		return d.readString()
+	}
+	n, err := d.readUvarint()
+	if err != nil {
+		return "", err
+	}
+	if n == 0 {
+		id, err := d.readUvarint()
+		if err != nil {
+			return "", err
+		}
+		idx := int(id) - 1
+		if idx < 0 || idx >= len(d.idents) {
+			return "", fmt.Errorf("wire/binfmt: bad name back-reference %d", id)
+		}
+		return d.idents[idx], nil
+	}
+	length := int(n) - 1
+	if d.pos+length > len(d.data) {
+		return "", fmt.Errorf("wire/binfmt: truncated name of length %d at offset %d", length, d.pos)
+	}
+	s := string(d.data[d.pos : d.pos+length])
+	d.pos += length
+	d.idents = append(d.idents, s)
+	return s, nil
+}
+
+// skipArrayClass consumes the Java-style array class name in dialects that
+// write one.
+func (d *binDecoder) skipArrayClass() error {
+	if !d.opts.arrayClassNames {
+		return nil
+	}
+	_, err := d.readString()
+	return err
+}
+
+func (d *binDecoder) decode() (any, error) {
+	tag, err := d.readByte()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case tNil:
+		return nil, nil
+	case tTrue:
+		return true, nil
+	case tFalse:
+		return false, nil
+	case tInt8:
+		b, err := d.readByte()
+		return int8(b), err
+	case tInt16:
+		i, err := d.readVarint()
+		return int16(i), err
+	case tInt32:
+		i, err := d.readVarint()
+		return int32(i), err
+	case tInt64:
+		return d.readVarint()
+	case tInt:
+		i, err := d.readVarint()
+		return int(i), err
+	case tUint8:
+		b, err := d.readByte()
+		return b, err
+	case tUint16:
+		u, err := d.readUvarint()
+		return uint16(u), err
+	case tUint32:
+		u, err := d.readUvarint()
+		return uint32(u), err
+	case tUint64:
+		return d.readUvarint()
+	case tUint:
+		u, err := d.readUvarint()
+		return uint(u), err
+	case tFloat32:
+		u, err := d.readFixed32()
+		return math.Float32frombits(u), err
+	case tFloat64:
+		u, err := d.readFixed64()
+		return math.Float64frombits(u), err
+	case tString:
+		return d.readString()
+	case tBytes:
+		n, err := d.readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if d.pos+int(n) > len(d.data) {
+			return nil, fmt.Errorf("wire/binfmt: truncated bytes of length %d", n)
+		}
+		b := make([]byte, n)
+		copy(b, d.data[d.pos:])
+		d.pos += int(n)
+		return b, nil
+	case tIntSlice:
+		if err := d.skipArrayClass(); err != nil {
+			return nil, err
+		}
+		n, err := d.readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		out := make([]int, n)
+		for i := range out {
+			u, err := d.readFixed64()
+			if err != nil {
+				return nil, err
+			}
+			out[i] = int(int64(u))
+		}
+		return out, nil
+	case tInt32Slice:
+		if err := d.skipArrayClass(); err != nil {
+			return nil, err
+		}
+		n, err := d.readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		out := make([]int32, n)
+		for i := range out {
+			u, err := d.readFixed32()
+			if err != nil {
+				return nil, err
+			}
+			out[i] = int32(u)
+		}
+		return out, nil
+	case tInt64Slice:
+		if err := d.skipArrayClass(); err != nil {
+			return nil, err
+		}
+		n, err := d.readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		out := make([]int64, n)
+		for i := range out {
+			u, err := d.readFixed64()
+			if err != nil {
+				return nil, err
+			}
+			out[i] = int64(u)
+		}
+		return out, nil
+	case tFloat32Slice:
+		if err := d.skipArrayClass(); err != nil {
+			return nil, err
+		}
+		n, err := d.readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float32, n)
+		for i := range out {
+			u, err := d.readFixed32()
+			if err != nil {
+				return nil, err
+			}
+			out[i] = math.Float32frombits(u)
+		}
+		return out, nil
+	case tFloat64Slice:
+		if err := d.skipArrayClass(); err != nil {
+			return nil, err
+		}
+		n, err := d.readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, n)
+		for i := range out {
+			u, err := d.readFixed64()
+			if err != nil {
+				return nil, err
+			}
+			out[i] = math.Float64frombits(u)
+		}
+		return out, nil
+	case tStringSlice:
+		if err := d.skipArrayClass(); err != nil {
+			return nil, err
+		}
+		n, err := d.readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		out := make([]string, n)
+		for i := range out {
+			s, err := d.readString()
+			if err != nil {
+				return nil, err
+			}
+			out[i] = s
+		}
+		return out, nil
+	case tBoolSlice:
+		if err := d.skipArrayClass(); err != nil {
+			return nil, err
+		}
+		n, err := d.readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		out := make([]bool, n)
+		for i := range out {
+			b, err := d.readByte()
+			if err != nil {
+				return nil, err
+			}
+			out[i] = b != 0
+		}
+		return out, nil
+	case tAnySlice:
+		n, err := d.readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		out := make([]any, n)
+		for i := range out {
+			v, err := d.decode()
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	case tMap:
+		n, err := d.readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[string]any, n)
+		for i := uint64(0); i < n; i++ {
+			k, err := d.readString()
+			if err != nil {
+				return nil, err
+			}
+			v, err := d.decode()
+			if err != nil {
+				return nil, err
+			}
+			out[k] = v
+		}
+		return out, nil
+	case tStruct:
+		v, err := d.decodeStructBody()
+		if err != nil {
+			return nil, err
+		}
+		return v.Elem().Interface(), nil
+	case tPtrStruct:
+		v, err := d.decodeStructBody()
+		if err != nil {
+			return nil, err
+		}
+		return v.Interface(), nil
+	}
+	return nil, fmt.Errorf("wire/binfmt: unknown tag 0x%02x at offset %d", tag, d.pos-1)
+}
+
+// decodeStructBody returns a pointer to a freshly allocated struct.
+func (d *binDecoder) decodeStructBody() (reflect.Value, error) {
+	if d.opts.classDescriptors {
+		name, err := d.readString()
+		if err != nil {
+			return reflect.Value{}, err
+		}
+		t, ok := lookupName(name)
+		if !ok {
+			return reflect.Value{}, &UnknownTypeError{Name: name}
+		}
+		n, err := d.readUvarint()
+		if err != nil {
+			return reflect.Value{}, err
+		}
+		names := make([]string, n)
+		for i := range names {
+			names[i], err = d.readString()
+			if err != nil {
+				return reflect.Value{}, err
+			}
+		}
+		ptr := reflect.New(t)
+		for _, fname := range names {
+			v, err := d.decode()
+			if err != nil {
+				return reflect.Value{}, err
+			}
+			if err := setStructField(ptr.Elem(), fname, v); err != nil {
+				return reflect.Value{}, err
+			}
+		}
+		return ptr, nil
+	}
+	name, err := d.readName()
+	if err != nil {
+		return reflect.Value{}, err
+	}
+	t, ok := lookupName(name)
+	if !ok {
+		return reflect.Value{}, &UnknownTypeError{Name: name}
+	}
+	n, err := d.readUvarint()
+	if err != nil {
+		return reflect.Value{}, err
+	}
+	ptr := reflect.New(t)
+	for i := uint64(0); i < n; i++ {
+		fname, err := d.readName()
+		if err != nil {
+			return reflect.Value{}, err
+		}
+		v, err := d.decode()
+		if err != nil {
+			return reflect.Value{}, err
+		}
+		if err := setStructField(ptr.Elem(), fname, v); err != nil {
+			return reflect.Value{}, err
+		}
+	}
+	return ptr, nil
+}
+
+// setStructField assigns a decoded value to the named field, tolerating
+// fields removed on the receiving side (the value is discarded) so that
+// schema evolution does not break old peers.
+func setStructField(st reflect.Value, name string, v any) error {
+	f := st.FieldByName(name)
+	if !f.IsValid() {
+		return nil
+	}
+	av, err := Assign(f.Type(), v)
+	if err != nil {
+		return fmt.Errorf("wire: field %s.%s: %w", st.Type(), name, err)
+	}
+	f.Set(av)
+	return nil
+}
+
+func sortStrings(s []string) {
+	sort.Strings(s)
+}

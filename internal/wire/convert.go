@@ -1,0 +1,147 @@
+package wire
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// Assign converts a decoded wire value v into a reflect.Value assignable to
+// dst. It performs the conversions a dynamic RPC dispatcher needs:
+//
+//   - exact type match and Go-assignable values pass through;
+//   - numeric kinds convert between widths (int32 → int, float64 → float32);
+//   - []any converts element-wise into any slice type;
+//   - map[string]any converts into struct types and typed maps;
+//   - T converts to *T (a copy is allocated) and *T to T;
+//   - nil becomes the zero value of dst.
+//
+// Assign is used by the remoting/RMI dispatchers to bind decoded arguments
+// to method parameter types, and by the SCOOPP proxy to bind results.
+func Assign(dst reflect.Type, v any) (reflect.Value, error) {
+	if v == nil {
+		return reflect.Zero(dst), nil
+	}
+	rv := reflect.ValueOf(v)
+	if rv.Type() == dst {
+		return rv, nil
+	}
+	if rv.Type().AssignableTo(dst) {
+		return rv, nil
+	}
+	switch dst.Kind() {
+	case reflect.Interface:
+		if rv.Type().Implements(dst) {
+			return rv, nil
+		}
+	case reflect.Pointer:
+		if rv.Kind() == reflect.Pointer {
+			if rv.IsNil() {
+				return reflect.Zero(dst), nil
+			}
+			inner, err := Assign(dst.Elem(), rv.Elem().Interface())
+			if err != nil {
+				return reflect.Value{}, err
+			}
+			ptr := reflect.New(dst.Elem())
+			ptr.Elem().Set(inner)
+			return ptr, nil
+		}
+		inner, err := Assign(dst.Elem(), v)
+		if err != nil {
+			return reflect.Value{}, err
+		}
+		ptr := reflect.New(dst.Elem())
+		ptr.Elem().Set(inner)
+		return ptr, nil
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		switch rv.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			return reflect.ValueOf(rv.Int()).Convert(dst), nil
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			return reflect.ValueOf(int64(rv.Uint())).Convert(dst), nil
+		case reflect.Float32, reflect.Float64:
+			return reflect.ValueOf(int64(rv.Float())).Convert(dst), nil
+		}
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		switch rv.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			return reflect.ValueOf(uint64(rv.Int())).Convert(dst), nil
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			return reflect.ValueOf(rv.Uint()).Convert(dst), nil
+		}
+	case reflect.Float32, reflect.Float64:
+		switch rv.Kind() {
+		case reflect.Float32, reflect.Float64:
+			return reflect.ValueOf(rv.Float()).Convert(dst), nil
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			return reflect.ValueOf(float64(rv.Int())).Convert(dst), nil
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			return reflect.ValueOf(float64(rv.Uint())).Convert(dst), nil
+		}
+	case reflect.Slice:
+		if rv.Kind() == reflect.Slice {
+			out := reflect.MakeSlice(dst, rv.Len(), rv.Len())
+			for i := 0; i < rv.Len(); i++ {
+				el, err := Assign(dst.Elem(), rv.Index(i).Interface())
+				if err != nil {
+					return reflect.Value{}, fmt.Errorf("element %d: %w", i, err)
+				}
+				out.Index(i).Set(el)
+			}
+			return out, nil
+		}
+	case reflect.Map:
+		if m, ok := v.(map[string]any); ok && dst.Key().Kind() == reflect.String {
+			out := reflect.MakeMapWithSize(dst, len(m))
+			for k, mv := range m {
+				ev, err := Assign(dst.Elem(), mv)
+				if err != nil {
+					return reflect.Value{}, fmt.Errorf("key %q: %w", k, err)
+				}
+				out.SetMapIndex(reflect.ValueOf(k).Convert(dst.Key()), ev)
+			}
+			return out, nil
+		}
+	case reflect.Struct:
+		if rv.Kind() == reflect.Pointer && !rv.IsNil() && rv.Elem().Type() == dst {
+			return rv.Elem(), nil
+		}
+		if m, ok := v.(map[string]any); ok {
+			ptr := reflect.New(dst)
+			for k, mv := range m {
+				if err := setStructField(ptr.Elem(), k, mv); err != nil {
+					return reflect.Value{}, err
+				}
+			}
+			return ptr.Elem(), nil
+		}
+	case reflect.String:
+		if rv.Kind() == reflect.String {
+			return rv.Convert(dst), nil
+		}
+	case reflect.Bool:
+		if rv.Kind() == reflect.Bool {
+			return rv.Convert(dst), nil
+		}
+	}
+	return reflect.Value{}, fmt.Errorf("wire: cannot assign %T to %v", v, dst)
+}
+
+// AssignArgs binds a decoded argument list to a parameter type list,
+// returning an error naming the offending position on mismatch. When
+// variadic is true the final parameter type is the variadic slice type and
+// surplus arguments are bound to its element type.
+func AssignArgs(params []reflect.Type, args []any) ([]reflect.Value, error) {
+	if len(args) != len(params) {
+		return nil, fmt.Errorf("wire: got %d arguments, want %d", len(args), len(params))
+	}
+	out := make([]reflect.Value, len(args))
+	for i, a := range args {
+		v, err := Assign(params[i], a)
+		if err != nil {
+			return nil, fmt.Errorf("argument %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,154 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestAssignScalars(t *testing.T) {
+	cases := []struct {
+		dst  any // zero value carrying the destination type
+		in   any
+		want any
+	}{
+		{int(0), int64(5), int(5)},
+		{int32(0), int(7), int32(7)},
+		{int64(0), int32(-9), int64(-9)},
+		{float32(0), float64(1.5), float32(1.5)},
+		{float64(0), int(3), float64(3)},
+		{uint16(0), int(40000), uint16(40000)},
+		{"", "s", "s"},
+		{false, true, true},
+	}
+	for _, c := range cases {
+		got, err := Assign(reflect.TypeOf(c.dst), c.in)
+		if err != nil {
+			t.Errorf("Assign(%T, %#v): %v", c.dst, c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got.Interface(), c.want) {
+			t.Errorf("Assign(%T, %#v) = %#v, want %#v", c.dst, c.in, got.Interface(), c.want)
+		}
+	}
+}
+
+func TestAssignNil(t *testing.T) {
+	got, err := Assign(reflect.TypeOf((*testNested)(nil)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsNil() {
+		t.Errorf("Assign(ptr, nil) = %v", got)
+	}
+	gi, err := Assign(reflect.TypeOf(int(0)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gi.Interface() != 0 {
+		t.Errorf("Assign(int, nil) = %v", gi)
+	}
+}
+
+func TestAssignSliceOfAny(t *testing.T) {
+	in := []any{int(1), int64(2), int32(3)}
+	got, err := Assign(reflect.TypeOf([]int{}), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	if !reflect.DeepEqual(got.Interface(), want) {
+		t.Errorf("Assign = %#v, want %#v", got.Interface(), want)
+	}
+}
+
+func TestAssignSliceOfStructs(t *testing.T) {
+	in := []any{testNested{Label: "a"}, testNested{Label: "b"}}
+	got, err := Assign(reflect.TypeOf([]testNested{}), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := got.Interface().([]testNested)
+	if len(out) != 2 || out[0].Label != "a" || out[1].Label != "b" {
+		t.Errorf("Assign = %#v", out)
+	}
+}
+
+func TestAssignPointerValueInterop(t *testing.T) {
+	n := testNested{Label: "x"}
+	// value -> pointer
+	gp, err := Assign(reflect.TypeOf(&testNested{}), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp.Interface().(*testNested).Label != "x" {
+		t.Errorf("value->pointer = %#v", gp.Interface())
+	}
+	// pointer -> value
+	gv, err := Assign(reflect.TypeOf(testNested{}), &n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gv.Interface().(testNested).Label != "x" {
+		t.Errorf("pointer->value = %#v", gv.Interface())
+	}
+}
+
+func TestAssignMapToStruct(t *testing.T) {
+	in := map[string]any{"Label": "m", "Vals": []float64{1, 2}}
+	got, err := Assign(reflect.TypeOf(testNested{}), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := got.Interface().(testNested)
+	if n.Label != "m" || len(n.Vals) != 2 {
+		t.Errorf("map->struct = %#v", n)
+	}
+}
+
+func TestAssignTypedMap(t *testing.T) {
+	in := map[string]any{"a": int(1), "b": int64(2)}
+	got, err := Assign(reflect.TypeOf(map[string]int{}), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := got.Interface().(map[string]int)
+	if m["a"] != 1 || m["b"] != 2 {
+		t.Errorf("typed map = %#v", m)
+	}
+}
+
+func TestAssignInterface(t *testing.T) {
+	got, err := Assign(reflect.TypeOf((*any)(nil)).Elem(), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Interface() != "x" {
+		t.Errorf("Assign(any, x) = %#v", got.Interface())
+	}
+}
+
+func TestAssignMismatch(t *testing.T) {
+	if _, err := Assign(reflect.TypeOf(int(0)), "nope"); err == nil {
+		t.Error("expected error assigning string to int")
+	}
+	if _, err := Assign(reflect.TypeOf([]int{}), "nope"); err == nil {
+		t.Error("expected error assigning string to []int")
+	}
+}
+
+func TestAssignArgs(t *testing.T) {
+	params := []reflect.Type{reflect.TypeOf(int(0)), reflect.TypeOf("")}
+	vals, err := AssignArgs(params, []any{int64(1), "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0].Interface() != 1 || vals[1].Interface() != "a" {
+		t.Errorf("AssignArgs = %v", vals)
+	}
+	if _, err := AssignArgs(params, []any{1}); err == nil {
+		t.Error("expected arity error")
+	}
+	if _, err := AssignArgs(params, []any{1, 2}); err == nil {
+		t.Error("expected type error naming position")
+	}
+}

@@ -1,0 +1,209 @@
+// Package parc is the public API of the ParC# reproduction: SCOOPP-style
+// parallel objects for Go, backed by the remoting runtime described in the
+// PACT 2005 paper "ParC#: Parallel Computing with C# in .Net".
+//
+// # Quick start
+//
+//	cl, err := parc.NewCluster(parc.ClusterConfig{Nodes: 3})
+//	if err != nil { ... }
+//	defer cl.Close()
+//	cl.RegisterClass("counter", func() any { return &Counter{} })
+//
+//	p, err := cl.Entry().NewParallelObject("counter")
+//	if err != nil { ... }
+//	p.Post("Add", 2)                  // asynchronous method call
+//	total, err := p.Invoke("Total")   // synchronous method call
+//
+// Parallel objects are distributed across nodes by the placement policy and
+// communicate through the remoting channel; asynchronous calls to one
+// object execute in order. Grain-size adaptation — method-call aggregation
+// and object agglomeration — is enabled through ClusterConfig.
+//
+// The facade wraps internal/core (the SCOOPP run-time system),
+// internal/remoting (the .NET-remoting analogue), internal/netsim (the
+// testbed network model) and internal/cluster (node bootstrap); advanced
+// users can reach those packages' types through the aliases below.
+package parc
+
+import (
+	"reflect"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/remoting"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// As converts a dynamically typed invocation result to T, applying the wire
+// layer's canonical conversions (for example []any to []int). Generated
+// proxy code (cmd/parcgen) uses it to give remote methods their original
+// static signatures.
+func As[T any](v any, err error) (T, error) {
+	var zero T
+	if err != nil {
+		return zero, err
+	}
+	t := reflect.TypeFor[T]()
+	av, err := wire.Assign(t, v)
+	if err != nil {
+		return zero, err
+	}
+	out, ok := av.Interface().(T)
+	if !ok {
+		return zero, err
+	}
+	return out, nil
+}
+
+// Re-exported core types: these are the objects user code manipulates.
+type (
+	// Runtime is one node's object manager and hosting server.
+	Runtime = core.Runtime
+	// Proxy is the handle of a parallel object (the paper's PO).
+	Proxy = core.Proxy
+	// Future is the result handle of InvokeAsync.
+	Future = core.Future
+	// ProxyRef is a wire-encodable parallel-object reference.
+	ProxyRef = core.ProxyRef
+	// AggregationConfig tunes method-call aggregation.
+	AggregationConfig = core.AggregationConfig
+	// PlacementPolicy distributes new objects across nodes.
+	PlacementPolicy = core.PlacementPolicy
+	// AgglomerationPolicy removes excess parallelism at creation time.
+	AgglomerationPolicy = core.AgglomerationPolicy
+	// NodeLoad is a node's load snapshot given to placement policies.
+	NodeLoad = core.NodeLoad
+	// Stats are the runtime's cumulative counters.
+	Stats = core.Stats
+)
+
+// Placement policies.
+type (
+	// RoundRobin cycles object placement across nodes (default).
+	RoundRobin = core.RoundRobin
+	// LeastLoaded places on the node hosting the fewest objects.
+	LeastLoaded = core.LeastLoaded
+	// LocalOnly disables distribution.
+	LocalOnly = core.LocalOnly
+)
+
+// Agglomeration policies.
+type (
+	// NeverAgglomerate keeps all objects parallel (default).
+	NeverAgglomerate = core.NeverAgglomerate
+	// AlwaysAgglomerate packs every object into its creator's grain.
+	AlwaysAgglomerate = core.AlwaysAgglomerate
+	// AdaptiveAgglomeration packs objects whose measured grain is too
+	// fine to pay communication costs.
+	AdaptiveAgglomeration = core.AdaptiveAgglomeration
+)
+
+// RegisterType makes a struct type transferable as a method argument or
+// result (the analogue of [Serializable]). Call it from an init function
+// for every payload struct.
+func RegisterType(sample any) { wire.Register(sample) }
+
+// RegisterTypeName registers sample under an explicit wire name.
+func RegisterTypeName(name string, sample any) { wire.RegisterName(name, sample) }
+
+// NetworkParams shapes the simulated inter-node network.
+type NetworkParams = netsim.Params
+
+// Ethernet100 returns the paper's testbed network model: 100 Mbit/s
+// switched Ethernet.
+func Ethernet100() NetworkParams { return netsim.Ethernet100() }
+
+// ClusterConfig configures an in-process cluster (the test/bench topology;
+// use cmd/parcnode for real multi-process TCP clusters).
+type ClusterConfig struct {
+	// Nodes is the cluster size; default 1.
+	Nodes int
+	// Network simulates link latency/bandwidth between nodes; the zero
+	// value is an ideal network.
+	Network NetworkParams
+	// PoolSize caps each node's concurrent request execution, modelling
+	// a bounded VM thread pool; 0 means unbounded.
+	PoolSize int
+	// Placement distributes new parallel objects; nil means round-robin.
+	Placement PlacementPolicy
+	// Agglomeration removes excess parallelism; nil means never.
+	Agglomeration AgglomerationPolicy
+	// Aggregation batches asynchronous calls; zero disables.
+	Aggregation AggregationConfig
+	// LoadCacheTTL bounds staleness of placement load data.
+	LoadCacheTTL time.Duration
+}
+
+// Cluster is a running set of nodes inside this process.
+type Cluster struct {
+	inner *cluster.Cluster
+}
+
+// NewCluster boots an in-process cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	inner, err := cluster.New(cluster.Options{
+		Nodes:         cfg.Nodes,
+		Net:           cfg.Network,
+		PoolSize:      cfg.PoolSize,
+		Placement:     cfg.Placement,
+		Agglomeration: cfg.Agglomeration,
+		Aggregation:   cfg.Aggregation,
+		LoadCacheTTL:  cfg.LoadCacheTTL,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{inner: inner}, nil
+}
+
+// RegisterClass registers a parallel-object class on every node. The
+// factory must return a pointer to a fresh instance.
+func (c *Cluster) RegisterClass(name string, factory func() any) {
+	c.inner.RegisterClass(name, factory)
+}
+
+// Entry returns node 0's runtime, the conventional application entry node.
+func (c *Cluster) Entry() *Runtime { return c.inner.Node(0) }
+
+// Node returns node i's runtime.
+func (c *Cluster) Node(i int) *Runtime { return c.inner.Node(i) }
+
+// Size returns the number of nodes.
+func (c *Cluster) Size() int { return c.inner.Size() }
+
+// Close shuts all nodes down.
+func (c *Cluster) Close() { c.inner.Close() }
+
+// Node-level API for assembling real distributed deployments (each process
+// runs StartNode and the processes exchange addresses out of band; see
+// cmd/parcnode).
+
+// NodeConfig configures a single node runtime for multi-process use.
+type NodeConfig struct {
+	// NodeID is this node's index in the cluster.
+	NodeID int
+	// Listen is the TCP address to serve on, for example ":7070".
+	Listen string
+	// PoolSize caps concurrent request execution; 0 means unbounded.
+	PoolSize int
+	// Placement and Aggregation as in ClusterConfig.
+	Placement     PlacementPolicy
+	Agglomeration AgglomerationPolicy
+	Aggregation   AggregationConfig
+}
+
+// StartNode boots one TCP-backed node. Call Runtime.JoinCluster with every
+// node's address (same order everywhere) once all nodes are up.
+func StartNode(cfg NodeConfig) (*Runtime, error) {
+	ch := remoting.NewTCPChannel(transport.TCPNetwork{})
+	return core.Start(core.Config{
+		NodeID:        cfg.NodeID,
+		Channel:       ch,
+		Placement:     cfg.Placement,
+		Agglomeration: cfg.Agglomeration,
+		Aggregation:   cfg.Aggregation,
+	}, cfg.Listen)
+}

@@ -1,0 +1,136 @@
+package parc_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/parc"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) Add(v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += v
+}
+
+func (c *counter) Total() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) Values() []int { return []int{c.Total()} }
+
+func TestClusterLifecycle(t *testing.T) {
+	cl, err := parc.NewCluster(parc.ClusterConfig{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if cl.Size() != 2 {
+		t.Fatalf("Size = %d", cl.Size())
+	}
+	cl.RegisterClass("counter", func() any { return &counter{} })
+	p, err := cl.Entry().NewParallelObject("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Post("Add", 5)
+	got, err := p.Invoke("Total")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Errorf("Total = %v", got)
+	}
+}
+
+func TestClusterDefaultsToOneNode(t *testing.T) {
+	cl, err := parc.NewCluster(parc.ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if cl.Size() != 1 {
+		t.Errorf("Size = %d, want 1", cl.Size())
+	}
+}
+
+func TestEthernet100Shape(t *testing.T) {
+	p := parc.Ethernet100()
+	if p.Zero() {
+		t.Error("testbed network should not be a no-op")
+	}
+}
+
+func TestAs(t *testing.T) {
+	got, err := parc.As[int](int64(7), nil)
+	if err != nil || got != 7 {
+		t.Errorf("As[int] = %v, %v", got, err)
+	}
+	gs, err := parc.As[[]int]([]any{1, 2}, nil)
+	if err != nil || len(gs) != 2 || gs[1] != 2 {
+		t.Errorf("As[[]int] = %v, %v", gs, err)
+	}
+	if _, err := parc.As[int]("nope", nil); err == nil {
+		t.Error("As should fail on mismatched types")
+	}
+	// Errors pass through untouched.
+	if _, err := parc.As[int](nil, errSentinel); err != errSentinel {
+		t.Errorf("error not propagated: %v", err)
+	}
+}
+
+var errSentinel = &sentinelErr{}
+
+type sentinelErr struct{}
+
+func (*sentinelErr) Error() string { return "sentinel" }
+
+func TestStartNodeTCP(t *testing.T) {
+	// Two real TCP nodes on loopback: the multi-process deployment path,
+	// exercised in-process.
+	n0, err := parc.StartNode(parc.NodeConfig{NodeID: 0, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n0.Close()
+	n1, err := parc.StartNode(parc.NodeConfig{NodeID: 1, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n1.Close()
+	addrs := []string{n0.Addr(), n1.Addr()}
+	if err := n0.JoinCluster(addrs); err != nil {
+		t.Fatal(err)
+	}
+	if err := n1.JoinCluster(addrs); err != nil {
+		t.Fatal(err)
+	}
+	n0.RegisterClass("counter", func() any { return &counter{} })
+	n1.RegisterClass("counter", func() any { return &counter{} })
+
+	// Force remote placement to cross real TCP.
+	created := 0
+	for i := 0; i < 4; i++ {
+		p, err := n0.NewParallelObject("counter")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Post("Add", i)
+		if got, err := p.Invoke("Total"); err != nil || got != i {
+			t.Fatalf("object %d: Total = %v, %v", i, got, err)
+		}
+		if !p.IsLocal() {
+			created++
+		}
+	}
+	if created == 0 {
+		t.Error("round robin never placed remotely over TCP")
+	}
+}
