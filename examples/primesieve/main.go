@@ -24,11 +24,11 @@ func main() {
 	maxCalls := flag.Int("maxcalls", 16, "method-call aggregation batch size (1 disables)")
 	flag.Parse()
 
-	cl, err := parc.NewCluster(parc.ClusterConfig{
-		Nodes:       *nodes,
-		Network:     parc.Ethernet100(),
-		Aggregation: parc.AggregationConfig{MaxCalls: *maxCalls},
-	})
+	cl, err := parc.StartCluster(
+		parc.WithNodes(*nodes),
+		parc.WithNetwork(parc.Ethernet100()),
+		parc.WithAggregation(*maxCalls, 0),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -265,6 +265,9 @@ func TestFig9SmallShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("farm run in -short mode")
 	}
+	if raceEnabled {
+		t.Skip("race instrumentation skews the calibrated timing model")
+	}
 	cfg := DefaultFig9Config(false)
 	rows, err := RunFig9(cfg)
 	if err != nil {

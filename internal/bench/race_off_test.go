@@ -1,0 +1,8 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector instruments this build;
+// timing-model shape tests skip under it because instrumentation skews the
+// measured execution times the models are calibrated against.
+const raceEnabled = false

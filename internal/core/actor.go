@@ -1,12 +1,16 @@
 package core
 
 import (
-	"errors"
+	"context"
+	"fmt"
 	"sync"
+
+	"repro/internal/ctxwait"
+	"repro/internal/errs"
 )
 
 // errActorStopped is returned for calls posted after the actor shut down.
-var errActorStopped = errors.New("core: parallel object destroyed")
+var errActorStopped = fmt.Errorf("core: %w", errs.ErrObjectDestroyed)
 
 // actor gives a locally hosted parallel object its own thread of control:
 // calls enqueue into a mailbox processed in order by one goroutine,
@@ -24,6 +28,7 @@ type actor struct {
 }
 
 type actorTask struct {
+	ctx    context.Context // caller's context; nil means background
 	method string
 	args   []any
 	batch  []any // non-nil for aggregate messages
@@ -56,11 +61,20 @@ func (a *actor) run() {
 		a.queue = a.queue[1:]
 		a.mu.Unlock()
 
+		ctx := t.ctx
+		if ctx == nil {
+			ctx = context.Background()
+		}
 		var res actorResult
-		if t.batch != nil {
-			_, res.err = a.w.InvokeBatch(t.method, t.batch)
+		if err := ctx.Err(); err != nil {
+			// The caller gave up while the task sat in the mailbox:
+			// skip execution, matching what a context-aware method
+			// would do on entry.
+			res.err = err
+		} else if t.batch != nil {
+			_, res.err = a.w.InvokeBatch(ctx, t.method, t.batch)
 		} else {
-			res.val, res.err = a.w.Invoke1(t.method, t.args)
+			res.val, res.err = a.w.Invoke1(ctx, t.method, t.args)
 		}
 		if t.reply != nil {
 			t.reply <- res
@@ -92,28 +106,45 @@ func (a *actor) enqueue(t actorTask) error {
 // call performs a synchronous invocation through the mailbox, preserving
 // order with earlier asynchronous posts.
 func (a *actor) call(method string, args []any) (any, error) {
+	return a.callCtx(context.Background(), method, args)
+}
+
+// callCtx is call bounded by ctx: if ctx ends before the mailbox reaches
+// the task, the caller unblocks with ctx.Err() (the task is skipped when
+// its turn comes; the reply channel is buffered, so nothing leaks).
+func (a *actor) callCtx(ctx context.Context, method string, args []any) (any, error) {
 	reply := make(chan actorResult, 1)
-	if err := a.enqueue(actorTask{method: method, args: args, reply: reply}); err != nil {
+	if err := a.enqueue(actorTask{ctx: ctx, method: method, args: args, reply: reply}); err != nil {
 		return nil, err
 	}
-	res := <-reply
-	return res.val, res.err
+	if ctx == nil || ctx.Done() == nil {
+		res := <-reply
+		return res.val, res.err
+	}
+	select {
+	case res := <-reply:
+		return res.val, res.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // post performs an asynchronous invocation; errors are reported to onErr.
-func (a *actor) post(method string, args []any, onErr func(error)) {
+// A non-nil ctx cancels the task if it is still queued when ctx ends.
+func (a *actor) post(ctx context.Context, method string, args []any, onErr func(error)) error {
 	reply := make(chan actorResult, 1)
-	if err := a.enqueue(actorTask{method: method, args: args, reply: reply}); err != nil {
+	if err := a.enqueue(actorTask{ctx: ctx, method: method, args: args, reply: reply}); err != nil {
 		if onErr != nil {
 			onErr(err)
 		}
-		return
+		return err
 	}
 	go func() {
 		if res := <-reply; res.err != nil && onErr != nil {
 			onErr(res.err)
 		}
 	}()
+	return nil
 }
 
 // postBatch enqueues an aggregate message.
@@ -141,6 +172,12 @@ func (a *actor) wait() {
 	a.mu.Unlock()
 }
 
+// waitCtx is wait bounded by ctx; the mailbox keeps draining in the
+// background when the wait is abandoned.
+func (a *actor) waitCtx(ctx context.Context) error {
+	return ctxwait.Drain(ctx, a.wait)
+}
+
 // stop drains the mailbox and terminates the goroutine.
 func (a *actor) stop() {
 	a.mu.Lock()
@@ -154,25 +191,38 @@ func (a *actor) stop() {
 
 // actorEndpoint adapts an actor to the remoting dispatcher so remote
 // callers share the mailbox (and therefore the ordering) of local callers.
+// The ctx parameters receive the server-side request context, carrying the
+// remote caller's deadline into the mailbox wait.
 type actorEndpoint struct {
 	a *actor
 }
 
 // Invoke1 executes one invocation through the mailbox.
-func (e *actorEndpoint) Invoke1(method string, args []any) (any, error) {
-	return e.a.call(method, args)
+func (e *actorEndpoint) Invoke1(ctx context.Context, method string, args []any) (any, error) {
+	return e.a.callCtx(ctx, method, args)
 }
 
 // InvokeBatch replays an aggregate message through the mailbox as a single
 // task, so a batch executes atomically with respect to other calls.
-func (e *actorEndpoint) InvokeBatch(method string, calls []any) (int, error) {
+func (e *actorEndpoint) InvokeBatch(ctx context.Context, method string, calls []any) (int, error) {
 	reply := make(chan actorResult, 1)
-	if err := e.a.enqueue(actorTask{method: method, batch: calls, reply: reply}); err != nil {
+	if err := e.a.enqueue(actorTask{ctx: ctx, method: method, batch: calls, reply: reply}); err != nil {
 		return 0, err
 	}
-	res := <-reply
-	if res.err != nil {
-		return 0, res.err
+	if ctx == nil || ctx.Done() == nil {
+		res := <-reply
+		if res.err != nil {
+			return 0, res.err
+		}
+		return len(calls), nil
 	}
-	return len(calls), nil
+	select {
+	case res := <-reply:
+		if res.err != nil {
+			return 0, res.err
+		}
+		return len(calls), nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
 }

@@ -42,12 +42,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/dispatch"
+	"repro/internal/errs"
 	"repro/internal/remoting"
 	"repro/internal/threadpool"
 	"repro/internal/wire"
@@ -395,7 +397,7 @@ func (rt *Runtime) factoryFor(class string) (func() any, error) {
 	defer rt.mu.Unlock()
 	f, ok := rt.classes[class]
 	if !ok {
-		return nil, fmt.Errorf("core: class %q not registered on node %d", class, rt.cfg.NodeID)
+		return nil, fmt.Errorf("core: class %q on node %d: %w", class, rt.cfg.NodeID, errs.ErrNoSuchClass)
 	}
 	return f, nil
 }
@@ -572,7 +574,9 @@ func (s *omService) Ping() string { return "pong" }
 
 // ioWrapper wraps an implementation object, measuring execution times for
 // grain-size estimation and replaying batches (the processN method the
-// preprocessor adds in Fig. 7).
+// preprocessor adds in Fig. 7). Its methods take the caller's context first
+// so the remoting dispatcher injects the request context, which in turn is
+// injected into context-aware implementation methods.
 type ioWrapper struct {
 	rt    *Runtime
 	class string
@@ -580,23 +584,23 @@ type ioWrapper struct {
 }
 
 // Invoke1 executes one method invocation on the IO.
-func (w *ioWrapper) Invoke1(method string, args []any) (any, error) {
+func (w *ioWrapper) Invoke1(ctx context.Context, method string, args []any) (any, error) {
 	start := time.Now()
-	res, err := dispatch.Invoke(w.obj, method, args)
+	res, err := dispatch.InvokeCtx(ctx, w.obj, method, args)
 	w.rt.recordExec(w.class, time.Since(start))
 	return res, err
 }
 
 // InvokeBatch replays an aggregate message: calls is a list of argument
 // lists for method. It returns the number of calls applied.
-func (w *ioWrapper) InvokeBatch(method string, calls []any) (int, error) {
+func (w *ioWrapper) InvokeBatch(ctx context.Context, method string, calls []any) (int, error) {
 	start := time.Now()
 	for i, c := range calls {
 		args, ok := c.([]any)
 		if !ok {
 			return i, fmt.Errorf("core: batch element %d is %T, want argument list", i, c)
 		}
-		if _, err := dispatch.Invoke(w.obj, method, args); err != nil {
+		if _, err := dispatch.InvokeCtx(ctx, w.obj, method, args); err != nil {
 			return i, err
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -93,17 +94,30 @@ func (p *Proxy) AsyncErr() error {
 // method calls (when a value is returned)"). It is ordered after all
 // previously posted asynchronous calls on this proxy.
 func (p *Proxy) Invoke(method string, args ...any) (any, error) {
+	return p.InvokeCtx(context.Background(), method, args...)
+}
+
+// InvokeCtx is Invoke bounded by ctx: cancellation aborts the in-flight
+// exchange (or the mailbox wait, for local objects) and the deadline
+// travels to the hosting node. It is ordered after all previously posted
+// asynchronous calls on this proxy.
+func (p *Proxy) InvokeCtx(ctx context.Context, method string, args ...any) (any, error) {
 	p.rt.stats.syncCalls.Add(1)
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	switch p.mode {
 	case modeAgglomerated:
 		w := &ioWrapper{rt: p.rt, class: p.class, obj: p.local}
-		return w.Invoke1(method, args)
+		return w.Invoke1(ctx, method, args)
 	case modeLocalActive:
-		return p.act.call(method, args)
+		return p.act.callCtx(ctx, method, args)
 	default:
 		p.FlushAggregation()
-		p.seq.Flush()
-		return p.ref.Invoke("Invoke1", method, args)
+		if err := p.seq.FlushCtx(ctx); err != nil {
+			return nil, fmt.Errorf("core: flush before %s.%s: %w", p.class, method, err)
+		}
+		return p.ref.InvokeCtx(ctx, "Invoke1", method, args)
 	}
 }
 
@@ -120,6 +134,21 @@ func (f *Future) Get() (any, error) {
 	return f.val, f.err
 }
 
+// GetCtx blocks until the call completes or ctx ends, in which case it
+// returns ctx.Err() (the call itself keeps running; a later Get still
+// observes its outcome).
+func (f *Future) GetCtx(ctx context.Context) (any, error) {
+	if ctx == nil || ctx.Done() == nil {
+		return f.Get()
+	}
+	select {
+	case <-f.done:
+		return f.val, f.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
 // Done returns a channel closed on completion.
 func (f *Future) Done() <-chan struct{} { return f.done }
 
@@ -127,10 +156,16 @@ func (f *Future) Done() <-chan struct{} { return f.done }
 // (the delegate BeginInvoke pattern of Fig. 4). The call is ordered after
 // previously posted asynchronous calls on this proxy.
 func (p *Proxy) InvokeAsync(method string, args ...any) *Future {
+	return p.InvokeAsyncCtx(context.Background(), method, args...)
+}
+
+// InvokeAsyncCtx is InvokeAsync bounded by ctx; the returned Future
+// resolves to ctx.Err() when ctx ends before the call completes.
+func (p *Proxy) InvokeAsyncCtx(ctx context.Context, method string, args ...any) *Future {
 	f := &Future{done: make(chan struct{})}
 	go func() {
 		defer close(f.done)
-		f.val, f.err = p.Invoke(method, args...)
+		f.val, f.err = p.InvokeCtx(ctx, method, args...)
 	}()
 	return f
 }
@@ -140,24 +175,41 @@ func (p *Proxy) InvokeAsync(method string, args ...any) *Future {
 // Posts are subject to method-call aggregation; Posts to one proxy execute
 // in order.
 func (p *Proxy) Post(method string, args ...any) {
+	p.PostCtx(context.Background(), method, args...) //nolint:errcheck // errors flow to AsyncErr
+}
+
+// PostCtx is Post bounded by ctx. It returns an error only for immediate
+// local failures (context already done, object destroyed); execution errors
+// still flow to AsyncErr, preserving fire-and-forget semantics. For local
+// active objects a queued call whose ctx ends before execution is skipped.
+func (p *Proxy) PostCtx(ctx context.Context, method string, args ...any) error {
 	p.rt.stats.asyncCalls.Add(1)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		p.noteAsyncError(err)
+		return err
+	}
 	switch p.mode {
 	case modeAgglomerated:
 		// Agglomeration turned this object passive: the "async" call
 		// executes synchronously and serially, which is precisely the
 		// parallelism-removal optimisation.
 		w := &ioWrapper{rt: p.rt, class: p.class, obj: p.local}
-		if _, err := w.Invoke1(method, args); err != nil {
+		if _, err := w.Invoke1(ctx, method, args); err != nil {
 			p.noteAsyncError(err)
 		}
+		return nil
 	case modeLocalActive:
-		p.act.post(method, args, p.noteAsyncError)
+		return p.act.post(ctx, method, args, p.noteAsyncError)
 	default:
 		if p.rt.cfg.Aggregation.enabled() {
 			p.aggregate(method, args)
-			return
+			return nil
 		}
 		p.seq.Post("Invoke1", method, args)
+		return nil
 	}
 }
 
@@ -209,14 +261,21 @@ func (p *Proxy) flushLocked() {
 // executed (aggregation buffers are flushed first). It is the
 // synchronisation point farming masters use before reading results.
 func (p *Proxy) Wait() {
+	p.WaitCtx(context.Background()) //nolint:errcheck // background ctx never errs
+}
+
+// WaitCtx is Wait bounded by ctx; abandoning the wait leaves the posted
+// calls draining in the background.
+func (p *Proxy) WaitCtx(ctx context.Context) error {
 	switch p.mode {
 	case modeAgglomerated:
 		// Posts already executed inline.
+		return nil
 	case modeLocalActive:
-		p.act.wait()
+		return p.act.waitCtx(ctx)
 	default:
 		p.FlushAggregation()
-		p.seq.Flush()
+		return p.seq.FlushCtx(ctx)
 	}
 }
 
@@ -224,14 +283,21 @@ func (p *Proxy) Wait() {
 // immediately; remote objects are destroyed through their hosting OM, as
 // the ParC++ RTS did on PO requests.
 func (p *Proxy) Destroy() error {
-	p.Wait()
+	return p.DestroyCtx(context.Background())
+}
+
+// DestroyCtx is Destroy bounded by ctx.
+func (p *Proxy) DestroyCtx(ctx context.Context) error {
+	if err := p.WaitCtx(ctx); err != nil {
+		return fmt.Errorf("core: destroy %s: %w", p.uri, err)
+	}
 	switch p.mode {
 	case modeAgglomerated, modeLocalActive:
 		p.rt.destroyLocal(p.uri)
 		return nil
 	default:
 		om := remoting.NewObjRef(p.rt.cfg.Channel, p.netaddr, omURI)
-		if _, err := om.Invoke("DestroyObject", p.uri); err != nil {
+		if _, err := om.InvokeCtx(ctx, "DestroyObject", p.uri); err != nil {
 			return fmt.Errorf("core: destroy %s: %w", p.uri, err)
 		}
 		return nil

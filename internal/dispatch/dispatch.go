@@ -5,25 +5,43 @@
 package dispatch
 
 import (
+	"context"
 	"fmt"
 	"reflect"
+	"sort"
+	"strings"
 
+	"repro/internal/errs"
 	"repro/internal/wire"
 )
 
-var errorType = reflect.TypeOf((*error)(nil)).Elem()
+var (
+	errorType = reflect.TypeOf((*error)(nil)).Elem()
+	ctxType   = reflect.TypeOf((*context.Context)(nil)).Elem()
+)
 
 // Invoke calls an exported method on obj by name with decoded wire
-// arguments, converting them to the declared parameter types.
-//
-// Supported method shapes: any number of non-variadic parameters and 0, 1
-// or 2 results. A trailing error result is mapped onto the returned error;
-// a single non-error result is returned as the value.
+// arguments, converting them to the declared parameter types. It is
+// InvokeCtx with a background context.
 func Invoke(obj any, method string, args []any) (any, error) {
+	return InvokeCtx(context.Background(), obj, method, args)
+}
+
+// InvokeCtx calls an exported method on obj by name with decoded wire
+// arguments, converting them to the declared parameter types. When the
+// method's first parameter is a context.Context, ctx is injected there and
+// the wire arguments fill the remaining parameters — this is how a caller's
+// deadline reaches context-aware implementation methods.
+//
+// Supported method shapes: any number of non-variadic parameters (optionally
+// led by a context.Context) and 0, 1 or 2 results. A trailing error result
+// is mapped onto the returned error; a single non-error result is returned
+// as the value.
+func InvokeCtx(ctx context.Context, obj any, method string, args []any) (any, error) {
 	rv := reflect.ValueOf(obj)
 	m := rv.MethodByName(method)
 	if !m.IsValid() {
-		return nil, fmt.Errorf("type %T has no method %q", obj, method)
+		return nil, &NoMethodError{Obj: obj, Method: method}
 	}
 	mt := m.Type()
 	if mt.IsVariadic() {
@@ -33,11 +51,19 @@ func Invoke(obj any, method string, args []any) (any, error) {
 	for i := range params {
 		params[i] = mt.In(i)
 	}
+	var ctxVal []reflect.Value
+	if len(params) > 0 && params[0] == ctxType {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		ctxVal = []reflect.Value{reflect.ValueOf(ctx)}
+		params = params[1:]
+	}
 	in, err := wire.AssignArgs(params, args)
 	if err != nil {
 		return nil, fmt.Errorf("method %T.%s: %w", obj, method, err)
 	}
-	outs := m.Call(in)
+	outs := m.Call(append(ctxVal, in...))
 	switch len(outs) {
 	case 0:
 		return nil, nil
@@ -57,6 +83,41 @@ func Invoke(obj any, method string, args []any) (any, error) {
 	default:
 		return nil, fmt.Errorf("method %T.%s: too many results (%d)", obj, method, len(outs))
 	}
+}
+
+// NoMethodError reports a failed method lookup. It names the candidate
+// exported methods of the target so callers migrating from stringly-typed
+// calls can spot typos, and unwraps to errs.ErrNoSuchMethod.
+type NoMethodError struct {
+	Obj    any
+	Method string
+}
+
+// Error implements error.
+func (e *NoMethodError) Error() string {
+	names := MethodNames(e.Obj)
+	if len(names) == 0 {
+		return fmt.Sprintf("type %T has no method %q (no exported methods)", e.Obj, e.Method)
+	}
+	return fmt.Sprintf("type %T has no method %q (exported methods: %s)",
+		e.Obj, e.Method, strings.Join(names, ", "))
+}
+
+// Unwrap makes errors.Is(err, errs.ErrNoSuchMethod) true.
+func (e *NoMethodError) Unwrap() error { return errs.ErrNoSuchMethod }
+
+// MethodNames returns the sorted exported method names of obj.
+func MethodNames(obj any) []string {
+	t := reflect.TypeOf(obj)
+	if t == nil {
+		return nil
+	}
+	names := make([]string, 0, t.NumMethod())
+	for i := 0; i < t.NumMethod(); i++ {
+		names = append(names, t.Method(i).Name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // HasMethod reports whether obj exposes an exported method with the given

@@ -1,0 +1,87 @@
+// Package errs defines the runtime's typed error taxonomy: sentinel errors
+// that every layer (dispatch, remoting, core, the parc facade) wraps with
+// %w so callers can branch with errors.Is, plus the compact wire codes that
+// carry a sentinel's identity across a remoting hop. The parc package
+// re-exports the sentinels as part of the public API.
+package errs
+
+import (
+	"context"
+	"errors"
+)
+
+// Sentinel errors. Cancellation and deadline expiry deliberately reuse the
+// context package's sentinels so errors.Is(err, context.Canceled) and
+// errors.Is(err, errs.ErrCanceled) are the same test.
+var (
+	// ErrNoSuchMethod: a method name did not resolve on the target class.
+	ErrNoSuchMethod = errors.New("no such method")
+	// ErrNoSuchClass: a class name was never registered on the node.
+	ErrNoSuchClass = errors.New("class not registered")
+	// ErrNodeDown: the hosting node could not be reached (dial or I/O
+	// failure on the remoting channel).
+	ErrNodeDown = errors.New("node unreachable")
+	// ErrObjectDestroyed: the parallel object was destroyed before or
+	// while the call was queued.
+	ErrObjectDestroyed = errors.New("parallel object destroyed")
+	// ErrBadConversion: a dynamically typed result could not be converted
+	// to the requested static type.
+	ErrBadConversion = errors.New("result conversion failed")
+	// ErrCanceled and ErrDeadlineExceeded alias the context sentinels.
+	ErrCanceled         = context.Canceled
+	ErrDeadlineExceeded = context.DeadlineExceeded
+)
+
+// Wire codes: the callResponse carries one of these so the client side can
+// rebuild the sentinel chain after the error text crossed the network.
+const (
+	CodeNone         = ""
+	CodeNoSuchMethod = "no-such-method"
+	CodeNoSuchClass  = "no-such-class"
+	CodeDestroyed    = "destroyed"
+	CodeNodeDown     = "node-down"
+	CodeCanceled     = "canceled"
+	CodeDeadline     = "deadline"
+)
+
+// Code maps an error to its wire code, or CodeNone when no sentinel in the
+// chain has one.
+func Code(err error) string {
+	switch {
+	case err == nil:
+		return CodeNone
+	case errors.Is(err, ErrNoSuchMethod):
+		return CodeNoSuchMethod
+	case errors.Is(err, ErrNoSuchClass):
+		return CodeNoSuchClass
+	case errors.Is(err, ErrObjectDestroyed):
+		return CodeDestroyed
+	case errors.Is(err, ErrNodeDown):
+		return CodeNodeDown
+	case errors.Is(err, context.DeadlineExceeded):
+		return CodeDeadline
+	case errors.Is(err, context.Canceled):
+		return CodeCanceled
+	}
+	return CodeNone
+}
+
+// Sentinel is the inverse of Code; it returns nil for CodeNone or an
+// unknown code.
+func Sentinel(code string) error {
+	switch code {
+	case CodeNoSuchMethod:
+		return ErrNoSuchMethod
+	case CodeNoSuchClass:
+		return ErrNoSuchClass
+	case CodeDestroyed:
+		return ErrObjectDestroyed
+	case CodeNodeDown:
+		return ErrNodeDown
+	case CodeDeadline:
+		return context.DeadlineExceeded
+	case CodeCanceled:
+		return context.Canceled
+	}
+	return nil
+}

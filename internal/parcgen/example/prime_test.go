@@ -1,15 +1,18 @@
 package example
 
 import (
+	"context"
 	"testing"
 
 	"repro/parc"
 )
 
 // TestGeneratedProxyEndToEnd drives the parcgen-generated PO against a real
-// 2-node cluster: the paper's PrimeServer example, typed wrappers and all.
+// 2-node cluster: the paper's PrimeServer example, typed context-aware
+// wrappers and all — no string-keyed method call in sight.
 func TestGeneratedProxyEndToEnd(t *testing.T) {
-	cl, err := parc.NewCluster(parc.ClusterConfig{Nodes: 2})
+	ctx := context.Background()
+	cl, err := parc.StartCluster(parc.WithNodes(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,37 +25,44 @@ func TestGeneratedProxyEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Asynchronous posts (void method), like the paper's delegate calls.
-	po.Process([]int{2, 3, 4, 5, 6})
-	po.Process([]int{7, 8, 9, 10, 11})
+	if err := po.Process(ctx, []int{2, 3, 4, 5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := po.Process(ctx, []int{7, 8, 9, 10, 11}); err != nil {
+		t.Fatal(err)
+	}
 	// Synchronous typed call sees all prior posts.
-	count, err := po.Count()
+	count, err := po.Count(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if count != 5 { // 2 3 5 7 11
 		t.Errorf("Count = %d, want 5", count)
 	}
-	primes, err := po.Primes()
+	primes, err := po.Primes(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(primes) != 5 || primes[0] != 2 || primes[4] != 11 {
 		t.Errorf("Primes = %v", primes)
 	}
-	// Future variant.
-	f := po.BeginCount()
-	v, err := f.Get()
+	// Typed future variant.
+	got, err := po.BeginCount(ctx).Get(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got, err := parc.As[int](v, nil); err != nil || got != 5 {
-		t.Errorf("BeginCount = %v, %v", got, err)
+	if got != 5 {
+		t.Errorf("BeginCount = %d, want 5", got)
 	}
 	// Reference passing: attach on the other node and post from there.
 	po2 := AttachPrimeServer(cl.Node(1), po.Ref())
-	po2.Process([]int{13})
-	po2.Wait()
-	count, err = po.Count()
+	if err := po2.Process(ctx, []int{13}); err != nil {
+		t.Fatal(err)
+	}
+	if err := po2.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	count, err = po.Count(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,10 +17,15 @@
 //     generated RemoteFactory + boot registration);
 //   - NewT(rt) (*TPO, error) — PO creation through the object manager
 //     (Fig. 5's generated constructor);
-//   - TPO with one typed wrapper per exported method: void methods become
-//     asynchronous posts (Fig. 4's delegate BeginInvoke), value-returning
-//     methods become synchronous invokes plus BeginM asynchronous variants
-//     returning futures.
+//   - TPO, a typed proxy wrapping parc.Object[T], with one context-aware
+//     wrapper per exported method: void methods become asynchronous sends
+//     (Fig. 4's delegate BeginInvoke), value-returning methods become
+//     synchronous typed calls plus BeginM asynchronous variants returning
+//     parc.Result futures.
+//
+// A method whose first parameter is a context.Context receives the
+// caller's context there (injected on the hosting node, carrying the
+// caller's deadline); it is not part of the wire arguments.
 package parcgen
 
 import (
@@ -48,9 +53,10 @@ type Class struct {
 // Method is one exported method eligible for remote invocation.
 type Method struct {
 	Name    string
-	Params  []Param
+	Params  []Param  // wire parameters (a leading context.Context excluded)
 	Results []string // rendered result types, excluding a trailing error
 	HasErr  bool     // trailing error result present
+	HasCtx  bool     // leading context.Context parameter present
 }
 
 // Param is a typed parameter.
@@ -109,6 +115,14 @@ func Analyze(filename string, src []byte) (*File, error) {
 
 	methods := map[string][]Method{}
 	usedPkgs := map[string]bool{}
+	// ctxName is the local name the source file gives the context package
+	// (usually "context", but an alias is honoured).
+	ctxName := "context"
+	for _, imp := range f.Imports {
+		if path, _ := strconv.Unquote(imp.Path.Value); path == "context" && imp.Name != nil {
+			ctxName = imp.Name.Name
+		}
+	}
 	for _, decl := range f.Decls {
 		fd, ok := decl.(*ast.FuncDecl)
 		if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 {
@@ -121,7 +135,7 @@ func Analyze(filename string, src []byte) (*File, error) {
 		if !fd.Name.IsExported() {
 			continue
 		}
-		m, ok, err := analyzeMethod(fset, fd, usedPkgs)
+		m, ok, err := analyzeMethod(fset, fd, usedPkgs, ctxName)
 		if err != nil {
 			return nil, fmt.Errorf("parcgen: %s: method %s.%s: %w", filename, recv, fd.Name.Name, err)
 		}
@@ -191,20 +205,25 @@ func importName(imp *ast.ImportSpec) string {
 var errType = "error"
 
 // analyzeMethod extracts a wire-callable method; ok=false skips methods the
-// runtime cannot dispatch (variadic, >1 non-error result).
-func analyzeMethod(fset *token.FileSet, fd *ast.FuncDecl, usedPkgs map[string]bool) (Method, bool, error) {
+// runtime cannot dispatch (variadic, >1 non-error result). ctxName is the
+// source file's local name for the context package.
+func analyzeMethod(fset *token.FileSet, fd *ast.FuncDecl, usedPkgs map[string]bool, ctxName string) (Method, bool, error) {
 	m := Method{Name: fd.Name.Name}
 	ft := fd.Type
 	if ft.Params != nil {
+		type paramExpr struct {
+			Param
+			expr ast.Expr
+		}
+		var params []paramExpr
 		idx := 0
 		for _, field := range ft.Params.List {
 			if _, variadic := field.Type.(*ast.Ellipsis); variadic {
 				return m, false, nil
 			}
 			typ := renderExpr(fset, field.Type)
-			collectPkgs(field.Type, usedPkgs)
 			if len(field.Names) == 0 {
-				m.Params = append(m.Params, Param{Name: fmt.Sprintf("a%d", idx), Type: typ})
+				params = append(params, paramExpr{Param{Name: fmt.Sprintf("a%d", idx), Type: typ}, field.Type})
 				idx++
 				continue
 			}
@@ -213,9 +232,20 @@ func analyzeMethod(fset *token.FileSet, fd *ast.FuncDecl, usedPkgs map[string]bo
 				if pname == "_" || pname == "" {
 					pname = fmt.Sprintf("a%d", idx)
 				}
-				m.Params = append(m.Params, Param{Name: pname, Type: typ})
+				params = append(params, paramExpr{Param{Name: pname, Type: typ}, field.Type})
 				idx++
 			}
+		}
+		if len(params) > 0 && params[0].Type == ctxName+".Context" {
+			// The runtime injects the request context on the hosting
+			// node; the parameter never travels as a wire argument (and
+			// must not mark the context import as used).
+			params = params[1:]
+			m.HasCtx = true
+		}
+		for _, p := range params {
+			collectPkgs(p.expr, usedPkgs)
+			m.Params = append(m.Params, p.Param)
 		}
 	}
 	if ft.Results != nil {
@@ -268,11 +298,15 @@ func Generate(f *File) ([]byte, error) {
 	}
 	var b bytes.Buffer
 	fmt.Fprintf(&b, "// Code generated by parcgen; DO NOT EDIT.\n")
-	fmt.Fprintf(&b, "// Proxy objects for the SCOOPP runtime (paper Figs. 4-6).\n\n")
+	fmt.Fprintf(&b, "// Typed proxy objects for the SCOOPP runtime (paper Figs. 4-6).\n\n")
 	fmt.Fprintf(&b, "package %s\n\n", f.Package)
 	fmt.Fprintf(&b, "import (\n")
+	fmt.Fprintf(&b, "\t\"context\"\n\n")
 	fmt.Fprintf(&b, "\t\"repro/parc\"\n")
 	for _, imp := range f.Imports {
+		if imp.Alias == "" && (imp.Path == "context" || imp.Path == "repro/parc") {
+			continue // already emitted above; aliased imports stay legal
+		}
 		if imp.Alias != "" {
 			fmt.Fprintf(&b, "\t%s %q\n", imp.Alias, imp.Path)
 		} else {
@@ -283,29 +317,33 @@ func Generate(f *File) ([]byte, error) {
 
 	for _, c := range f.Classes {
 		class := f.Package + "." + c.Name
-		fmt.Fprintf(&b, "// %sPO is the proxy object (PO) for parallel objects of class %q.\n", c.Name, class)
-		fmt.Fprintf(&b, "type %sPO struct {\n\tp *parc.Proxy\n}\n\n", c.Name)
+		fmt.Fprintf(&b, "// %sPO is the typed proxy object (PO) for parallel objects of class %q.\n", c.Name, class)
+		fmt.Fprintf(&b, "type %sPO struct {\n\to *parc.Object[%s]\n}\n\n", c.Name, c.Name)
 
 		fmt.Fprintf(&b, "// Register%s registers the %s factory on a node; call it on every\n// node before creating objects (the paper's per-node boot registration).\n", c.Name, c.Name)
 		fmt.Fprintf(&b, "func Register%s(rt *parc.Runtime) {\n", c.Name)
-		fmt.Fprintf(&b, "\trt.RegisterClass(%q, func() any { return new(%s) })\n}\n\n", class, c.Name)
+		fmt.Fprintf(&b, "\tparc.RegisterAt[%s](rt, %q)\n}\n\n", c.Name, class)
 
 		fmt.Fprintf(&b, "// New%s creates a parallel %s through the object manager.\n", c.Name, c.Name)
 		fmt.Fprintf(&b, "func New%s(rt *parc.Runtime) (*%sPO, error) {\n", c.Name, c.Name)
-		fmt.Fprintf(&b, "\tp, err := rt.NewParallelObject(%q)\n", class)
+		fmt.Fprintf(&b, "\to, err := parc.NewAt[%s](rt, %q)\n", c.Name, class)
 		fmt.Fprintf(&b, "\tif err != nil {\n\t\treturn nil, err\n\t}\n")
-		fmt.Fprintf(&b, "\treturn &%sPO{p: p}, nil\n}\n\n", c.Name)
+		fmt.Fprintf(&b, "\treturn &%sPO{o: o}, nil\n}\n\n", c.Name)
 
 		fmt.Fprintf(&b, "// Attach%s binds a received reference to a usable proxy.\n", c.Name)
 		fmt.Fprintf(&b, "func Attach%s(rt *parc.Runtime, ref parc.ProxyRef) *%sPO {\n", c.Name, c.Name)
-		fmt.Fprintf(&b, "\treturn &%sPO{p: rt.Attach(ref)}\n}\n\n", c.Name)
+		fmt.Fprintf(&b, "\treturn &%sPO{o: parc.Bind[%s](rt, ref)}\n}\n\n", c.Name, c.Name)
 
+		fmt.Fprintf(&b, "// Object exposes the typed handle.\n")
+		fmt.Fprintf(&b, "func (po *%sPO) Object() *parc.Object[%s] { return po.o }\n\n", c.Name, c.Name)
 		fmt.Fprintf(&b, "// Proxy exposes the underlying dynamic proxy.\n")
-		fmt.Fprintf(&b, "func (po *%sPO) Proxy() *parc.Proxy { return po.p }\n\n", c.Name)
+		fmt.Fprintf(&b, "func (po *%sPO) Proxy() *parc.Proxy { return po.o.Proxy() }\n\n", c.Name)
 		fmt.Fprintf(&b, "// Ref returns a wire-encodable reference to the object.\n")
-		fmt.Fprintf(&b, "func (po *%sPO) Ref() parc.ProxyRef { return po.p.Ref() }\n\n", c.Name)
-		fmt.Fprintf(&b, "// Wait blocks until all asynchronous calls have executed.\n")
-		fmt.Fprintf(&b, "func (po *%sPO) Wait() { po.p.Wait() }\n\n", c.Name)
+		fmt.Fprintf(&b, "func (po *%sPO) Ref() parc.ProxyRef { return po.o.Ref() }\n\n", c.Name)
+		fmt.Fprintf(&b, "// Wait blocks until all asynchronous calls have executed or ctx ends.\n")
+		fmt.Fprintf(&b, "func (po *%sPO) Wait(ctx context.Context) error { return po.o.Wait(ctx) }\n\n", c.Name)
+		fmt.Fprintf(&b, "// Destroy releases the parallel object.\n")
+		fmt.Fprintf(&b, "func (po *%sPO) Destroy(ctx context.Context) error { return po.o.Destroy(ctx) }\n\n", c.Name)
 
 		for _, m := range c.Methods {
 			genMethod(&b, c.Name, m)
@@ -319,33 +357,39 @@ func Generate(f *File) ([]byte, error) {
 }
 
 func genMethod(b *bytes.Buffer, typ string, m Method) {
-	params := make([]string, len(m.Params))
+	params := make([]string, 0, len(m.Params)+1)
+	params = append(params, "ctx context.Context")
 	args := make([]string, 0, len(m.Params)+1)
 	args = append(args, strconv.Quote(m.Name))
-	for i, p := range m.Params {
-		params[i] = p.Name + " " + p.Type
+	for _, p := range m.Params {
+		params = append(params, p.Name+" "+p.Type)
 		args = append(args, p.Name)
 	}
 	paramList := strings.Join(params, ", ")
 	argList := strings.Join(args, ", ")
 
+	ctxNote := ""
+	if m.HasCtx {
+		ctxNote = "// The implementation's context.Context parameter receives this call's\n// request context on the hosting node (it is not a wire argument).\n"
+	}
+
 	if len(m.Results) == 0 {
 		// Void (possibly error-only) methods are asynchronous — the
 		// paper's delegate BeginInvoke path (Fig. 4).
-		fmt.Fprintf(b, "// %s invokes the method asynchronously (no result), as the\n// preprocessor's delegate-based PO did.\n", m.Name)
-		fmt.Fprintf(b, "func (po *%sPO) %s(%s) {\n\tpo.p.Post(%s)\n}\n\n", typ, m.Name, paramList, argList)
+		fmt.Fprintf(b, "// %s invokes the method asynchronously (no result), as the\n// preprocessor's delegate-based PO did; execution errors flow to Object().Err().\n%s", m.Name, ctxNote)
+		fmt.Fprintf(b, "func (po *%sPO) %s(%s) error {\n\treturn po.o.Send(ctx, %s)\n}\n\n", typ, m.Name, paramList, argList)
 		fmt.Fprintf(b, "// %sSync invokes the method synchronously and reports the error.\n", m.Name)
-		fmt.Fprintf(b, "func (po *%sPO) %sSync(%s) error {\n\t_, err := po.p.Invoke(%s)\n\treturn err\n}\n\n",
+		fmt.Fprintf(b, "func (po *%sPO) %sSync(%s) error {\n\t_, err := po.o.Invoke(ctx, %s)\n\treturn err\n}\n\n",
 			typ, m.Name, paramList, argList)
 		return
 	}
 	res := m.Results[0]
-	fmt.Fprintf(b, "// %s invokes the method synchronously and returns its result.\n", m.Name)
+	fmt.Fprintf(b, "// %s invokes the method synchronously and returns its typed result.\n%s", m.Name, ctxNote)
 	fmt.Fprintf(b, "func (po *%sPO) %s(%s) (%s, error) {\n", typ, m.Name, paramList, res)
-	fmt.Fprintf(b, "\treturn parc.As[%s](po.p.Invoke(%s))\n}\n\n", res, argList)
-	fmt.Fprintf(b, "// Begin%s starts the call asynchronously and returns a future.\n", m.Name)
-	fmt.Fprintf(b, "func (po *%sPO) Begin%s(%s) *parc.Future {\n\treturn po.p.InvokeAsync(%s)\n}\n\n",
-		typ, m.Name, paramList, argList)
+	fmt.Fprintf(b, "\treturn parc.Call[%s](ctx, po.o, %s)\n}\n\n", res, argList)
+	fmt.Fprintf(b, "// Begin%s starts the call asynchronously and returns a typed future.\n", m.Name)
+	fmt.Fprintf(b, "func (po *%sPO) Begin%s(%s) *parc.Result[%s] {\n\treturn parc.CallAsync[%s](ctx, po.o, %s)\n}\n\n",
+		typ, m.Name, paramList, res, res, argList)
 }
 
 // GenerateFile is the single-call convenience used by cmd/parcgen.

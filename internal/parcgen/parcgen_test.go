@@ -64,19 +64,22 @@ func TestGenerateBasics(t *testing.T) {
 	for _, want := range []string{
 		"package demo",
 		"type WorkerPO struct",
-		`rt.RegisterClass("demo.Worker", func() any { return new(Worker) })`,
-		`rt.NewParallelObject("demo.Worker")`,
-		"func (po *WorkerPO) Bump(v int) {",
-		`po.p.Post("Bump", v)`,
-		"func (po *WorkerPO) BumpSync(v int) error {",
-		"func (po *WorkerPO) Total() (int, error) {",
-		`parc.As[int](po.p.Invoke("Total"))`,
-		"func (po *WorkerPO) BeginTotal() *parc.Future {",
-		"func (po *WorkerPO) Fallible(x float64) (float64, error) {",
-		"func (po *WorkerPO) ErrOnly() {",
-		"func (po *WorkerPO) SortAll(s sort.IntSlice) (sort.IntSlice, error) {",
+		"o *parc.Object[Worker]",
+		`parc.RegisterAt[Worker](rt, "demo.Worker")`,
+		`parc.NewAt[Worker](rt, "demo.Worker")`,
+		"func (po *WorkerPO) Bump(ctx context.Context, v int) error {",
+		`po.o.Send(ctx, "Bump", v)`,
+		"func (po *WorkerPO) BumpSync(ctx context.Context, v int) error {",
+		"func (po *WorkerPO) Total(ctx context.Context) (int, error) {",
+		`parc.Call[int](ctx, po.o, "Total")`,
+		"func (po *WorkerPO) BeginTotal(ctx context.Context) *parc.Result[int] {",
+		`parc.CallAsync[int](ctx, po.o, "Total")`,
+		"func (po *WorkerPO) Fallible(ctx context.Context, x float64) (float64, error) {",
+		"func (po *WorkerPO) ErrOnly(ctx context.Context) error {",
+		"func (po *WorkerPO) SortAll(ctx context.Context, s sort.IntSlice) (sort.IntSlice, error) {",
 		`"sort"`,
 		"func AttachWorker(",
+		"func (po *WorkerPO) Wait(ctx context.Context) error",
 	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("generated code missing %q", want)
@@ -88,6 +91,59 @@ func TestGenerateBasics(t *testing.T) {
 		if strings.Contains(got, reject) {
 			t.Errorf("generated code wrongly contains %q", reject)
 		}
+	}
+}
+
+// TestContextParamInjected: a leading context.Context parameter is served
+// by the runtime (request context injection) and must not travel as a wire
+// argument nor appear twice in the wrapper signature.
+func TestContextParamInjected(t *testing.T) {
+	src := `package p
+
+import "context"
+
+//parc:parallel
+type S struct{}
+
+func (s *S) Work(ctx context.Context, n int) int { return n }
+
+func (s *S) Fire(ctx context.Context) {}
+`
+	got := generate(t, src)
+	for _, want := range []string{
+		"func (po *SPO) Work(ctx context.Context, n int) (int, error) {",
+		`parc.Call[int](ctx, po.o, "Work", n)`,
+		"func (po *SPO) Fire(ctx context.Context) error {",
+		`po.o.Send(ctx, "Fire")`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("generated code missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, `"Work", ctx`) || strings.Contains(got, "ctx context.Context, ctx") {
+		t.Errorf("context parameter leaked into wire arguments:\n%s", got)
+	}
+}
+
+// TestContextImportAlias: a source file importing context under an alias
+// still gets the leading context parameter stripped (matched by resolved
+// name), and the generated file compiles with the standard import only.
+func TestContextImportAlias(t *testing.T) {
+	src := `package p
+
+import stdctx "context"
+
+//parc:parallel
+type S struct{}
+
+func (s *S) Work(c stdctx.Context, n int) int { return n }
+`
+	got := generate(t, src)
+	if !strings.Contains(got, "func (po *SPO) Work(ctx context.Context, n int) (int, error) {") {
+		t.Errorf("aliased context param not stripped:\n%s", got)
+	}
+	if strings.Contains(got, "stdctx") {
+		t.Errorf("generated code references the source alias:\n%s", got)
 	}
 }
 
@@ -125,10 +181,10 @@ func (s *S) M(_ int, _ string) {}
 func (s *S) N(int, string) {}
 `
 	got := generate(t, src)
-	if !strings.Contains(got, "func (po *SPO) M(a0 int, a1 string)") {
+	if !strings.Contains(got, "func (po *SPO) M(ctx context.Context, a0 int, a1 string)") {
 		t.Errorf("blank params not synthesised:\n%s", got)
 	}
-	if !strings.Contains(got, "func (po *SPO) N(a0 int, a1 string)") {
+	if !strings.Contains(got, "func (po *SPO) N(ctx context.Context, a0 int, a1 string)") {
 		t.Errorf("unnamed params not synthesised:\n%s", got)
 	}
 }

@@ -2,11 +2,13 @@ package remoting
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"strconv"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/errs"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -223,8 +225,17 @@ func (ch *Channel) recvMsg(c transport.Conn) ([]byte, error) {
 	return msg, nil
 }
 
-// roundTrip performs one request/response exchange against netaddr.
-func (ch *Channel) roundTrip(netaddr string, req *callRequest) (*callResponse, error) {
+// roundTrip performs one request/response exchange against netaddr. When
+// ctx carries a deadline or cancellation, the in-flight exchange is aborted
+// on ctx expiry by closing its connection (which unblocks the pending
+// Send/Recv); the call then reports ctx.Err().
+func (ch *Channel) roundTrip(ctx context.Context, netaddr string, req *callRequest) (*callResponse, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("remoting: call %s.%s: %w", req.URI, req.Method, err)
+	}
 	raw, err := ch.encodeRequest(req)
 	if err != nil {
 		return nil, err
@@ -233,20 +244,53 @@ func (ch *Channel) roundTrip(netaddr string, req *callRequest) (*callResponse, e
 	if err != nil {
 		return nil, err
 	}
-	reuse := false
-	defer func() {
-		if reuse && ch.pooled {
-			ch.pool.put(netaddr, c)
-		} else {
-			c.Close()
-		}
+	if ctx.Done() == nil {
+		resp, err := ch.exchange(netaddr, c, raw, req)
+		ch.finish(netaddr, c, err == nil)
+		return resp, err
+	}
+	type outcome struct {
+		resp *callResponse
+		err  error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		resp, err := ch.exchange(netaddr, c, raw, req)
+		done <- outcome{resp, err}
 	}()
+	select {
+	case out := <-done:
+		ch.finish(netaddr, c, out.err == nil)
+		return out.resp, out.err
+	case <-ctx.Done():
+		// Abort the exchange: closing the connection unblocks the
+		// goroutine. Pooling is decided only here, after the goroutine
+		// finished, so an aborted connection can never end up pooled.
+		c.Close()
+		<-done
+		return nil, fmt.Errorf("remoting: call %s.%s: %w", req.URI, req.Method, ctx.Err())
+	}
+}
+
+// finish returns a connection to the pool after a fully successful trip, or
+// closes it.
+func (ch *Channel) finish(netaddr string, c transport.Conn, ok bool) {
+	if ok && ch.pooled {
+		ch.pool.put(netaddr, c)
+	} else {
+		c.Close()
+	}
+}
+
+// exchange runs the blocking send/receive/decode on an already-dialled
+// connection. The caller owns the connection's afterlife (pool or close).
+func (ch *Channel) exchange(netaddr string, c transport.Conn, raw []byte, req *callRequest) (*callResponse, error) {
 	if err := ch.sendMsg(c, raw); err != nil {
-		return nil, fmt.Errorf("remoting: send to %s: %w", netaddr, err)
+		return nil, fmt.Errorf("remoting: send to %s: %v: %w", netaddr, err, errs.ErrNodeDown)
 	}
 	rawResp, err := ch.recvMsg(c)
 	if err != nil {
-		return nil, fmt.Errorf("remoting: receive from %s: %w", netaddr, err)
+		return nil, fmt.Errorf("remoting: receive from %s: %v: %w", netaddr, err, errs.ErrNodeDown)
 	}
 	resp, err := ch.decodeResponse(rawResp)
 	if err != nil {
@@ -255,7 +299,6 @@ func (ch *Channel) roundTrip(netaddr string, req *callRequest) (*callResponse, e
 	if resp.Seq != req.Seq {
 		return nil, fmt.Errorf("remoting: response seq %d does not match request %d", resp.Seq, req.Seq)
 	}
-	reuse = true
 	return resp, nil
 }
 
@@ -269,7 +312,7 @@ func (ch *Channel) getConn(netaddr string) (transport.Conn, error) {
 	ch.Cost.ChargeConnect()
 	c, err := ch.net.Dial(netaddr)
 	if err != nil {
-		return nil, fmt.Errorf("remoting: dial %s: %w", netaddr, err)
+		return nil, fmt.Errorf("remoting: dial %s: %v: %w", netaddr, err, errs.ErrNodeDown)
 	}
 	return c, nil
 }

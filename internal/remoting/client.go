@@ -1,8 +1,11 @@
 package remoting
 
 import (
+	"context"
 	"fmt"
 	"sync"
+
+	"repro/internal/ctxwait"
 )
 
 // ObjRef is the client-side transparent proxy for a remote object — the
@@ -48,18 +51,29 @@ func (r *ObjRef) Channel() *Channel { return r.ch }
 // Invoke performs a synchronous remote method invocation. Server-side
 // failures come back as *RemoteError.
 func (r *ObjRef) Invoke(method string, args ...any) (any, error) {
+	return r.InvokeCtx(context.Background(), method, args...)
+}
+
+// InvokeCtx performs a synchronous remote method invocation bounded by ctx:
+// cancellation aborts the in-flight exchange (closing its connection) and
+// the deadline travels in the request envelope so the server refuses work
+// past it. Server-side failures come back as *RemoteError.
+func (r *ObjRef) InvokeCtx(ctx context.Context, method string, args ...any) (any, error) {
 	req := &callRequest{
 		URI:    r.uri,
 		Method: method,
 		Seq:    r.ch.nextSeq(),
 		Args:   args,
 	}
-	resp, err := r.ch.roundTrip(r.netaddr, req)
+	if dl, ok := ctx.Deadline(); ok {
+		req.Deadline = dl.UnixNano()
+	}
+	resp, err := r.ch.roundTrip(ctx, r.netaddr, req)
 	if err != nil {
 		return nil, err
 	}
 	if resp.IsErr {
-		return nil, &RemoteError{URI: r.uri, Method: method, Msg: resp.ErrMsg}
+		return nil, &RemoteError{URI: r.uri, Method: method, Msg: resp.ErrMsg, Code: resp.ErrCode}
 	}
 	return resp.Result, nil
 }
@@ -212,6 +226,13 @@ func (cs *CallSequencer) Flush() {
 		cs.idle.Wait()
 	}
 	cs.mu.Unlock()
+}
+
+// FlushCtx blocks until every posted call has completed or ctx is done, in
+// which case it stops waiting (the queued calls keep draining in the
+// background) and returns ctx.Err().
+func (cs *CallSequencer) FlushCtx(ctx context.Context) error {
+	return ctxwait.Drain(ctx, cs.Flush)
 }
 
 // String implements fmt.Stringer.

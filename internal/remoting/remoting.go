@@ -29,6 +29,7 @@ import (
 	"strings"
 
 	"repro/internal/cost"
+	"repro/internal/errs"
 	"repro/internal/wire"
 )
 
@@ -37,7 +38,11 @@ type callRequest struct {
 	URI    string
 	Method string
 	Seq    uint64
-	Args   []any
+	// Deadline, when non-zero, is the caller's context deadline as unix
+	// nanoseconds; the server refuses to start (and bounds the execution
+	// of context-aware methods) past it.
+	Deadline int64
+	Args     []any
 }
 
 // callResponse is the reply envelope.
@@ -45,7 +50,10 @@ type callResponse struct {
 	Seq    uint64
 	Result any
 	ErrMsg string
-	IsErr  bool
+	// ErrCode carries the wire code of a sentinel error (see
+	// internal/errs) so the client can rebuild an errors.Is-able chain.
+	ErrCode string
+	IsErr   bool
 }
 
 func init() {
@@ -60,12 +68,20 @@ type RemoteError struct {
 	URI    string
 	Method string
 	Msg    string
+	// Code is the wire code of the server-side sentinel error, when the
+	// failure matched one (see internal/errs).
+	Code string
 }
 
 // Error implements error.
 func (e *RemoteError) Error() string {
 	return fmt.Sprintf("remoting: %s.%s: %s", e.URI, e.Method, e.Msg)
 }
+
+// Unwrap exposes the sentinel identified by Code, so errors.Is matches
+// typed errors (errs.ErrNoSuchMethod, context.DeadlineExceeded, ...) even
+// after the error crossed the wire as text.
+func (e *RemoteError) Unwrap() error { return errs.Sentinel(e.Code) }
 
 // ParseURL splits a remoting URL such as "tcp://127.0.0.1:4000/DivideServer"
 // or "mem://node0/factory" into the transport address to dial and the object

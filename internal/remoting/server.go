@@ -1,11 +1,13 @@
 package remoting
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/dispatch"
+	"repro/internal/errs"
 	"repro/internal/threadpool"
 	"repro/internal/transport"
 )
@@ -48,7 +50,7 @@ type registration struct {
 func (r *registration) resolve() (any, error) {
 	if r.instance != nil {
 		if r.lease != nil && !r.lease.renew() {
-			return nil, fmt.Errorf("object lease expired")
+			return nil, fmt.Errorf("object lease expired: %w", errs.ErrObjectDestroyed)
 		}
 		return r.instance, nil
 	}
@@ -266,22 +268,43 @@ func errorResponse(req *callRequest, msg string) *callResponse {
 	return &callResponse{Seq: req.Seq, IsErr: true, ErrMsg: msg}
 }
 
+// errorResponseFor maps err onto the reply envelope, preserving its wire
+// code so the client can rebuild the sentinel chain.
+func errorResponseFor(req *callRequest, err error) *callResponse {
+	return &callResponse{Seq: req.Seq, IsErr: true, ErrMsg: err.Error(), ErrCode: errs.Code(err)}
+}
+
 // dispatch resolves the target object and invokes the requested method by
-// reflection.
+// reflection. A request deadline becomes a context deadline: expired
+// requests are refused before touching the object, and context-aware
+// methods (first parameter context.Context) receive the bounded context.
 func (s *Server) dispatch(req *callRequest) *callResponse {
+	ctx := context.Background()
+	if req.Deadline > 0 {
+		dl := time.Unix(0, req.Deadline)
+		if !time.Now().Before(dl) {
+			return errorResponseFor(req, fmt.Errorf(
+				"deadline expired before dispatch of %s.%s: %w", req.URI, req.Method, context.DeadlineExceeded))
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, dl)
+		defer cancel()
+	}
 	s.mu.Lock()
 	reg, ok := s.objects[req.URI]
 	s.mu.Unlock()
 	if !ok {
-		return errorResponse(req, fmt.Sprintf("no object published at %q", req.URI))
+		// URIs are runtime-generated, so an unknown URI means the object
+		// was destroyed (or its lease expired and unpublished it).
+		return errorResponseFor(req, fmt.Errorf("no object published at %q: %w", req.URI, errs.ErrObjectDestroyed))
 	}
 	obj, err := reg.resolve()
 	if err != nil {
-		return errorResponse(req, err.Error())
+		return errorResponseFor(req, err)
 	}
-	result, err := InvokeLocal(obj, req.Method, req.Args)
+	result, err := dispatch.InvokeCtx(ctx, obj, req.Method, req.Args)
 	if err != nil {
-		return errorResponse(req, err.Error())
+		return errorResponseFor(req, err)
 	}
 	resp := &callResponse{Seq: req.Seq, Result: result}
 	return resp

@@ -1,0 +1,165 @@
+package parc
+
+import (
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/remoting"
+	"repro/internal/threadpool"
+	"repro/internal/transport"
+)
+
+// ChannelKind selects the remoting channel implementation (the paper's
+// Fig. 8b comparison).
+type ChannelKind = remoting.Kind
+
+// Channel kinds.
+const (
+	// TCPChannel is the modern binary TCP channel (default).
+	TCPChannel = remoting.TCP
+	// LegacyTCPChannel is the Mono 1.0.5-style unpooled chunked channel.
+	LegacyTCPChannel = remoting.LegacyTCP
+	// HTTPChannel is the SOAP/HTTP channel.
+	HTTPChannel = remoting.HTTP
+)
+
+// CostModel injects 2005-era endpoint software costs (see package profile).
+type CostModel = remoting.CostModel
+
+// Option configures StartCluster or ServeNode. Options compose left to
+// right; later options override earlier ones.
+type Option func(*options)
+
+type options struct {
+	// cluster scope
+	nodes   int
+	network NetworkParams
+	cost    CostModel
+	// shared scope
+	channel       ChannelKind
+	poolSize      int
+	placement     PlacementPolicy
+	agglomeration AgglomerationPolicy
+	aggregation   AggregationConfig
+	loadCacheTTL  time.Duration
+	// node scope
+	nodeID int
+	listen string
+}
+
+// WithNodes sets the cluster size (default 1).
+func WithNodes(n int) Option { return func(o *options) { o.nodes = n } }
+
+// WithNetwork shapes the simulated inter-node network; the zero value is an
+// ideal network. Use Ethernet100 for the paper's testbed.
+func WithNetwork(p NetworkParams) Option { return func(o *options) { o.network = p } }
+
+// WithChannel selects the remoting channel implementation (default
+// TCPChannel).
+func WithChannel(k ChannelKind) Option { return func(o *options) { o.channel = k } }
+
+// WithCost charges per-endpoint software costs on the channel.
+func WithCost(m CostModel) Option { return func(o *options) { o.cost = m } }
+
+// WithPoolSize caps each node's concurrent request execution, modelling a
+// bounded VM thread pool; 0 (the default) means unbounded.
+func WithPoolSize(n int) Option { return func(o *options) { o.poolSize = n } }
+
+// WithPlacement sets the policy distributing new parallel objects; the
+// default is round-robin.
+func WithPlacement(p PlacementPolicy) Option { return func(o *options) { o.placement = p } }
+
+// WithAgglomeration sets the policy removing excess parallelism at creation
+// time; the default never agglomerates.
+func WithAgglomeration(p AgglomerationPolicy) Option { return func(o *options) { o.agglomeration = p } }
+
+// WithAggregation enables method-call aggregation: asynchronous calls
+// buffer until the batch reaches maxCalls invocations (values <= 1
+// disable) or maxDelay elapses (0 means no timer).
+func WithAggregation(maxCalls int, maxDelay time.Duration) Option {
+	return func(o *options) {
+		o.aggregation = AggregationConfig{MaxCalls: maxCalls, MaxDelay: maxDelay}
+	}
+}
+
+// WithLoadCacheTTL bounds staleness of placement load data.
+func WithLoadCacheTTL(d time.Duration) Option { return func(o *options) { o.loadCacheTTL = d } }
+
+// WithNodeID sets this node's index in the cluster (ServeNode only).
+func WithNodeID(id int) Option { return func(o *options) { o.nodeID = id } }
+
+// WithListen sets the TCP address a node serves on, for example ":7070"
+// (ServeNode only; default "127.0.0.1:0").
+func WithListen(addr string) Option { return func(o *options) { o.listen = addr } }
+
+func buildOptions(opts []Option) options {
+	o := options{nodes: 1, listen: "127.0.0.1:0"}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// StartCluster boots an in-process cluster (the test/bench topology; use
+// ServeNode in each process for real multi-process TCP clusters):
+//
+//	cl, err := parc.StartCluster(
+//		parc.WithNodes(3),
+//		parc.WithNetwork(parc.Ethernet100()),
+//		parc.WithAggregation(16, 0),
+//	)
+func StartCluster(opts ...Option) (*Cluster, error) {
+	o := buildOptions(opts)
+	inner, err := cluster.New(cluster.Options{
+		Nodes:         o.nodes,
+		ChannelKind:   o.channel,
+		Net:           o.network,
+		Cost:          o.cost,
+		PoolSize:      o.poolSize,
+		Placement:     o.placement,
+		Agglomeration: o.agglomeration,
+		Aggregation:   o.aggregation,
+		LoadCacheTTL:  o.loadCacheTTL,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{inner: inner}, nil
+}
+
+// ServeNode boots one TCP-backed node for multi-process deployments (each
+// process calls ServeNode and the processes exchange addresses out of
+// band; see cmd/parcnode). Call Runtime.JoinCluster with every node's
+// address (same order everywhere) once all nodes are up.
+//
+//	rt, err := parc.ServeNode(parc.WithNodeID(1), parc.WithListen(":7070"))
+func ServeNode(opts ...Option) (*Runtime, error) {
+	o := buildOptions(opts)
+	var ch *remoting.Channel
+	net := transport.TCPNetwork{}
+	switch o.channel {
+	case LegacyTCPChannel:
+		ch = remoting.NewLegacyTCPChannel(net)
+	case HTTPChannel:
+		ch = remoting.NewHTTPChannel(net)
+	default:
+		ch = remoting.NewTCPChannel(net)
+	}
+	ch.Cost = o.cost
+	var pool *threadpool.Pool
+	if o.poolSize > 0 {
+		// The pool lives as long as the process; Runtime.Close leaves it
+		// running so in-flight work can finish.
+		pool = threadpool.New(o.poolSize, 0)
+	}
+	return core.Start(core.Config{
+		NodeID:        o.nodeID,
+		Channel:       ch,
+		Pool:          pool,
+		Placement:     o.placement,
+		Agglomeration: o.agglomeration,
+		Aggregation:   o.aggregation,
+		LoadCacheTTL:  o.loadCacheTTL,
+	}, o.listen)
+}

@@ -2,22 +2,42 @@
 // parallel objects for Go, backed by the remoting runtime described in the
 // PACT 2005 paper "ParC#: Parallel Computing with C# in .Net".
 //
-// # Quick start
+// # Quick start (typed API)
 //
-//	cl, err := parc.NewCluster(parc.ClusterConfig{Nodes: 3})
+//	cl, err := parc.StartCluster(parc.WithNodes(3))
 //	if err != nil { ... }
 //	defer cl.Close()
-//	cl.RegisterClass("counter", func() any { return &Counter{} })
+//	parc.Register[Counter](cl, "counter")
 //
-//	p, err := cl.Entry().NewParallelObject("counter")
+//	obj, err := parc.New[Counter](cl, "counter")
 //	if err != nil { ... }
-//	p.Post("Add", 2)                  // asynchronous method call
-//	total, err := p.Invoke("Total")   // synchronous method call
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+//	defer cancel()
+//	_ = obj.Send(ctx, "Add", 2)                      // asynchronous method call
+//	total, err := parc.Call[int](ctx, obj, "Total")  // synchronous, typed result
+//
+// Object[T] handles validate method names against T before anything touches
+// the wire, every blocking operation honours the context's cancellation and
+// deadline (the deadline travels to the hosting node), and failures wrap
+// the package's sentinel errors (ErrNoSuchMethod, ErrNodeDown, ErrCanceled,
+// ...) for errors.Is branching. cmd/parcgen generates fully typed proxy
+// structs on top of this API, restoring the original static signatures of
+// annotated classes.
 //
 // Parallel objects are distributed across nodes by the placement policy and
 // communicate through the remoting channel; asynchronous calls to one
 // object execute in order. Grain-size adaptation — method-call aggregation
-// and object agglomeration — is enabled through ClusterConfig.
+// and object agglomeration — is enabled through WithAggregation and
+// WithAgglomeration.
+//
+// # Dynamic API (escape hatch)
+//
+// The stringly-typed Proxy API remains for dynamic use cases and as the
+// compatibility layer under the typed one:
+//
+//	p := obj.Proxy()
+//	p.Post("Add", 2)
+//	total, err := p.Invoke("Total")
 //
 // The facade wraps internal/core (the SCOOPP run-time system),
 // internal/remoting (the .NET-remoting analogue), internal/netsim (the
@@ -26,21 +46,21 @@
 package parc
 
 import (
+	"fmt"
 	"reflect"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/errs"
 	"repro/internal/netsim"
-	"repro/internal/remoting"
-	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
 // As converts a dynamically typed invocation result to T, applying the wire
 // layer's canonical conversions (for example []any to []int). Generated
 // proxy code (cmd/parcgen) uses it to give remote methods their original
-// static signatures.
+// static signatures. Conversion failures wrap ErrBadConversion.
 func As[T any](v any, err error) (T, error) {
 	var zero T
 	if err != nil {
@@ -49,11 +69,11 @@ func As[T any](v any, err error) (T, error) {
 	t := reflect.TypeFor[T]()
 	av, err := wire.Assign(t, v)
 	if err != nil {
-		return zero, err
+		return zero, fmt.Errorf("parc: convert %T result to %s: %v: %w", v, t, err, errs.ErrBadConversion)
 	}
 	out, ok := av.Interface().(T)
 	if !ok {
-		return zero, err
+		return zero, fmt.Errorf("parc: %T result does not satisfy %s: %w", v, t, errs.ErrBadConversion)
 	}
 	return out, nil
 }
@@ -64,7 +84,8 @@ type (
 	Runtime = core.Runtime
 	// Proxy is the handle of a parallel object (the paper's PO).
 	Proxy = core.Proxy
-	// Future is the result handle of InvokeAsync.
+	// Future is the result handle of InvokeAsync; Result[R] is its typed
+	// counterpart.
 	Future = core.Future
 	// ProxyRef is a wire-encodable parallel-object reference.
 	ProxyRef = core.ProxyRef
@@ -116,8 +137,10 @@ type NetworkParams = netsim.Params
 // switched Ethernet.
 func Ethernet100() NetworkParams { return netsim.Ethernet100() }
 
-// ClusterConfig configures an in-process cluster (the test/bench topology;
-// use cmd/parcnode for real multi-process TCP clusters).
+// ClusterConfig configures an in-process cluster.
+//
+// Deprecated: use StartCluster with functional options (WithNodes,
+// WithNetwork, ...), which also expose the channel kind and cost model.
 type ClusterConfig struct {
 	// Nodes is the cluster size; default 1.
 	Nodes int
@@ -142,25 +165,24 @@ type Cluster struct {
 	inner *cluster.Cluster
 }
 
-// NewCluster boots an in-process cluster.
+// NewCluster boots an in-process cluster from a positional config.
+//
+// Deprecated: use StartCluster with functional options.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) {
-	inner, err := cluster.New(cluster.Options{
-		Nodes:         cfg.Nodes,
-		Net:           cfg.Network,
-		PoolSize:      cfg.PoolSize,
-		Placement:     cfg.Placement,
-		Agglomeration: cfg.Agglomeration,
-		Aggregation:   cfg.Aggregation,
-		LoadCacheTTL:  cfg.LoadCacheTTL,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &Cluster{inner: inner}, nil
+	return StartCluster(
+		WithNodes(cfg.Nodes),
+		WithNetwork(cfg.Network),
+		WithPoolSize(cfg.PoolSize),
+		WithPlacement(cfg.Placement),
+		WithAgglomeration(cfg.Agglomeration),
+		WithAggregation(cfg.Aggregation.MaxCalls, cfg.Aggregation.MaxDelay),
+		WithLoadCacheTTL(cfg.LoadCacheTTL),
+	)
 }
 
 // RegisterClass registers a parallel-object class on every node. The
-// factory must return a pointer to a fresh instance.
+// factory must return a pointer to a fresh instance. The generic Register
+// derives the factory from the type itself.
 func (c *Cluster) RegisterClass(name string, factory func() any) {
 	c.inner.RegisterClass(name, factory)
 }
@@ -177,11 +199,10 @@ func (c *Cluster) Size() int { return c.inner.Size() }
 // Close shuts all nodes down.
 func (c *Cluster) Close() { c.inner.Close() }
 
-// Node-level API for assembling real distributed deployments (each process
-// runs StartNode and the processes exchange addresses out of band; see
-// cmd/parcnode).
-
 // NodeConfig configures a single node runtime for multi-process use.
+//
+// Deprecated: use ServeNode with functional options (WithNodeID,
+// WithListen, ...).
 type NodeConfig struct {
 	// NodeID is this node's index in the cluster.
 	NodeID int
@@ -195,15 +216,20 @@ type NodeConfig struct {
 	Aggregation   AggregationConfig
 }
 
-// StartNode boots one TCP-backed node. Call Runtime.JoinCluster with every
-// node's address (same order everywhere) once all nodes are up.
+// StartNode boots one TCP-backed node from a positional config.
+//
+// Deprecated: use ServeNode with functional options.
 func StartNode(cfg NodeConfig) (*Runtime, error) {
-	ch := remoting.NewTCPChannel(transport.TCPNetwork{})
-	return core.Start(core.Config{
-		NodeID:        cfg.NodeID,
-		Channel:       ch,
-		Placement:     cfg.Placement,
-		Agglomeration: cfg.Agglomeration,
-		Aggregation:   cfg.Aggregation,
-	}, cfg.Listen)
+	listen := cfg.Listen
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	return ServeNode(
+		WithNodeID(cfg.NodeID),
+		WithListen(listen),
+		WithPoolSize(cfg.PoolSize),
+		WithPlacement(cfg.Placement),
+		WithAgglomeration(cfg.Agglomeration),
+		WithAggregation(cfg.Aggregation.MaxCalls, cfg.Aggregation.MaxDelay),
+	)
 }

@@ -1,0 +1,181 @@
+package parc
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Object is the typed handle of a parallel object whose implementation
+// class is the Go type T. It wraps the dynamic Proxy with compile-time
+// association to T: method names are checked against T's method set before
+// anything touches the wire, every blocking operation takes a
+// context.Context, and results come back through the generic Call /
+// CallAsync helpers instead of `any`.
+//
+//	parc.Register[Counter](cl, "counter")
+//	obj, err := parc.New[Counter](cl, "counter")
+//	_ = obj.Send(ctx, "Add", 2)                      // asynchronous
+//	total, err := parc.Call[int](ctx, obj, "Total")  // synchronous, typed
+type Object[T any] struct {
+	p *core.Proxy
+}
+
+// Register registers class on every node of the cluster with the canonical
+// factory func() any { return new(T) }.
+func Register[T any](c *Cluster, class string) {
+	c.RegisterClass(class, func() any { return new(T) })
+}
+
+// RegisterAt registers class on a single node runtime; multi-process
+// deployments call it on every node (the paper's per-node boot
+// registration).
+func RegisterAt[T any](rt *Runtime, class string) {
+	rt.RegisterClass(class, func() any { return new(T) })
+}
+
+// New creates a parallel object of class on the cluster's entry node and
+// returns its typed handle. The placement policy decides which node hosts
+// it.
+func New[T any](c *Cluster, class string) (*Object[T], error) {
+	return NewAt[T](c.Entry(), class)
+}
+
+// NewAt creates a parallel object of class through rt's object manager.
+func NewAt[T any](rt *Runtime, class string) (*Object[T], error) {
+	p, err := rt.NewParallelObject(class)
+	if err != nil {
+		return nil, err
+	}
+	return &Object[T]{p: p}, nil
+}
+
+// Bind rebinds a ProxyRef received as a method argument into a typed
+// handle on this node.
+func Bind[T any](rt *Runtime, ref ProxyRef) *Object[T] {
+	return &Object[T]{p: rt.Attach(ref)}
+}
+
+// Proxy exposes the underlying dynamic proxy (the escape hatch to the
+// stringly-typed API).
+func (o *Object[T]) Proxy() *Proxy { return o.p }
+
+// Ref returns a wire-encodable reference other nodes can Bind.
+func (o *Object[T]) Ref() ProxyRef { return o.p.Ref() }
+
+// Class returns the object's registered class name.
+func (o *Object[T]) Class() string { return o.p.Class() }
+
+// String implements fmt.Stringer.
+func (o *Object[T]) String() string { return o.p.String() }
+
+// Send performs an asynchronous method call with no result (the paper's
+// asynchronous calls), subject to method-call aggregation on remote
+// objects. The method name is validated against T before sending; an error
+// is returned only for immediate failures (unknown method, ctx already
+// done, object destroyed) — execution errors flow to Err.
+func (o *Object[T]) Send(ctx context.Context, method string, args ...any) error {
+	if err := checkMethod[T](method); err != nil {
+		return err
+	}
+	return o.p.PostCtx(ctx, method, args...)
+}
+
+// Invoke performs a synchronous method call returning a dynamically typed
+// result; prefer the generic Call helper, which converts it. It is ordered
+// after all previously sent asynchronous calls on this handle.
+func (o *Object[T]) Invoke(ctx context.Context, method string, args ...any) (any, error) {
+	if err := checkMethod[T](method); err != nil {
+		return nil, err
+	}
+	return o.p.InvokeCtx(ctx, method, args...)
+}
+
+// Wait blocks until every asynchronous call sent on this handle has
+// executed, or ctx ends (the calls keep draining in the background).
+func (o *Object[T]) Wait(ctx context.Context) error { return o.p.WaitCtx(ctx) }
+
+// Err returns the first error produced by an asynchronous call, if any.
+// Call it after Wait to check a stream of Sends.
+func (o *Object[T]) Err() error { return o.p.AsyncErr() }
+
+// Destroy releases the parallel object.
+func (o *Object[T]) Destroy(ctx context.Context) error { return o.p.DestroyCtx(ctx) }
+
+// Call performs a synchronous method call on a typed handle and converts
+// the result to R, applying the wire layer's canonical conversions. The
+// method name is validated against T's method set before the call leaves
+// the node. (Call is a function rather than a method because Go methods
+// cannot introduce the result type parameter R.)
+func Call[R any, T any](ctx context.Context, o *Object[T], method string, args ...any) (R, error) {
+	var zero R
+	if err := checkMethod[T](method); err != nil {
+		return zero, err
+	}
+	return As[R](o.p.InvokeCtx(ctx, method, args...))
+}
+
+// CallAsync starts a synchronous-style call without blocking and returns a
+// typed future (the delegate BeginInvoke pattern of the paper's Fig. 4).
+func CallAsync[R any, T any](ctx context.Context, o *Object[T], method string, args ...any) *Result[R] {
+	if err := checkMethod[T](method); err != nil {
+		return &Result[R]{err: err}
+	}
+	return &Result[R]{f: o.p.InvokeAsyncCtx(ctx, method, args...)}
+}
+
+// Result is the typed future returned by CallAsync.
+type Result[R any] struct {
+	f   *Future
+	err error // immediate failure; the call never started
+}
+
+// Get blocks until the call completes (or ctx ends) and converts the
+// result to R.
+func (r *Result[R]) Get(ctx context.Context) (R, error) {
+	var zero R
+	if r.err != nil {
+		return zero, r.err
+	}
+	v, err := r.f.GetCtx(ctx)
+	if err != nil {
+		return zero, err
+	}
+	return As[R](v, nil)
+}
+
+// Done returns a channel closed when the call completes.
+func (r *Result[R]) Done() <-chan struct{} {
+	if r.f == nil {
+		return closedChan
+	}
+	return r.f.Done()
+}
+
+var closedChan = func() chan struct{} {
+	c := make(chan struct{})
+	close(c)
+	return c
+}()
+
+// checkMethod fails fast, before any network traffic, when method is not
+// in *T's method set; the error names the candidates and wraps
+// ErrNoSuchMethod.
+func checkMethod[T any](method string) error {
+	t := reflect.TypeOf((*T)(nil))
+	if _, ok := t.MethodByName(method); ok {
+		return nil
+	}
+	names := make([]string, 0, t.NumMethod())
+	for i := 0; i < t.NumMethod(); i++ {
+		names = append(names, t.Method(i).Name)
+	}
+	candidates := "no exported methods"
+	if len(names) > 0 {
+		candidates = "exported methods: " + strings.Join(names, ", ")
+	}
+	return fmt.Errorf("parc: %s has no method %q (%s): %w", t.Elem(), method, candidates, ErrNoSuchMethod)
+}
