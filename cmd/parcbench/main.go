@@ -8,6 +8,7 @@
 //	parcbench -full            # full sweeps (paper-sized; minutes)
 //	parcbench -exp fig8a       # one experiment: fig8a fig8b latency fig9
 //	                           # seqratio overhead agg agglom codecs pool
+//	                           # fanout
 package main
 
 import (
@@ -23,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (all, fig8a, fig8b, latency, fig9, seqratio, overhead, agg, agglom, codecs, pool)")
+	exp := flag.String("exp", "all", "experiment id (all, fig8a, fig8b, latency, fig9, seqratio, overhead, agg, agglom, codecs, pool, fanout)")
 	full := flag.Bool("full", false, "full paper-sized sweeps (slower)")
 	flag.Parse()
 
@@ -169,6 +170,19 @@ func main() {
 			log.Fatal(err)
 		}
 		bench.PrintPool(out, rows)
+	}
+	if run("fanout") {
+		any = true
+		fmt.Fprintln(out, "================================================================")
+		callers, calls := 64, 30
+		if *full {
+			callers, calls = 128, 200
+		}
+		rows, err := bench.RunPipelinedFanout(callers, calls)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bench.PrintFanout(out, rows)
 	}
 	if !any {
 		log.Fatalf("unknown experiment %q", *exp)

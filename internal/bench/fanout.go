@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/remoting"
+	"repro/internal/transport"
+)
+
+// FanoutRow is one channel's result in the pipelined-fanout experiment:
+// many concurrent callers hammering one echo object on a single peer.
+type FanoutRow struct {
+	Channel     string
+	Callers     int
+	TotalCalls  int
+	Elapsed     time.Duration
+	CallsPerSec float64
+}
+
+// RunPipelinedFanout measures the dial-or-queue penalty of the pooled TCP
+// channel against the multiplexed channel: callers goroutines each perform
+// callsPerCaller synchronous echo calls against one peer. The pooled
+// channel serialises one in-flight call per connection (dialling whenever
+// the pool runs dry); the multiplexed channel pipelines every caller over
+// one long-lived connection.
+//
+// Unlike the paper-reproduction figures, this experiment runs over real
+// loopback TCP with no injected 2005 costs: it is the forward-looking
+// production benchmark (ROADMAP: "as fast as the hardware allows"), so the
+// hardware, not the calibrated cost model, is what gets measured. Rows come
+// back in run order: pooled first, then multiplexed.
+func RunPipelinedFanout(callers, callsPerCaller int) ([]FanoutRow, error) {
+	configs := []struct {
+		name string
+		kind remoting.Kind
+	}{
+		{"Tcp (pooled)", remoting.TCP},
+		{"Tcp (multiplexed)", remoting.Multiplexed},
+	}
+	rows := make([]FanoutRow, 0, len(configs))
+	for _, cfg := range configs {
+		row, err := runFanout(cfg.name, cfg.kind, callers, callsPerCaller)
+		if err != nil {
+			return nil, fmt.Errorf("bench: fanout %s: %w", cfg.name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func runFanout(name string, kind remoting.Kind, callers, callsPerCaller int) (FanoutRow, error) {
+	net := transport.TCPNetwork{}
+	var ch *remoting.Channel
+	switch kind {
+	case remoting.Multiplexed:
+		ch = remoting.NewMultiplexedChannel(net)
+	default:
+		ch = remoting.NewTCPChannel(net)
+	}
+	server, err := ch.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		return FanoutRow{}, err
+	}
+	defer server.Close()
+	defer ch.Close()
+	server.RegisterWellKnown("Echo", remoting.Singleton, func() any { return echoService{} })
+	ref, err := remoting.GetObject(ch, server.URLFor("Echo"))
+	if err != nil {
+		return FanoutRow{}, err
+	}
+	payload := payloadFor(64)
+	if _, err := ref.Invoke("Echo", payload); err != nil {
+		return FanoutRow{}, err
+	}
+	errc := make(chan error, callers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < callsPerCaller; j++ {
+				if _, err := ref.Invoke("Echo", payload); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errc:
+		return FanoutRow{}, err
+	default:
+	}
+	total := callers * callsPerCaller
+	return FanoutRow{
+		Channel:     name,
+		Callers:     callers,
+		TotalCalls:  total,
+		Elapsed:     elapsed,
+		CallsPerSec: float64(total) / elapsed.Seconds(),
+	}, nil
+}
+
+// PrintFanout emits the pipelined-fanout table.
+func PrintFanout(w io.Writer, rows []FanoutRow) {
+	fmt.Fprintln(w, "Pipelined fanout — concurrent callers, one peer over loopback TCP (pooled vs multiplexed)")
+	fmt.Fprintf(w, "%-20s %8s %10s %12s %12s\n", "channel", "callers", "calls", "elapsed", "calls/s")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-20s %8d %10d %12s %12.0f\n",
+			r.Channel, r.Callers, r.TotalCalls, r.Elapsed.Round(time.Microsecond), r.CallsPerSec)
+	}
+}

@@ -1,0 +1,29 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPipelinedFanout(t *testing.T) {
+	rows, err := RunPipelinedFanout(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.TotalCalls != 24 {
+			t.Errorf("%s: calls = %d, want 24", r.Channel, r.TotalCalls)
+		}
+		if r.CallsPerSec <= 0 {
+			t.Errorf("%s: calls/s = %v", r.Channel, r.CallsPerSec)
+		}
+	}
+	var sb strings.Builder
+	PrintFanout(&sb, rows)
+	if !strings.Contains(sb.String(), "multiplexed") {
+		t.Errorf("table missing multiplexed row:\n%s", sb.String())
+	}
+}

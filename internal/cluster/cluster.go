@@ -32,6 +32,9 @@ type Options struct {
 	// PoolSize bounds each node's server-side concurrency (the Mono
 	// thread pool); 0 means unbounded.
 	PoolSize int
+	// MaxInFlight bounds concurrent exchanges per multiplexed peer
+	// connection (remoting.Multiplexed only); 0 selects the default.
+	MaxInFlight int
 	// Placement, Agglomeration, Aggregation are forwarded to every
 	// node's core.Config.
 	Placement     core.PlacementPolicy
@@ -67,6 +70,7 @@ func New(opts Options) (*Cluster, error) {
 	for i := 0; i < opts.Nodes; i++ {
 		ch := newChannel(opts.ChannelKind, net)
 		ch.Cost = opts.Cost
+		ch.MaxInFlight = opts.MaxInFlight
 		var pool *threadpool.Pool
 		if opts.PoolSize > 0 {
 			pool = threadpool.New(opts.PoolSize, 0)
@@ -106,6 +110,8 @@ func newChannel(kind remoting.Kind, net transport.Network) *remoting.Channel {
 		return remoting.NewLegacyTCPChannel(net)
 	case remoting.HTTP:
 		return remoting.NewHTTPChannel(net)
+	case remoting.Multiplexed:
+		return remoting.NewMultiplexedChannel(net)
 	default:
 		return remoting.NewTCPChannel(net)
 	}
@@ -136,7 +142,9 @@ func (c *Cluster) PoolQueueWait() time.Duration {
 	return total
 }
 
-// Close shuts every node down.
+// Close shuts every node down. Each node's Runtime.Close also closes its
+// channel's client-side connections (idle pooled conns, multiplexed peer
+// pipes), so a torn-down in-process cluster leaks nothing.
 func (c *Cluster) Close() {
 	for _, rt := range c.nodes {
 		rt.Close()

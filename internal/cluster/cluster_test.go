@@ -165,3 +165,61 @@ func TestAggregationForwarded(t *testing.T) {
 type forceNode1 struct{}
 
 func (forceNode1) Pick(self int, loads []core.NodeLoad) int { return 1 }
+
+// TestMultiplexedCluster runs the full SCOOPP stack — placement, remote
+// creation, sync/async proxy calls, destruction — over the multiplexed
+// channel with a tight in-flight bound, exercising the pipelined path end
+// to end.
+func TestMultiplexedCluster(t *testing.T) {
+	cl, err := New(Options{
+		Nodes:       3,
+		ChannelKind: remoting.Multiplexed,
+		MaxInFlight: 8,
+		Placement:   forceNode1{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.RegisterClass("echo", func() any { return &echo{} })
+	p, err := cl.Node(0).NewParallelObject("echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.IsLocal() {
+		t.Fatal("object should be remote")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			got, err := p.Invoke("Ping", v)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if got != v {
+				t.Errorf("Ping(%d) = %v", v, got)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 10; i++ {
+		p.Post("Bump")
+	}
+	p.Wait()
+	if err := p.AsyncErr(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Invoke("N")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 10 {
+		t.Errorf("N = %v, want 10", got)
+	}
+	if err := p.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+}

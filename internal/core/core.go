@@ -336,7 +336,9 @@ func (rt *Runtime) RegisterClass(name string, factory func() any) {
 	rt.classes[name] = factory
 }
 
-// Close shuts the node down: local actors drain and the server stops.
+// Close shuts the node down: local actors drain, the server stops, and the
+// channel's client-side connections (idle pooled conns, multiplexed peer
+// pipes) are released so long-running processes do not leak sockets.
 func (rt *Runtime) Close() {
 	rt.actorsMu.Lock()
 	actors := rt.actors
@@ -346,6 +348,7 @@ func (rt *Runtime) Close() {
 		a.stop()
 	}
 	rt.server.Close()
+	rt.cfg.Channel.Close()
 }
 
 // Stats returns a snapshot of runtime counters.

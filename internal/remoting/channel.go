@@ -3,6 +3,7 @@ package remoting
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
@@ -29,6 +30,13 @@ const (
 	// HTTP is the SOAP/HTTP channel: verbose textual encoding wrapped in
 	// HTTP/1.0-style requests without keep-alive.
 	HTTP
+	// Multiplexed is the pipelined TCP channel this reproduction adds
+	// beyond the paper's 2005 stacks: one long-lived connection per peer
+	// address carries many concurrent request/response exchanges, matched
+	// by sequence number, so high-fan-out callers pay neither a dial nor a
+	// one-call-per-connection queue. It removes exactly the channel
+	// overheads the paper blames for the scaling gap (Fig. 8b).
+	Multiplexed
 )
 
 // String returns the .NET-style scheme name.
@@ -40,6 +48,8 @@ func (k Kind) String() string {
 		return "tcp-legacy"
 	case HTTP:
 		return "http"
+	case Multiplexed:
+		return "tcp-mux"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -61,8 +71,16 @@ type Channel struct {
 	// Cost injects endpoint software costs; see CostModel.
 	Cost CostModel
 
+	// MaxInFlight bounds concurrent exchanges per multiplexed peer
+	// connection; callers beyond the bound block until a slot frees.
+	// Zero selects DefaultMaxInFlight. Only the Multiplexed kind uses it.
+	MaxInFlight int
+
 	seq  atomic.Uint64
 	pool connPool
+
+	muxMu    sync.Mutex
+	muxPeers map[string]*muxConn
 }
 
 // NewTCPChannel returns the modern binary channel over net.
@@ -78,6 +96,12 @@ func NewLegacyTCPChannel(net transport.Network) *Channel {
 // NewHTTPChannel returns the SOAP/HTTP channel over net.
 func NewHTTPChannel(net transport.Network) *Channel {
 	return &Channel{kind: HTTP, net: net, codec: wire.SoapFmt{}, pooled: false}
+}
+
+// NewMultiplexedChannel returns the pipelined channel over net: one
+// long-lived connection per peer multiplexes many concurrent calls.
+func NewMultiplexedChannel(net transport.Network) *Channel {
+	return &Channel{kind: Multiplexed, net: net, codec: wire.BinFmt{}, pooled: false}
 }
 
 // Kind reports the channel implementation.
@@ -227,8 +251,24 @@ func (ch *Channel) recvMsg(c transport.Conn) ([]byte, error) {
 
 // roundTrip performs one request/response exchange against netaddr. When
 // ctx carries a deadline or cancellation, the in-flight exchange is aborted
-// on ctx expiry by closing its connection (which unblocks the pending
-// Send/Recv); the call then reports ctx.Err().
+// on ctx expiry (for one-call-per-connection kinds by closing the
+// connection; the multiplexed kind abandons just this call); the call then
+// reports ctx.Err().
+//
+// A connection that was reused — taken from the idle pool, or the shared
+// long-lived multiplexed pipe — may have gone stale while idle (peer
+// restarted, transport dropped). When such a call fails at the connection
+// level before anything was received, it is retried exactly once on a
+// freshly dialled connection instead of surfacing a spurious ErrNodeDown.
+// Failures on fresh connections and context expiries are never retried.
+//
+// The retry condition is "no response received", the same heuristic HTTP
+// keep-alive clients apply to reused connections: over real TCP a stale
+// connection usually accepts the write and only the read fails, so a
+// send-phase-only retry would miss the common case. The caveat is that a
+// request the peer received and executed just before dying is executed
+// again by the retry — at-most-once is traded for liveness across peer
+// restarts, exactly once, and only on reused connections.
 func (ch *Channel) roundTrip(ctx context.Context, netaddr string, req *callRequest) (*callResponse, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -240,10 +280,36 @@ func (ch *Channel) roundTrip(ctx context.Context, netaddr string, req *callReque
 	if err != nil {
 		return nil, err
 	}
-	c, err := ch.getConn(netaddr)
+	if ch.kind == Multiplexed {
+		return ch.muxRoundTrip(ctx, netaddr, req, raw)
+	}
+	c, fromPool, err := ch.getConn(netaddr)
 	if err != nil {
 		return nil, err
 	}
+	resp, err := ch.exchangeCtx(ctx, netaddr, c, raw, req)
+	if err == nil || !fromPool || ctx.Err() != nil || !isConnFailure(err) {
+		return resp, err
+	}
+	// Stale pooled connection: nothing was received for this call, so a
+	// single retry on a fresh dial is safe and turns a peer restart into
+	// a reconnect instead of an ErrNodeDown.
+	c2, err2 := ch.dial(netaddr)
+	if err2 != nil {
+		return nil, err2
+	}
+	return ch.exchangeCtx(ctx, netaddr, c2, raw, req)
+}
+
+// isConnFailure reports whether err is a connection-level failure (dial,
+// send or receive) rather than a decode error or context expiry.
+func isConnFailure(err error) bool {
+	return errors.Is(err, errs.ErrNodeDown)
+}
+
+// exchangeCtx runs one exchange on an already-dialled connection, aborting
+// it when ctx ends, and settles the connection's afterlife (pool or close).
+func (ch *Channel) exchangeCtx(ctx context.Context, netaddr string, c transport.Conn, raw []byte, req *callRequest) (*callResponse, error) {
 	if ctx.Done() == nil {
 		resp, err := ch.exchange(netaddr, c, raw, req)
 		ch.finish(netaddr, c, err == nil)
@@ -302,19 +368,46 @@ func (ch *Channel) exchange(netaddr string, c transport.Conn, raw []byte, req *c
 	return resp, nil
 }
 
-// getConn returns a pooled or freshly dialled connection.
-func (ch *Channel) getConn(netaddr string) (transport.Conn, error) {
+// getConn returns a pooled or freshly dialled connection, reporting whether
+// it came from the idle pool (and may therefore be stale).
+func (ch *Channel) getConn(netaddr string) (c transport.Conn, fromPool bool, err error) {
 	if ch.pooled {
 		if c := ch.pool.get(netaddr); c != nil {
-			return c, nil
+			return c, true, nil
 		}
 	}
+	c, err = ch.dial(netaddr)
+	return c, false, err
+}
+
+// dial opens a fresh connection, charging the connect cost.
+func (ch *Channel) dial(netaddr string) (transport.Conn, error) {
 	ch.Cost.ChargeConnect()
 	c, err := ch.net.Dial(netaddr)
 	if err != nil {
 		return nil, fmt.Errorf("remoting: dial %s: %v: %w", netaddr, err, errs.ErrNodeDown)
 	}
 	return c, nil
+}
+
+// Close releases the channel's client-side connections: idle pooled
+// connections are closed and multiplexed peer connections are shut down
+// (failing any in-flight calls with ErrNodeDown). The channel itself stays
+// usable — a later call dials afresh — so teardown order between a node's
+// server role and its client role does not matter. Cluster and node
+// teardown call it so long-running processes do not leak sockets.
+func (ch *Channel) Close() {
+	ch.pool.drain()
+	ch.muxMu.Lock()
+	peers := make([]*muxConn, 0, len(ch.muxPeers))
+	for _, mc := range ch.muxPeers {
+		peers = append(peers, mc)
+	}
+	ch.muxPeers = nil
+	ch.muxMu.Unlock()
+	for _, mc := range peers {
+		mc.shutdown()
+	}
 }
 
 // connPool keeps idle client connections per address. At most maxIdle
@@ -336,6 +429,19 @@ func (p *connPool) get(addr string) transport.Conn {
 	c := conns[len(conns)-1]
 	p.idle[addr] = conns[:len(conns)-1]
 	return c
+}
+
+// drain closes and forgets every idle connection.
+func (p *connPool) drain() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.mu.Unlock()
+	for _, conns := range idle {
+		for _, c := range conns {
+			c.Close()
+		}
+	}
 }
 
 func (p *connPool) put(addr string, c transport.Conn) {

@@ -107,8 +107,10 @@ func (ar *AsyncResult) EndInvoke() (any, error) {
 }
 
 // BeginInvoke starts an asynchronous remote method invocation and returns
-// immediately. Each in-flight call uses its own pooled connection, so
-// concurrent BeginInvokes overlap on the wire.
+// immediately. On pooling channels each in-flight call uses its own pooled
+// connection; on the multiplexed channel concurrent calls pipeline over one
+// shared connection. Either way, concurrent BeginInvokes overlap on the
+// wire.
 func (r *ObjRef) BeginInvoke(method string, args ...any) *AsyncResult {
 	ar := &AsyncResult{done: make(chan struct{})}
 	go func() {

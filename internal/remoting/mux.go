@@ -1,0 +1,316 @@
+package remoting
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/errs"
+	"repro/internal/transport"
+)
+
+// DefaultMaxInFlight bounds concurrent exchanges per multiplexed peer
+// connection when Channel.MaxInFlight is zero. The bound is backpressure,
+// not a queue: callers beyond it block until a slot frees.
+const DefaultMaxInFlight = 1024
+
+// muxConn is one long-lived multiplexed connection to a peer address. Many
+// request/response exchanges are in flight concurrently: a single writer
+// goroutine drains sendq onto the wire, and a single reader goroutine
+// matches each arriving response to its caller through the seq-keyed
+// in-flight table. Responses may complete in any order.
+//
+// Context cancellation abandons a call — the entry is removed from the
+// in-flight table and the late response is dropped by the reader — but the
+// connection itself stays up, so one impatient caller cannot kill the
+// exchanges of every other caller sharing the pipe.
+type muxConn struct {
+	ch      *Channel
+	netaddr string
+	sendq   chan []byte
+	slots   chan struct{} // in-flight backpressure semaphore
+	done    chan struct{} // closed by fail
+	ready   chan struct{} // closed once the dial settled (conn or dialErr)
+
+	mu       sync.Mutex
+	conn     transport.Conn // set by dial; nil when the dial failed
+	dialErr  error
+	inflight map[uint64]chan muxResult
+	failed   bool
+	failErr  error
+}
+
+type muxResult struct {
+	resp *callResponse
+	err  error
+}
+
+// errChannelClosed terminates in-flight calls when Channel.Close shuts a
+// multiplexed peer down. It wraps ErrNodeDown for callers' errors.Is
+// chains, but muxRoundTrip recognises it and never retries it — a retry
+// would re-create the very connection Close just released.
+var errChannelClosed = fmt.Errorf("channel closed: %w", errs.ErrNodeDown)
+
+// getMux returns the live multiplexed connection for netaddr, dialling one
+// when absent or when the previous one failed. The channel-wide lock is
+// held only for the map access: the dial itself runs outside it (a slow or
+// blackholed peer must not stall calls to healthy peers, nor Close), with
+// concurrent callers for the same address waiting on the ready channel of
+// whichever caller dialled. fresh reports whether this call dialled — a
+// failure on a fresh connection is a real peer failure, not staleness, so
+// the caller must not retry it.
+func (ch *Channel) getMux(netaddr string) (mc *muxConn, fresh bool, err error) {
+	for {
+		ch.muxMu.Lock()
+		existing := ch.muxPeers[netaddr]
+		if existing == nil {
+			limit := ch.MaxInFlight
+			if limit <= 0 {
+				limit = DefaultMaxInFlight
+			}
+			mc = &muxConn{
+				ch:       ch,
+				netaddr:  netaddr,
+				sendq:    make(chan []byte, 64),
+				slots:    make(chan struct{}, limit),
+				done:     make(chan struct{}),
+				ready:    make(chan struct{}),
+				inflight: make(map[uint64]chan muxResult),
+			}
+			if ch.muxPeers == nil {
+				ch.muxPeers = make(map[string]*muxConn)
+			}
+			ch.muxPeers[netaddr] = mc
+			ch.muxMu.Unlock()
+			if err := mc.dial(); err != nil {
+				ch.removeMux(mc)
+				return nil, false, err
+			}
+			return mc, true, nil
+		}
+		ch.muxMu.Unlock()
+		<-existing.ready
+		existing.mu.Lock()
+		ok := existing.dialErr == nil && !existing.failed
+		existing.mu.Unlock()
+		if ok {
+			return existing, false, nil
+		}
+		// Dead entry: forget it and race to install a fresh one.
+		ch.removeMux(existing)
+	}
+}
+
+// dial connects the muxConn and starts its writer/reader. It runs outside
+// the channel lock; concurrent callers wait on ready. A shutdown that
+// raced the dial (Channel.Close between map insert and connect) wins: the
+// fresh connection is discarded.
+func (mc *muxConn) dial() error {
+	mc.ch.Cost.ChargeConnect()
+	c, err := mc.ch.net.Dial(mc.netaddr)
+	mc.mu.Lock()
+	switch {
+	case err != nil:
+		mc.dialErr = fmt.Errorf("remoting: dial %s: %v: %w", mc.netaddr, err, errs.ErrNodeDown)
+	case mc.failed:
+		mc.mu.Unlock()
+		c.Close()
+		close(mc.ready)
+		return mc.failureErr()
+	default:
+		mc.conn = c
+	}
+	live := mc.conn != nil
+	dialErr := mc.dialErr
+	mc.mu.Unlock()
+	close(mc.ready)
+	if live {
+		go mc.writer()
+		go mc.reader()
+	}
+	return dialErr
+}
+
+// removeMux forgets mc so the next call dials afresh. The map is guarded
+// against replacing a newer connection that already took mc's slot.
+func (ch *Channel) removeMux(mc *muxConn) {
+	ch.muxMu.Lock()
+	if ch.muxPeers[mc.netaddr] == mc {
+		delete(ch.muxPeers, mc.netaddr)
+	}
+	ch.muxMu.Unlock()
+}
+
+// muxRoundTrip performs one exchange over the multiplexed connection,
+// retrying exactly once on a fresh connection when a reused long-lived
+// connection turns out to have gone stale (peer restarted, transport
+// dropped) before anything was received for this call. An orderly
+// Channel.Close is never retried — redialling would undo the Close. See
+// roundTrip for the at-most-once caveat the retry shares with the pooled
+// path.
+func (ch *Channel) muxRoundTrip(ctx context.Context, netaddr string, req *callRequest, raw []byte) (*callResponse, error) {
+	mc, fresh, err := ch.getMux(netaddr)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := mc.call(ctx, req, raw)
+	if err == nil || fresh || ctx.Err() != nil || !isConnFailure(err) || errors.Is(err, errChannelClosed) {
+		return resp, err
+	}
+	mc2, _, err2 := ch.getMux(netaddr)
+	if err2 != nil {
+		return nil, err2
+	}
+	return mc2.call(ctx, req, raw)
+}
+
+// call runs one exchange: acquire an in-flight slot, register the sequence
+// number, hand the frame to the writer and wait for the reader to deliver
+// the matching response (or for the connection to fail, or ctx to end).
+func (mc *muxConn) call(ctx context.Context, req *callRequest, raw []byte) (*callResponse, error) {
+	select {
+	case mc.slots <- struct{}{}:
+	case <-mc.done:
+		return nil, mc.callErr(req, mc.failureErr())
+	case <-ctx.Done():
+		return nil, mc.callErr(req, ctx.Err())
+	}
+	defer func() { <-mc.slots }()
+
+	rc := make(chan muxResult, 1)
+	mc.mu.Lock()
+	if mc.failed {
+		err := mc.failErr
+		mc.mu.Unlock()
+		return nil, mc.callErr(req, err)
+	}
+	mc.inflight[req.Seq] = rc
+	mc.mu.Unlock()
+
+	select {
+	case mc.sendq <- raw:
+	case <-mc.done:
+		mc.abandon(req.Seq)
+		return nil, mc.callErr(req, mc.failureErr())
+	case <-ctx.Done():
+		mc.abandon(req.Seq)
+		return nil, mc.callErr(req, ctx.Err())
+	}
+
+	select {
+	case res := <-rc:
+		return res.resp, res.err
+	case <-ctx.Done():
+		// Abandon, do not kill: the connection stays up for the other
+		// callers and the reader drops this call's late response.
+		mc.abandon(req.Seq)
+		return nil, mc.callErr(req, ctx.Err())
+	}
+}
+
+// callErr annotates a connection- or context-level failure with the call it
+// aborted.
+func (mc *muxConn) callErr(req *callRequest, err error) error {
+	return fmt.Errorf("remoting: call %s.%s: %w", req.URI, req.Method, err)
+}
+
+// abandon removes a sequence number from the in-flight table.
+func (mc *muxConn) abandon(seq uint64) {
+	mc.mu.Lock()
+	if mc.inflight != nil {
+		delete(mc.inflight, seq)
+	}
+	mc.mu.Unlock()
+}
+
+func (mc *muxConn) isFailed() bool {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return mc.failed
+}
+
+func (mc *muxConn) failureErr() error {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	if mc.failErr != nil {
+		return mc.failErr
+	}
+	return errs.ErrNodeDown
+}
+
+// writer is the per-connection writer goroutine: it serialises frames from
+// every caller onto the wire (and charges the cost model once per message).
+func (mc *muxConn) writer() {
+	for {
+		select {
+		case msg := <-mc.sendq:
+			if err := mc.ch.sendMsg(mc.conn, msg); err != nil {
+				mc.fail(fmt.Errorf("remoting: send to %s: %v: %w", mc.netaddr, err, errs.ErrNodeDown))
+				return
+			}
+		case <-mc.done:
+			return
+		}
+	}
+}
+
+// reader receives frames continuously and routes each response to the
+// caller registered under its sequence number. A response without an
+// in-flight entry belongs to an abandoned call and is dropped.
+func (mc *muxConn) reader() {
+	for {
+		raw, err := mc.ch.recvMsg(mc.conn)
+		if err != nil {
+			mc.fail(fmt.Errorf("remoting: receive from %s: %v: %w", mc.netaddr, err, errs.ErrNodeDown))
+			return
+		}
+		resp, err := mc.ch.decodeResponse(raw)
+		if err != nil {
+			// A framing/codec failure desynchronises the stream; the
+			// whole connection is unusable.
+			mc.fail(err)
+			return
+		}
+		mc.mu.Lock()
+		rc := mc.inflight[resp.Seq]
+		delete(mc.inflight, resp.Seq)
+		mc.mu.Unlock()
+		if rc != nil {
+			rc <- muxResult{resp: resp}
+		}
+	}
+}
+
+// fail moves the connection to its terminal state: it is removed from the
+// channel's peer table (so the next call dials afresh), the transport is
+// closed, and every in-flight caller receives err. Idempotent.
+func (mc *muxConn) fail(err error) {
+	mc.mu.Lock()
+	if mc.failed {
+		mc.mu.Unlock()
+		return
+	}
+	mc.failed = true
+	mc.failErr = err
+	pending := mc.inflight
+	mc.inflight = nil
+	conn := mc.conn
+	mc.mu.Unlock()
+	mc.ch.removeMux(mc)
+	if conn != nil {
+		// nil while a racing dial is still connecting; dial observes
+		// failed and discards its fresh connection itself.
+		conn.Close()
+	}
+	close(mc.done)
+	for _, rc := range pending {
+		rc <- muxResult{err: err}
+	}
+}
+
+// shutdown closes the connection as part of an orderly Channel.Close. The
+// closed sentinel keeps callers from retrying onto a fresh connection.
+func (mc *muxConn) shutdown() {
+	mc.fail(fmt.Errorf("remoting: %w", errChannelClosed))
+}

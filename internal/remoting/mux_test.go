@@ -1,0 +1,438 @@
+package remoting
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/errs"
+	"repro/internal/threadpool"
+	"repro/internal/transport"
+)
+
+// countingNetwork counts dials, to prove the multiplexed channel shares one
+// connection.
+type countingNetwork struct {
+	transport.Network
+	dials atomic.Int64
+}
+
+func (n *countingNetwork) Dial(addr string) (transport.Conn, error) {
+	n.dials.Add(1)
+	return n.Network.Dial(addr)
+}
+
+// gateService blocks WaitGate until Open runs, and reports (through
+// started) when WaitGate is executing server-side.
+type gateService struct {
+	started chan struct{}
+	gate    chan struct{}
+}
+
+func newGateService() *gateService {
+	return &gateService{started: make(chan struct{}, 16), gate: make(chan struct{})}
+}
+
+func (g *gateService) WaitGate() string {
+	g.started <- struct{}{}
+	<-g.gate
+	return "waited"
+}
+
+func (g *gateService) Open() string {
+	close(g.gate)
+	return "opened"
+}
+
+func (g *gateService) Ping() string { return "pong" }
+
+func newMuxServer(t *testing.T, opts ...ServerOption) (*Channel, *Server, *countingNetwork) {
+	t.Helper()
+	net := &countingNetwork{Network: transport.NewMemNetwork()}
+	ch := NewMultiplexedChannel(net)
+	srv, err := ch.ListenAndServe("mem://mux", opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	t.Cleanup(ch.Close)
+	return ch, srv, net
+}
+
+func TestMultiplexedInvoke(t *testing.T) {
+	ch, srv, _ := newMuxServer(t)
+	shared := &divideServer{}
+	srv.RegisterWellKnown("d", Singleton, func() any { return shared })
+	ref, err := GetObject(ch, srv.URLFor("d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ref.Invoke("Divide", 10.0, 4.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2.5 {
+		t.Errorf("Divide = %v", got)
+	}
+	if _, err := ref.Invoke("Divide", 1.0, 0.0); err == nil {
+		t.Error("expected division by zero error")
+	} else {
+		var re *RemoteError
+		if !errors.As(err, &re) {
+			t.Errorf("error type %T, want *RemoteError", err)
+		}
+	}
+}
+
+func TestMultiplexedSharesOneConnection(t *testing.T) {
+	ch, srv, net := newMuxServer(t)
+	shared := &divideServer{}
+	srv.RegisterWellKnown("d", Singleton, func() any { return shared })
+	ref, _ := GetObject(ch, srv.URLFor("d"))
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				if _, err := ref.Invoke("Divide", 8.0, 2.0); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if shared.Calls() != 320 {
+		t.Errorf("calls = %d, want 320", shared.Calls())
+	}
+	if d := net.dials.Load(); d != 1 {
+		t.Errorf("dials = %d, want 1 (one long-lived connection per peer)", d)
+	}
+}
+
+// TestMultiplexedOutOfOrderCompletion proves the pipeline: a call that
+// blocks server-side must not block a later call on the same connection,
+// and the later call's response overtakes it on the wire. With the old
+// serial per-connection dispatch this test deadlocks.
+func TestMultiplexedOutOfOrderCompletion(t *testing.T) {
+	ch, srv, _ := newMuxServer(t)
+	g := newGateService()
+	srv.RegisterWellKnown("g", Singleton, func() any { return g })
+	ref, _ := GetObject(ch, srv.URLFor("g"))
+
+	slow := ref.BeginInvoke("WaitGate")
+	select {
+	case <-g.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitGate never reached the server")
+	}
+	if slow.IsCompleted() {
+		t.Fatal("WaitGate completed before the gate opened")
+	}
+
+	done := make(chan struct{})
+	var openRes any
+	var openErr error
+	go func() {
+		defer close(done)
+		openRes, openErr = ref.Invoke("Open")
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Open deadlocked behind WaitGate: dispatch is not concurrent")
+	}
+	if openErr != nil || openRes != "opened" {
+		t.Fatalf("Open = %v, %v", openRes, openErr)
+	}
+	got, err := slow.EndInvoke()
+	if err != nil || got != "waited" {
+		t.Fatalf("WaitGate = %v, %v", got, err)
+	}
+}
+
+// TestMultiplexedCancellationAbandonsCall checks that an expired context
+// abandons only its own call: the shared connection survives and later
+// calls (and the late response being dropped) work fine.
+func TestMultiplexedCancellationAbandonsCall(t *testing.T) {
+	ch, srv, net := newMuxServer(t)
+	g := newGateService()
+	srv.RegisterWellKnown("g", Singleton, func() any { return g })
+	ref, _ := GetObject(ch, srv.URLFor("g"))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := ref.InvokeCtx(ctx, "WaitGate"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	// The connection must still be usable by other calls.
+	if got, err := ref.Invoke("Ping"); err != nil || got != "pong" {
+		t.Fatalf("Ping after cancellation = %v, %v", got, err)
+	}
+	// Unblock the abandoned handler; its late response is dropped.
+	if _, err := ref.Invoke("Open"); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ref.Invoke("Ping"); err != nil || got != "pong" {
+		t.Fatalf("Ping after late response = %v, %v", got, err)
+	}
+	if d := net.dials.Load(); d != 1 {
+		t.Errorf("dials = %d, want 1: cancellation must not kill the connection", d)
+	}
+}
+
+// TestMultiplexedMaxInFlightBackpressure bounds concurrent exchanges: with
+// MaxInFlight=2, six concurrent callers must never execute more than two
+// methods at once server-side.
+func TestMultiplexedMaxInFlightBackpressure(t *testing.T) {
+	ch, srv, _ := newMuxServer(t)
+	ch.MaxInFlight = 2
+	var cur, peak atomic.Int64
+	blocker := &blockingService{cur: &cur, peak: &peak, dur: 30 * time.Millisecond}
+	srv.RegisterWellKnown("b", Singleton, func() any { return blocker })
+	ref, _ := GetObject(ch, srv.URLFor("b"))
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ref.Invoke("Work") //nolint:errcheck
+		}()
+	}
+	wg.Wait()
+	if peak.Load() > 2 {
+		t.Errorf("MaxInFlight violated: peak server concurrency %d", peak.Load())
+	}
+}
+
+// TestMultiplexedStaleConnRetry kills the server between calls: the
+// long-lived connection goes stale and the next call must transparently
+// redial instead of failing with ErrNodeDown.
+func TestMultiplexedStaleConnRetry(t *testing.T) {
+	net := transport.NewMemNetwork()
+	ch := NewMultiplexedChannel(net)
+	defer ch.Close()
+	srv, err := ch.ListenAndServe("mem://restart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.RegisterWellKnown("d", Singleton, func() any { return &divideServer{} })
+	ref, _ := GetObject(ch, srv.URLFor("d"))
+	if _, err := ref.Invoke("Noop"); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close() // peer "restarts": the pipe is now dead
+	srv2, err := ch.ListenAndServe("mem://restart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	srv2.RegisterWellKnown("d", Singleton, func() any { return &divideServer{} })
+	got, err := ref.Invoke("Divide", 9.0, 3.0)
+	if err != nil {
+		t.Fatalf("call after peer restart = %v, want transparent redial", err)
+	}
+	if got != 3.0 {
+		t.Errorf("Divide = %v", got)
+	}
+}
+
+// TestMultiplexedDownPeerFails ensures genuine failures still surface: with
+// no listener at all the retry must not loop or mask ErrNodeDown.
+func TestMultiplexedDownPeerFails(t *testing.T) {
+	net := transport.NewMemNetwork()
+	ch := NewMultiplexedChannel(net)
+	defer ch.Close()
+	ref := NewObjRef(ch, "mem://nowhere", "d")
+	if _, err := ref.Invoke("Noop"); !errors.Is(err, errs.ErrNodeDown) {
+		t.Fatalf("err = %v, want ErrNodeDown", err)
+	}
+}
+
+// TestPooledStaleConnRetry is the regression test for the pooled channel's
+// stale-connection bug: a server restart between calls left a dead
+// connection in the pool and the next call failed with ErrNodeDown instead
+// of redialling.
+func TestPooledStaleConnRetry(t *testing.T) {
+	net := transport.NewMemNetwork()
+	ch := NewTCPChannel(net)
+	defer ch.Close()
+	srv, err := ch.ListenAndServe("mem://restart-pooled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := &divideServer{}
+	srv.RegisterWellKnown("d", Singleton, func() any { return shared })
+	ref, _ := GetObject(ch, srv.URLFor("d"))
+	if _, err := ref.Invoke("Noop"); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close() // kills the pooled connection under us
+	srv2, err := ch.ListenAndServe("mem://restart-pooled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	srv2.RegisterWellKnown("d", Singleton, func() any { return shared })
+	got, err := ref.Invoke("Divide", 10.0, 2.0)
+	if err != nil {
+		t.Fatalf("call after peer restart = %v, want retry on a fresh connection", err)
+	}
+	if got != 5.0 {
+		t.Errorf("Divide = %v", got)
+	}
+}
+
+// TestPooledDownPeerStillFails: with the peer gone for good, the single
+// retry dials, fails, and the caller sees ErrNodeDown — no retry loop.
+func TestPooledDownPeerStillFails(t *testing.T) {
+	net := transport.NewMemNetwork()
+	ch := NewTCPChannel(net)
+	defer ch.Close()
+	srv, err := ch.ListenAndServe("mem://gone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.RegisterWellKnown("d", Singleton, func() any { return &divideServer{} })
+	ref, _ := GetObject(ch, srv.URLFor("d"))
+	if _, err := ref.Invoke("Noop"); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if _, err := ref.Invoke("Noop"); !errors.Is(err, errs.ErrNodeDown) {
+		t.Fatalf("err = %v, want ErrNodeDown", err)
+	}
+}
+
+// TestChannelCloseDrainsConnections: Close releases idle pooled conns and
+// multiplexed peers; the channel stays usable and redials afterwards.
+func TestChannelCloseDrainsConnections(t *testing.T) {
+	t.Run("pooled", func(t *testing.T) {
+		net := transport.NewMemNetwork()
+		ch := NewTCPChannel(net)
+		srv, err := ch.ListenAndServe("mem://drain")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		srv.RegisterWellKnown("d", Singleton, func() any { return &divideServer{} })
+		ref, _ := GetObject(ch, srv.URLFor("d"))
+		if _, err := ref.Invoke("Noop"); err != nil {
+			t.Fatal(err)
+		}
+		ch.pool.mu.Lock()
+		idle := len(ch.pool.idle["mem://drain"])
+		ch.pool.mu.Unlock()
+		if idle != 1 {
+			t.Fatalf("idle conns before Close = %d, want 1", idle)
+		}
+		ch.Close()
+		ch.pool.mu.Lock()
+		drained := ch.pool.idle == nil
+		ch.pool.mu.Unlock()
+		if !drained {
+			t.Error("Close left idle connections pooled")
+		}
+		if _, err := ref.Invoke("Noop"); err != nil {
+			t.Errorf("channel unusable after Close: %v", err)
+		}
+	})
+	t.Run("multiplexed", func(t *testing.T) {
+		ch, srv, net := newMuxServer(t)
+		srv.RegisterWellKnown("d", Singleton, func() any { return &divideServer{} })
+		ref, _ := GetObject(ch, srv.URLFor("d"))
+		if _, err := ref.Invoke("Noop"); err != nil {
+			t.Fatal(err)
+		}
+		ch.Close()
+		ch.muxMu.Lock()
+		peers := len(ch.muxPeers)
+		ch.muxMu.Unlock()
+		if peers != 0 {
+			t.Errorf("Close left %d multiplexed peers", peers)
+		}
+		if _, err := ref.Invoke("Noop"); err != nil {
+			t.Errorf("channel unusable after Close: %v", err)
+		}
+		if d := net.dials.Load(); d != 2 {
+			t.Errorf("dials = %d, want 2 (redial after Close)", d)
+		}
+	})
+}
+
+// TestMultiplexedWithThreadPool: the pool still caps execution concurrency
+// when requests arrive pipelined on one connection.
+func TestMultiplexedWithThreadPool(t *testing.T) {
+	pool := threadpool.New(2, 0)
+	defer pool.Close()
+	ch, srv, _ := newMuxServer(t, WithPool(pool))
+	var cur, peak atomic.Int64
+	blocker := &blockingService{cur: &cur, peak: &peak, dur: 20 * time.Millisecond}
+	srv.RegisterWellKnown("b", Singleton, func() any { return blocker })
+	ref, _ := GetObject(ch, srv.URLFor("b"))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ref.Invoke("Work") //nolint:errcheck
+		}()
+	}
+	wg.Wait()
+	if peak.Load() > 2 {
+		t.Errorf("pool cap violated under pipelining: peak %d", peak.Load())
+	}
+}
+
+// TestMultiplexedCallSequencerOrdering: client-side ordering guarantees
+// survive the concurrent server dispatch because the sequencer itself
+// serialises, one call at a time.
+func TestMultiplexedCallSequencerOrdering(t *testing.T) {
+	ch, srv, _ := newMuxServer(t)
+	rec := &recorder{}
+	srv.RegisterWellKnown("r", Singleton, func() any { return rec })
+	ref, _ := GetObject(ch, srv.URLFor("r"))
+	cs := NewCallSequencer(ref)
+	const n = 50
+	for i := 0; i < n; i++ {
+		cs.Post("Add", i)
+	}
+	cs.Flush()
+	got := rec.snapshot()
+	if len(got) != n {
+		t.Fatalf("recorded %d calls, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("call %d recorded value %d; ordering violated", i, v)
+		}
+	}
+}
+
+// TestMultiplexedCloseDoesNotRetry: an in-flight call failed by an orderly
+// Channel.Close must surface ErrNodeDown without redialling — a retry
+// would re-create the connection Close just released.
+func TestMultiplexedCloseDoesNotRetry(t *testing.T) {
+	ch, srv, net := newMuxServer(t)
+	g := newGateService()
+	srv.RegisterWellKnown("g", Singleton, func() any { return g })
+	ref, _ := GetObject(ch, srv.URLFor("g"))
+	ar := ref.BeginInvoke("WaitGate")
+	select {
+	case <-g.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitGate never reached the server")
+	}
+	ch.Close()
+	if _, err := ar.EndInvoke(); !errors.Is(err, errs.ErrNodeDown) {
+		t.Fatalf("in-flight call after Close = %v, want ErrNodeDown", err)
+	}
+	if d := net.dials.Load(); d != 1 {
+		t.Errorf("dials = %d, want 1: Close must not trigger a retry redial", d)
+	}
+	close(g.gate) // release the abandoned server-side handler
+}

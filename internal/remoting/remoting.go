@@ -3,8 +3,11 @@
 //
 //   - channels in the .NET sense: the modern TCP channel (compact binary
 //     formatter, pooled connections — Mono 1.1.7), the legacy TCP channel
-//     (unpooled, small flushed chunks — Mono 1.0.5) and the HTTP channel
-//     (verbose SOAP-style text, per-call connections);
+//     (unpooled, small flushed chunks — Mono 1.0.5), the HTTP channel
+//     (verbose SOAP-style text, per-call connections), and — beyond the
+//     paper's 2005 stacks — the multiplexed channel (one long-lived
+//     connection per peer pipelining many concurrent calls, responses
+//     matched by sequence number and completing out of order);
 //   - server-side object publication: RegisterWellKnown with Singleton and
 //     SingleCall activation (the object-factory modes §2 highlights as the
 //     improvement over Java RMI), plus Marshal for explicitly instantiated

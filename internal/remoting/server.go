@@ -214,15 +214,25 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// handleConn serves one client connection. The connection carries at most
-// one outstanding call (the client pools connections instead of pipelining),
-// so responses are written in request order. When a thread pool is
-// configured, the method body executes on the pool — the read loop plays the
-// channel's IO thread — so the pool's cap bounds server-side concurrency
-// exactly as Mono's ThreadPool did.
+// handleConn serves one client connection with a concurrent dispatch loop:
+// the read loop plays the channel's IO thread, reading frames continuously
+// and handing each request to a worker (the configured thread pool, or a
+// fresh goroutine in the idealised unbounded runtime) instead of blocking
+// the connection on one handler. Responses carry the request's sequence
+// number and are written as their handlers finish — out of order when a
+// multiplexed client pipelines calls — under a per-connection write lock so
+// multi-frame encodings (the legacy chunked channel) never interleave.
+// When a thread pool is configured its cap still bounds server-side
+// execution concurrency exactly as Mono's ThreadPool did; pipelining only
+// changes how fast requests reach the pool's queue.
 func (s *Server) handleConn(c transport.Conn) {
 	defer s.wg.Done()
+	var sendMu sync.Mutex
+	var calls sync.WaitGroup
 	defer func() {
+		// Let in-flight handlers write (or fail to write) their replies
+		// before the connection is torn down.
+		calls.Wait()
 		c.Close()
 		s.mu.Lock()
 		delete(s.conns, c)
@@ -239,29 +249,36 @@ func (s *Server) handleConn(c transport.Conn) {
 			// reply; drop the connection.
 			return
 		}
-		var resp *callResponse
+		handle := func() {
+			s.writeResponse(c, &sendMu, req, s.dispatch(req))
+		}
+		calls.Add(1)
 		if s.pool != nil {
-			done := make(chan *callResponse, 1)
-			submitErr := s.pool.Submit(func() { done <- s.dispatch(req) })
-			if submitErr != nil {
-				resp = errorResponse(req, fmt.Sprintf("server shutting down: %v", submitErr))
-			} else {
-				resp = <-done
+			if submitErr := s.pool.Submit(func() { defer calls.Done(); handle() }); submitErr != nil {
+				s.writeResponse(c, &sendMu, req, errorResponse(req, fmt.Sprintf("server shutting down: %v", submitErr)))
+				calls.Done()
 			}
 		} else {
-			resp = s.dispatch(req)
+			go func() { defer calls.Done(); handle() }()
 		}
-		rawResp, err := s.ch.encodeResponse(resp)
+	}
+}
+
+// writeResponse encodes resp and writes it under the connection's write
+// lock. Unencodable results degrade to an error reply; write failures are
+// left to the read loop, which observes the dead connection on its next
+// receive.
+func (s *Server) writeResponse(c transport.Conn, sendMu *sync.Mutex, req *callRequest, resp *callResponse) {
+	rawResp, err := s.ch.encodeResponse(resp)
+	if err != nil {
+		rawResp, err = s.ch.encodeResponse(errorResponse(req, fmt.Sprintf("unencodable result: %v", err)))
 		if err != nil {
-			rawResp, err = s.ch.encodeResponse(errorResponse(req, fmt.Sprintf("unencodable result: %v", err)))
-			if err != nil {
-				return
-			}
-		}
-		if err := s.ch.sendMsg(c, rawResp); err != nil {
 			return
 		}
 	}
+	sendMu.Lock()
+	defer sendMu.Unlock()
+	s.ch.sendMsg(c, rawResp) //nolint:errcheck // read loop notices the dead conn
 }
 
 func errorResponse(req *callRequest, msg string) *callResponse {

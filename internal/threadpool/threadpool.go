@@ -27,12 +27,19 @@ type Pool struct {
 	queue chan func()
 	wg    sync.WaitGroup
 
-	mu     sync.Mutex
-	closed bool
+	mu      sync.Mutex
+	cond    *sync.Cond // signals work-item completion to Wait
+	waiters int        // Wait calls currently blocked on cond
+	closed  bool
+	// submitters tracks Submit calls between their closed-check and their
+	// queue send, so Close can wait them out before closing the queue
+	// (sending on a closed channel would panic).
+	submitters sync.WaitGroup
 
 	running   atomic.Int64
 	completed atomic.Int64
 	submitted atomic.Int64
+	panics    atomic.Int64
 	// queuedNanos accumulates time items spent waiting in the queue, the
 	// starvation signal the paper describes.
 	queuedNanos atomic.Int64
@@ -55,6 +62,7 @@ func New(maxWorkers, queueCap int) *Pool {
 		max:   maxWorkers,
 		queue: make(chan func(), queueCap),
 	}
+	p.cond = sync.NewCond(&p.mu)
 	for i := 0; i < maxWorkers; i++ {
 		p.wg.Add(1)
 		go p.worker()
@@ -69,23 +77,39 @@ func (p *Pool) worker() {
 		job()
 		p.running.Add(-1)
 		p.completed.Add(1)
+		// Wake blocked Wait calls. The completed increment above
+		// happens before the lock is taken, so a waiter that re-checks
+		// under the lock observes it; broadcasting only when waiters
+		// exist keeps the per-job cost to one uncontended lock.
+		p.mu.Lock()
+		if p.waiters > 0 {
+			p.cond.Broadcast()
+		}
+		p.mu.Unlock()
 	}
 }
 
 // Submit enqueues f. It blocks when the queue is full and returns ErrClosed
-// after Close. The panic of a work item is recovered and accounted as a
-// completion so one bad request cannot kill a server dispatch loop.
+// after Close. The panic of a work item is recovered, counted in
+// Stats.Panics and accounted as a completion so one bad request cannot kill
+// a server dispatch loop.
 func (p *Pool) Submit(f func()) error {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
 		return ErrClosed
 	}
+	p.submitters.Add(1)
+	defer p.submitters.Done()
 	p.submitted.Add(1)
 	enqueued := time.Now()
 	wrapped := func() {
 		p.queuedNanos.Add(time.Since(enqueued).Nanoseconds())
-		defer func() { recover() }()
+		defer func() {
+			if r := recover(); r != nil {
+				p.panics.Add(1)
+			}
+		}()
 		f()
 	}
 	// Track high-water mark of the queue under the lock so the reading
@@ -99,15 +123,22 @@ func (p *Pool) Submit(f func()) error {
 }
 
 // Wait blocks until every submitted item has completed. It does not close
-// the pool.
+// the pool. Completion is signalled by the workers through a condition
+// variable — no polling, no busy-spin.
 func (p *Pool) Wait() {
+	p.mu.Lock()
+	p.waiters++
 	for p.completed.Load() < p.submitted.Load() {
-		time.Sleep(100 * time.Microsecond)
+		p.cond.Wait()
 	}
+	p.waiters--
+	p.mu.Unlock()
 }
 
 // Close stops accepting work, waits for queued work to drain and releases
-// the workers.
+// the workers. Safe to call concurrently with Submit: a Submit that passed
+// its closed-check first completes its enqueue (the workers still drain it)
+// before the queue closes.
 func (p *Pool) Close() {
 	p.mu.Lock()
 	if p.closed {
@@ -116,6 +147,9 @@ func (p *Pool) Close() {
 	}
 	p.closed = true
 	p.mu.Unlock()
+	// No new submitters can register (closed is set under mu); wait out
+	// the ones already past the check so the sends below cannot panic.
+	p.submitters.Wait()
 	close(p.queue)
 	p.wg.Wait()
 }
@@ -131,6 +165,10 @@ type Stats struct {
 	Completed   int64
 	QueueLen    int
 	MaxQueueLen int64
+	// Panics counts work items that panicked; each is recovered (the
+	// worker survives) but surfaced here instead of being silently
+	// swallowed.
+	Panics int64
 	// TotalQueueWait is the cumulative time items waited before a worker
 	// picked them up — the starvation measure for experiment A4.
 	TotalQueueWait time.Duration
@@ -145,12 +183,13 @@ func (p *Pool) Snapshot() Stats {
 		Completed:      p.completed.Load(),
 		QueueLen:       len(p.queue),
 		MaxQueueLen:    p.maxQueueLen.Load(),
+		Panics:         p.panics.Load(),
 		TotalQueueWait: time.Duration(p.queuedNanos.Load()),
 	}
 }
 
 // String implements fmt.Stringer for diagnostics.
 func (s Stats) String() string {
-	return fmt.Sprintf("workers=%d running=%d submitted=%d completed=%d queue=%d maxqueue=%d wait=%v",
-		s.MaxWorkers, s.Running, s.Submitted, s.Completed, s.QueueLen, s.MaxQueueLen, s.TotalQueueWait)
+	return fmt.Sprintf("workers=%d running=%d submitted=%d completed=%d queue=%d maxqueue=%d panics=%d wait=%v",
+		s.MaxWorkers, s.Running, s.Submitted, s.Completed, s.QueueLen, s.MaxQueueLen, s.Panics, s.TotalQueueWait)
 }

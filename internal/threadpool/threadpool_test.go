@@ -87,6 +87,85 @@ func TestPanicRecovered(t *testing.T) {
 	}
 }
 
+func TestPanicsCounted(t *testing.T) {
+	p := New(2, 0)
+	defer p.Close()
+	p.Submit(func() { panic("boom") })
+	p.Submit(func() { panic("boom again") })
+	p.Submit(func() {})
+	p.Wait()
+	s := p.Snapshot()
+	if s.Panics != 2 {
+		t.Errorf("panics = %d, want 2 (recovered panics must be surfaced, not swallowed)", s.Panics)
+	}
+	if s.Completed != 3 {
+		t.Errorf("completed = %d, want 3", s.Completed)
+	}
+}
+
+// TestWaitReleasesPromptly: Wait must return once work drains without
+// relying on a poll interval, including when items finish while Wait is
+// already blocked.
+func TestWaitReleasesPromptly(t *testing.T) {
+	p := New(2, 0)
+	defer p.Close()
+	release := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		p.Submit(func() { <-release })
+	}
+	done := make(chan struct{})
+	go func() { p.Wait(); close(done) }()
+	select {
+	case <-done:
+		t.Fatal("Wait returned with items still running")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait did not wake after completion")
+	}
+}
+
+// TestConcurrentSubmitWaitClose races Submit, Wait and Close under the race
+// detector: no deadlock, no lost completions, no double close.
+func TestConcurrentSubmitWaitClose(t *testing.T) {
+	p := New(4, 0)
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				// ErrClosed is expected once Close starts.
+				p.Submit(func() { ran.Add(1) }) //nolint:errcheck
+			}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				p.Wait()
+			}
+		}()
+	}
+	wg.Wait()
+	p.Wait()
+	s := p.Snapshot()
+	if s.Completed != s.Submitted {
+		t.Errorf("completed %d != submitted %d after Wait", s.Completed, s.Submitted)
+	}
+	if ran.Load() != s.Completed {
+		t.Errorf("ran %d != completed %d", ran.Load(), s.Completed)
+	}
+	p.Close()
+	p.Close()
+}
+
 func TestSubmitAfterClose(t *testing.T) {
 	p := New(1, 0)
 	p.Close()

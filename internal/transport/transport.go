@@ -105,10 +105,14 @@ func (t *tcpListener) Addr() string { return t.l.Addr().String() }
 type streamConn struct {
 	c       net.Conn
 	sendMu  sync.Mutex
+	wbuf    []byte // length prefix + body, reused between Sends
 	recvMu  sync.Mutex
-	lenBuf  [4]byte
 	rLenBuf [4]byte
 }
+
+// wbufRetain caps the write buffer kept between Sends; a one-off large
+// message does not pin its buffer forever.
+const wbufRetain = 64 << 10
 
 func newStreamConn(c net.Conn) *streamConn { return &streamConn{c: c} }
 
@@ -118,11 +122,21 @@ func (s *streamConn) Send(msg []byte) error {
 	}
 	s.sendMu.Lock()
 	defer s.sendMu.Unlock()
-	binary.BigEndian.PutUint32(s.lenBuf[:], uint32(len(msg)))
-	if _, err := s.c.Write(s.lenBuf[:]); err != nil {
-		return err
+	// Prefix and body go out in ONE Write: with Nagle disabled, separate
+	// writes would put the 4-byte prefix in its own packet, doubling the
+	// packet count exactly on the small pipelined messages where it hurts.
+	n := 4 + len(msg)
+	buf := s.wbuf
+	if cap(buf) < n {
+		buf = make([]byte, n)
+		if n <= wbufRetain {
+			s.wbuf = buf
+		}
 	}
-	_, err := s.c.Write(msg)
+	buf = buf[:n]
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(msg)))
+	copy(buf[4:], msg)
+	_, err := s.c.Write(buf)
 	return err
 }
 

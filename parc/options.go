@@ -16,12 +16,17 @@ type ChannelKind = remoting.Kind
 
 // Channel kinds.
 const (
-	// TCPChannel is the modern binary TCP channel (default).
+	// TCPChannel is the modern binary TCP channel (default): pooled
+	// connections, one in-flight call per connection.
 	TCPChannel = remoting.TCP
 	// LegacyTCPChannel is the Mono 1.0.5-style unpooled chunked channel.
 	LegacyTCPChannel = remoting.LegacyTCP
 	// HTTPChannel is the SOAP/HTTP channel.
 	HTTPChannel = remoting.HTTP
+	// MultiplexedChannel pipelines many concurrent calls over one
+	// long-lived connection per peer, with responses completing out of
+	// order — the high-fan-out configuration; see WithMaxInFlight.
+	MultiplexedChannel = remoting.Multiplexed
 )
 
 // CostModel injects 2005-era endpoint software costs (see package profile).
@@ -38,6 +43,7 @@ type options struct {
 	cost    CostModel
 	// shared scope
 	channel       ChannelKind
+	maxInFlight   int
 	poolSize      int
 	placement     PlacementPolicy
 	agglomeration AgglomerationPolicy
@@ -61,6 +67,12 @@ func WithChannel(k ChannelKind) Option { return func(o *options) { o.channel = k
 
 // WithCost charges per-endpoint software costs on the channel.
 func WithCost(m CostModel) Option { return func(o *options) { o.cost = m } }
+
+// WithMaxInFlight bounds the number of concurrent in-flight calls per peer
+// connection on the MultiplexedChannel; callers beyond the bound block
+// until a slot frees (backpressure). 0 (the default) selects the channel's
+// built-in default. Other channel kinds ignore it.
+func WithMaxInFlight(n int) Option { return func(o *options) { o.maxInFlight = n } }
 
 // WithPoolSize caps each node's concurrent request execution, modelling a
 // bounded VM thread pool; 0 (the default) means unbounded.
@@ -117,6 +129,7 @@ func StartCluster(opts ...Option) (*Cluster, error) {
 		Net:           o.network,
 		Cost:          o.cost,
 		PoolSize:      o.poolSize,
+		MaxInFlight:   o.maxInFlight,
 		Placement:     o.placement,
 		Agglomeration: o.agglomeration,
 		Aggregation:   o.aggregation,
@@ -143,10 +156,13 @@ func ServeNode(opts ...Option) (*Runtime, error) {
 		ch = remoting.NewLegacyTCPChannel(net)
 	case HTTPChannel:
 		ch = remoting.NewHTTPChannel(net)
+	case MultiplexedChannel:
+		ch = remoting.NewMultiplexedChannel(net)
 	default:
 		ch = remoting.NewTCPChannel(net)
 	}
 	ch.Cost = o.cost
+	ch.MaxInFlight = o.maxInFlight
 	var pool *threadpool.Pool
 	if o.poolSize > 0 {
 		// The pool lives as long as the process; Runtime.Close leaves it
