@@ -1,0 +1,69 @@
+// Command benchdiff is the CI benchmark-regression gate: it compares a
+// fresh parcbench -json report against the committed baseline and exits
+// non-zero when a tracked metric regressed beyond the tolerance.
+//
+// Usage:
+//
+//	go run ./cmd/parcbench -exp fanout -exp codec -json > BENCH_current.json
+//	go run ./cmd/benchdiff -baseline BENCH_baseline.json -current BENCH_current.json
+//
+// Tracked metrics: fanout calls/s (per channel, must not drop) and codec
+// ns/op (per path/op, must not rise). Rows present in the baseline but
+// missing from the current report fail the gate. Improvements pass; commit
+// a refreshed baseline to bank them (see the README's "Refreshing the
+// benchmark baseline" section).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_baseline.json", "committed baseline report")
+	current := flag.String("current", "", "fresh report to check (required)")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional regression (0.15 = 15%)")
+	relative := flag.Bool("relative", false,
+		"compare machine-independent ratios (codec speedups, fanout channel ratios) instead of absolute calls/s and ns/op; use when baseline and current ran on different hardware (CI)")
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base, err := bench.ReadReport(*baseline)
+	if err != nil {
+		log.Fatalf("benchdiff: %v", err)
+	}
+	cur, err := bench.ReadReport(*current)
+	if err != nil {
+		log.Fatalf("benchdiff: %v", err)
+	}
+
+	var problems []string
+	var tracked int
+	if *relative {
+		problems = bench.CompareReportsRelative(base, cur, *tolerance)
+		tracked = len(bench.RelativeMetrics(base))
+	} else {
+		problems = bench.CompareReports(base, cur, *tolerance)
+		tracked = len(base.Fanout) + len(base.Codec)
+	}
+	mode := "absolute"
+	if *relative {
+		mode = "relative"
+	}
+	if len(problems) > 0 {
+		fmt.Printf("benchdiff: %d %s regression(s) beyond %.0f%% against %s:\n", len(problems), mode, 100**tolerance, *baseline)
+		for _, p := range problems {
+			fmt.Println("  FAIL:", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: OK — %d %s metrics within %.0f%% of %s\n", tracked, mode, 100**tolerance, *baseline)
+}

@@ -4,16 +4,25 @@
 //
 // Usage:
 //
-//	parcbench                  # every experiment, quick settings
-//	parcbench -full            # full sweeps (paper-sized; minutes)
-//	parcbench -exp fig8a       # one experiment: fig8a fig8b latency fig9
-//	                           # seqratio overhead agg agglom codecs pool
-//	                           # fanout
+//	parcbench                        # every experiment, quick settings
+//	parcbench -full                  # full sweeps (paper-sized; minutes)
+//	parcbench -exp fig8a             # one experiment
+//	parcbench -exp fanout -exp codec # several (repeat -exp or comma-join)
+//	parcbench -exp fanout -exp codec -json > BENCH.json
+//
+// Experiments: fig8a fig8b latency fig9 seqratio overhead agg agglom
+// codecs pool fanout codec.
+//
+// With -json the human tables go to stderr and a machine-readable
+// bench.Report (the format BENCH_baseline.json and the CI regression gate
+// consume) is written to stdout.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -23,15 +32,43 @@ import (
 	"repro/internal/profile"
 )
 
+// expFlag collects repeated and/or comma-separated -exp values.
+type expFlag []string
+
+func (e *expFlag) String() string { return strings.Join(*e, ",") }
+
+func (e *expFlag) Set(v string) error {
+	for _, part := range strings.Split(v, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			*e = append(*e, part)
+		}
+	}
+	return nil
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment id (all, fig8a, fig8b, latency, fig9, seqratio, overhead, agg, agglom, codecs, pool, fanout)")
+	var exps expFlag
+	flag.Var(&exps, "exp", "experiment id, repeatable/comma-separated (all, fig8a, fig8b, latency, fig9, seqratio, overhead, agg, agglom, codecs, pool, fanout, codec)")
 	full := flag.Bool("full", false, "full paper-sized sweeps (slower)")
+	asJSON := flag.Bool("json", false, "write a machine-readable bench.Report to stdout (tables go to stderr)")
 	flag.Parse()
+	if len(exps) == 0 {
+		exps = expFlag{"all"}
+	}
 
 	run := func(name string) bool {
-		return *exp == "all" || strings.EqualFold(*exp, name)
+		for _, e := range exps {
+			if e == "all" || strings.EqualFold(e, name) {
+				return true
+			}
+		}
+		return false
 	}
-	out := os.Stdout
+	var out io.Writer = os.Stdout
+	if *asJSON {
+		out = os.Stderr
+	}
+	var report bench.Report
 	any := false
 
 	if run("fig8a") {
@@ -183,9 +220,27 @@ func main() {
 			log.Fatal(err)
 		}
 		bench.PrintFanout(out, rows)
+		report.Fanout = rows
+	}
+	if run("codec") {
+		any = true
+		fmt.Fprintln(out, "================================================================")
+		rows, err := bench.RunCodec()
+		if err != nil {
+			log.Fatal(err)
+		}
+		bench.PrintCodec(out, rows)
+		report.Codec = rows
 	}
 	if !any {
-		log.Fatalf("unknown experiment %q", *exp)
+		log.Fatalf("unknown experiment(s) %q", exps.String())
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 

@@ -1,7 +1,10 @@
 // Command parcgen is the ParC# preprocessor (paper §3.2) for Go sources:
 // it scans a file for types annotated with //parc:parallel and generates
 // the proxy-object code the C# preprocessor produced (PO types, factories
-// and typed async/sync method wrappers).
+// and typed async/sync method wrappers), plus typed invoker thunks so
+// server-side dispatch skips reflection. Structs annotated //parc:wire get
+// generated MarshalWire/UnmarshalWire codecs — the zero-reflection binfmt
+// fast path, byte-compatible with the reflective encoder.
 //
 // Usage:
 //

@@ -1,0 +1,18 @@
+package bench
+
+//go:generate go run repro/cmd/parcgen -in codecmsg.go -out codecmsg_parc.go
+
+// CodecCall mirrors the remoting request envelope shape (URI, method,
+// sequence number, deadline, argument list): the struct every remote call
+// serialises. The //parc:wire directive gives it a parcgen-generated codec,
+// so the codec experiment compares the generated and reflective binfmt
+// paths over exactly the bytes the RPC hot path pays for.
+//
+//parc:wire
+type CodecCall struct {
+	URI      string
+	Method   string
+	Seq      uint64
+	Deadline int64
+	Args     []any
+}

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Report is the machine-readable result set parcbench -json emits and the
+// CI regression gate diffs. Sections are present only when their
+// experiments ran.
+type Report struct {
+	Fanout []FanoutRow    `json:"fanout,omitempty"`
+	Codec  []CodecPathRow `json:"codec,omitempty"`
+}
+
+// WriteReport marshals a report with stable indentation (committed as
+// BENCH_baseline.json, diffed by humans).
+func WriteReport(path string, r Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadReport loads a report written by parcbench -json.
+func ReadReport(path string) (Report, error) {
+	var r Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("bench: parse report %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// RelativeMetrics derives the machine-independent ratios of a report:
+// per-op codec speedup (reflective ns/op over generated ns/op) and the
+// fanout throughput of every channel relative to the first (pooled)
+// channel. Ratios cancel the hardware term, so a baseline recorded on one
+// machine gates runs on another — the comparison CI uses, where runner
+// hardware differs from wherever BENCH_baseline.json was recorded.
+func RelativeMetrics(r Report) map[string]float64 {
+	out := map[string]float64{}
+	if len(r.Fanout) > 1 && r.Fanout[0].CallsPerSec > 0 {
+		base := r.Fanout[0]
+		for _, row := range r.Fanout[1:] {
+			out["fanout "+row.Channel+" vs "+base.Channel] = row.CallsPerSec / base.CallsPerSec
+		}
+	}
+	byKey := map[string]CodecPathRow{}
+	for _, row := range r.Codec {
+		byKey[row.Path+"/"+row.Op] = row
+	}
+	for _, op := range []string{"encode", "decode"} {
+		g, okG := byKey["generated/"+op]
+		rf, okR := byKey["reflective/"+op]
+		if okG && okR && g.NsPerOp > 0 {
+			out["codec "+op+" speedup"] = rf.NsPerOp / g.NsPerOp
+		}
+	}
+	return out
+}
+
+// CompareReportsRelative checks the ratio metrics of current against
+// baseline: every baseline ratio must be present and must not drop more
+// than tolerance below its baseline value. Higher is always better for
+// these ratios (throughput gain, speedup), so improvements pass. This is
+// the hardware-robust gate: a uniformly slower runner shifts both sides of
+// each ratio and cancels out, while losing the generated codec's edge or
+// the multiplexed channel's pipelining shows up regardless of hardware.
+func CompareReportsRelative(baseline, current Report, tolerance float64) []string {
+	var problems []string
+	base := RelativeMetrics(baseline)
+	cur := RelativeMetrics(current)
+	for key, b := range base {
+		c, ok := cur[key]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: missing from current report", key))
+			continue
+		}
+		if c < b*(1-tolerance) {
+			problems = append(problems, fmt.Sprintf(
+				"%s: %.2fx is %.1f%% below baseline %.2fx (tolerance %.0f%%)",
+				key, c, 100*(1-c/b), b, 100*tolerance))
+		}
+	}
+	sort.Strings(problems)
+	return problems
+}
+
+// CompareReports checks current against baseline and returns one problem
+// string per regression beyond tolerance (0.15 means a 15% budget):
+//
+//   - a fanout row whose calls/s dropped more than tolerance below the
+//     baseline row with the same channel name;
+//   - a codec row whose ns/op rose more than tolerance above the baseline
+//     row with the same (path, op);
+//   - a baseline row missing from current — a silently dropped experiment
+//     must fail the gate, not pass it.
+//
+// Improvements never count as problems (refresh the committed baseline to
+// bank them; see README). An empty slice means the gate passes.
+func CompareReports(baseline, current Report, tolerance float64) []string {
+	var problems []string
+
+	curFan := map[string]FanoutRow{}
+	for _, r := range current.Fanout {
+		curFan[r.Channel] = r
+	}
+	for _, b := range baseline.Fanout {
+		c, ok := curFan[b.Channel]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("fanout %q: missing from current report", b.Channel))
+			continue
+		}
+		floor := b.CallsPerSec * (1 - tolerance)
+		if c.CallsPerSec < floor {
+			problems = append(problems, fmt.Sprintf(
+				"fanout %q: %.0f calls/s is %.1f%% below baseline %.0f (tolerance %.0f%%)",
+				b.Channel, c.CallsPerSec, 100*(1-c.CallsPerSec/b.CallsPerSec), b.CallsPerSec, 100*tolerance))
+		}
+	}
+
+	codecKey := func(r CodecPathRow) string { return r.Path + "/" + r.Op }
+	curCodec := map[string]CodecPathRow{}
+	for _, r := range current.Codec {
+		curCodec[codecKey(r)] = r
+	}
+	for _, b := range baseline.Codec {
+		c, ok := curCodec[codecKey(b)]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("codec %s: missing from current report", codecKey(b)))
+			continue
+		}
+		ceil := b.NsPerOp * (1 + tolerance)
+		if c.NsPerOp > ceil {
+			problems = append(problems, fmt.Sprintf(
+				"codec %s: %.1f ns/op is %.1f%% above baseline %.1f (tolerance %.0f%%)",
+				codecKey(b), c.NsPerOp, 100*(c.NsPerOp/b.NsPerOp-1), b.NsPerOp, 100*tolerance))
+		}
+	}
+
+	sort.Strings(problems)
+	return problems
+}

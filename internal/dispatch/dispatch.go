@@ -37,7 +37,18 @@ func Invoke(obj any, method string, args []any) (any, error) {
 // led by a context.Context) and 0, 1 or 2 results. A trailing error result
 // is mapped onto the returned error; a single non-error result is returned
 // as the value.
+//
+// When a generated invoker thunk is registered for the object's concrete
+// type (see RegisterInvokers), it is used instead of the reflective path:
+// argument binding then skips wire.Assign and the call skips
+// reflect.Value.Call entirely.
 func InvokeCtx(ctx context.Context, obj any, method string, args []any) (any, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if inv := lookupInvoker(reflect.TypeOf(obj), method); inv != nil {
+		return inv(ctx, obj, args)
+	}
 	rv := reflect.ValueOf(obj)
 	m := rv.MethodByName(method)
 	if !m.IsValid() {

@@ -1,0 +1,106 @@
+// Typed invoker thunks: the zero-reflection fast path of method dispatch.
+//
+// The reflective Invoke path pays MethodByName, AssignArgs and
+// reflect.Value.Call on every request. parcgen emits, for every
+// //parc:parallel class, a map of Invoker thunks that bind arguments with
+// plain type assertions and call the method directly; RegisterInvokers
+// installs them here and InvokeCtx consults the registry before falling
+// back to reflection. An object type without registered thunks (or a method
+// missing from its map) behaves exactly as before.
+package dispatch
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/wire"
+)
+
+// Invoker executes one method on obj with decoded wire arguments. obj is
+// always the concrete type the thunks were registered for (the registry is
+// keyed by it), so generated code may assert without checking.
+type Invoker func(ctx context.Context, obj any, args []any) (any, error)
+
+// invokerTables is the immutable snapshot swapped on registration so the
+// per-call lookup is lock-free.
+type invokerTables struct {
+	byType map[reflect.Type]map[string]Invoker
+}
+
+var (
+	invMu  sync.Mutex
+	invTab atomic.Pointer[invokerTables]
+)
+
+func init() {
+	invTab.Store(&invokerTables{byType: map[reflect.Type]map[string]Invoker{}})
+}
+
+// RegisterInvokers installs generated invoker thunks for the concrete type
+// of sample (use the same pointer-ness objects are dispatched with: the
+// SCOOPP runtime and the remoting factories create *T). Registering the
+// same type again merges the maps, later registrations winning per method.
+func RegisterInvokers(sample any, m map[string]Invoker) {
+	t := reflect.TypeOf(sample)
+	if t == nil {
+		panic("dispatch: RegisterInvokers with nil sample")
+	}
+	invMu.Lock()
+	defer invMu.Unlock()
+	old := invTab.Load()
+	next := &invokerTables{byType: make(map[reflect.Type]map[string]Invoker, len(old.byType)+1)}
+	for k, v := range old.byType {
+		next.byType[k] = v
+	}
+	merged := make(map[string]Invoker, len(m)+len(next.byType[t]))
+	for k, v := range next.byType[t] {
+		merged[k] = v
+	}
+	for k, v := range m {
+		merged[k] = v
+	}
+	next.byType[t] = merged
+	invTab.Store(next)
+}
+
+// lookupInvoker returns the thunk for (t, method), or nil.
+func lookupInvoker(t reflect.Type, method string) Invoker {
+	return invTab.Load().byType[t][method]
+}
+
+// HasInvoker reports whether a generated thunk is registered for the
+// concrete type of obj and method.
+func HasInvoker(obj any, method string) bool {
+	return lookupInvoker(reflect.TypeOf(obj), method) != nil
+}
+
+// Arg binds args[i] to T: a plain type assertion on the fast path, the
+// wire.Assign conversion rules on mismatch (an int64 from an older peer
+// binding to an int parameter, a []any to a typed slice, ...). Generated
+// thunks perform the arity check before calling it.
+func Arg[T any](args []any, i int) (T, error) {
+	if v, ok := args[i].(T); ok {
+		return v, nil
+	}
+	var zero T
+	av, err := wire.Assign(reflect.TypeFor[T](), args[i])
+	if err != nil {
+		return zero, err
+	}
+	return av.Interface().(T), nil
+}
+
+// BadArg wraps an argument-binding failure with the method context, in the
+// same shape the reflective path produces.
+func BadArg(obj any, method string, i int, err error) error {
+	return fmt.Errorf("method %T.%s: argument %d: %w", obj, method, i, err)
+}
+
+// BadArity reports an argument-count mismatch, in the same shape the
+// reflective path produces.
+func BadArity(obj any, method string, got, want int) error {
+	return fmt.Errorf("method %T.%s: wire: got %d arguments, want %d", obj, method, got, want)
+}

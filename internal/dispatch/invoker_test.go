@@ -1,0 +1,179 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/errs"
+)
+
+// thunkTarget plays a generated parallel-object class; its thunks below are
+// written in parcgen's output shape.
+type thunkTarget struct {
+	calls   int
+	lastCtx context.Context
+}
+
+func (t *thunkTarget) Add(a, b int) int { t.calls++; return a + b }
+
+func (t *thunkTarget) Fail() error { return errors.New("boom") }
+
+func (t *thunkTarget) WithCtx(ctx context.Context, s string) string {
+	t.lastCtx = ctx
+	return "ctx:" + s
+}
+
+// Reflected has no invokers registered; it must keep using the reflective
+// path untouched.
+type reflectedTarget struct{}
+
+func (reflectedTarget) Double(v int) int { return 2 * v }
+
+func registerThunks(t *testing.T) *int {
+	t.Helper()
+	thunkCalls := new(int)
+	RegisterInvokers(&thunkTarget{}, map[string]Invoker{
+		"Add": func(ctx context.Context, obj any, args []any) (any, error) {
+			*thunkCalls++
+			x := obj.(*thunkTarget)
+			if len(args) != 2 {
+				return nil, BadArity(obj, "Add", len(args), 2)
+			}
+			a0, err := Arg[int](args, 0)
+			if err != nil {
+				return nil, BadArg(obj, "Add", 0, err)
+			}
+			a1, err := Arg[int](args, 1)
+			if err != nil {
+				return nil, BadArg(obj, "Add", 1, err)
+			}
+			return x.Add(a0, a1), nil
+		},
+		"WithCtx": func(ctx context.Context, obj any, args []any) (any, error) {
+			*thunkCalls++
+			x := obj.(*thunkTarget)
+			if len(args) != 1 {
+				return nil, BadArity(obj, "WithCtx", len(args), 1)
+			}
+			a0, err := Arg[string](args, 0)
+			if err != nil {
+				return nil, BadArg(obj, "WithCtx", 0, err)
+			}
+			return x.WithCtx(ctx, a0), nil
+		},
+	})
+	return thunkCalls
+}
+
+func TestInvokerFastPath(t *testing.T) {
+	thunkCalls := registerThunks(t)
+	obj := &thunkTarget{}
+
+	res, err := Invoke(obj, "Add", []any{int64(2), 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != 5 {
+		t.Errorf("Add = %v, want 5", res)
+	}
+	if *thunkCalls != 1 {
+		t.Errorf("thunk used %d times, want 1", *thunkCalls)
+	}
+	if obj.calls != 1 {
+		t.Errorf("method executed %d times, want 1", obj.calls)
+	}
+
+	// Context injection flows through the thunk.
+	type key struct{}
+	ctx := context.WithValue(context.Background(), key{}, "v")
+	res, err = InvokeCtx(ctx, obj, "WithCtx", []any{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != "ctx:x" {
+		t.Errorf("WithCtx = %v", res)
+	}
+	if obj.lastCtx == nil || obj.lastCtx.Value(key{}) != "v" {
+		t.Errorf("caller context did not reach the method: %v", obj.lastCtx)
+	}
+}
+
+func TestInvokerFallbacks(t *testing.T) {
+	thunkCalls := registerThunks(t)
+	obj := &thunkTarget{}
+
+	// A method outside the thunk map uses the reflective path and still
+	// works (including its error mapping).
+	if _, err := Invoke(obj, "Fail", nil); err == nil || err.Error() != "boom" {
+		t.Errorf("reflective fallback Fail: %v", err)
+	}
+	// Unknown method still reports NoMethodError / ErrNoSuchMethod.
+	_, err := Invoke(obj, "Nope", nil)
+	if !errors.Is(err, errs.ErrNoSuchMethod) {
+		t.Errorf("unknown method error = %v", err)
+	}
+	// Types without invokers never see the registry.
+	res, err := Invoke(reflectedTarget{}, "Double", []any{21})
+	if err != nil || res != 42 {
+		t.Errorf("reflective type: %v, %v", res, err)
+	}
+	if *thunkCalls != 0 {
+		t.Errorf("thunks ran %d times for non-thunk calls", *thunkCalls)
+	}
+}
+
+func TestInvokerArgErrors(t *testing.T) {
+	registerThunks(t)
+	obj := &thunkTarget{}
+
+	if _, err := Invoke(obj, "Add", []any{1}); err == nil {
+		t.Error("expected arity error")
+	}
+	_, err := Invoke(obj, "Add", []any{"a", "b"})
+	if err == nil {
+		t.Fatal("expected conversion error")
+	}
+	if !errors.Is(err, errs.ErrBadConversion) {
+		t.Errorf("conversion error %v does not unwrap to ErrBadConversion", err)
+	}
+}
+
+func TestArgConversions(t *testing.T) {
+	// Exact type: no conversion.
+	v, err := Arg[int]([]any{7}, 0)
+	if err != nil || v != 7 {
+		t.Errorf("Arg[int] = %v, %v", v, err)
+	}
+	// Wire widening: int64 -> int.
+	v, err = Arg[int]([]any{int64(9)}, 0)
+	if err != nil || v != 9 {
+		t.Errorf("Arg[int](int64) = %v, %v", v, err)
+	}
+	// []any -> typed slice.
+	s, err := Arg[[]int]([]any{[]any{1, 2}}, 0)
+	if err != nil || len(s) != 2 {
+		t.Errorf("Arg[[]int] = %v, %v", s, err)
+	}
+	// Interface target.
+	a, err := Arg[any]([]any{"x"}, 0)
+	if err != nil || a != "x" {
+		t.Errorf("Arg[any] = %v, %v", a, err)
+	}
+	if _, err := Arg[int]([]any{"nope"}, 0); err == nil {
+		t.Error("Arg[int](string) should fail")
+	}
+}
+
+func TestHasInvoker(t *testing.T) {
+	registerThunks(t)
+	if !HasInvoker(&thunkTarget{}, "Add") {
+		t.Error("HasInvoker(thunkTarget, Add) = false")
+	}
+	if HasInvoker(&thunkTarget{}, "Fail") {
+		t.Error("HasInvoker(thunkTarget, Fail) = true for unregistered method")
+	}
+	if HasInvoker(reflectedTarget{}, "Double") {
+		t.Error("HasInvoker(reflectedTarget, Double) = true")
+	}
+}

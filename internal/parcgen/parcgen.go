@@ -26,6 +26,17 @@
 // A method whose first parameter is a context.Context receives the
 // caller's context there (injected on the hosting node, carrying the
 // caller's deadline); it is not part of the wire arguments.
+//
+// Two further artefacts make the runtime's hot paths reflection-free:
+//
+//   - every generated class also gets typed invoker thunks, registered via
+//     parc.RegisterInvokers, so server-side dispatch binds arguments with
+//     type assertions and calls the method directly instead of through
+//     reflect.Value.Call;
+//   - plain message structs annotated //parc:wire get generated
+//     MarshalWire/UnmarshalWire codec methods (byte-compatible with the
+//     reflective binfmt encoder) plus their wire-registry registration,
+//     removing reflection from serialisation of those types.
 package parcgen
 
 import (
@@ -43,6 +54,12 @@ import (
 
 // Directive is the comment that marks a parallel-object class.
 const Directive = "parc:parallel"
+
+// WireDirective is the comment that marks a plain message struct for
+// generated-codec emission: the generator writes MarshalWire/UnmarshalWire
+// methods plus a registration init, giving the type a zero-reflection
+// binfmt fast path (byte-compatible with the reflective encoder).
+const WireDirective = "parc:wire"
 
 // Class describes one annotated type and its wire-callable methods.
 type Class struct {
@@ -65,10 +82,27 @@ type Param struct {
 	Type string
 }
 
+// WireField is one exported field of a //parc:wire struct.
+type WireField struct {
+	Name string
+	Type string
+}
+
+// WireStruct is one //parc:wire message type: a plain struct whose exported
+// fields get a generated codec.
+type WireStruct struct {
+	Name string
+	// Fields are the exported fields in wire (alphabetical) order,
+	// matching the reflective encoder's deterministic field ordering.
+	Fields []WireField
+}
+
 // File is the analysis result of one source file.
 type File struct {
 	Package string
 	Classes []Class
+	// WireTypes are the //parc:wire structs receiving generated codecs.
+	WireTypes []WireStruct
 	// Imports are the source imports referenced by the generated
 	// signatures (path, optional alias).
 	Imports []ImportSpec
@@ -91,6 +125,7 @@ func Analyze(filename string, src []byte) (*File, error) {
 	out := &File{Package: f.Name.Name}
 
 	marked := map[string]bool{}
+	wireMarked := map[string]*ast.StructType{}
 	for _, decl := range f.Decls {
 		gd, ok := decl.(*ast.GenDecl)
 		if !ok || gd.Tok != token.TYPE {
@@ -101,15 +136,22 @@ func Analyze(filename string, src []byte) (*File, error) {
 			if !ok {
 				continue
 			}
-			if hasDirective(gd.Doc) || hasDirective(ts.Doc) || hasDirective(ts.Comment) {
-				if _, isStruct := ts.Type.(*ast.StructType); !isStruct {
+			st, isStruct := ts.Type.(*ast.StructType)
+			if hasDirective(Directive, gd.Doc) || hasDirective(Directive, ts.Doc) || hasDirective(Directive, ts.Comment) {
+				if !isStruct {
 					return nil, fmt.Errorf("parcgen: %s: directive on non-struct type %s", filename, ts.Name.Name)
 				}
 				marked[ts.Name.Name] = true
 			}
+			if hasDirective(WireDirective, gd.Doc) || hasDirective(WireDirective, ts.Doc) || hasDirective(WireDirective, ts.Comment) {
+				if !isStruct {
+					return nil, fmt.Errorf("parcgen: %s: wire directive on non-struct type %s", filename, ts.Name.Name)
+				}
+				wireMarked[ts.Name.Name] = st
+			}
 		}
 	}
-	if len(marked) == 0 {
+	if len(marked) == 0 && len(wireMarked) == 0 {
 		return out, nil
 	}
 
@@ -152,6 +194,20 @@ func Analyze(filename string, src []byte) (*File, error) {
 	for _, n := range names {
 		out.Classes = append(out.Classes, Class{Name: n, Methods: methods[n]})
 	}
+
+	wireNames := make([]string, 0, len(wireMarked))
+	for n := range wireMarked {
+		wireNames = append(wireNames, n)
+	}
+	sort.Strings(wireNames)
+	for _, n := range wireNames {
+		ws, err := analyzeWireStruct(fset, n, wireMarked[n], usedPkgs)
+		if err != nil {
+			return nil, fmt.Errorf("parcgen: %s: %w", filename, err)
+		}
+		out.WireTypes = append(out.WireTypes, ws)
+	}
+
 	for _, imp := range f.Imports {
 		path, _ := strconv.Unquote(imp.Path.Value)
 		name := importName(imp)
@@ -166,17 +222,41 @@ func Analyze(filename string, src []byte) (*File, error) {
 	return out, nil
 }
 
-func hasDirective(cg *ast.CommentGroup) bool {
+func hasDirective(directive string, cg *ast.CommentGroup) bool {
 	if cg == nil {
 		return false
 	}
 	for _, c := range cg.List {
 		text := strings.TrimPrefix(c.Text, "//")
-		if strings.TrimSpace(text) == Directive {
+		if strings.TrimSpace(text) == directive {
 			return true
 		}
 	}
 	return false
+}
+
+// analyzeWireStruct extracts the exported fields of a //parc:wire struct in
+// wire (alphabetical) order. Embedded fields are rejected: the reflective
+// encoder treats them as ordinary named fields of the outer struct, which a
+// generated codec cannot reproduce without flattening rules nobody needs
+// for message types.
+func analyzeWireStruct(fset *token.FileSet, name string, st *ast.StructType, usedPkgs map[string]bool) (WireStruct, error) {
+	ws := WireStruct{Name: name}
+	for _, field := range st.Fields.List {
+		if len(field.Names) == 0 {
+			return ws, fmt.Errorf("wire struct %s: embedded fields are not supported", name)
+		}
+		typ := renderExpr(fset, field.Type)
+		for _, fn := range field.Names {
+			if !fn.IsExported() {
+				continue
+			}
+			ws.Fields = append(ws.Fields, WireField{Name: fn.Name, Type: typ})
+			collectPkgs(field.Type, usedPkgs)
+		}
+	}
+	sort.Slice(ws.Fields, func(i, j int) bool { return ws.Fields[i].Name < ws.Fields[j].Name })
+	return ws, nil
 }
 
 func receiverType(expr ast.Expr) string {
@@ -291,20 +371,32 @@ func collectPkgs(e ast.Expr, used map[string]bool) {
 }
 
 // Generate emits the PO source for an analysed file. The class's wire name
-// is "<package>.<Type>", matching what RegisterT registers.
+// is "<package>.<Type>", matching what RegisterT registers. //parc:wire
+// structs additionally receive generated MarshalWire/UnmarshalWire codecs
+// (byte-compatible with the reflective binfmt encoder) plus their
+// registration, and every class gets zero-reflection invoker thunks.
 func Generate(f *File) ([]byte, error) {
-	if len(f.Classes) == 0 {
-		return nil, fmt.Errorf("parcgen: no //%s types found", Directive)
+	if len(f.Classes) == 0 && len(f.WireTypes) == 0 {
+		return nil, fmt.Errorf("parcgen: no //%s or //%s types found", Directive, WireDirective)
 	}
 	var b bytes.Buffer
 	fmt.Fprintf(&b, "// Code generated by parcgen; DO NOT EDIT.\n")
 	fmt.Fprintf(&b, "// Typed proxy objects for the SCOOPP runtime (paper Figs. 4-6).\n\n")
 	fmt.Fprintf(&b, "package %s\n\n", f.Package)
 	fmt.Fprintf(&b, "import (\n")
-	fmt.Fprintf(&b, "\t\"context\"\n\n")
-	fmt.Fprintf(&b, "\t\"repro/parc\"\n")
+	reserved := map[string]bool{}
+	if len(f.Classes) > 0 {
+		fmt.Fprintf(&b, "\t\"context\"\n\n")
+		fmt.Fprintf(&b, "\t\"repro/parc\"\n")
+		reserved["context"] = true
+		reserved["repro/parc"] = true
+	}
+	if len(f.WireTypes) > 0 {
+		fmt.Fprintf(&b, "\t\"repro/internal/wire\"\n")
+		reserved["repro/internal/wire"] = true
+	}
 	for _, imp := range f.Imports {
-		if imp.Alias == "" && (imp.Path == "context" || imp.Path == "repro/parc") {
+		if imp.Alias == "" && reserved[imp.Path] {
 			continue // already emitted above; aliased imports stay legal
 		}
 		if imp.Alias != "" {
@@ -348,6 +440,10 @@ func Generate(f *File) ([]byte, error) {
 		for _, m := range c.Methods {
 			genMethod(&b, c.Name, m)
 		}
+		genInvokers(&b, c)
+	}
+	for _, ws := range f.WireTypes {
+		genWireCodec(&b, f.Package, ws)
 	}
 	src, err := format.Source(b.Bytes())
 	if err != nil {
@@ -390,6 +486,134 @@ func genMethod(b *bytes.Buffer, typ string, m Method) {
 	fmt.Fprintf(b, "// Begin%s starts the call asynchronously and returns a typed future.\n", m.Name)
 	fmt.Fprintf(b, "func (po *%sPO) Begin%s(%s) *parc.Result[%s] {\n\treturn parc.CallAsync[%s](ctx, po.o, %s)\n}\n\n",
 		typ, m.Name, paramList, res, res, argList)
+}
+
+// genInvokers emits the init registering zero-reflection invoker thunks
+// for one class: the server-side complement of the typed PO. Dispatch
+// consults the registry first, so argument binding skips wire.Assign and
+// the call skips reflect.Value.Call whenever a thunk exists.
+func genInvokers(b *bytes.Buffer, c Class) {
+	if len(c.Methods) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "// init registers typed invoker thunks for %s: the dispatcher binds\n", c.Name)
+	fmt.Fprintf(b, "// decoded arguments by type assertion and calls the method directly,\n")
+	fmt.Fprintf(b, "// skipping reflection on the server-side hot path.\n")
+	fmt.Fprintf(b, "func init() {\n")
+	fmt.Fprintf(b, "\tparc.RegisterInvokers(&%s{}, map[string]parc.Invoker{\n", c.Name)
+	for _, m := range c.Methods {
+		fmt.Fprintf(b, "\t\t%q: func(ctx context.Context, obj any, args []any) (any, error) {\n", m.Name)
+		fmt.Fprintf(b, "\t\t\tx := obj.(*%s)\n", c.Name)
+		fmt.Fprintf(b, "\t\t\tif len(args) != %d {\n", len(m.Params))
+		fmt.Fprintf(b, "\t\t\t\treturn nil, parc.BadArity(obj, %q, len(args), %d)\n", m.Name, len(m.Params))
+		fmt.Fprintf(b, "\t\t\t}\n")
+		callArgs := make([]string, 0, len(m.Params)+1)
+		if m.HasCtx {
+			callArgs = append(callArgs, "ctx")
+		}
+		for i, p := range m.Params {
+			fmt.Fprintf(b, "\t\t\ta%d, err := parc.Arg[%s](obj, %q, args, %d)\n", i, p.Type, m.Name, i)
+			fmt.Fprintf(b, "\t\t\tif err != nil {\n\t\t\t\treturn nil, err\n\t\t\t}\n")
+			callArgs = append(callArgs, fmt.Sprintf("a%d", i))
+		}
+		call := fmt.Sprintf("x.%s(%s)", m.Name, strings.Join(callArgs, ", "))
+		switch {
+		case len(m.Results) == 0 && !m.HasErr:
+			fmt.Fprintf(b, "\t\t\t%s\n\t\t\treturn nil, nil\n", call)
+		case len(m.Results) == 0 && m.HasErr:
+			fmt.Fprintf(b, "\t\t\treturn nil, %s\n", call)
+		case !m.HasErr:
+			fmt.Fprintf(b, "\t\t\treturn %s, nil\n", call)
+		default:
+			fmt.Fprintf(b, "\t\t\tr, err := %s\n", call)
+			fmt.Fprintf(b, "\t\t\tif err != nil {\n\t\t\t\treturn nil, err\n\t\t\t}\n")
+			fmt.Fprintf(b, "\t\t\treturn r, nil\n")
+		}
+		fmt.Fprintf(b, "\t\t},\n")
+	}
+	fmt.Fprintf(b, "\t})\n}\n\n")
+}
+
+// codecMethod maps a rendered field type to the identically named
+// Encoder/Decoder method pair handling it without reflection. Types outside
+// the table fall back to the generic Value path.
+var codecMethod = map[string]string{
+	"bool":          "Bool",
+	"int":           "Int",
+	"int8":          "Int8",
+	"int16":         "Int16",
+	"int32":         "Int32",
+	"int64":         "Int64",
+	"uint":          "Uint",
+	"uint8":         "Uint8",
+	"byte":          "Uint8",
+	"uint16":        "Uint16",
+	"uint32":        "Uint32",
+	"uint64":        "Uint64",
+	"float32":       "Float32",
+	"float64":       "Float64",
+	"string":        "String",
+	"[]byte":        "ByteSlice",
+	"[]int":         "IntSlice",
+	"[]int32":       "Int32Slice",
+	"[]int64":       "Int64Slice",
+	"[]float32":     "Float32Slice",
+	"[]float64":     "Float64Slice",
+	"[]string":      "StringSlice",
+	"[]bool":        "BoolSlice",
+	"[]any":         "AnySlice",
+	"[]interface{}": "AnySlice",
+}
+
+// isAnyType reports a bare interface{}/any field.
+func isAnyType(t string) bool { return t == "any" || t == "interface{}" }
+
+// genWireCodec emits the generated codec of one //parc:wire struct: the
+// MarshalWire/UnmarshalWire pair (writing the identical bytes the
+// reflective binfmt encoder produces, fields in alphabetical order with
+// interned names) and the init that registers it.
+func genWireCodec(b *bytes.Buffer, pkg string, ws WireStruct) {
+	wireName := pkg + "." + ws.Name
+
+	fmt.Fprintf(b, "// MarshalWire implements the generated binfmt codec of %s\n", ws.Name)
+	fmt.Fprintf(b, "// (wire name %q); the bytes match the reflective encoder exactly.\n", wireName)
+	fmt.Fprintf(b, "func (x *%s) MarshalWire(e *wire.Encoder) error {\n", ws.Name)
+	fmt.Fprintf(b, "\te.BeginStruct(%q, %d)\n", wireName, len(ws.Fields))
+	for _, fl := range ws.Fields {
+		fmt.Fprintf(b, "\te.FieldName(%q)\n", fl.Name)
+		if m, ok := codecMethod[fl.Type]; ok {
+			fmt.Fprintf(b, "\te.%s(x.%s)\n", m, fl.Name)
+		} else {
+			fmt.Fprintf(b, "\te.Value(x.%s)\n", fl.Name)
+		}
+	}
+	fmt.Fprintf(b, "\treturn e.Err()\n}\n\n")
+
+	fmt.Fprintf(b, "// UnmarshalWire implements the generated binfmt codec of %s; unknown\n", ws.Name)
+	fmt.Fprintf(b, "// fields from newer peers are skipped, matching the reflective decoder.\n")
+	fmt.Fprintf(b, "func (x *%s) UnmarshalWire(d *wire.Decoder) error {\n", ws.Name)
+	fmt.Fprintf(b, "\tn := d.BeginStruct()\n")
+	fmt.Fprintf(b, "\tfor i := 0; i < n && d.Err() == nil; i++ {\n")
+	fmt.Fprintf(b, "\t\tswitch string(d.FieldNameRaw()) {\n")
+	for _, fl := range ws.Fields {
+		fmt.Fprintf(b, "\t\tcase %q:\n", fl.Name)
+		switch {
+		case codecMethod[fl.Type] != "":
+			fmt.Fprintf(b, "\t\t\tx.%s = d.%s()\n", fl.Name, codecMethod[fl.Type])
+		case isAnyType(fl.Type):
+			fmt.Fprintf(b, "\t\t\tx.%s = d.Value()\n", fl.Name)
+		default:
+			fmt.Fprintf(b, "\t\t\tif v := d.Value(); d.Err() == nil {\n")
+			fmt.Fprintf(b, "\t\t\t\tif err := wire.AssignTo(&x.%s, v); err != nil {\n", fl.Name)
+			fmt.Fprintf(b, "\t\t\t\t\td.Fail(err)\n\t\t\t\t}\n\t\t\t}\n")
+		}
+	}
+	fmt.Fprintf(b, "\t\tdefault:\n\t\t\td.Skip()\n\t\t}\n\t}\n")
+	fmt.Fprintf(b, "\treturn d.Err()\n}\n\n")
+
+	fmt.Fprintf(b, "// init registers the generated codec, enabling the zero-reflection\n")
+	fmt.Fprintf(b, "// fast path for %s on every node that links this package.\n", ws.Name)
+	fmt.Fprintf(b, "func init() {\n\twire.RegisterGeneratedCodec[%s](%q)\n}\n\n", ws.Name, wireName)
 }
 
 // GenerateFile is the single-call convenience used by cmd/parcgen.

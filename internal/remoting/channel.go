@@ -126,17 +126,40 @@ func (ch *Channel) Scheme() string {
 // nextSeq allocates a call sequence number.
 func (ch *Channel) nextSeq() uint64 { return ch.seq.Add(1) }
 
+// binaryCodec reports whether the channel serialises with the binary
+// formatter, whose pooled Encoder fast path the envelope hot paths use.
+func (ch *Channel) binaryCodec() (wire.BinFmt, bool) {
+	bf, ok := ch.codec.(wire.BinFmt)
+	return bf, ok && ch.kind != HTTP
+}
+
 // encodeRequest produces the wire bytes for a request, including channel
 // framing (HTTP text or legacy chunking markers are applied at send time).
-func (ch *Channel) encodeRequest(req *callRequest) ([]byte, error) {
+// On binary channels the bytes live in a pooled encoder, returned as enc:
+// the caller (or whoever it hands the frame to) must Release it after the
+// bytes' last use. enc is nil on textual channels.
+func (ch *Channel) encodeRequest(req *callRequest) (raw []byte, enc *wire.Encoder, err error) {
+	if bf, ok := ch.binaryCodec(); ok {
+		e := wire.NewEncoder()
+		if bf.DisableGenerated {
+			e.SetGenerated(false)
+		}
+		// The pointer keeps the envelope off the heap twice over: no
+		// interface boxing copy, and the generated *callRequest codec.
+		if err := e.Encode(req); err != nil {
+			e.Release()
+			return nil, nil, fmt.Errorf("remoting: encode request %s.%s: %w", req.URI, req.Method, err)
+		}
+		return e.Bytes(), e, nil
+	}
 	body, err := ch.codec.Marshal(*req)
 	if err != nil {
-		return nil, fmt.Errorf("remoting: encode request %s.%s: %w", req.URI, req.Method, err)
+		return nil, nil, fmt.Errorf("remoting: encode request %s.%s: %w", req.URI, req.Method, err)
 	}
 	if ch.kind == HTTP {
-		return buildHTTPMessage("POST /"+req.URI+" HTTP/1.0", body), nil
+		return buildHTTPMessage("POST /"+req.URI+" HTTP/1.0", body), nil, nil
 	}
-	return body, nil
+	return body, nil, nil
 }
 
 func (ch *Channel) decodeRequest(raw []byte) (*callRequest, error) {
@@ -151,22 +174,39 @@ func (ch *Channel) decodeRequest(raw []byte) (*callRequest, error) {
 	if err != nil {
 		return nil, fmt.Errorf("remoting: decode request: %w", err)
 	}
-	req, ok := v.(callRequest)
-	if !ok {
-		return nil, fmt.Errorf("remoting: decoded %T, want callRequest", v)
+	// The generated codec decodes the pointer-encoded envelope to
+	// *callRequest; value-encoded envelopes from textual channels (or
+	// older peers) arrive as callRequest.
+	switch req := v.(type) {
+	case *callRequest:
+		return req, nil
+	case callRequest:
+		return &req, nil
 	}
-	return &req, nil
+	return nil, fmt.Errorf("remoting: decoded %T, want callRequest", v)
 }
 
-func (ch *Channel) encodeResponse(resp *callResponse) ([]byte, error) {
+// encodeResponse mirrors encodeRequest, pooled encoder included.
+func (ch *Channel) encodeResponse(resp *callResponse) (raw []byte, enc *wire.Encoder, err error) {
+	if bf, ok := ch.binaryCodec(); ok {
+		e := wire.NewEncoder()
+		if bf.DisableGenerated {
+			e.SetGenerated(false)
+		}
+		if err := e.Encode(resp); err != nil {
+			e.Release()
+			return nil, nil, fmt.Errorf("remoting: encode response: %w", err)
+		}
+		return e.Bytes(), e, nil
+	}
 	body, err := ch.codec.Marshal(*resp)
 	if err != nil {
-		return nil, fmt.Errorf("remoting: encode response: %w", err)
+		return nil, nil, fmt.Errorf("remoting: encode response: %w", err)
 	}
 	if ch.kind == HTTP {
-		return buildHTTPMessage("HTTP/1.0 200 OK", body), nil
+		return buildHTTPMessage("HTTP/1.0 200 OK", body), nil, nil
 	}
-	return body, nil
+	return body, nil, nil
 }
 
 func (ch *Channel) decodeResponse(raw []byte) (*callResponse, error) {
@@ -181,11 +221,13 @@ func (ch *Channel) decodeResponse(raw []byte) (*callResponse, error) {
 	if err != nil {
 		return nil, fmt.Errorf("remoting: decode response: %w", err)
 	}
-	resp, ok := v.(callResponse)
-	if !ok {
-		return nil, fmt.Errorf("remoting: decoded %T, want callResponse", v)
+	switch resp := v.(type) {
+	case *callResponse:
+		return resp, nil
+	case callResponse:
+		return &resp, nil
 	}
-	return &resp, nil
+	return nil, fmt.Errorf("remoting: decoded %T, want callResponse", v)
 }
 
 // sendMsg transmits one encoded message, applying the legacy channel's
@@ -220,10 +262,13 @@ func (ch *Channel) sendMsg(c transport.Conn, msg []byte) error {
 }
 
 // recvMsg receives one message, reassembling legacy chunks, and charges the
-// endpoint cost model.
+// endpoint cost model. The returned buffer is pool-backed when the
+// transport supports it: callers hand it to transport.PutFrame after the
+// message's last use (decoding copies everything, so right after decode is
+// always safe).
 func (ch *Channel) recvMsg(c transport.Conn) ([]byte, error) {
 	if ch.kind != LegacyTCP {
-		msg, err := c.Recv()
+		msg, err := transport.RecvFrame(c)
 		if err != nil {
 			return nil, err
 		}
@@ -232,15 +277,17 @@ func (ch *Channel) recvMsg(c transport.Conn) ([]byte, error) {
 	}
 	var buf bytes.Buffer
 	for {
-		frame, err := c.Recv()
+		frame, err := transport.RecvFrame(c)
 		if err != nil {
 			return nil, err
 		}
 		if len(frame) < 1 {
 			return nil, fmt.Errorf("remoting: empty legacy chunk")
 		}
+		more := frame[0]
 		buf.Write(frame[1:])
-		if frame[0] == 0 {
+		transport.PutFrame(frame)
+		if more == 0 {
 			break
 		}
 	}
@@ -276,12 +323,19 @@ func (ch *Channel) roundTrip(ctx context.Context, netaddr string, req *callReque
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("remoting: call %s.%s: %w", req.URI, req.Method, err)
 	}
-	raw, err := ch.encodeRequest(req)
+	raw, enc, err := ch.encodeRequest(req)
 	if err != nil {
 		return nil, err
 	}
 	if ch.kind == Multiplexed {
-		return ch.muxRoundTrip(ctx, netaddr, req, raw)
+		// Ownership of enc moves to the mux path (the writer goroutine
+		// releases it after the frame leaves).
+		return ch.muxRoundTrip(ctx, netaddr, req, raw, enc)
+	}
+	if enc != nil {
+		// exchangeCtx always joins its exchange goroutine before
+		// returning, so nothing references raw past this frame.
+		defer enc.Release()
 	}
 	c, fromPool, err := ch.getConn(netaddr)
 	if err != nil {
@@ -359,6 +413,7 @@ func (ch *Channel) exchange(netaddr string, c transport.Conn, raw []byte, req *c
 		return nil, fmt.Errorf("remoting: receive from %s: %v: %w", netaddr, err, errs.ErrNodeDown)
 	}
 	resp, err := ch.decodeResponse(rawResp)
+	transport.PutFrame(rawResp) // decode copied everything it kept
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/errs"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // DefaultMaxInFlight bounds concurrent exchanges per multiplexed peer
@@ -28,7 +29,7 @@ const DefaultMaxInFlight = 1024
 type muxConn struct {
 	ch      *Channel
 	netaddr string
-	sendq   chan []byte
+	sendq   chan outFrame
 	slots   chan struct{} // in-flight backpressure semaphore
 	done    chan struct{} // closed by fail
 	ready   chan struct{} // closed once the dial settled (conn or dialErr)
@@ -44,6 +45,23 @@ type muxConn struct {
 type muxResult struct {
 	resp *callResponse
 	err  error
+}
+
+// outFrame is one queued request frame. enc, when non-nil, is the pooled
+// encoder whose buffer raw aliases: whoever consumes the frame (normally
+// the writer goroutine, after the bytes hit the wire) releases it. Frames
+// stranded in sendq when a connection fails are simply collected by the GC —
+// a pool miss, not a leak.
+type outFrame struct {
+	raw []byte
+	enc *wire.Encoder
+}
+
+// release returns the frame's encoder (if pooled) to the pool.
+func (of outFrame) release() {
+	if of.enc != nil {
+		of.enc.Release()
+	}
 }
 
 // errChannelClosed terminates in-flight calls when Channel.Close shuts a
@@ -72,7 +90,7 @@ func (ch *Channel) getMux(netaddr string) (mc *muxConn, fresh bool, err error) {
 			mc = &muxConn{
 				ch:       ch,
 				netaddr:  netaddr,
-				sendq:    make(chan []byte, 64),
+				sendq:    make(chan outFrame, 64),
 				slots:    make(chan struct{}, limit),
 				done:     make(chan struct{}),
 				ready:    make(chan struct{}),
@@ -149,12 +167,19 @@ func (ch *Channel) removeMux(mc *muxConn) {
 // Channel.Close is never retried — redialling would undo the Close. See
 // roundTrip for the at-most-once caveat the retry shares with the pooled
 // path.
-func (ch *Channel) muxRoundTrip(ctx context.Context, netaddr string, req *callRequest, raw []byte) (*callResponse, error) {
+//
+// Ownership of enc (the pooled encoder backing raw, nil on textual codecs)
+// transfers to call; the retry re-encodes rather than reuse raw, whose
+// buffer may already be back in the pool once the first attempt queued it.
+func (ch *Channel) muxRoundTrip(ctx context.Context, netaddr string, req *callRequest, raw []byte, enc *wire.Encoder) (*callResponse, error) {
 	mc, fresh, err := ch.getMux(netaddr)
 	if err != nil {
+		if enc != nil {
+			enc.Release()
+		}
 		return nil, err
 	}
-	resp, err := mc.call(ctx, req, raw)
+	resp, err := mc.call(ctx, req, outFrame{raw: raw, enc: enc})
 	if err == nil || fresh || ctx.Err() != nil || !isConnFailure(err) || errors.Is(err, errChannelClosed) {
 		return resp, err
 	}
@@ -162,18 +187,25 @@ func (ch *Channel) muxRoundTrip(ctx context.Context, netaddr string, req *callRe
 	if err2 != nil {
 		return nil, err2
 	}
-	return mc2.call(ctx, req, raw)
+	raw2, enc2, err2 := ch.encodeRequest(req)
+	if err2 != nil {
+		return nil, err2
+	}
+	return mc2.call(ctx, req, outFrame{raw: raw2, enc: enc2})
 }
 
 // call runs one exchange: acquire an in-flight slot, register the sequence
 // number, hand the frame to the writer and wait for the reader to deliver
 // the matching response (or for the connection to fail, or ctx to end).
-func (mc *muxConn) call(ctx context.Context, req *callRequest, raw []byte) (*callResponse, error) {
+// call owns of: it either hands it to the writer or releases it itself.
+func (mc *muxConn) call(ctx context.Context, req *callRequest, of outFrame) (*callResponse, error) {
 	select {
 	case mc.slots <- struct{}{}:
 	case <-mc.done:
+		of.release()
 		return nil, mc.callErr(req, mc.failureErr())
 	case <-ctx.Done():
+		of.release()
 		return nil, mc.callErr(req, ctx.Err())
 	}
 	defer func() { <-mc.slots }()
@@ -183,17 +215,20 @@ func (mc *muxConn) call(ctx context.Context, req *callRequest, raw []byte) (*cal
 	if mc.failed {
 		err := mc.failErr
 		mc.mu.Unlock()
+		of.release()
 		return nil, mc.callErr(req, err)
 	}
 	mc.inflight[req.Seq] = rc
 	mc.mu.Unlock()
 
 	select {
-	case mc.sendq <- raw:
+	case mc.sendq <- of:
 	case <-mc.done:
+		of.release()
 		mc.abandon(req.Seq)
 		return nil, mc.callErr(req, mc.failureErr())
 	case <-ctx.Done():
+		of.release()
 		mc.abandon(req.Seq)
 		return nil, mc.callErr(req, ctx.Err())
 	}
@@ -241,11 +276,15 @@ func (mc *muxConn) failureErr() error {
 
 // writer is the per-connection writer goroutine: it serialises frames from
 // every caller onto the wire (and charges the cost model once per message).
+// Once a frame's bytes have left through the transport (which copies them
+// into its own write buffer), the frame's pooled encoder is released.
 func (mc *muxConn) writer() {
 	for {
 		select {
-		case msg := <-mc.sendq:
-			if err := mc.ch.sendMsg(mc.conn, msg); err != nil {
+		case of := <-mc.sendq:
+			err := mc.ch.sendMsg(mc.conn, of.raw)
+			of.release()
+			if err != nil {
 				mc.fail(fmt.Errorf("remoting: send to %s: %v: %w", mc.netaddr, err, errs.ErrNodeDown))
 				return
 			}
@@ -266,6 +305,7 @@ func (mc *muxConn) reader() {
 			return
 		}
 		resp, err := mc.ch.decodeResponse(raw)
+		transport.PutFrame(raw) // decode copied everything it kept
 		if err != nil {
 			// A framing/codec failure desynchronises the stream; the
 			// whole connection is unusable.

@@ -27,6 +27,8 @@
 // profile from the paper's measured latencies.
 package remoting
 
+//go:generate go run repro/cmd/parcgen -in remoting.go -out remoting_parc.go
+
 import (
 	"fmt"
 	"strings"
@@ -37,6 +39,11 @@ import (
 )
 
 // callRequest is the request envelope; one per remote method invocation.
+// The //parc:wire directive gives it a generated codec (remoting_parc.go):
+// envelope serialisation is the per-call hot path, so it must not pay the
+// reflective encoder.
+//
+//parc:wire
 type callRequest struct {
 	URI    string
 	Method string
@@ -49,6 +56,8 @@ type callRequest struct {
 }
 
 // callResponse is the reply envelope.
+//
+//parc:wire
 type callResponse struct {
 	Seq    uint64
 	Result any

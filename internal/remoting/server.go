@@ -244,6 +244,7 @@ func (s *Server) handleConn(c transport.Conn) {
 			return
 		}
 		req, err := s.ch.decodeRequest(raw)
+		transport.PutFrame(raw) // decode copied everything it kept
 		if err != nil {
 			// Without a sequence number we cannot form a matching
 			// reply; drop the connection.
@@ -264,21 +265,25 @@ func (s *Server) handleConn(c transport.Conn) {
 	}
 }
 
-// writeResponse encodes resp and writes it under the connection's write
-// lock. Unencodable results degrade to an error reply; write failures are
-// left to the read loop, which observes the dead connection on its next
-// receive.
+// writeResponse encodes resp (through the pooled encoder on binary
+// channels) and writes it under the connection's write lock. Unencodable
+// results degrade to an error reply; write failures are left to the read
+// loop, which observes the dead connection on its next receive.
 func (s *Server) writeResponse(c transport.Conn, sendMu *sync.Mutex, req *callRequest, resp *callResponse) {
-	rawResp, err := s.ch.encodeResponse(resp)
+	rawResp, enc, err := s.ch.encodeResponse(resp)
 	if err != nil {
-		rawResp, err = s.ch.encodeResponse(errorResponse(req, fmt.Sprintf("unencodable result: %v", err)))
+		rawResp, enc, err = s.ch.encodeResponse(errorResponse(req, fmt.Sprintf("unencodable result: %v", err)))
 		if err != nil {
 			return
 		}
 	}
 	sendMu.Lock()
-	defer sendMu.Unlock()
 	s.ch.sendMsg(c, rawResp) //nolint:errcheck // read loop notices the dead conn
+	sendMu.Unlock()
+	if enc != nil {
+		// The transport copied the bytes into its own write buffer.
+		enc.Release()
+	}
 }
 
 func errorResponse(req *callRequest, msg string) *callResponse {

@@ -273,12 +273,13 @@ func (rt *Runtime) handleConn(c transport.Conn) {
 		rt.mu.Unlock()
 	}()
 	for {
-		raw, err := c.Recv()
+		raw, err := transport.RecvFrame(c)
 		if err != nil {
 			return
 		}
 		rt.Cost.Charge(len(raw))
 		v, err := rt.codec.Unmarshal(raw)
+		transport.PutFrame(raw) // decode copied everything it kept
 		if err != nil {
 			return
 		}
@@ -405,12 +406,13 @@ func (s *Stub) Invoke(method string, args ...any) (any, error) {
 	if err := c.Send(raw); err != nil {
 		return nil, &RemoteException{Name: s.name, Method: method, Msg: err.Error()}
 	}
-	rawRet, err := c.Recv()
+	rawRet, err := transport.RecvFrame(c)
 	if err != nil {
 		return nil, &RemoteException{Name: s.name, Method: method, Msg: err.Error()}
 	}
 	s.rt.Cost.Charge(len(rawRet))
 	v, err := s.rt.codec.Unmarshal(rawRet)
+	transport.PutFrame(rawRet) // decode copied everything it kept
 	if err != nil {
 		return nil, &RemoteException{Name: s.name, Method: method, Msg: err.Error()}
 	}

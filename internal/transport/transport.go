@@ -101,6 +101,56 @@ func (t *tcpListener) Accept() (Conn, error) {
 func (t *tcpListener) Close() error { return t.l.Close() }
 func (t *tcpListener) Addr() string { return t.l.Addr().String() }
 
+// ---------------------------------------------------------------- frames
+
+// frameRetain caps the capacity of buffers kept in the frame pool, so a
+// one-off large message does not pin memory.
+const frameRetain = 64 << 10
+
+// framePool recycles receive buffers between messages. Buffers are stored
+// behind pointers to keep sync.Pool from re-boxing the slice header.
+var framePool = sync.Pool{New: func() any { return new([]byte) }}
+
+// GetFrame returns a buffer of length n, reusing pooled capacity when
+// possible. Pair with PutFrame once the frame's bytes are no longer
+// referenced.
+func GetFrame(n int) []byte {
+	p := framePool.Get().(*[]byte)
+	if cap(*p) >= n {
+		return (*p)[:n]
+	}
+	framePool.Put(p)
+	return make([]byte, n)
+}
+
+// PutFrame recycles a message buffer. Callers may hand back any buffer they
+// own — including ones Recv allocated — but must not retain references into
+// it afterwards; the wire codecs copy everything they decode, so releasing
+// a frame right after Unmarshal is always safe.
+func PutFrame(b []byte) {
+	if cap(b) == 0 || cap(b) > frameRetain {
+		return
+	}
+	b = b[:0]
+	framePool.Put(&b)
+}
+
+// RecvFrame receives one message, drawing the buffer from the frame pool
+// when the connection supports it (TCP stream connections do). The caller
+// owns the result either way and should PutFrame it after its last use.
+func RecvFrame(c Conn) ([]byte, error) {
+	if pr, ok := c.(pooledReceiver); ok {
+		return pr.recvPooled()
+	}
+	return c.Recv()
+}
+
+// pooledReceiver is implemented by connections whose receive path can fill
+// a pooled buffer directly.
+type pooledReceiver interface {
+	recvPooled() ([]byte, error)
+}
+
 // streamConn frames messages over any net.Conn.
 type streamConn struct {
 	c       net.Conn
@@ -141,6 +191,16 @@ func (s *streamConn) Send(msg []byte) error {
 }
 
 func (s *streamConn) Recv() ([]byte, error) {
+	return s.recv(func(n int) []byte { return make([]byte, n) })
+}
+
+// recvPooled implements pooledReceiver: the message lands in a frame-pool
+// buffer, so steady-state receives allocate nothing.
+func (s *streamConn) recvPooled() ([]byte, error) {
+	return s.recv(GetFrame)
+}
+
+func (s *streamConn) recv(alloc func(int) []byte) ([]byte, error) {
 	s.recvMu.Lock()
 	defer s.recvMu.Unlock()
 	if _, err := io.ReadFull(s.c, s.rLenBuf[:]); err != nil {
@@ -150,7 +210,7 @@ func (s *streamConn) Recv() ([]byte, error) {
 	if n > MaxFrame {
 		return nil, fmt.Errorf("transport: frame of %d bytes exceeds MaxFrame", n)
 	}
-	buf := make([]byte, n)
+	buf := alloc(int(n))
 	if _, err := io.ReadFull(s.c, buf); err != nil {
 		return nil, err
 	}

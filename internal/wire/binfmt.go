@@ -13,29 +13,47 @@ import (
 // names are interned per message: the first occurrence carries the string,
 // later occurrences carry a small back-reference, mirroring the
 // BinaryFormatter's object/string id tables.
-type BinFmt struct{}
+//
+// Struct values whose types registered a parcgen-generated codec (see
+// RegisterGeneratedCodec) are encoded and decoded through it — byte-
+// compatible with the reflective path, but without reflection. Setting
+// DisableGenerated forces the reflective path everywhere; the fuzz tests
+// and the codec benchmark use it to compare the two.
+type BinFmt struct {
+	DisableGenerated bool
+}
 
 // Name implements Codec.
 func (BinFmt) Name() string { return "binfmt" }
 
-// Marshal implements Codec.
-func (BinFmt) Marshal(v any) ([]byte, error) {
-	e := &binEncoder{opts: binOpts{internStrings: true}}
-	if err := e.encode(v); err != nil {
+// Marshal implements Codec. The returned slice is freshly allocated and
+// owned by the caller; hot paths that can scope the buffer's lifetime use a
+// pooled Encoder directly instead.
+func (f BinFmt) Marshal(v any) ([]byte, error) {
+	e := NewEncoder()
+	defer e.Release()
+	if f.DisableGenerated {
+		e.SetGenerated(false)
+	}
+	if err := e.Encode(v); err != nil {
 		return nil, err
 	}
-	return e.buf, nil
+	return append([]byte(nil), e.Bytes()...), nil
 }
 
 // Unmarshal implements Codec.
-func (BinFmt) Unmarshal(data []byte) (any, error) {
-	d := &binDecoder{data: data, opts: binOpts{internStrings: true}}
-	v, err := d.decode()
+func (f BinFmt) Unmarshal(data []byte) (any, error) {
+	d := NewDecoder(data)
+	defer d.Release()
+	if f.DisableGenerated {
+		d.SetGenerated(false)
+	}
+	v, err := d.Decode()
 	if err != nil {
 		return nil, err
 	}
-	if d.pos != len(d.data) {
-		return nil, fmt.Errorf("wire/binfmt: %d trailing bytes after value", len(d.data)-d.pos)
+	if rest := d.Rest(); rest != 0 {
+		return nil, fmt.Errorf("wire/binfmt: %d trailing bytes after value", rest)
 	}
 	return v, nil
 }
@@ -51,13 +69,26 @@ type binOpts struct {
 	// arrayClassNames prefixes numeric-array fast paths with a Java-style
 	// array class name such as "[I" (JavaSer).
 	arrayClassNames bool
+	// generated enables the registered generated-codec fast path (BinFmt
+	// only; requires the pub back-pointer to be set).
+	generated bool
 }
 
 type binEncoder struct {
-	buf    []byte
-	opts   binOpts
-	idents map[string]int // interned names
+	buf  []byte
+	opts binOpts
+	// Interned names: a realistic message uses a handful, so the first
+	// identListMax live in a linearly scanned slice (far cheaper than map
+	// operations on the envelope hot path); only pathological messages
+	// spill into the overflow map.
+	identList []string
+	idents    map[string]int // overflow beyond identListMax, ids offset by identListMax
+	pub       *Encoder       // owning exported Encoder, when wrapped (BinFmt)
 }
+
+// identListMax is the slice-probed intern capacity before the overflow map
+// kicks in.
+const identListMax = 16
 
 func (e *binEncoder) writeByte(b byte)    { e.buf = append(e.buf, b) }
 func (e *binEncoder) writeBytes(b []byte) { e.buf = append(e.buf, b...) }
@@ -91,18 +122,49 @@ func (e *binEncoder) writeName(s string) {
 		e.writeString(s)
 		return
 	}
-	if e.idents == nil {
-		e.idents = make(map[string]int)
-	}
-	if id, ok := e.idents[s]; ok {
+	if id, ok := e.internLookup(s); ok {
 		e.writeUvarint(0)
 		e.writeUvarint(uint64(id + 1))
 		return
 	}
-	e.idents[s] = len(e.idents)
+	e.internAdd(s)
 	// Length+1 distinguishes a literal from the back-reference marker.
 	e.writeUvarint(uint64(len(s)) + 1)
 	e.writeBytes([]byte(s))
+}
+
+// internLookup finds an already-interned name's id.
+func (e *binEncoder) internLookup(s string) (int, bool) {
+	for i, v := range e.identList {
+		if v == s {
+			return i, true
+		}
+	}
+	if e.idents != nil {
+		if id, ok := e.idents[s]; ok {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// internAdd assigns the next sequential id to s (slice first, then the
+// overflow map), matching the decoder's append-order numbering.
+func (e *binEncoder) internAdd(s string) {
+	if len(e.identList) < identListMax {
+		e.identList = append(e.identList, s)
+		return
+	}
+	if e.idents == nil {
+		e.idents = make(map[string]int)
+	}
+	e.idents[s] = identListMax + len(e.idents)
+}
+
+// internReset clears the per-message dictionary, keeping capacity.
+func (e *binEncoder) internReset() {
+	e.identList = e.identList[:0]
+	clear(e.idents)
 }
 
 func (e *binEncoder) encode(v any) error {
@@ -247,6 +309,21 @@ func (e *binEncoder) encode(v any) error {
 	case map[string]any:
 		return e.encodeMap(reflect.ValueOf(x))
 	}
+	// Generated-codec fast path: a single map lookup replaces the whole
+	// reflective struct walk for registered types.
+	if e.opts.generated && e.pub != nil {
+		if g := generatedFor(reflect.TypeOf(v)); g != nil {
+			if g.isNil != nil && g.isNil(v) {
+				e.writeByte(tNil)
+				return nil
+			}
+			e.writeByte(g.tag)
+			if err := g.enc(e.pub, v); err != nil {
+				return err
+			}
+			return e.pub.Err()
+		}
+	}
 	return e.encodeReflect(reflect.ValueOf(v))
 }
 
@@ -353,10 +430,24 @@ func (e *binEncoder) encodeStructBody(rv reflect.Value) error {
 }
 
 type binDecoder struct {
-	data   []byte
-	pos    int
-	opts   binOpts
-	idents []string
+	data []byte
+	pos  int
+	opts binOpts
+	// idents holds interned names as zero-copy views into data (valid for
+	// the decode's duration), so reading a name allocates nothing.
+	idents [][]byte
+	pub    *Decoder // owning exported Decoder, when wrapped (BinFmt)
+}
+
+// checkCount guards a decoded element count against the remaining input:
+// every element costs at least elemSize bytes, so a count that cannot fit
+// is corrupt and must be rejected before it sizes an allocation.
+func (d *binDecoder) checkCount(n uint64, elemSize int) error {
+	if n > uint64(len(d.data)-d.pos)/uint64(elemSize) {
+		return fmt.Errorf("wire/binfmt: count %d exceeds remaining %d bytes at offset %d",
+			n, len(d.data)-d.pos, d.pos)
+	}
+	return nil
 }
 
 func (d *binDecoder) readByte() (byte, error) {
@@ -409,6 +500,9 @@ func (d *binDecoder) readString() (string, error) {
 	if err != nil {
 		return "", err
 	}
+	if err := d.checkCount(n, 1); err != nil {
+		return "", err
+	}
 	if d.pos+int(n) > len(d.data) {
 		return "", fmt.Errorf("wire/binfmt: truncated string of length %d at offset %d", n, d.pos)
 	}
@@ -418,32 +512,64 @@ func (d *binDecoder) readString() (string, error) {
 }
 
 func (d *binDecoder) readName() (string, error) {
+	b, err := d.readNameBytes()
+	return string(b), err
+}
+
+// readNameBytes reads an identifier without allocating: the returned slice
+// views d.data and is valid until the decoder is released. Callers that
+// only compare or switch on the name (the generated codecs) never pay a
+// string copy; callers that keep it convert explicitly.
+func (d *binDecoder) readNameBytes() ([]byte, error) {
 	if !d.opts.internStrings {
-		return d.readString()
+		return d.readStringBytes()
 	}
 	n, err := d.readUvarint()
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	if n == 0 {
 		id, err := d.readUvarint()
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		idx := int(id) - 1
 		if idx < 0 || idx >= len(d.idents) {
-			return "", fmt.Errorf("wire/binfmt: bad name back-reference %d", id)
+			return nil, fmt.Errorf("wire/binfmt: bad name back-reference %d", id)
 		}
 		return d.idents[idx], nil
 	}
-	length := int(n) - 1
-	if d.pos+length > len(d.data) {
-		return "", fmt.Errorf("wire/binfmt: truncated name of length %d at offset %d", length, d.pos)
+	// n >= 1 here (literal marker is length+1); bound it in uint64 space
+	// BEFORE any int conversion — a crafted length near 2^63 would wrap
+	// int(n)-1 positive and slip past a signed check into a slice panic.
+	if err := d.checkCount(n-1, 1); err != nil {
+		return nil, err
 	}
-	s := string(d.data[d.pos : d.pos+length])
+	length := int(n - 1)
+	if d.pos+length > len(d.data) {
+		return nil, fmt.Errorf("wire/binfmt: truncated name of length %d at offset %d", length, d.pos)
+	}
+	b := d.data[d.pos : d.pos+length : d.pos+length]
 	d.pos += length
-	d.idents = append(d.idents, s)
-	return s, nil
+	d.idents = append(d.idents, b)
+	return b, nil
+}
+
+// readStringBytes reads a length-prefixed string as a zero-copy view.
+func (d *binDecoder) readStringBytes() ([]byte, error) {
+	n, err := d.readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.checkCount(n, 1); err != nil {
+		return nil, err
+	}
+	if d.pos+int(n) > len(d.data) {
+		return nil, fmt.Errorf("wire/binfmt: truncated string of length %d at offset %d", n, d.pos)
+	}
+	b := d.data[d.pos : d.pos+int(n) : d.pos+int(n)]
+	d.pos += int(n)
+	return b, nil
 }
 
 // skipArrayClass consumes the Java-style array class name in dialects that
@@ -509,6 +635,9 @@ func (d *binDecoder) decode() (any, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := d.checkCount(n, 1); err != nil {
+			return nil, err
+		}
 		if d.pos+int(n) > len(d.data) {
 			return nil, fmt.Errorf("wire/binfmt: truncated bytes of length %d", n)
 		}
@@ -522,6 +651,9 @@ func (d *binDecoder) decode() (any, error) {
 		}
 		n, err := d.readUvarint()
 		if err != nil {
+			return nil, err
+		}
+		if err := d.checkCount(n, 8); err != nil {
 			return nil, err
 		}
 		out := make([]int, n)
@@ -541,6 +673,9 @@ func (d *binDecoder) decode() (any, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := d.checkCount(n, 4); err != nil {
+			return nil, err
+		}
 		out := make([]int32, n)
 		for i := range out {
 			u, err := d.readFixed32()
@@ -556,6 +691,9 @@ func (d *binDecoder) decode() (any, error) {
 		}
 		n, err := d.readUvarint()
 		if err != nil {
+			return nil, err
+		}
+		if err := d.checkCount(n, 8); err != nil {
 			return nil, err
 		}
 		out := make([]int64, n)
@@ -575,6 +713,9 @@ func (d *binDecoder) decode() (any, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := d.checkCount(n, 4); err != nil {
+			return nil, err
+		}
 		out := make([]float32, n)
 		for i := range out {
 			u, err := d.readFixed32()
@@ -590,6 +731,9 @@ func (d *binDecoder) decode() (any, error) {
 		}
 		n, err := d.readUvarint()
 		if err != nil {
+			return nil, err
+		}
+		if err := d.checkCount(n, 8); err != nil {
 			return nil, err
 		}
 		out := make([]float64, n)
@@ -609,6 +753,9 @@ func (d *binDecoder) decode() (any, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := d.checkCount(n, 1); err != nil {
+			return nil, err
+		}
 		out := make([]string, n)
 		for i := range out {
 			s, err := d.readString()
@@ -626,6 +773,9 @@ func (d *binDecoder) decode() (any, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := d.checkCount(n, 1); err != nil {
+			return nil, err
+		}
 		out := make([]bool, n)
 		for i := range out {
 			b, err := d.readByte()
@@ -638,6 +788,9 @@ func (d *binDecoder) decode() (any, error) {
 	case tAnySlice:
 		n, err := d.readUvarint()
 		if err != nil {
+			return nil, err
+		}
+		if err := d.checkCount(n, 1); err != nil {
 			return nil, err
 		}
 		out := make([]any, n)
@@ -654,6 +807,9 @@ func (d *binDecoder) decode() (any, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := d.checkCount(n, 2); err != nil {
+			return nil, err
+		}
 		out := make(map[string]any, n)
 		for i := uint64(0); i < n; i++ {
 			k, err := d.readString()
@@ -668,56 +824,53 @@ func (d *binDecoder) decode() (any, error) {
 		}
 		return out, nil
 	case tStruct:
-		v, err := d.decodeStructBody()
-		if err != nil {
-			return nil, err
-		}
-		return v.Elem().Interface(), nil
+		return d.decodeStructAny(false)
 	case tPtrStruct:
-		v, err := d.decodeStructBody()
-		if err != nil {
-			return nil, err
-		}
-		return v.Interface(), nil
+		return d.decodeStructAny(true)
 	}
 	return nil, fmt.Errorf("wire/binfmt: unknown tag 0x%02x at offset %d", tag, d.pos-1)
 }
 
-// decodeStructBody returns a pointer to a freshly allocated struct.
-func (d *binDecoder) decodeStructBody() (reflect.Value, error) {
+// decodeStructAny decodes a struct body, preferring a registered generated
+// codec (BinFmt dialect only) and falling back to the reflective decoder.
+// ptr selects whether the caller saw tPtrStruct (*T) or tStruct (T).
+func (d *binDecoder) decodeStructAny(ptr bool) (any, error) {
 	if d.opts.classDescriptors {
-		name, err := d.readString()
+		v, err := d.decodeStructDescriptor()
 		if err != nil {
-			return reflect.Value{}, err
+			return nil, err
 		}
-		t, ok := lookupName(name)
-		if !ok {
-			return reflect.Value{}, &UnknownTypeError{Name: name}
+		if ptr {
+			return v.Interface(), nil
 		}
-		n, err := d.readUvarint()
-		if err != nil {
-			return reflect.Value{}, err
-		}
-		names := make([]string, n)
-		for i := range names {
-			names[i], err = d.readString()
-			if err != nil {
-				return reflect.Value{}, err
-			}
-		}
-		ptr := reflect.New(t)
-		for _, fname := range names {
-			v, err := d.decode()
-			if err != nil {
-				return reflect.Value{}, err
-			}
-			if err := setStructField(ptr.Elem(), fname, v); err != nil {
-				return reflect.Value{}, err
-			}
-		}
-		return ptr, nil
+		return v.Elem().Interface(), nil
 	}
-	name, err := d.readName()
+	nameB, err := d.readNameBytes()
+	if err != nil {
+		return nil, err
+	}
+	if d.opts.generated && d.pub != nil {
+		if g := generatedNameBytes(nameB); g != nil {
+			if ptr {
+				return g.decPtr(d.pub)
+			}
+			return g.decVal(d.pub)
+		}
+	}
+	v, err := d.decodeStructFields(string(nameB))
+	if err != nil {
+		return nil, err
+	}
+	if ptr {
+		return v.Interface(), nil
+	}
+	return v.Elem().Interface(), nil
+}
+
+// decodeStructDescriptor reads the JavaSer-dialect struct body (full class
+// descriptor per occurrence), returning a pointer to a fresh struct.
+func (d *binDecoder) decodeStructDescriptor() (reflect.Value, error) {
+	name, err := d.readString()
 	if err != nil {
 		return reflect.Value{}, err
 	}
@@ -727,6 +880,44 @@ func (d *binDecoder) decodeStructBody() (reflect.Value, error) {
 	}
 	n, err := d.readUvarint()
 	if err != nil {
+		return reflect.Value{}, err
+	}
+	if err := d.checkCount(n, 2); err != nil {
+		return reflect.Value{}, err
+	}
+	names := make([]string, n)
+	for i := range names {
+		names[i], err = d.readString()
+		if err != nil {
+			return reflect.Value{}, err
+		}
+	}
+	ptr := reflect.New(t)
+	for _, fname := range names {
+		v, err := d.decode()
+		if err != nil {
+			return reflect.Value{}, err
+		}
+		if err := setStructField(ptr.Elem(), fname, v); err != nil {
+			return reflect.Value{}, err
+		}
+	}
+	return ptr, nil
+}
+
+// decodeStructFields reads the BinFmt-dialect struct body reflectively (the
+// wire name has already been consumed), returning a pointer to a fresh
+// struct.
+func (d *binDecoder) decodeStructFields(name string) (reflect.Value, error) {
+	t, ok := lookupName(name)
+	if !ok {
+		return reflect.Value{}, &UnknownTypeError{Name: name}
+	}
+	n, err := d.readUvarint()
+	if err != nil {
+		return reflect.Value{}, err
+	}
+	if err := d.checkCount(n, 2); err != nil {
 		return reflect.Value{}, err
 	}
 	ptr := reflect.New(t)

@@ -2,14 +2,27 @@ package wire
 
 import (
 	"fmt"
+	"math"
 	"reflect"
+
+	"repro/internal/errs"
 )
+
+// badConversion builds a conversion failure that unwraps to
+// errs.ErrBadConversion, so callers can branch with errors.Is.
+func badConversion(what, dst string) error {
+	return fmt.Errorf("wire: cannot convert %s to %s: %w", what, dst, errs.ErrBadConversion)
+}
 
 // Assign converts a decoded wire value v into a reflect.Value assignable to
 // dst. It performs the conversions a dynamic RPC dispatcher needs:
 //
 //   - exact type match and Go-assignable values pass through;
-//   - numeric kinds convert between widths (int32 → int, float64 → float32);
+//   - numeric kinds convert between widths (int32 → int, float64 → float32)
+//     when the value is representable; narrowing overflow, sign loss and
+//     fractional float→integer conversions fail with errs.ErrBadConversion
+//     instead of silently corrupting the value;
+//   - []byte and string convert to each other;
 //   - []any converts element-wise into any slice type;
 //   - map[string]any converts into struct types and typed maps;
 //   - T converts to *T (a copy is allocated) and *T to T;
@@ -54,31 +67,88 @@ func Assign(dst reflect.Type, v any) (reflect.Value, error) {
 		ptr.Elem().Set(inner)
 		return ptr, nil
 	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
-		switch rv.Kind() {
-		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
-			return reflect.ValueOf(rv.Int()).Convert(dst), nil
-		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
-			return reflect.ValueOf(int64(rv.Uint())).Convert(dst), nil
-		case reflect.Float32, reflect.Float64:
-			return reflect.ValueOf(int64(rv.Float())).Convert(dst), nil
+		if isNumericKind(rv.Kind()) {
+			var i int64
+			switch rv.Kind() {
+			case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+				u := rv.Uint()
+				if u > math.MaxInt64 {
+					return reflect.Value{}, badConversion(fmt.Sprintf("%T value %d", v, u), dst.String())
+				}
+				i = int64(u)
+			case reflect.Float32, reflect.Float64:
+				f := rv.Float()
+				i = int64(f)
+				// int64(f) saturates out-of-range floats (and NaN) to
+				// values that do not round-trip, so one check covers both
+				// precision loss and range overflow.
+				if float64(i) != f {
+					return reflect.Value{}, badConversion(fmt.Sprintf("%T value %v", v, f), dst.String())
+				}
+			default:
+				i = rv.Int()
+			}
+			out := reflect.New(dst).Elem()
+			if out.OverflowInt(i) {
+				return reflect.Value{}, badConversion(fmt.Sprintf("%T value %d", v, i), dst.String())
+			}
+			out.SetInt(i)
+			return out, nil
 		}
 	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
-		switch rv.Kind() {
-		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
-			return reflect.ValueOf(uint64(rv.Int())).Convert(dst), nil
-		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
-			return reflect.ValueOf(rv.Uint()).Convert(dst), nil
+		if isNumericKind(rv.Kind()) {
+			var u uint64
+			switch rv.Kind() {
+			case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+				i := rv.Int()
+				if i < 0 {
+					return reflect.Value{}, badConversion(fmt.Sprintf("%T value %d", v, i), dst.String())
+				}
+				u = uint64(i)
+			case reflect.Float32, reflect.Float64:
+				f := rv.Float()
+				if f < 0 {
+					return reflect.Value{}, badConversion(fmt.Sprintf("%T value %v", v, f), dst.String())
+				}
+				u = uint64(f)
+				if float64(u) != f {
+					return reflect.Value{}, badConversion(fmt.Sprintf("%T value %v", v, f), dst.String())
+				}
+			default:
+				u = rv.Uint()
+			}
+			out := reflect.New(dst).Elem()
+			if out.OverflowUint(u) {
+				return reflect.Value{}, badConversion(fmt.Sprintf("%T value %d", v, u), dst.String())
+			}
+			out.SetUint(u)
+			return out, nil
 		}
 	case reflect.Float32, reflect.Float64:
-		switch rv.Kind() {
-		case reflect.Float32, reflect.Float64:
-			return reflect.ValueOf(rv.Float()).Convert(dst), nil
-		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
-			return reflect.ValueOf(float64(rv.Int())).Convert(dst), nil
-		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
-			return reflect.ValueOf(float64(rv.Uint())).Convert(dst), nil
+		if isNumericKind(rv.Kind()) {
+			var f float64
+			switch rv.Kind() {
+			case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+				f = float64(rv.Int())
+			case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+				f = float64(rv.Uint())
+			default:
+				f = rv.Float()
+			}
+			out := reflect.New(dst).Elem()
+			// float64 → float32 keeps rounding (as a Go conversion does)
+			// but magnitude overflow to ±Inf is a real narrowing failure.
+			if out.OverflowFloat(f) {
+				return reflect.Value{}, badConversion(fmt.Sprintf("%T value %v", v, f), dst.String())
+			}
+			out.SetFloat(f)
+			return out, nil
 		}
 	case reflect.Slice:
+		// string → []byte (and other byte-slice types).
+		if rv.Kind() == reflect.String && dst.Elem().Kind() == reflect.Uint8 {
+			return rv.Convert(dst), nil
+		}
 		if rv.Kind() == reflect.Slice {
 			out := reflect.MakeSlice(dst, rv.Len(), rv.Len())
 			for i := 0; i < rv.Len(); i++ {
@@ -119,12 +189,27 @@ func Assign(dst reflect.Type, v any) (reflect.Value, error) {
 		if rv.Kind() == reflect.String {
 			return rv.Convert(dst), nil
 		}
+		// []byte → string.
+		if rv.Kind() == reflect.Slice && rv.Type().Elem().Kind() == reflect.Uint8 {
+			return rv.Convert(dst), nil
+		}
 	case reflect.Bool:
 		if rv.Kind() == reflect.Bool {
 			return rv.Convert(dst), nil
 		}
 	}
-	return reflect.Value{}, fmt.Errorf("wire: cannot assign %T to %v", v, dst)
+	return reflect.Value{}, fmt.Errorf("wire: cannot assign %T to %v: %w", v, dst, errs.ErrBadConversion)
+}
+
+// isNumericKind reports whether k is an integer, unsigned or float kind.
+func isNumericKind(k reflect.Kind) bool {
+	switch k {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Float32, reflect.Float64:
+		return true
+	}
+	return false
 }
 
 // AssignArgs binds a decoded argument list to a parameter type list,

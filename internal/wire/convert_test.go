@@ -1,8 +1,11 @@
 package wire
 
 import (
+	"errors"
 	"reflect"
 	"testing"
+
+	"repro/internal/errs"
 )
 
 func TestAssignScalars(t *testing.T) {
@@ -124,6 +127,102 @@ func TestAssignInterface(t *testing.T) {
 	}
 	if got.Interface() != "x" {
 		t.Errorf("Assign(any, x) = %#v", got.Interface())
+	}
+}
+
+// TestAssignNarrowingOverflow: narrowing conversions that cannot represent
+// the value fail with errs.ErrBadConversion instead of silently truncating.
+func TestAssignNarrowingOverflow(t *testing.T) {
+	cases := []struct {
+		dst any
+		in  any
+	}{
+		{int8(0), int(300)},               // int overflow
+		{int16(0), int(1 << 20)},          // int overflow
+		{uint8(0), int(256)},              // uint overflow
+		{uint64(0), int(-1)},              // sign loss
+		{uint16(0), float64(-2)},          // negative float to uint
+		{int(0), float64(1.5)},            // fractional float to int
+		{int(0), float64(1e300)},          // float out of int range
+		{int64(0), uint64(1) << 63},       // uint64 beyond MaxInt64
+		{float32(0), float64(1e300)},      // float64 overflowing float32
+		{uint32(0), float64(4.2e9 + 0.5)}, // fractional and in-range check order
+	}
+	for _, c := range cases {
+		_, err := Assign(reflect.TypeOf(c.dst), c.in)
+		if err == nil {
+			t.Errorf("Assign(%T, %#v): expected overflow error", c.dst, c.in)
+			continue
+		}
+		if !errors.Is(err, errs.ErrBadConversion) {
+			t.Errorf("Assign(%T, %#v): error %v does not unwrap to ErrBadConversion", c.dst, c.in, err)
+		}
+	}
+}
+
+// TestAssignLosslessConversions: conversions representable in the target
+// keep working, including float values with integral parts.
+func TestAssignLosslessConversions(t *testing.T) {
+	cases := []struct {
+		dst  any
+		in   any
+		want any
+	}{
+		{int8(0), int(-128), int8(-128)},
+		{uint8(0), int(255), uint8(255)},
+		{int(0), float64(42), int(42)},
+		{uint32(0), float64(7), uint32(7)},
+		{float32(0), float64(2.5), float32(2.5)},
+		{float64(0), uint64(1) << 63, float64(1 << 63)},
+	}
+	for _, c := range cases {
+		got, err := Assign(reflect.TypeOf(c.dst), c.in)
+		if err != nil {
+			t.Errorf("Assign(%T, %#v): %v", c.dst, c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got.Interface(), c.want) {
+			t.Errorf("Assign(%T, %#v) = %#v, want %#v", c.dst, c.in, got.Interface(), c.want)
+		}
+	}
+}
+
+// TestAssignBytesString: []byte and string convert to each other (a decoded
+// []byte argument binding a string parameter, and vice versa).
+func TestAssignBytesString(t *testing.T) {
+	gs, err := Assign(reflect.TypeOf(""), []byte("abc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs.Interface() != "abc" {
+		t.Errorf("[]byte->string = %#v", gs.Interface())
+	}
+	gb, err := Assign(reflect.TypeOf([]byte(nil)), "xyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gb.Interface().([]byte)) != "xyz" {
+		t.Errorf("string->[]byte = %#v", gb.Interface())
+	}
+}
+
+func TestAssignToPointer(t *testing.T) {
+	var n int
+	if err := AssignTo(&n, int64(9)); err != nil {
+		t.Fatal(err)
+	}
+	if n != 9 {
+		t.Errorf("AssignTo(int, int64(9)) set %d", n)
+	}
+	if err := AssignTo(n, int64(9)); err == nil {
+		t.Error("AssignTo with non-pointer should fail")
+	}
+	var s []string
+	if err := AssignTo(&s, []any{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 2 || s[1] != "b" {
+		t.Errorf("AssignTo([]string) = %#v", s)
 	}
 }
 

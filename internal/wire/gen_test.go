@@ -1,0 +1,163 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestGeneratedInternBackrefs: two occurrences of the same generated struct
+// in one message make the second occurrence use name back-references; the
+// generated and reflective encoders must still produce identical bytes.
+func TestGeneratedInternBackrefs(t *testing.T) {
+	gen := BinFmt{}
+	refl := BinFmt{DisableGenerated: true}
+	msg := []any{
+		&fuzzMsg{S: "first", I: 1},
+		&fuzzMsg{S: "second", I: 2},
+		fuzzMsg{S: "third (by value)", I: 3},
+	}
+	gb, err := gen.Marshal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := refl.Marshal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gb, rb) {
+		t.Fatalf("repeated-struct bytes differ:\n generated: %x\nreflective: %x", gb, rb)
+	}
+	// The second and third occurrences must actually be smaller than the
+	// first (back-references replacing literal names), or interning broke.
+	single, err := gen.Marshal([]any{&fuzzMsg{S: "first", I: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gb) >= 3*len(single) {
+		t.Errorf("no interning win across occurrences: 3 structs = %d B, 1 struct = %d B", len(gb), len(single))
+	}
+	gv, err := gen.Unmarshal(gb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv, err := refl.Unmarshal(gb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gv, rv) {
+		t.Fatalf("decoded values differ:\n generated: %#v\nreflective: %#v", gv, rv)
+	}
+}
+
+// TestGeneratedInsideReflective: a generated struct nested in a map (which
+// only the reflective encoder walks) still takes the generated fast path
+// for the inner value, byte-compatibly.
+func TestGeneratedInsideReflective(t *testing.T) {
+	gen := BinFmt{}
+	refl := BinFmt{DisableGenerated: true}
+	msg := map[string]any{
+		"inner": &fuzzMsg{S: "nested", Vs: []any{int(1)}},
+		"plain": int(7),
+	}
+	gb, err := gen.Marshal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := refl.Marshal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gb, rb) {
+		t.Fatalf("nested bytes differ:\n generated: %x\nreflective: %x", gb, rb)
+	}
+	gv, err := gen.Unmarshal(gb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gv, mustUnmarshal(t, refl, gb)) {
+		t.Fatalf("nested decode mismatch: %#v", gv)
+	}
+}
+
+// TestGeneratedNilPointer: a nil *T with a generated codec encodes as nil,
+// exactly like the reflective path.
+func TestGeneratedNilPointer(t *testing.T) {
+	gen := BinFmt{}
+	refl := BinFmt{DisableGenerated: true}
+	var p *fuzzMsg
+	gb, err := gen.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := refl.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gb, rb) {
+		t.Fatalf("nil pointer bytes differ: %x vs %x", gb, rb)
+	}
+	v, err := gen.Unmarshal(gb)
+	if err != nil || v != nil {
+		t.Fatalf("nil pointer decoded to %#v, %v", v, err)
+	}
+}
+
+// TestEncoderReuse: a pooled encoder's buffer and intern table reset fully
+// between messages.
+func TestEncoderReuse(t *testing.T) {
+	want, err := BinFmt{}.Marshal(&fuzzMsg{S: "reuse"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		e := NewEncoder()
+		if err := e.Encode(&fuzzMsg{S: "reuse"}); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(e.Bytes(), want) {
+			t.Fatalf("iteration %d: pooled encoder produced different bytes", i)
+		}
+		e.Release()
+	}
+}
+
+// TestUnknownFieldSkipped: a message carrying a field the receiver dropped
+// decodes cleanly on both paths (schema evolution).
+func TestUnknownFieldSkipped(t *testing.T) {
+	// Hand-build a fuzzMsg body with an extra unknown field by writing
+	// through the Encoder surface directly.
+	e := NewEncoder()
+	// tPtrStruct tag then body: name, count=2, one real field, one unknown.
+	e.e.writeByte(tPtrStruct)
+	e.BeginStruct("wire.fuzzMsg", 2)
+	e.FieldName("S")
+	e.String("kept")
+	e.FieldName("Gone")
+	e.Int(99)
+	data := append([]byte(nil), e.Bytes()...)
+	e.Release()
+
+	for _, codec := range []Codec{BinFmt{}, BinFmt{DisableGenerated: true}} {
+		v, err := codec.Unmarshal(data)
+		if err != nil {
+			t.Fatalf("%v: %v", codec, err)
+		}
+		msg, ok := v.(*fuzzMsg)
+		if !ok {
+			t.Fatalf("decoded %T", v)
+		}
+		if msg.S != "kept" {
+			t.Errorf("known field lost: %#v", msg)
+		}
+	}
+}
+
+func mustUnmarshal(t *testing.T, c Codec, data []byte) any {
+	t.Helper()
+	v, err := c.Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}

@@ -1,0 +1,11 @@
+package wire
+
+import "testing"
+
+// Crafted frame: tStruct + uvarint(1<<63) as interned-name length.
+func TestReadNameOverflowRepro(t *testing.T) {
+	data := []byte{tStruct, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01}
+	if _, err := (BinFmt{}).Unmarshal(data); err == nil {
+		t.Fatal("crafted overflow length decoded without error")
+	}
+}
