@@ -7,11 +7,14 @@
 //	go run ./cmd/parcbench -exp fanout -exp codec -json > BENCH_current.json
 //	go run ./cmd/benchdiff -baseline BENCH_baseline.json -current BENCH_current.json
 //
-// Tracked metrics: fanout calls/s (per channel, must not drop) and codec
-// ns/op (per path/op, must not rise). Rows present in the baseline but
-// missing from the current report fail the gate. Improvements pass; commit
-// a refreshed baseline to bank them (see the README's "Refreshing the
-// benchmark baseline" section).
+// Tracked metrics: fanout calls/s (per channel and payload size, must not
+// drop), codec ns/op (per path/op, must not rise) and codec allocs/op
+// (per path/op, must never rise — allocation counts are deterministic, so
+// a pooling regression has no noise excuse and gets no tolerance; the
+// alloc gate applies in -relative mode too). Rows present in the baseline
+// but missing from the current report fail the gate. Improvements pass;
+// commit a refreshed baseline to bank them (see the README's "Refreshing
+// the benchmark baseline" section).
 package main
 
 import (

@@ -15,7 +15,17 @@
 //
 // With -json the human tables go to stderr and a machine-readable
 // bench.Report (the format BENCH_baseline.json and the CI regression gate
-// consume) is written to stdout.
+// consume) is written to stdout; the report records the Go version and
+// GOMAXPROCS it was measured under.
+//
+// -cpuprofile/-memprofile write pprof artifacts covering the experiment
+// runs, so a hot-path regression flagged by the CI gate can be diagnosed
+// straight from a bench run (go tool pprof <binary> cpu.out).
+//
+// -payload sweeps the fanout experiment across payload sizes (for example
+// -payload 16,256,4096); -nobind forces the string envelope on every call
+// (the remoting.Channel.DisableBinding escape hatch), letting CI smoke
+// both envelope variants.
 package main
 
 import (
@@ -25,6 +35,9 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"repro/internal/bench"
@@ -51,9 +64,53 @@ func main() {
 	flag.Var(&exps, "exp", "experiment id, repeatable/comma-separated (all, fig8a, fig8b, latency, fig9, seqratio, overhead, agg, agglom, codecs, pool, fanout, codec)")
 	full := flag.Bool("full", false, "full paper-sized sweeps (slower)")
 	asJSON := flag.Bool("json", false, "write a machine-readable bench.Report to stdout (tables go to stderr)")
+	payloads := flag.String("payload", "", "fanout payload sizes in bytes, comma-separated (e.g. 16,256,4096); empty = default 64")
+	noBind := flag.Bool("nobind", false, "disable bound call handles: every fanout call uses the string envelope")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the experiment runs to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile (after the runs) to this file")
 	flag.Parse()
 	if len(exps) == 0 {
 		exps = expFlag{"all"}
+	}
+	fanoutPayloads, err := parsePayloads(*payloads)
+	if err != nil {
+		log.Fatalf("parcbench: -payload: %v", err)
+	}
+	// log.Fatal calls os.Exit, which skips deferred StopCPUProfile and
+	// would leave a truncated -cpuprofile artifact; every fatal exit after
+	// profiling starts goes through these instead. StopCPUProfile is a
+	// no-op when profiling is off.
+	fatal := func(v ...any) {
+		pprof.StopCPUProfile()
+		log.Fatal(v...)
+	}
+	fatalf := func(format string, args ...any) {
+		pprof.StopCPUProfile()
+		log.Fatalf(format, args...)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatalf("parcbench: -cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("parcbench: -cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatalf("parcbench: -memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatalf("parcbench: -memprofile: %v", err)
+			}
+		}()
 	}
 
 	run := func(name string) bool {
@@ -76,12 +133,12 @@ func main() {
 		fmt.Fprintln(out, "================================================================")
 		stacks, err := bench.Fig8aStacks()
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		rows, err := bench.Sweep(stacks, bench.MessageSizes(*full), *full)
 		bench.CloseAll(stacks)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		bench.PrintBandwidth(out, "Fig. 8a — inter-node bandwidth, measured (MPI vs Java RMI vs Mono)", rows)
 		model := bench.ModelSweep(
@@ -94,12 +151,12 @@ func main() {
 		fmt.Fprintln(out, "================================================================")
 		stacks, err := bench.Fig8bStacks()
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		rows, err := bench.Sweep(stacks, bench.MessageSizes(*full), *full)
 		bench.CloseAll(stacks)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		bench.PrintBandwidth(out, "Fig. 8b — Mono implementations (Tcp 1.1.7 vs Tcp 1.0.5 vs Http)", rows)
 		model := bench.ModelSweep(
@@ -112,7 +169,7 @@ func main() {
 		fmt.Fprintln(out, "================================================================")
 		stacks, err := bench.Fig8aStacks()
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		reps := 50
 		if !*full {
@@ -121,7 +178,7 @@ func main() {
 		rows, err := bench.MeasureLatency(stacks, reps)
 		bench.CloseAll(stacks)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		bench.PrintLatency(out, "E3 — inter-node round-trip latency (paper: MPI 100, Mono 273, RMI 520 us)", rows)
 	}
@@ -131,7 +188,7 @@ func main() {
 		cfg := bench.DefaultFig9Config(*full)
 		rows, err := bench.RunFig9(cfg)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		bench.PrintFig9(out, rows)
 		fmt.Fprintf(out, "(image %dx%d, time scale 1/%.0f; checksums equal across systems: %v)\n",
@@ -155,7 +212,7 @@ func main() {
 		}
 		res, err := bench.RunOverhead(1024, reps, profile.Network())
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		bench.PrintOverhead(out, res)
 	}
@@ -170,7 +227,7 @@ func main() {
 		}
 		rows, err := bench.RunAggregationSweep(n, sweep, profile.Network())
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		bench.PrintAggregation(out, rows)
 	}
@@ -183,7 +240,7 @@ func main() {
 		}
 		rows, err := bench.RunAgglomerationAblation(objects, calls, profile.Network())
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		bench.PrintAgglomeration(out, rows)
 	}
@@ -192,7 +249,7 @@ func main() {
 		fmt.Fprintln(out, "================================================================")
 		rows, err := bench.RunCodecAblation(1024)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		bench.PrintCodecs(out, rows)
 	}
@@ -204,7 +261,7 @@ func main() {
 		sizes := []int{1, 2, 4, 8}
 		rows, err := bench.RunPoolAblation(cfg, 4, sizes)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		bench.PrintPool(out, rows)
 	}
@@ -215,9 +272,14 @@ func main() {
 		if *full {
 			callers, calls = 128, 200
 		}
-		rows, err := bench.RunPipelinedFanout(callers, calls)
+		rows, err := bench.RunFanout(bench.FanoutConfig{
+			Callers:        callers,
+			CallsPerCaller: calls,
+			Payloads:       fanoutPayloads,
+			DisableBinding: *noBind,
+		})
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		bench.PrintFanout(out, rows)
 		report.Fanout = rows
@@ -227,21 +289,42 @@ func main() {
 		fmt.Fprintln(out, "================================================================")
 		rows, err := bench.RunCodec()
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		bench.PrintCodec(out, rows)
 		report.Codec = rows
 	}
 	if !any {
-		log.Fatalf("unknown experiment(s) %q", exps.String())
+		fatalf("unknown experiment(s) %q", exps.String())
 	}
 	if *asJSON {
+		report.Meta = bench.CurrentMeta()
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(report); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
+}
+
+// parsePayloads parses the -payload flag.
+func parsePayloads(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad payload size %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func checksumsAgree(rows []bench.Fig9Row) bool {

@@ -10,35 +10,65 @@ import (
 	"repro/internal/transport"
 )
 
-// FanoutRow is one channel's result in the pipelined-fanout experiment:
-// many concurrent callers hammering one echo object on a single peer. The
-// JSON form feeds the CI benchmark-regression gate.
+// FanoutRow is one channel's result at one payload size in the
+// pipelined-fanout experiment: many concurrent callers hammering one echo
+// object on a single peer. The JSON form feeds the CI
+// benchmark-regression gate.
 type FanoutRow struct {
 	Channel     string        `json:"channel"`
 	Callers     int           `json:"callers"`
+	Payload     int           `json:"payload_bytes"`
 	TotalCalls  int           `json:"total_calls"`
 	Elapsed     time.Duration `json:"elapsed_ns"`
 	CallsPerSec float64       `json:"calls_per_sec"`
 }
 
+// FanoutConfig parameterises the fanout experiment.
+type FanoutConfig struct {
+	Callers        int
+	CallsPerCaller int
+	// Payloads are the approximate per-call payload sizes (bytes) to
+	// sweep; nil means the default 64-byte grain. Sweeping grain sizes
+	// shows where envelope batching stops mattering: fixed per-call costs
+	// dominate tiny calls and wash out under large payloads.
+	Payloads []int
+	// DisableBinding forces the string envelope on every call (the
+	// remoting.Channel escape hatch), so both envelope variants can be
+	// exercised and compared.
+	DisableBinding bool
+}
+
+// DefaultFanoutPayload is the payload size used when no sweep is requested,
+// matching the codec experiment's envelope.
+const DefaultFanoutPayload = 64
+
 // RunPipelinedFanout measures the dial-or-queue penalty of the pooled TCP
-// channel against the multiplexed channel: callers goroutines each perform
-// callsPerCaller synchronous echo calls against one peer. The pooled
-// channel serialises one in-flight call per connection (dialling whenever
-// the pool runs dry); the multiplexed channel pipelines every caller over
-// one long-lived connection.
+// channel against the multiplexed channel at the default payload size; see
+// RunFanout for the full knobs.
+func RunPipelinedFanout(callers, callsPerCaller int) ([]FanoutRow, error) {
+	return RunFanout(FanoutConfig{Callers: callers, CallsPerCaller: callsPerCaller})
+}
+
+// RunFanout measures the pooled TCP channel against the multiplexed
+// channel: Callers goroutines each perform CallsPerCaller synchronous echo
+// calls against one peer, per payload size. The pooled channel serialises
+// one in-flight call per connection (dialling whenever the pool runs dry);
+// the multiplexed channel pipelines every caller over one long-lived
+// connection, with bound call handles and coalesced frame batching unless
+// DisableBinding forces the string envelope.
 //
 // Unlike the paper-reproduction figures, this experiment runs over real
 // loopback TCP with no injected 2005 costs: it is the forward-looking
 // production benchmark (ROADMAP: "as fast as the hardware allows"), so the
-// hardware, not the calibrated cost model, is what gets measured. Rows come
-// back in run order: pooled first, then multiplexed.
+// hardware, not the calibrated cost model, is what gets measured. Rows
+// come back ordered payload-major, channel-minor: pooled first, then
+// multiplexed, per payload size.
 //
-// Each channel runs fanoutRounds times and reports its best round: loopback
-// scheduling noise on a shared machine easily skews a single round by tens
-// of percent, and the CI regression gate diffs these numbers with a 15%
-// budget, so the stable best-case is what gets tracked.
-func RunPipelinedFanout(callers, callsPerCaller int) ([]FanoutRow, error) {
+// Each configuration runs fanoutRounds times and reports its best round:
+// loopback scheduling noise on a shared machine easily skews a single
+// round by tens of percent, and the CI regression gate diffs these numbers
+// with a 15% budget, so the stable best-case is what gets tracked.
+func RunFanout(cfg FanoutConfig) ([]FanoutRow, error) {
 	configs := []struct {
 		name string
 		kind remoting.Kind
@@ -46,27 +76,33 @@ func RunPipelinedFanout(callers, callsPerCaller int) ([]FanoutRow, error) {
 		{"Tcp (pooled)", remoting.TCP},
 		{"Tcp (multiplexed)", remoting.Multiplexed},
 	}
-	rows := make([]FanoutRow, 0, len(configs))
-	for _, cfg := range configs {
-		var best FanoutRow
-		for round := 0; round < fanoutRounds; round++ {
-			row, err := runFanout(cfg.name, cfg.kind, callers, callsPerCaller)
-			if err != nil {
-				return nil, fmt.Errorf("bench: fanout %s: %w", cfg.name, err)
+	payloads := cfg.Payloads
+	if len(payloads) == 0 {
+		payloads = []int{DefaultFanoutPayload}
+	}
+	rows := make([]FanoutRow, 0, len(configs)*len(payloads))
+	for _, payload := range payloads {
+		for _, c := range configs {
+			var best FanoutRow
+			for round := 0; round < fanoutRounds; round++ {
+				row, err := runFanout(c.name, c.kind, cfg, payload)
+				if err != nil {
+					return nil, fmt.Errorf("bench: fanout %s: %w", c.name, err)
+				}
+				if row.CallsPerSec > best.CallsPerSec {
+					best = row
+				}
 			}
-			if row.CallsPerSec > best.CallsPerSec {
-				best = row
-			}
+			rows = append(rows, best)
 		}
-		rows = append(rows, best)
 	}
 	return rows, nil
 }
 
-// fanoutRounds is the best-of count per channel.
+// fanoutRounds is the best-of count per configuration.
 const fanoutRounds = 3
 
-func runFanout(name string, kind remoting.Kind, callers, callsPerCaller int) (FanoutRow, error) {
+func runFanout(name string, kind remoting.Kind, cfg FanoutConfig, payloadBytes int) (FanoutRow, error) {
 	net := transport.TCPNetwork{}
 	var ch *remoting.Channel
 	switch kind {
@@ -75,6 +111,7 @@ func runFanout(name string, kind remoting.Kind, callers, callsPerCaller int) (Fa
 	default:
 		ch = remoting.NewTCPChannel(net)
 	}
+	ch.DisableBinding = cfg.DisableBinding
 	server, err := ch.ListenAndServe("127.0.0.1:0")
 	if err != nil {
 		return FanoutRow{}, err
@@ -86,18 +123,18 @@ func runFanout(name string, kind remoting.Kind, callers, callsPerCaller int) (Fa
 	if err != nil {
 		return FanoutRow{}, err
 	}
-	payload := payloadFor(64)
+	payload := payloadFor(payloadBytes)
 	if _, err := ref.Invoke("Echo", payload); err != nil {
 		return FanoutRow{}, err
 	}
-	errc := make(chan error, callers)
+	errc := make(chan error, cfg.Callers)
 	var wg sync.WaitGroup
 	start := time.Now()
-	for i := 0; i < callers; i++ {
+	for i := 0; i < cfg.Callers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := 0; j < callsPerCaller; j++ {
+			for j := 0; j < cfg.CallsPerCaller; j++ {
 				if _, err := ref.Invoke("Echo", payload); err != nil {
 					errc <- err
 					return
@@ -112,10 +149,11 @@ func runFanout(name string, kind remoting.Kind, callers, callsPerCaller int) (Fa
 		return FanoutRow{}, err
 	default:
 	}
-	total := callers * callsPerCaller
+	total := cfg.Callers * cfg.CallsPerCaller
 	return FanoutRow{
 		Channel:     name,
-		Callers:     callers,
+		Callers:     cfg.Callers,
+		Payload:     payloadBytes,
 		TotalCalls:  total,
 		Elapsed:     elapsed,
 		CallsPerSec: float64(total) / elapsed.Seconds(),
@@ -125,9 +163,9 @@ func runFanout(name string, kind remoting.Kind, callers, callsPerCaller int) (Fa
 // PrintFanout emits the pipelined-fanout table.
 func PrintFanout(w io.Writer, rows []FanoutRow) {
 	fmt.Fprintln(w, "Pipelined fanout — concurrent callers, one peer over loopback TCP (pooled vs multiplexed)")
-	fmt.Fprintf(w, "%-20s %8s %10s %12s %12s\n", "channel", "callers", "calls", "elapsed", "calls/s")
+	fmt.Fprintf(w, "%-20s %8s %8s %10s %12s %12s\n", "channel", "callers", "payload", "calls", "elapsed", "calls/s")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-20s %8d %10d %12s %12.0f\n",
-			r.Channel, r.Callers, r.TotalCalls, r.Elapsed.Round(time.Microsecond), r.CallsPerSec)
+		fmt.Fprintf(w, "%-20s %8d %8d %10d %12s %12.0f\n",
+			r.Channel, r.Callers, r.Payload, r.TotalCalls, r.Elapsed.Round(time.Microsecond), r.CallsPerSec)
 	}
 }

@@ -27,3 +27,42 @@ func TestPipelinedFanout(t *testing.T) {
 		t.Errorf("table missing multiplexed row:\n%s", sb.String())
 	}
 }
+
+// TestFanoutPayloadSweep: the sweep produces one row per (payload,
+// channel) with the payload recorded, so batching gains are measured
+// across grain sizes.
+func TestFanoutPayloadSweep(t *testing.T) {
+	rows, err := RunFanout(FanoutConfig{Callers: 4, CallsPerCaller: 2, Payloads: []int{16, 256}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (2 payloads x 2 channels)", len(rows))
+	}
+	wantPayloads := []int{16, 16, 256, 256}
+	for i, r := range rows {
+		if r.Payload != wantPayloads[i] {
+			t.Errorf("row %d payload = %d, want %d", i, r.Payload, wantPayloads[i])
+		}
+		if r.TotalCalls != 8 || r.CallsPerSec <= 0 {
+			t.Errorf("row %d = %+v", i, r)
+		}
+	}
+}
+
+// TestFanoutDisableBinding: the escape hatch must keep the experiment
+// green on the string envelope (the CI bench-smoke runs both variants).
+func TestFanoutDisableBinding(t *testing.T) {
+	rows, err := RunFanout(FanoutConfig{Callers: 4, CallsPerCaller: 2, DisableBinding: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.TotalCalls != 8 || r.CallsPerSec <= 0 {
+			t.Errorf("row = %+v", r)
+		}
+	}
+}

@@ -6,10 +6,12 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/cost"
+	"repro/internal/dispatch"
 	"repro/internal/mpi"
 	"repro/internal/netsim"
 	"repro/internal/profile"
@@ -86,6 +88,26 @@ type echoService struct{}
 
 // Echo returns its argument, as the paper's remote object does.
 func (echoService) Echo(nums []int32) []int32 { return nums }
+
+// init registers the invoker thunk for echoService, in the shape parcgen
+// emits for every //parc:parallel class: the production benchmarks should
+// measure the dispatch path generated classes actually take (thunks, no
+// reflect.Value.Call), not the reflective fallback.
+func init() {
+	dispatch.RegisterInvokers(echoService{}, map[string]dispatch.Invoker{
+		"Echo": func(ctx context.Context, obj any, args []any) (any, error) {
+			x := obj.(echoService)
+			if len(args) != 1 {
+				return nil, dispatch.BadArity(obj, "Echo", len(args), 1)
+			}
+			a0, err := dispatch.Arg[[]int32](args, 0)
+			if err != nil {
+				return nil, dispatch.BadArg(obj, "Echo", 0, err)
+			}
+			return x.Echo(a0), nil
+		},
+	})
+}
 
 type rmiStack struct {
 	server *rmi.Runtime

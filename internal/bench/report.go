@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 )
 
@@ -11,8 +12,42 @@ import (
 // CI regression gate diffs. Sections are present only when their
 // experiments ran.
 type Report struct {
+	Meta   *ReportMeta    `json:"meta,omitempty"`
 	Fanout []FanoutRow    `json:"fanout,omitempty"`
 	Codec  []CodecPathRow `json:"codec,omitempty"`
+}
+
+// ReportMeta records the environment a report was measured in, so a
+// baseline number can be interpreted (and hot-path regressions diagnosed
+// from the bench artifact alone). It carries no gated metrics.
+type ReportMeta struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+// CurrentMeta snapshots the running environment.
+func CurrentMeta() *ReportMeta {
+	return &ReportMeta{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+}
+
+// fanKey identifies a fanout row across reports. Rows from baselines
+// predating the payload sweep (payload 0) compare against the default
+// grain size.
+func fanKey(r FanoutRow) string {
+	p := r.Payload
+	if p == 0 {
+		p = DefaultFanoutPayload
+	}
+	return fmt.Sprintf("%s @%dB", r.Channel, p)
 }
 
 // WriteReport marshals a report with stable indentation (committed as
@@ -46,10 +81,21 @@ func ReadReport(path string) (Report, error) {
 // hardware differs from wherever BENCH_baseline.json was recorded.
 func RelativeMetrics(r Report) map[string]float64 {
 	out := map[string]float64{}
-	if len(r.Fanout) > 1 && r.Fanout[0].CallsPerSec > 0 {
-		base := r.Fanout[0]
-		for _, row := range r.Fanout[1:] {
-			out["fanout "+row.Channel+" vs "+base.Channel] = row.CallsPerSec / base.CallsPerSec
+	// Per payload size, every channel is measured against the first
+	// (pooled) channel at that size.
+	type base struct {
+		channel string
+		cps     float64
+	}
+	bases := map[int]base{}
+	for _, row := range r.Fanout {
+		if _, ok := bases[row.Payload]; !ok {
+			bases[row.Payload] = base{channel: row.Channel, cps: row.CallsPerSec}
+			continue
+		}
+		b := bases[row.Payload]
+		if b.cps > 0 {
+			out["fanout "+fanKey(row)+" vs "+b.channel] = row.CallsPerSec / b.cps
 		}
 	}
 	byKey := map[string]CodecPathRow{}
@@ -73,8 +119,10 @@ func RelativeMetrics(r Report) map[string]float64 {
 // the hardware-robust gate: a uniformly slower runner shifts both sides of
 // each ratio and cancels out, while losing the generated codec's edge or
 // the multiplexed channel's pipelining shows up regardless of hardware.
+// Codec allocs/op are machine-independent and are gated absolutely here
+// too — any rise fails.
 func CompareReportsRelative(baseline, current Report, tolerance float64) []string {
-	var problems []string
+	problems := compareCodec(baseline, current, tolerance, false)
 	base := RelativeMetrics(baseline)
 	cur := RelativeMetrics(current)
 	for key, b := range base {
@@ -97,9 +145,13 @@ func CompareReportsRelative(baseline, current Report, tolerance float64) []strin
 // string per regression beyond tolerance (0.15 means a 15% budget):
 //
 //   - a fanout row whose calls/s dropped more than tolerance below the
-//     baseline row with the same channel name;
+//     baseline row with the same channel name and payload size;
 //   - a codec row whose ns/op rose more than tolerance above the baseline
 //     row with the same (path, op);
+//   - a codec row that allocates more per op than its baseline row —
+//     allocation counts are deterministic, so any rise is a pooling
+//     regression, with no tolerance (this is also checked by the relative
+//     gate: alloc counts are machine-independent);
 //   - a baseline row missing from current — a silently dropped experiment
 //     must fail the gate, not pass it.
 //
@@ -110,22 +162,32 @@ func CompareReports(baseline, current Report, tolerance float64) []string {
 
 	curFan := map[string]FanoutRow{}
 	for _, r := range current.Fanout {
-		curFan[r.Channel] = r
+		curFan[fanKey(r)] = r
 	}
 	for _, b := range baseline.Fanout {
-		c, ok := curFan[b.Channel]
+		c, ok := curFan[fanKey(b)]
 		if !ok {
-			problems = append(problems, fmt.Sprintf("fanout %q: missing from current report", b.Channel))
+			problems = append(problems, fmt.Sprintf("fanout %q: missing from current report", fanKey(b)))
 			continue
 		}
 		floor := b.CallsPerSec * (1 - tolerance)
 		if c.CallsPerSec < floor {
 			problems = append(problems, fmt.Sprintf(
 				"fanout %q: %.0f calls/s is %.1f%% below baseline %.0f (tolerance %.0f%%)",
-				b.Channel, c.CallsPerSec, 100*(1-c.CallsPerSec/b.CallsPerSec), b.CallsPerSec, 100*tolerance))
+				fanKey(b), c.CallsPerSec, 100*(1-c.CallsPerSec/b.CallsPerSec), b.CallsPerSec, 100*tolerance))
 		}
 	}
 
+	problems = append(problems, compareCodec(baseline, current, tolerance, true)...)
+	sort.Strings(problems)
+	return problems
+}
+
+// compareCodec gates the codec rows: ns/op within tolerance (when gateNs
+// is set — the relative gate covers time through ratios instead) and
+// allocs/op never rising.
+func compareCodec(baseline, current Report, tolerance float64, gateNs bool) []string {
+	var problems []string
 	codecKey := func(r CodecPathRow) string { return r.Path + "/" + r.Op }
 	curCodec := map[string]CodecPathRow{}
 	for _, r := range current.Codec {
@@ -134,17 +196,26 @@ func CompareReports(baseline, current Report, tolerance float64) []string {
 	for _, b := range baseline.Codec {
 		c, ok := curCodec[codecKey(b)]
 		if !ok {
-			problems = append(problems, fmt.Sprintf("codec %s: missing from current report", codecKey(b)))
+			if gateNs {
+				// The relative gate reports missing rows through its
+				// missing-ratio check; avoid double-counting there.
+				problems = append(problems, fmt.Sprintf("codec %s: missing from current report", codecKey(b)))
+			}
 			continue
 		}
-		ceil := b.NsPerOp * (1 + tolerance)
-		if c.NsPerOp > ceil {
+		if gateNs {
+			ceil := b.NsPerOp * (1 + tolerance)
+			if c.NsPerOp > ceil {
+				problems = append(problems, fmt.Sprintf(
+					"codec %s: %.1f ns/op is %.1f%% above baseline %.1f (tolerance %.0f%%)",
+					codecKey(b), c.NsPerOp, 100*(c.NsPerOp/b.NsPerOp-1), b.NsPerOp, 100*tolerance))
+			}
+		}
+		if c.AllocsPerOp > b.AllocsPerOp {
 			problems = append(problems, fmt.Sprintf(
-				"codec %s: %.1f ns/op is %.1f%% above baseline %.1f (tolerance %.0f%%)",
-				codecKey(b), c.NsPerOp, 100*(c.NsPerOp/b.NsPerOp-1), b.NsPerOp, 100*tolerance))
+				"codec %s: allocs/op rose %d -> %d (no tolerance: pooling must not rot)",
+				codecKey(b), b.AllocsPerOp, c.AllocsPerOp))
 		}
 	}
-
-	sort.Strings(problems)
 	return problems
 }

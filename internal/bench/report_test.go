@@ -8,9 +8,10 @@ import (
 
 func sampleBaseline() Report {
 	return Report{
+		Meta: CurrentMeta(),
 		Fanout: []FanoutRow{
-			{Channel: "Tcp (pooled)", Callers: 64, TotalCalls: 1920, CallsPerSec: 40000},
-			{Channel: "Tcp (multiplexed)", Callers: 64, TotalCalls: 1920, CallsPerSec: 90000},
+			{Channel: "Tcp (pooled)", Callers: 64, Payload: 64, TotalCalls: 1920, CallsPerSec: 40000},
+			{Channel: "Tcp (multiplexed)", Callers: 64, Payload: 64, TotalCalls: 1920, CallsPerSec: 90000},
 		},
 		Codec: []CodecPathRow{
 			{Path: "generated", Op: "encode", NsPerOp: 200, AllocsPerOp: 0},
@@ -71,11 +72,58 @@ func TestCompareReportsCatchesMissingRows(t *testing.T) {
 
 func TestRelativeMetrics(t *testing.T) {
 	m := RelativeMetrics(sampleBaseline())
-	if got := m["fanout Tcp (multiplexed) vs Tcp (pooled)"]; got != 2.25 {
-		t.Errorf("fanout ratio = %v, want 2.25", got)
+	if got := m["fanout Tcp (multiplexed) @64B vs Tcp (pooled)"]; got != 2.25 {
+		t.Errorf("fanout ratio = %v, want 2.25 (metrics: %v)", got, m)
 	}
 	if got := m["codec encode speedup"]; got != 2.5 {
 		t.Errorf("encode speedup = %v, want 2.5", got)
+	}
+}
+
+// TestCompareReportsAllocGate: an allocs/op rise fails both gates with no
+// tolerance, and equal-or-fewer allocs pass.
+func TestCompareReportsAllocGate(t *testing.T) {
+	base := sampleBaseline()
+	cur := sampleBaseline()
+	cur.Codec[0].AllocsPerOp = 2 // generated encode: 0 -> 2
+	for name, compare := range map[string]func(Report, Report, float64) []string{
+		"absolute": CompareReports,
+		"relative": CompareReportsRelative,
+	} {
+		problems := compare(base, cur, 0.15)
+		if len(problems) != 1 || !strings.Contains(problems[0], "allocs/op rose 0 -> 2") {
+			t.Errorf("%s: alloc regression not caught: %v", name, problems)
+		}
+	}
+	improved := sampleBaseline()
+	improved.Codec[1].AllocsPerOp = 1 // reflective encode improved
+	if problems := CompareReports(base, improved, 0.15); len(problems) != 0 {
+		t.Errorf("alloc improvement reported as regression: %v", problems)
+	}
+}
+
+// TestCompareReportsPayloadKeys: rows at different payload sizes never
+// gate against each other, and a legacy baseline row without a payload
+// compares against the default grain size.
+func TestCompareReportsPayloadKeys(t *testing.T) {
+	base := sampleBaseline()
+	cur := sampleBaseline()
+	cur.Fanout = append(cur.Fanout, FanoutRow{
+		Channel: "Tcp (multiplexed)", Callers: 64, Payload: 4096, CallsPerSec: 10000,
+	})
+	// The slow 4096B row must not be mistaken for the 64B baseline row.
+	if problems := CompareReports(base, cur, 0.15); len(problems) != 0 {
+		t.Errorf("payload sweep rows cross-gated: %v", problems)
+	}
+	legacy := sampleBaseline()
+	for i := range legacy.Fanout {
+		legacy.Fanout[i].Payload = 0 // baseline predating the sweep
+	}
+	cur2 := sampleBaseline()
+	cur2.Fanout[1].CallsPerSec = 50000 // -44% vs the legacy 90000
+	problems := CompareReports(legacy, cur2, 0.15)
+	if len(problems) != 1 || !strings.Contains(problems[0], "@64B") {
+		t.Errorf("legacy baseline did not gate default payload: %v", problems)
 	}
 }
 

@@ -77,6 +77,17 @@ func HasInvoker(obj any, method string) bool {
 	return lookupInvoker(reflect.TypeOf(obj), method) != nil
 }
 
+// InvokerFor resolves the generated thunk for (t, method), or nil when the
+// type has none and calls must take the reflective path. Callers that
+// dispatch the same method on the same concrete type repeatedly (the
+// remoting server's bound-handle table, the RMI skeleton cache) resolve
+// once and cache the result keyed by t, skipping the per-call registry
+// lookups InvokeCtx would repeat. The returned Invoker must only be handed
+// objects whose reflect.TypeOf equals t.
+func InvokerFor(t reflect.Type, method string) Invoker {
+	return lookupInvoker(t, method)
+}
+
 // Arg binds args[i] to T: a plain type assertion on the fast path, the
 // wire.Assign conversion rules on mismatch (an int64 from an older peer
 // binding to an int parameter, a []any to a typed slice, ...). Generated

@@ -3,6 +3,7 @@ package dispatch
 import (
 	"context"
 	"errors"
+	"reflect"
 	"testing"
 
 	"repro/internal/errs"
@@ -177,3 +178,31 @@ func TestHasInvoker(t *testing.T) {
 		t.Error("HasInvoker(reflectedTarget, Double) = true")
 	}
 }
+
+func TestInvokerFor(t *testing.T) {
+	type unthunked struct{}
+	obj := &invokerTarget{}
+	RegisterInvokers(obj, map[string]Invoker{
+		"Probe": func(ctx context.Context, o any, args []any) (any, error) {
+			return "thunked", nil
+		},
+	})
+	inv := InvokerFor(reflect.TypeOf(obj), "Probe")
+	if inv == nil {
+		t.Fatal("InvokerFor returned nil for a registered thunk")
+	}
+	got, err := inv(context.Background(), obj, nil)
+	if err != nil || got != "thunked" {
+		t.Fatalf("thunk = %v, %v", got, err)
+	}
+	if InvokerFor(reflect.TypeOf(obj), "Missing") != nil {
+		t.Error("InvokerFor returned a thunk for an unregistered method")
+	}
+	if InvokerFor(reflect.TypeOf(unthunked{}), "Probe") != nil {
+		t.Error("InvokerFor returned a thunk for an unregistered type")
+	}
+}
+
+type invokerTarget struct{}
+
+func (*invokerTarget) Probe() string { return "direct" }

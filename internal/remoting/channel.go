@@ -76,6 +76,13 @@ type Channel struct {
 	// Zero selects DefaultMaxInFlight. Only the Multiplexed kind uses it.
 	MaxInFlight int
 
+	// DisableBinding turns off bound call handles (see envelope.go),
+	// forcing the string envelope on every call. It is the escape hatch
+	// mirroring wire.BinFmt.DisableGenerated: set it on a client to send
+	// only string envelopes, on a server to never acknowledge bind
+	// declarations. Either side alone keeps the wire fully interoperable.
+	DisableBinding bool
+
 	seq  atomic.Uint64
 	pool connPool
 
@@ -261,6 +268,18 @@ func (ch *Channel) sendMsg(c transport.Conn, msg []byte) error {
 	return nil
 }
 
+// sendMsgBatch transmits several encoded messages in as few wire writes as
+// the transport supports, charging the endpoint cost model once per
+// message (batching amortizes syscalls, not modelled software costs). It
+// must not be used on the legacy channel, whose chunked framing needs
+// sendMsg's per-message treatment.
+func (ch *Channel) sendMsgBatch(c transport.Conn, msgs [][]byte) error {
+	for _, m := range msgs {
+		ch.Cost.Charge(len(m))
+	}
+	return transport.SendBatch(c, msgs)
+}
+
 // recvMsg receives one message, reassembling legacy chunks, and charges the
 // endpoint cost model. The returned buffer is pool-backed when the
 // transport supports it: callers hand it to transport.PutFrame after the
@@ -323,14 +342,14 @@ func (ch *Channel) roundTrip(ctx context.Context, netaddr string, req *callReque
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("remoting: call %s.%s: %w", req.URI, req.Method, err)
 	}
+	if ch.kind == Multiplexed {
+		// The mux path encodes per connection: the envelope variant
+		// (string or compact) depends on that connection's bind table.
+		return ch.muxRoundTrip(ctx, netaddr, req)
+	}
 	raw, enc, err := ch.encodeRequest(req)
 	if err != nil {
 		return nil, err
-	}
-	if ch.kind == Multiplexed {
-		// Ownership of enc moves to the mux path (the writer goroutine
-		// releases it after the frame leaves).
-		return ch.muxRoundTrip(ctx, netaddr, req, raw, enc)
 	}
 	if enc != nil {
 		// exchangeCtx always joins its exchange goroutine before

@@ -1,0 +1,164 @@
+package remoting
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func TestBoundCallRoundTrip(t *testing.T) {
+	req := &callRequest{
+		Seq:      12345,
+		Deadline: 1753776000000000000,
+		Args:     []any{int32(7), "hello", []float64{1.5, 2.5}},
+	}
+	raw, enc, err := encodeBoundCall(42, req, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enc.Release()
+	handle, got, err := decodeBoundCall(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if handle != 42 {
+		t.Errorf("handle = %d, want 42", handle)
+	}
+	if got.Seq != req.Seq || got.Deadline != req.Deadline {
+		t.Errorf("header = seq %d deadline %d, want seq %d deadline %d",
+			got.Seq, got.Deadline, req.Seq, req.Deadline)
+	}
+	if len(got.Args) != 3 || got.Args[0] != int32(7) || got.Args[1] != "hello" {
+		t.Errorf("args = %#v", got.Args)
+	}
+	if got.URI != "" || got.Method != "" {
+		t.Errorf("compact envelope decoded strings: URI=%q Method=%q", got.URI, got.Method)
+	}
+}
+
+// TestBoundCallIsStringFree is the point of the exercise: the compact
+// frame must not contain the URI, the method name, or the envelope's
+// struct/field names, and must be much smaller than the string envelope.
+func TestBoundCallIsStringFree(t *testing.T) {
+	req := &callRequest{
+		URI:    "DivideServer/7",
+		Method: "Divide",
+		Seq:    99991,
+		Args:   []any{10.0, 4.0},
+	}
+	rawString, encS, err := (&Channel{kind: TCP, codec: wire.BinFmt{}}).encodeRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compact, encC, err := encodeBoundCall(3, req, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer encS.Release()
+	defer encC.Release()
+	for _, needle := range []string{"DivideServer", "Divide", "callRequest", "Seq", "Args"} {
+		if strings.Contains(string(compact), needle) {
+			t.Errorf("compact envelope contains %q", needle)
+		}
+	}
+	if len(compact) >= len(rawString) {
+		t.Errorf("compact envelope %d bytes, string envelope %d bytes — no saving", len(compact), len(rawString))
+	}
+	t.Logf("string envelope %d bytes, compact %d bytes", len(rawString), len(compact))
+}
+
+func TestBoundReplyRoundTripResult(t *testing.T) {
+	resp := &callResponse{Seq: 77, Result: []int32{1, 2, 3}}
+	raw, enc, err := encodeBoundReply(resp, 9, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enc.Release()
+	got, ack, err := decodeBoundReply(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack != 9 {
+		t.Errorf("ack = %d, want 9", ack)
+	}
+	if got.Seq != 77 || got.IsErr {
+		t.Errorf("reply = %+v", got)
+	}
+	if s, ok := got.Result.([]int32); !ok || len(s) != 3 || s[2] != 3 {
+		t.Errorf("result = %#v", got.Result)
+	}
+}
+
+func TestBoundReplyRoundTripError(t *testing.T) {
+	resp := &callResponse{Seq: 78, IsErr: true, ErrCode: "no_such_method", ErrMsg: "boom"}
+	raw, enc, err := encodeBoundReply(resp, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enc.Release()
+	got, ack, err := decodeBoundReply(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack != 0 {
+		t.Errorf("ack = %d, want 0", ack)
+	}
+	if !got.IsErr || got.ErrCode != "no_such_method" || got.ErrMsg != "boom" {
+		t.Errorf("reply = %+v", got)
+	}
+}
+
+func TestBoundCallRejectsBadFrames(t *testing.T) {
+	req := &callRequest{Seq: 1, Args: []any{}}
+	raw, enc, err := encodeBoundCall(5, req, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := append([]byte(nil), raw...)
+	enc.Release()
+
+	if _, _, err := decodeBoundCall(append(frame, 0xFF)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	if _, _, err := decodeBoundCall(frame[:len(frame)-1]); err == nil {
+		t.Error("truncated frame accepted")
+	}
+	bad := append([]byte(nil), frame...)
+	bad[0] = markBoundReply
+	if _, _, err := decodeBoundCall(bad); err == nil {
+		t.Error("wrong marker accepted")
+	}
+	// Handle 0 and out-of-range handles are rejected.
+	if raw0, enc0, err := encodeBoundCall(0, req, false); err == nil {
+		if _, _, err := decodeBoundCall(raw0); err == nil {
+			t.Error("handle 0 accepted")
+		}
+		enc0.Release()
+	}
+	if rawBig, encBig, err := encodeBoundCall(maxBindHandles+1, req, false); err == nil {
+		if _, _, err := decodeBoundCall(rawBig); err == nil {
+			t.Error("out-of-range handle accepted")
+		}
+		encBig.Release()
+	}
+}
+
+func TestBoundReplyRejectsBadFrames(t *testing.T) {
+	resp := &callResponse{Seq: 2, Result: "ok"}
+	raw, enc, err := encodeBoundReply(resp, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := append([]byte(nil), raw...)
+	enc.Release()
+
+	if _, _, err := decodeBoundReply(append(frame, 0x00)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	bad := append([]byte(nil), frame...)
+	bad[0] = markBoundCall
+	if _, _, err := decodeBoundReply(bad); err == nil {
+		t.Error("wrong marker accepted")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/errs"
 	"repro/internal/transport"
@@ -40,6 +41,86 @@ type muxConn struct {
 	inflight map[uint64]chan muxResult
 	failed   bool
 	failErr  error
+
+	// Bound call handles (envelope.go): per-connection client state. binds
+	// maps a (URI, Method) pair to its handle entry; byHandle indexes the
+	// same entries by handle-1 so the reader can route bind acks. Handles
+	// die with the connection — a redial starts empty and re-declares,
+	// which is what makes reconnects transparent.
+	bindMu   sync.RWMutex
+	binds    map[bindKey]*clientBind
+	byHandle []*clientBind
+}
+
+// bindKey identifies one bindable (URI, Method) pair.
+type bindKey struct {
+	uri    string
+	method string
+}
+
+// clientBind tracks one declared handle. confirmed flips once the server
+// acknowledges the declaration; from then on calls for the pair use the
+// compact envelope.
+type clientBind struct {
+	handle    uint32
+	confirmed atomic.Bool
+}
+
+// unboundSentinel is returned by bindFor when the handle space is
+// exhausted: handle 0 means "never bind this pair".
+var unboundSentinel = &clientBind{}
+
+// bindFor returns the bind entry for a pair, declaring a fresh dense
+// handle on first use.
+func (mc *muxConn) bindFor(uri, method string) *clientBind {
+	k := bindKey{uri: uri, method: method}
+	mc.bindMu.RLock()
+	cb := mc.binds[k]
+	mc.bindMu.RUnlock()
+	if cb != nil {
+		return cb
+	}
+	mc.bindMu.Lock()
+	defer mc.bindMu.Unlock()
+	if cb := mc.binds[k]; cb != nil {
+		return cb
+	}
+	if len(mc.byHandle) >= maxBindHandles {
+		return unboundSentinel
+	}
+	if mc.binds == nil {
+		mc.binds = make(map[bindKey]*clientBind)
+	}
+	cb = &clientBind{handle: uint32(len(mc.byHandle) + 1)}
+	mc.binds[k] = cb
+	mc.byHandle = append(mc.byHandle, cb)
+	return cb
+}
+
+// confirmBind records a server ack for a declared handle.
+func (mc *muxConn) confirmBind(handle uint32) {
+	mc.bindMu.RLock()
+	defer mc.bindMu.RUnlock()
+	if idx := int(handle) - 1; idx >= 0 && idx < len(mc.byHandle) {
+		mc.byHandle[idx].confirmed.Store(true)
+	}
+}
+
+// encodeRequest produces the wire frame for req on this connection:
+// the compact envelope once the server confirmed the pair's handle, the
+// string envelope (carrying the bind declaration) until then. Ownership
+// of the returned pooled encoder follows Channel.encodeRequest.
+func (mc *muxConn) encodeRequest(req *callRequest) (raw []byte, enc *wire.Encoder, err error) {
+	bf, binary := mc.ch.binaryCodec()
+	if !binary || mc.ch.DisableBinding {
+		return mc.ch.encodeRequest(req)
+	}
+	cb := mc.bindFor(req.URI, req.Method)
+	if cb.confirmed.Load() {
+		return encodeBoundCall(cb.handle, req, bf.DisableGenerated)
+	}
+	req.Bind = cb.handle
+	return mc.ch.encodeRequest(req)
 }
 
 type muxResult struct {
@@ -168,15 +249,17 @@ func (ch *Channel) removeMux(mc *muxConn) {
 // roundTrip for the at-most-once caveat the retry shares with the pooled
 // path.
 //
-// Ownership of enc (the pooled encoder backing raw, nil on textual codecs)
-// transfers to call; the retry re-encodes rather than reuse raw, whose
-// buffer may already be back in the pool once the first attempt queued it.
-func (ch *Channel) muxRoundTrip(ctx context.Context, netaddr string, req *callRequest, raw []byte, enc *wire.Encoder) (*callResponse, error) {
+// Encoding happens here, per connection, because the envelope variant
+// depends on the connection's bind table (envelope.go); the retry
+// re-encodes on the fresh connection, whose bind table starts empty, so a
+// reconnect transparently falls back to string envelopes and re-declares.
+func (ch *Channel) muxRoundTrip(ctx context.Context, netaddr string, req *callRequest) (*callResponse, error) {
 	mc, fresh, err := ch.getMux(netaddr)
 	if err != nil {
-		if enc != nil {
-			enc.Release()
-		}
+		return nil, err
+	}
+	raw, enc, err := mc.encodeRequest(req)
+	if err != nil {
 		return nil, err
 	}
 	resp, err := mc.call(ctx, req, outFrame{raw: raw, enc: enc})
@@ -187,7 +270,7 @@ func (ch *Channel) muxRoundTrip(ctx context.Context, netaddr string, req *callRe
 	if err2 != nil {
 		return nil, err2
 	}
-	raw2, enc2, err2 := ch.encodeRequest(req)
+	raw2, enc2, err2 := mc2.encodeRequest(req)
 	if err2 != nil {
 		return nil, err2
 	}
@@ -259,12 +342,6 @@ func (mc *muxConn) abandon(seq uint64) {
 	mc.mu.Unlock()
 }
 
-func (mc *muxConn) isFailed() bool {
-	mc.mu.Lock()
-	defer mc.mu.Unlock()
-	return mc.failed
-}
-
 func (mc *muxConn) failureErr() error {
 	mc.mu.Lock()
 	defer mc.mu.Unlock()
@@ -274,16 +351,39 @@ func (mc *muxConn) failureErr() error {
 	return errs.ErrNodeDown
 }
 
+// maxWriteBatch bounds how many queued frames one coalesced write carries,
+// on the mux writer and the server's response writer alike. The bound
+// keeps a single write's latency and buffer assembly predictable; greedy
+// draining below it means batching never delays a frame that could have
+// been written now (flush-on-idle: an empty queue flushes immediately).
+const maxWriteBatch = 64
+
 // writer is the per-connection writer goroutine: it serialises frames from
-// every caller onto the wire (and charges the cost model once per message).
-// Once a frame's bytes have left through the transport (which copies them
-// into its own write buffer), the frame's pooled encoder is released.
+// every caller onto the wire, draining the queue greedily so frames that
+// accumulated while the previous write was in flight leave in one
+// coalesced wire write instead of one syscall each. Once a batch's bytes
+// have left through the transport (which copies or vectors them), its
+// pooled encoders are released.
 func (mc *muxConn) writer() {
+	batch := make([]outFrame, 0, maxWriteBatch)
+	raws := make([][]byte, 0, maxWriteBatch)
 	for {
 		select {
 		case of := <-mc.sendq:
-			err := mc.ch.sendMsg(mc.conn, of.raw)
-			of.release()
+			batch, raws = append(batch[:0], of), append(raws[:0], of.raw)
+		drain:
+			for len(batch) < maxWriteBatch {
+				select {
+				case of := <-mc.sendq:
+					batch, raws = append(batch, of), append(raws, of.raw)
+				default:
+					break drain
+				}
+			}
+			err := mc.ch.sendMsgBatch(mc.conn, raws)
+			for _, of := range batch {
+				of.release()
+			}
 			if err != nil {
 				mc.fail(fmt.Errorf("remoting: send to %s: %v: %w", mc.netaddr, err, errs.ErrNodeDown))
 				return
@@ -296,7 +396,9 @@ func (mc *muxConn) writer() {
 
 // reader receives frames continuously and routes each response to the
 // caller registered under its sequence number. A response without an
-// in-flight entry belongs to an abandoned call and is dropped.
+// in-flight entry belongs to an abandoned call and is dropped. Compact
+// replies (which only a binding server sends, and only after this client
+// declared a handle) also carry bind acks, applied here before routing.
 func (mc *muxConn) reader() {
 	for {
 		raw, err := mc.ch.recvMsg(mc.conn)
@@ -304,7 +406,16 @@ func (mc *muxConn) reader() {
 			mc.fail(fmt.Errorf("remoting: receive from %s: %v: %w", mc.netaddr, err, errs.ErrNodeDown))
 			return
 		}
-		resp, err := mc.ch.decodeResponse(raw)
+		var resp *callResponse
+		if isCompactFrame(raw, markBoundReply) {
+			var ack uint32
+			resp, ack, err = decodeBoundReply(raw)
+			if err == nil && ack != 0 {
+				mc.confirmBind(ack)
+			}
+		} else {
+			resp, err = mc.ch.decodeResponse(raw)
+		}
 		transport.PutFrame(raw) // decode copied everything it kept
 		if err != nil {
 			// A framing/codec failure desynchronises the stream; the

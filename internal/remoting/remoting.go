@@ -53,6 +53,12 @@ type callRequest struct {
 	// of context-aware methods) past it.
 	Deadline int64
 	Args     []any
+	// Bind, when non-zero, declares a call handle: the client asks the
+	// server to remember handle Bind for this (URI, Method) pair on this
+	// connection, so later calls can use the string-free compact envelope
+	// (see envelope.go). Servers that do not understand binding skip the
+	// field (unknown-field tolerance) and simply never acknowledge it.
+	Bind uint32
 }
 
 // callResponse is the reply envelope.

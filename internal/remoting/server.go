@@ -3,13 +3,16 @@ package remoting
 import (
 	"context"
 	"fmt"
+	"reflect"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dispatch"
 	"repro/internal/errs"
 	"repro/internal/threadpool"
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // WellKnownMode selects how the server activates a well-known object,
@@ -97,6 +100,15 @@ type Server struct {
 	conns   map[transport.Conn]struct{}
 	closed  bool
 
+	// regGen counts mutations of the objects table. Bound-handle entries
+	// cache the *registration they resolved together with the generation
+	// they saw; a mismatch sends the next call back to the map, so
+	// Unregister and republish keep their immediate string-path semantics
+	// without a map lookup on the steady-state bound path. The counter is
+	// bumped after the mutation (under mu), so a racing reader can only
+	// cache conservatively (stale generation, revalidated next call).
+	regGen atomic.Uint64
+
 	wg sync.WaitGroup
 }
 
@@ -136,6 +148,7 @@ func (s *Server) RegisterWellKnown(uri string, mode WellKnownMode, factory func(
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.objects[uri] = &registration{mode: mode, factory: factory}
+	s.regGen.Add(1)
 }
 
 // Marshal publishes an explicitly instantiated object under uri with a
@@ -147,6 +160,7 @@ func (s *Server) Marshal(uri string, obj any) {
 	reg := &registration{instance: obj}
 	reg.lease = newLease(s.leaseTTL, func() { s.Unregister(uri) })
 	s.objects[uri] = reg
+	s.regGen.Add(1)
 }
 
 // Unregister removes a published URI. Safe to call for absent URIs.
@@ -158,6 +172,7 @@ func (s *Server) Unregister(uri string) {
 			reg.lease.cancel()
 		}
 		delete(s.objects, uri)
+		s.regGen.Add(1)
 	}
 }
 
@@ -214,49 +229,164 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// serverConn is the per-connection serve state: the coalescing response
+// writer and the bound-handle table (envelope.go). The bind table is
+// touched only by the connection's read loop — TCP ordering guarantees a
+// handle is declared before any compact call uses it — so it needs no
+// lock; compact is read by concurrent handlers and is atomic.
+//
+// Responses are written through a combining lock rather than a dedicated
+// writer goroutine: the first handler to respond becomes the flusher and
+// keeps writing — in batched wire writes — until the queue it shares with
+// every concurrent handler is empty, while later handlers just append
+// their frame and return. A sequential connection (pooled, legacy, HTTP)
+// therefore writes directly with zero added hops, exactly as before,
+// while a pipelined connection under load coalesces everything that
+// accumulated during the previous write into one syscall. The queue is
+// bounded by the number of in-flight handlers, the same backpressure the
+// old per-connection write lock provided.
+type serverConn struct {
+	s       *Server
+	c       transport.Conn
+	compact atomic.Bool  // client proved it speaks compact envelopes
+	binds   []*bindEntry // handle-1 → entry; read-loop only
+
+	wmu     sync.Mutex
+	pending []outFrame
+	writing bool // a flusher is active; it will pick pending up
+	failed  bool // the connection write-failed; discard instead of writing
+
+	// Flusher-owned scratch, reused across flushes so the steady-state
+	// write path allocates nothing: spare ping-pongs with pending's
+	// backing array, raws carries one write batch's frame slices. Only
+	// the active flusher (sc.writing) touches either.
+	spare []outFrame
+	raws  [][]byte
+}
+
+// bindEntry is one bound (URI, Method) pair with its dispatch caches: the
+// resolved registration (validated by the server's registration
+// generation) and the invoker thunk for the concrete object type last
+// dispatched, so the steady-state bound path skips the objects-map lookup,
+// the invoker-registry lookups and the name-interning codec work.
+type bindEntry struct {
+	uri    string
+	method string
+	reg    atomic.Pointer[regCache]
+	inv    atomic.Pointer[invCache]
+}
+
+type regCache struct {
+	reg *registration
+	gen uint64
+}
+
+type invCache struct {
+	typ reflect.Type
+	inv dispatch.Invoker // nil: no generated thunk, use the reflective path
+}
+
+// declare records a bind declaration carried by a string envelope,
+// returning the entry and the handle to acknowledge (0 when refused).
+// Redeclaration of the same handle is idempotent. Any accepted declaration
+// also flips the connection to compact replies: only a new-protocol client
+// emits declarations, so it necessarily decodes them.
+func (sc *serverConn) declare(req *callRequest) (*bindEntry, uint32) {
+	h := req.Bind
+	if h == 0 || h > maxBindHandles {
+		return nil, 0
+	}
+	sc.compact.Store(true)
+	idx := int(h) - 1
+	for len(sc.binds) <= idx {
+		sc.binds = append(sc.binds, nil)
+	}
+	e := sc.binds[idx]
+	if e == nil || e.uri != req.URI || e.method != req.Method {
+		e = &bindEntry{uri: req.URI, method: req.Method}
+		sc.binds[idx] = e
+	}
+	return e, h
+}
+
+// lookupBind resolves a compact call's handle.
+func (sc *serverConn) lookupBind(h uint32) *bindEntry {
+	if idx := int(h) - 1; idx >= 0 && idx < len(sc.binds) {
+		return sc.binds[idx]
+	}
+	return nil
+}
+
 // handleConn serves one client connection with a concurrent dispatch loop:
 // the read loop plays the channel's IO thread, reading frames continuously
 // and handing each request to a worker (the configured thread pool, or a
 // fresh goroutine in the idealised unbounded runtime) instead of blocking
 // the connection on one handler. Responses carry the request's sequence
-// number and are written as their handlers finish — out of order when a
-// multiplexed client pipelines calls — under a per-connection write lock so
-// multi-frame encodings (the legacy chunked channel) never interleave.
-// When a thread pool is configured its cap still bounds server-side
-// execution concurrency exactly as Mono's ThreadPool did; pipelining only
-// changes how fast requests reach the pool's queue.
+// number and complete out of order when a multiplexed client pipelines
+// calls; they are queued to the connection's writer goroutine, which
+// coalesces everything pending into batched wire writes. When a thread
+// pool is configured its cap still bounds server-side execution
+// concurrency exactly as Mono's ThreadPool did; pipelining only changes
+// how fast requests reach the pool's queue.
 func (s *Server) handleConn(c transport.Conn) {
 	defer s.wg.Done()
-	var sendMu sync.Mutex
+	sc := &serverConn{s: s, c: c}
 	var calls sync.WaitGroup
 	defer func() {
 		// Let in-flight handlers write (or fail to write) their replies
-		// before the connection is torn down.
+		// before the connection is torn down; the last flusher among them
+		// leaves the queue empty, so nothing is stranded.
 		calls.Wait()
 		c.Close()
 		s.mu.Lock()
 		delete(s.conns, c)
 		s.mu.Unlock()
 	}()
+	_, binary := s.ch.binaryCodec()
 	for {
 		raw, err := s.ch.recvMsg(c)
 		if err != nil {
 			return
 		}
-		req, err := s.ch.decodeRequest(raw)
-		transport.PutFrame(raw) // decode copied everything it kept
-		if err != nil {
-			// Without a sequence number we cannot form a matching
-			// reply; drop the connection.
-			return
+		var req *callRequest
+		var entry *bindEntry
+		var bindAck uint32
+		if binary && isCompactFrame(raw, markBoundCall) {
+			var handle uint32
+			handle, req, err = decodeBoundCall(raw)
+			transport.PutFrame(raw)
+			if err != nil {
+				// Framing failure: the stream is desynchronised.
+				return
+			}
+			entry = sc.lookupBind(handle)
+			if entry == nil {
+				// A handle the read loop never saw declared: a peer
+				// bug, but seq is known, so answer instead of
+				// killing every other pipelined call on the pipe.
+				sc.respond(req, errorResponse(req, fmt.Sprintf("unbound call handle %d", handle)), 0)
+				continue
+			}
+			req.URI, req.Method = entry.uri, entry.method
+		} else {
+			req, err = s.ch.decodeRequest(raw)
+			transport.PutFrame(raw) // decode copied everything it kept
+			if err != nil {
+				// Without a sequence number we cannot form a matching
+				// reply; drop the connection.
+				return
+			}
+			if req.Bind != 0 && binary && !s.ch.DisableBinding {
+				entry, bindAck = sc.declare(req)
+			}
 		}
 		handle := func() {
-			s.writeResponse(c, &sendMu, req, s.dispatch(req))
+			sc.respond(req, s.dispatchEntry(req, entry), bindAck)
 		}
 		calls.Add(1)
 		if s.pool != nil {
 			if submitErr := s.pool.Submit(func() { defer calls.Done(); handle() }); submitErr != nil {
-				s.writeResponse(c, &sendMu, req, errorResponse(req, fmt.Sprintf("server shutting down: %v", submitErr)))
+				sc.respond(req, errorResponse(req, fmt.Sprintf("server shutting down: %v", submitErr)), bindAck)
 				calls.Done()
 			}
 		} else {
@@ -265,25 +395,81 @@ func (s *Server) handleConn(c transport.Conn) {
 	}
 }
 
-// writeResponse encodes resp (through the pooled encoder on binary
-// channels) and writes it under the connection's write lock. Unencodable
-// results degrade to an error reply; write failures are left to the read
-// loop, which observes the dead connection on its next receive.
-func (s *Server) writeResponse(c transport.Conn, sendMu *sync.Mutex, req *callRequest, resp *callResponse) {
-	rawResp, enc, err := s.ch.encodeResponse(resp)
+// respond encodes resp — compact once the client proved it binds, the
+// string envelope otherwise — and writes it through the combining lock:
+// append to the connection's pending queue, and flush the queue unless
+// another handler already is. Unencodable results degrade to an error
+// reply; after a write failure responses are discarded and the read loop
+// observes the dead connection on its next receive.
+func (sc *serverConn) respond(req *callRequest, resp *callResponse, bindAck uint32) {
+	raw, enc, err := sc.encodeResponse(resp, bindAck)
 	if err != nil {
-		rawResp, enc, err = s.ch.encodeResponse(errorResponse(req, fmt.Sprintf("unencodable result: %v", err)))
+		raw, enc, err = sc.encodeResponse(errorResponse(req, fmt.Sprintf("unencodable result: %v", err)), bindAck)
 		if err != nil {
 			return
 		}
 	}
-	sendMu.Lock()
-	s.ch.sendMsg(c, rawResp) //nolint:errcheck // read loop notices the dead conn
-	sendMu.Unlock()
-	if enc != nil {
-		// The transport copied the bytes into its own write buffer.
-		enc.Release()
+	sc.wmu.Lock()
+	sc.pending = append(sc.pending, outFrame{raw: raw, enc: enc})
+	if sc.writing {
+		// The active flusher's drain loop will write this frame.
+		sc.wmu.Unlock()
+		return
 	}
+	sc.writing = true
+	sc.flushLocked()
+}
+
+// flushLocked drains the pending queue, writing up to maxWriteBatch frames
+// per coalesced wire write with the lock released. Called with wmu held
+// and sc.writing owned; returns with wmu released.
+func (sc *serverConn) flushLocked() {
+	ch := sc.s.ch
+	batchable := ch.kind != LegacyTCP
+	for len(sc.pending) > 0 {
+		batch := sc.pending
+		sc.pending = sc.spare[:0]
+		failed := sc.failed
+		sc.wmu.Unlock()
+		for off := 0; off < len(batch); off += maxWriteBatch {
+			end := min(off+maxWriteBatch, len(batch))
+			if !failed {
+				raws := sc.raws[:0]
+				for _, of := range batch[off:end] {
+					raws = append(raws, of.raw)
+				}
+				sc.raws = raws
+				var err error
+				if batchable {
+					err = ch.sendMsgBatch(sc.c, raws)
+				} else {
+					for _, r := range raws {
+						if err = ch.sendMsg(sc.c, r); err != nil {
+							break
+						}
+					}
+				}
+				failed = err != nil
+			}
+			for _, of := range batch[off:end] {
+				of.release()
+			}
+		}
+		clear(batch) // drop frame refs before recycling the array
+		sc.wmu.Lock()
+		sc.spare = batch[:0]
+		sc.failed = sc.failed || failed
+	}
+	sc.writing = false
+	sc.wmu.Unlock()
+}
+
+func (sc *serverConn) encodeResponse(resp *callResponse, bindAck uint32) ([]byte, *wire.Encoder, error) {
+	if sc.compact.Load() {
+		bf, _ := sc.s.ch.binaryCodec()
+		return encodeBoundReply(resp, bindAck, bf.DisableGenerated)
+	}
+	return sc.s.ch.encodeResponse(resp)
 }
 
 func errorResponse(req *callRequest, msg string) *callResponse {
@@ -296,11 +482,13 @@ func errorResponseFor(req *callRequest, err error) *callResponse {
 	return &callResponse{Seq: req.Seq, IsErr: true, ErrMsg: err.Error(), ErrCode: errs.Code(err)}
 }
 
-// dispatch resolves the target object and invokes the requested method by
-// reflection. A request deadline becomes a context deadline: expired
-// requests are refused before touching the object, and context-aware
-// methods (first parameter context.Context) receive the bounded context.
-func (s *Server) dispatch(req *callRequest) *callResponse {
+// dispatchEntry resolves the target object and invokes the requested
+// method, going through the bound entry's caches when the call arrived (or
+// was declared) with a handle. A request deadline becomes a context
+// deadline: expired requests are refused before touching the object, and
+// context-aware methods (first parameter context.Context) receive the
+// bounded context.
+func (s *Server) dispatchEntry(req *callRequest, e *bindEntry) *callResponse {
 	ctx := context.Background()
 	if req.Deadline > 0 {
 		dl := time.Unix(0, req.Deadline)
@@ -312,10 +500,15 @@ func (s *Server) dispatch(req *callRequest) *callResponse {
 		ctx, cancel = context.WithDeadline(ctx, dl)
 		defer cancel()
 	}
-	s.mu.Lock()
-	reg, ok := s.objects[req.URI]
-	s.mu.Unlock()
-	if !ok {
+	var reg *registration
+	if e != nil {
+		reg = s.resolveBound(e)
+	} else {
+		s.mu.Lock()
+		reg = s.objects[req.URI]
+		s.mu.Unlock()
+	}
+	if reg == nil {
 		// URIs are runtime-generated, so an unknown URI means the object
 		// was destroyed (or its lease expired and unpublished it).
 		return errorResponseFor(req, fmt.Errorf("no object published at %q: %w", req.URI, errs.ErrObjectDestroyed))
@@ -324,12 +517,54 @@ func (s *Server) dispatch(req *callRequest) *callResponse {
 	if err != nil {
 		return errorResponseFor(req, err)
 	}
-	result, err := dispatch.InvokeCtx(ctx, obj, req.Method, req.Args)
+	var result any
+	if e != nil {
+		result, err = e.invoke(ctx, obj, req)
+	} else {
+		result, err = dispatch.InvokeCtx(ctx, obj, req.Method, req.Args)
+	}
 	if err != nil {
 		return errorResponseFor(req, err)
 	}
-	resp := &callResponse{Seq: req.Seq, Result: result}
-	return resp
+	return &callResponse{Seq: req.Seq, Result: result}
+}
+
+// resolveBound returns the registration for a bound entry, reusing the
+// cached pointer while the server's registration table is unchanged and
+// re-consulting the objects map after any mutation (generation mismatch),
+// so Unregister and republish keep their immediate string-path semantics.
+func (s *Server) resolveBound(e *bindEntry) *registration {
+	gen := s.regGen.Load()
+	if rc := e.reg.Load(); rc != nil && rc.gen == gen {
+		return rc.reg
+	}
+	s.mu.Lock()
+	reg := s.objects[e.uri]
+	s.mu.Unlock()
+	if reg == nil {
+		return nil
+	}
+	// gen was loaded before the map read: a racing mutation can only make
+	// the cached generation stale (revalidated on the next call), never
+	// make a stale registration look fresh.
+	e.reg.Store(&regCache{reg: reg, gen: gen})
+	return reg
+}
+
+// invoke runs the bound method on obj through the cached invoker thunk,
+// re-resolving when the concrete type changes (a SingleCall factory is
+// free to return different types over time).
+func (e *bindEntry) invoke(ctx context.Context, obj any, req *callRequest) (any, error) {
+	t := reflect.TypeOf(obj)
+	ic := e.inv.Load()
+	if ic == nil || ic.typ != t {
+		ic = &invCache{typ: t, inv: dispatch.InvokerFor(t, e.method)}
+		e.inv.Store(ic)
+	}
+	if ic.inv != nil {
+		return ic.inv(ctx, obj, req.Args)
+	}
+	return dispatch.InvokeCtx(ctx, obj, req.Method, req.Args)
 }
 
 // InvokeLocal calls an exported method on obj by name with decoded wire

@@ -18,7 +18,9 @@
 package rmi
 
 import (
+	"context"
 	"fmt"
+	"reflect"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -84,6 +86,13 @@ type Runtime struct {
 	listener transport.Listener
 	conns    map[transport.Conn]struct{}
 	closed   bool
+
+	// expGen counts mutations of the exported table; per-connection
+	// skeleton caches validate against it (see skelCache), the same
+	// amortization discipline as the remoting server's bound-handle
+	// table: fixed per-call lookup costs are paid once per connection,
+	// not once per call.
+	expGen atomic.Uint64
 
 	seq  atomic.Uint64
 	pool sync.Map // addr -> *connStack
@@ -168,6 +177,7 @@ func (rt *Runtime) Rebind(name string, obj any) error {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	rt.exported[name] = obj
+	rt.expGen.Add(1)
 	return nil
 }
 
@@ -179,6 +189,7 @@ func (rt *Runtime) Unbind(name string) error {
 		return fmt.Errorf("rmi: NotBoundException: %s", name)
 	}
 	delete(rt.exported, name)
+	rt.expGen.Add(1)
 	return nil
 }
 
@@ -272,6 +283,7 @@ func (rt *Runtime) handleConn(c transport.Conn) {
 		delete(rt.conns, c)
 		rt.mu.Unlock()
 	}()
+	var sc skelCache
 	for {
 		raw, err := transport.RecvFrame(c)
 		if err != nil {
@@ -287,7 +299,7 @@ func (rt *Runtime) handleConn(c transport.Conn) {
 		if !ok {
 			return
 		}
-		ret := rt.dispatch(&call)
+		ret := rt.dispatchCached(&call, &sc)
 		rawRet, err := rt.codec.Marshal(*ret)
 		if err != nil {
 			fallback := rmiReturn{Seq: call.Seq, IsErr: true, ErrMsg: fmt.Sprintf("unencodable result: %v", err)}
@@ -303,19 +315,52 @@ func (rt *Runtime) handleConn(c transport.Conn) {
 	}
 }
 
-func (rt *Runtime) dispatch(call *rmiCall) *rmiReturn {
+// skelCache is one connection's dispatch cache: the last resolved export
+// (validated against the runtime's export generation, so Rebind/Unbind
+// take effect immediately) and the last resolved invoker thunk (validated
+// by concrete type and method). An RMI connection typically hammers one
+// stub's methods, so one entry captures the steady state. Owned by the
+// connection's read loop; never shared.
+type skelCache struct {
+	gen    uint64
+	name   string
+	target any
+
+	mtype  reflect.Type
+	method string
+	inv    dispatch.Invoker
+}
+
+func (rt *Runtime) dispatchCached(call *rmiCall, sc *skelCache) *rmiReturn {
 	var target any
 	if call.Name == registryURI {
 		target = &registryService{rt: rt}
+	} else if gen := rt.expGen.Load(); sc.target != nil && sc.gen == gen && sc.name == call.Name {
+		target = sc.target
 	} else {
 		rt.mu.Lock()
 		target = rt.exported[call.Name]
 		rt.mu.Unlock()
+		if target != nil {
+			// gen was loaded before the map read: a racing Rebind can
+			// only leave the cache conservatively stale, never fresh-
+			// looking with an old target.
+			sc.gen, sc.name, sc.target = gen, call.Name, target
+		}
 	}
 	if target == nil {
 		return &rmiReturn{Seq: call.Seq, IsErr: true, ErrMsg: fmt.Sprintf("NoSuchObjectException: %s", call.Name)}
 	}
-	result, err := dispatch.Invoke(target, call.Method, call.Args)
+	var result any
+	var err error
+	if t := reflect.TypeOf(target); sc.inv != nil && sc.mtype == t && sc.method == call.Method {
+		result, err = sc.inv(context.Background(), target, call.Args)
+	} else if inv := dispatch.InvokerFor(t, call.Method); inv != nil {
+		sc.mtype, sc.method, sc.inv = t, call.Method, inv
+		result, err = inv(context.Background(), target, call.Args)
+	} else {
+		result, err = dispatch.Invoke(target, call.Method, call.Args)
+	}
 	if err != nil {
 		return &rmiReturn{Seq: call.Seq, IsErr: true, ErrMsg: err.Error()}
 	}

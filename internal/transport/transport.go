@@ -7,6 +7,7 @@
 package transport
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -151,12 +152,44 @@ type pooledReceiver interface {
 	recvPooled() ([]byte, error)
 }
 
-// streamConn frames messages over any net.Conn.
+// BatchSender is implemented by connections that can transmit several
+// messages in one wire write. The messages are framed exactly as if Send
+// had been called once per message — batching changes the syscall count,
+// never the on-the-wire bytes — so receivers cannot tell the difference.
+type BatchSender interface {
+	SendBatch(msgs [][]byte) error
+}
+
+// SendBatch transmits msgs in order, coalescing them into as few wire
+// writes as the connection supports (one writev/Write for TCP stream
+// connections). Connections without batch support degrade to one Send per
+// message, so callers can batch unconditionally.
+func SendBatch(c Conn, msgs [][]byte) error {
+	if len(msgs) == 1 {
+		return c.Send(msgs[0])
+	}
+	if bs, ok := c.(BatchSender); ok {
+		return bs.SendBatch(msgs)
+	}
+	for _, m := range msgs {
+		if err := c.Send(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// streamConn frames messages over any net.Conn. Receives go through a
+// buffered reader: a frame costs one syscall instead of two (prefix, then
+// body), and when the peer batch-writes several frames (SendBatch), one
+// read syscall fills the buffer with all of them — the receive-side half
+// of write coalescing.
 type streamConn struct {
 	c       net.Conn
 	sendMu  sync.Mutex
 	wbuf    []byte // length prefix + body, reused between Sends
 	recvMu  sync.Mutex
+	br      *bufio.Reader
 	rLenBuf [4]byte
 }
 
@@ -164,7 +197,15 @@ type streamConn struct {
 // message does not pin its buffer forever.
 const wbufRetain = 64 << 10
 
-func newStreamConn(c net.Conn) *streamConn { return &streamConn{c: c} }
+// readBufSize sizes the receive buffer: big enough to swallow a full
+// batch of small pipelined frames in one read, small enough that the
+// pooled channel's dial churn can afford one per connection. Reads larger
+// than the buffer bypass it (bufio reads straight into the target).
+const readBufSize = 16 << 10
+
+func newStreamConn(c net.Conn) *streamConn {
+	return &streamConn{c: c, br: bufio.NewReaderSize(c, readBufSize)}
+}
 
 func (s *streamConn) Send(msg []byte) error {
 	if len(msg) > MaxFrame {
@@ -190,6 +231,50 @@ func (s *streamConn) Send(msg []byte) error {
 	return err
 }
 
+// batchCopyMax bounds the contiguous buffer a batched send assembles;
+// batches larger than this flush through vectored IO (net.Buffers) so big
+// payloads are never copied an extra time.
+const batchCopyMax = 64 << 10
+
+// SendBatch implements BatchSender: every message is length-framed exactly
+// as Send frames it, but the whole batch leaves in one Write (small
+// batches, copied into the reusable write buffer) or one writev (large
+// batches, vectored without copying the bodies).
+func (s *streamConn) SendBatch(msgs [][]byte) error {
+	total := 0
+	for _, m := range msgs {
+		if len(m) > MaxFrame {
+			return fmt.Errorf("transport: message of %d bytes exceeds MaxFrame", len(m))
+		}
+		total += 4 + len(m)
+	}
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	if total <= batchCopyMax {
+		buf := s.wbuf
+		if cap(buf) < total {
+			buf = make([]byte, 0, total)
+			s.wbuf = buf // total <= batchCopyMax == wbufRetain, safe to keep
+		}
+		buf = buf[:0]
+		for _, m := range msgs {
+			buf = binary.BigEndian.AppendUint32(buf, uint32(len(m)))
+			buf = append(buf, m...)
+		}
+		_, err := s.c.Write(buf)
+		return err
+	}
+	prefixes := make([]byte, 4*len(msgs))
+	bufs := make(net.Buffers, 0, 2*len(msgs))
+	for i, m := range msgs {
+		p := prefixes[4*i : 4*i+4]
+		binary.BigEndian.PutUint32(p, uint32(len(m)))
+		bufs = append(bufs, p, m)
+	}
+	_, err := bufs.WriteTo(s.c)
+	return err
+}
+
 func (s *streamConn) Recv() ([]byte, error) {
 	return s.recv(func(n int) []byte { return make([]byte, n) })
 }
@@ -203,7 +288,7 @@ func (s *streamConn) recvPooled() ([]byte, error) {
 func (s *streamConn) recv(alloc func(int) []byte) ([]byte, error) {
 	s.recvMu.Lock()
 	defer s.recvMu.Unlock()
-	if _, err := io.ReadFull(s.c, s.rLenBuf[:]); err != nil {
+	if _, err := io.ReadFull(s.br, s.rLenBuf[:]); err != nil {
 		return nil, err
 	}
 	n := binary.BigEndian.Uint32(s.rLenBuf[:])
@@ -211,7 +296,7 @@ func (s *streamConn) recv(alloc func(int) []byte) ([]byte, error) {
 		return nil, fmt.Errorf("transport: frame of %d bytes exceeds MaxFrame", n)
 	}
 	buf := alloc(int(n))
-	if _, err := io.ReadFull(s.c, buf); err != nil {
+	if _, err := io.ReadFull(s.br, buf); err != nil {
 		return nil, err
 	}
 	return buf, nil

@@ -267,3 +267,192 @@ func TestConcurrentSenders(t *testing.T) {
 		seen[key] = true
 	}
 }
+
+// testSendBatch sends msgs in one batch and asserts the receiver sees each
+// message intact, in order, with its exact bytes — frame boundaries must
+// survive coalescing.
+func testSendBatch(t *testing.T, net Network, addr string, msgs [][]byte) {
+	t.Helper()
+	l, err := net.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	type recvResult struct {
+		msgs [][]byte
+		err  error
+	}
+	done := make(chan recvResult, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			done <- recvResult{err: err}
+			return
+		}
+		defer c.Close()
+		var got [][]byte
+		for range msgs {
+			m, err := c.Recv()
+			if err != nil {
+				done <- recvResult{err: err}
+				return
+			}
+			got = append(got, m)
+		}
+		done <- recvResult{msgs: got}
+	}()
+	c, err := net.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := SendBatch(c, msgs); err != nil {
+		t.Fatalf("SendBatch: %v", err)
+	}
+	res := <-done
+	if res.err != nil {
+		t.Fatalf("receive: %v", res.err)
+	}
+	for i, m := range msgs {
+		if !bytes.Equal(res.msgs[i], m) {
+			t.Fatalf("message %d: got %d bytes, want %d bytes (boundary lost)", i, len(res.msgs[i]), len(m))
+		}
+	}
+}
+
+func batchPayload(n, seed int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(seed + i)
+	}
+	return b
+}
+
+// TestSendBatchSmallTCP covers the copy path (total under batchCopyMax):
+// many small frames leave in one Write.
+func TestSendBatchSmallTCP(t *testing.T) {
+	var msgs [][]byte
+	for i := 0; i < 100; i++ {
+		msgs = append(msgs, batchPayload(10+i, i))
+	}
+	testSendBatch(t, TCPNetwork{}, "127.0.0.1:0", msgs)
+}
+
+// TestSendBatchLargeTCP covers the vectored path (total over
+// batchCopyMax): bodies go out through writev without an extra copy.
+func TestSendBatchLargeTCP(t *testing.T) {
+	msgs := [][]byte{
+		batchPayload(1, 1),
+		batchPayload(batchCopyMax, 2), // alone over the copy threshold
+		batchPayload(777, 3),
+		batchPayload(batchCopyMax/2, 4),
+		batchPayload(3, 5),
+	}
+	testSendBatch(t, TCPNetwork{}, "127.0.0.1:0", msgs)
+}
+
+// TestSendBatchSingleAndEmpty: the degenerate batch sizes.
+func TestSendBatchSingleAndEmpty(t *testing.T) {
+	testSendBatch(t, TCPNetwork{}, "127.0.0.1:0", [][]byte{batchPayload(64, 9)})
+	c, _ := NewPipe("a", "b")
+	if err := SendBatch(c, nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+}
+
+// TestSendBatchMemFallback: connections without batch support degrade to
+// per-message sends with identical semantics.
+func TestSendBatchMemFallback(t *testing.T) {
+	net := NewMemNetwork()
+	var msgs [][]byte
+	for i := 0; i < 10; i++ {
+		msgs = append(msgs, batchPayload(32+i, i))
+	}
+	testSendBatch(t, net, "mem://batch", msgs)
+}
+
+// TestSendBatchOversize: a single oversize message fails the whole batch
+// before anything hits the wire.
+func TestSendBatchOversize(t *testing.T) {
+	l, err := TCPNetwork{}.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			defer c.Close()
+			c.Recv() //nolint:errcheck
+		}
+	}()
+	c, err := TCPNetwork{}.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	huge := make([]byte, MaxFrame+1)
+	if err := SendBatch(c, [][]byte{{1}, huge}); err == nil {
+		t.Fatal("oversize message in batch accepted")
+	}
+}
+
+// TestSendBatchConcurrentWithSend: batched and single sends from separate
+// goroutines must interleave at frame granularity only.
+func TestSendBatchConcurrentWithSend(t *testing.T) {
+	l, err := TCPNetwork{}.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const perSender = 50
+	done := make(chan error, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer c.Close()
+		seen := 0
+		for seen < 3*perSender {
+			m, err := c.Recv()
+			if err != nil {
+				done <- err
+				return
+			}
+			// Every frame is self-consistent: filled with its length's seed.
+			for i := range m {
+				if m[i] != byte(int(m[0])+i) {
+					done <- fmt.Errorf("frame corrupted at byte %d", i)
+					return
+				}
+			}
+			seen++
+		}
+		done <- nil
+	}()
+	c, err := TCPNetwork{}.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var wg sync.WaitGroup
+	for s := 0; s < 3; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perSender; i += 2 {
+				batch := [][]byte{batchPayload(20+s, 7*s), batchPayload(30+s, 7*s)}
+				if err := SendBatch(c, batch); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

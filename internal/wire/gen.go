@@ -434,6 +434,18 @@ func (e *Encoder) AnySlice(v []any) {
 	}
 }
 
+// RawByte appends one unframed byte. It exists for hand-rolled envelope
+// framing layered above the tagged value model (the remoting compact call
+// envelope writes a marker byte and header varints before its tagged
+// payload); ordinary codecs never need it.
+func (e *Encoder) RawByte(b byte) { e.e.writeByte(b) }
+
+// RawUvarint appends an unframed unsigned varint (no tag byte). See RawByte.
+func (e *Encoder) RawUvarint(u uint64) { e.e.writeUvarint(u) }
+
+// RawVarint appends an unframed signed varint (no tag byte). See RawByte.
+func (e *Encoder) RawVarint(i int64) { e.e.writeVarint(i) }
+
 // Value writes any wire-model value (the generic fallback for field types
 // without a dedicated writer); failures are sticky.
 func (e *Encoder) Value(v any) {
@@ -557,6 +569,45 @@ func (d *Decoder) FieldNameRaw() []byte {
 		return nil
 	}
 	return b
+}
+
+// RawByte reads one unframed byte, mirroring Encoder.RawByte.
+func (d *Decoder) RawByte() byte {
+	if d.err != nil {
+		return 0
+	}
+	b, err := d.d.readByte()
+	if err != nil {
+		d.Fail(err)
+		return 0
+	}
+	return b
+}
+
+// RawUvarint reads an unframed unsigned varint, mirroring Encoder.RawUvarint.
+func (d *Decoder) RawUvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	u, err := d.d.readUvarint()
+	if err != nil {
+		d.Fail(err)
+		return 0
+	}
+	return u
+}
+
+// RawVarint reads an unframed signed varint, mirroring Encoder.RawVarint.
+func (d *Decoder) RawVarint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	i, err := d.d.readVarint()
+	if err != nil {
+		d.Fail(err)
+		return 0
+	}
+	return i
 }
 
 // Skip consumes and discards the next tagged value (unknown fields from a

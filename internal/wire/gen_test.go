@@ -161,3 +161,48 @@ func mustUnmarshal(t *testing.T, c Codec, data []byte) any {
 	}
 	return v
 }
+
+// TestRawFraming: the unframed header surfaces used by the remoting
+// compact envelope round-trip and interoperate with tagged values in the
+// same buffer.
+func TestRawFraming(t *testing.T) {
+	e := NewEncoder()
+	defer e.Release()
+	e.RawByte(0xBC)
+	e.RawUvarint(300)
+	e.RawVarint(-42)
+	e.AnySlice([]any{int32(7), "x"})
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDecoder(e.Bytes())
+	defer d.Release()
+	if b := d.RawByte(); b != 0xBC {
+		t.Errorf("RawByte = 0x%02x", b)
+	}
+	if u := d.RawUvarint(); u != 300 {
+		t.Errorf("RawUvarint = %d", u)
+	}
+	if i := d.RawVarint(); i != -42 {
+		t.Errorf("RawVarint = %d", i)
+	}
+	args := d.AnySlice()
+	if d.Err() != nil || len(args) != 2 || args[0] != int32(7) || args[1] != "x" {
+		t.Errorf("args = %#v, err = %v", args, d.Err())
+	}
+	if d.Rest() != 0 {
+		t.Errorf("rest = %d", d.Rest())
+	}
+
+	// Truncated raw reads fail sticky instead of panicking.
+	d2 := NewDecoder(nil)
+	defer d2.Release()
+	if d2.RawByte() != 0 || d2.Err() == nil {
+		t.Error("RawByte on empty input did not fail")
+	}
+	d3 := NewDecoder([]byte{0x80}) // unterminated uvarint
+	defer d3.Release()
+	if d3.RawUvarint() != 0 || d3.Err() == nil {
+		t.Error("RawUvarint on truncated input did not fail")
+	}
+}
