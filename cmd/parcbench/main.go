@@ -11,7 +11,7 @@
 //	parcbench -exp fanout -exp codec -json > BENCH.json
 //
 // Experiments: fig8a fig8b latency fig9 seqratio overhead agg agglom
-// codecs pool fanout codec.
+// codecs pool fanout codec rebalance.
 //
 // With -json the human tables go to stderr and a machine-readable
 // bench.Report (the format BENCH_baseline.json and the CI regression gate
@@ -39,6 +39,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/netsim"
@@ -61,7 +62,7 @@ func (e *expFlag) Set(v string) error {
 
 func main() {
 	var exps expFlag
-	flag.Var(&exps, "exp", "experiment id, repeatable/comma-separated (all, fig8a, fig8b, latency, fig9, seqratio, overhead, agg, agglom, codecs, pool, fanout, codec)")
+	flag.Var(&exps, "exp", "experiment id, repeatable/comma-separated (all, fig8a, fig8b, latency, fig9, seqratio, overhead, agg, agglom, codecs, pool, fanout, codec, rebalance)")
 	full := flag.Bool("full", false, "full paper-sized sweeps (slower)")
 	asJSON := flag.Bool("json", false, "write a machine-readable bench.Report to stdout (tables go to stderr)")
 	payloads := flag.String("payload", "", "fanout payload sizes in bytes, comma-separated (e.g. 16,256,4096); empty = default 64")
@@ -293,6 +294,23 @@ func main() {
 		}
 		bench.PrintCodec(out, rows)
 		report.Codec = rows
+	}
+	if run("rebalance") {
+		any = true
+		fmt.Fprintln(out, "================================================================")
+		// The before/after windows feed the CI-gated recovery ratio: they
+		// must be wide enough that a single scheduler or GC hiccup on a
+		// shared runner cannot move the ratio by the gate's tolerance.
+		cfg := bench.RebalanceConfig{Objects: 16, Callers: 8, Phase: 400 * time.Millisecond}
+		if *full {
+			cfg = bench.RebalanceConfig{Objects: 64, Callers: 32, Phase: time.Second}
+		}
+		rows, err := bench.RunRebalance(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintRebalance(out, rows)
+		report.Rebalance = rows
 	}
 	if !any {
 		fatalf("unknown experiment(s) %q", exps.String())

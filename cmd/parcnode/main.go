@@ -35,17 +35,21 @@ func main() {
 	demo := flag.String("demo", "", "workload to drive from this node: '' (serve only) or 'sieve'")
 	n := flag.Int("n", 200, "sieve bound for -demo sieve")
 	maxCalls := flag.Int("maxcalls", 16, "method-call aggregation batch size")
+	probe := flag.Duration("probe", 0, "peer health-probe interval (0 disables); down peers are excluded from placement")
+	rebalance := flag.Duration("rebalance", 0, "automatic rebalance interval (0 disables); overloaded nodes live-migrate objects away")
 	flag.Parse()
 
 	addrs := strings.Split(*peers, ",")
 	if *id < 0 || *id >= len(addrs) {
 		log.Fatalf("parcnode: -id %d outside -peers list of %d", *id, len(addrs))
 	}
-	rt, err := parc.StartNode(parc.NodeConfig{
-		NodeID:      *id,
-		Listen:      addrs[*id],
-		Aggregation: parc.AggregationConfig{MaxCalls: *maxCalls},
-	})
+	rt, err := parc.ServeNode(
+		parc.WithNodeID(*id),
+		parc.WithListen(addrs[*id]),
+		parc.WithAggregation(*maxCalls, 0),
+		parc.WithHealthProbe(*probe),
+		parc.WithRebalance(*rebalance),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -12,9 +12,10 @@ import (
 // CI regression gate diffs. Sections are present only when their
 // experiments ran.
 type Report struct {
-	Meta   *ReportMeta    `json:"meta,omitempty"`
-	Fanout []FanoutRow    `json:"fanout,omitempty"`
-	Codec  []CodecPathRow `json:"codec,omitempty"`
+	Meta      *ReportMeta    `json:"meta,omitempty"`
+	Fanout    []FanoutRow    `json:"fanout,omitempty"`
+	Codec     []CodecPathRow `json:"codec,omitempty"`
+	Rebalance []RebalanceRow `json:"rebalance,omitempty"`
 }
 
 // ReportMeta records the environment a report was measured in, so a
@@ -109,7 +110,21 @@ func RelativeMetrics(r Report) map[string]float64 {
 			out["codec "+op+" speedup"] = rf.NsPerOp / g.NsPerOp
 		}
 	}
+	if rec, ok := gatedRecovery(r); ok {
+		out["rebalance recovery"] = rec
+	}
 	return out
+}
+
+// gatedRecovery is the rebalance recovery ratio as both gates track it:
+// capped at 1.0, because spreading the hot population across hosts can
+// overshoot pre-migration throughput and a run that merely fully recovers
+// must not fail against a lucky overshooting baseline. The raw ratio
+// stays in the report rows. Machine-independent by construction — both
+// sides of the division ran on the same hardware seconds apart.
+func gatedRecovery(r Report) (float64, bool) {
+	rec, ok := RebalanceRecovery(r.Rebalance)
+	return min(rec, 1.0), ok
 }
 
 // CompareReportsRelative checks the ratio metrics of current against
@@ -179,8 +194,30 @@ func CompareReports(baseline, current Report, tolerance float64) []string {
 	}
 
 	problems = append(problems, compareCodec(baseline, current, tolerance, true)...)
+	problems = append(problems, compareRebalance(baseline, current, tolerance)...)
 	sort.Strings(problems)
 	return problems
+}
+
+// compareRebalance gates the migration recovery ratio (after/before
+// calls/s, capped via gatedRecovery): it must not drop more than
+// tolerance below the baseline's. This is the absolute-mode twin of the
+// "rebalance recovery" entry RelativeMetrics feeds the relative gate.
+func compareRebalance(baseline, current Report, tolerance float64) []string {
+	b, okB := gatedRecovery(baseline)
+	if !okB {
+		return nil
+	}
+	c, okC := gatedRecovery(current)
+	if !okC {
+		return []string{"rebalance recovery: missing from current report"}
+	}
+	if c < b*(1-tolerance) {
+		return []string{fmt.Sprintf(
+			"rebalance recovery: %.2fx is %.1f%% below baseline %.2fx (tolerance %.0f%%)",
+			c, 100*(1-c/b), b, 100*tolerance)}
+	}
+	return nil
 }
 
 // compareCodec gates the codec rows: ns/op within tolerance (when gateNs

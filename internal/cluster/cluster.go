@@ -7,6 +7,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -42,6 +43,14 @@ type Options struct {
 	Aggregation   core.AggregationConfig
 	// LoadCacheTTL forwards to core.Config.
 	LoadCacheTTL time.Duration
+	// HealthProbe, when non-zero, has every node probe its peers at this
+	// interval, grading them suspect/down on consecutive failures; down
+	// peers are excluded from placement (core.Config.HealthProbe).
+	HealthProbe time.Duration
+	// RebalanceEvery, when non-zero, has every node periodically migrate
+	// objects away while it is loaded above the cluster mean
+	// (core.Config.RebalanceEvery).
+	RebalanceEvery time.Duration
 }
 
 // Cluster is a set of in-process node runtimes sharing one network.
@@ -80,13 +89,15 @@ func New(opts Options) (*Cluster, error) {
 		// policy is stateful per node; RoundRobin keeps one shared
 		// counter which is also fine, but nil defaults per node.
 		rt, err := core.Start(core.Config{
-			NodeID:        i,
-			Channel:       ch,
-			Pool:          pool,
-			Placement:     opts.Placement,
-			Agglomeration: opts.Agglomeration,
-			Aggregation:   opts.Aggregation,
-			LoadCacheTTL:  opts.LoadCacheTTL,
+			NodeID:         i,
+			Channel:        ch,
+			Pool:           pool,
+			Placement:      opts.Placement,
+			Agglomeration:  opts.Agglomeration,
+			Aggregation:    opts.Aggregation,
+			LoadCacheTTL:   opts.LoadCacheTTL,
+			HealthProbe:    opts.HealthProbe,
+			RebalanceEvery: opts.RebalanceEvery,
 		}, fmt.Sprintf("mem://node%d", i))
 		if err != nil {
 			cl.Close()
@@ -130,6 +141,23 @@ func (c *Cluster) RegisterClass(name string, factory func() any) {
 	for _, rt := range c.nodes {
 		rt.RegisterClass(name, factory)
 	}
+}
+
+// Rebalance triggers one load rebalance on every node in turn, returning
+// the total number of objects migrated and the first error encountered —
+// one node's failed migration does not stop the pass for the others. It
+// is the explicit companion of Options.RebalanceEvery.
+func (c *Cluster) Rebalance(ctx context.Context) (int, error) {
+	total := 0
+	var firstErr error
+	for _, rt := range c.nodes {
+		n, err := rt.Rebalance(ctx)
+		total += n
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return total, firstErr
 }
 
 // PoolQueueWait sums the thread pools' cumulative queue wait across nodes

@@ -12,6 +12,10 @@ import (
 // errActorStopped is returned for calls posted after the actor shut down.
 var errActorStopped = fmt.Errorf("core: %w", errs.ErrObjectDestroyed)
 
+// errActorMigrating rejects a second concurrent migration of one actor;
+// the pause flag doubles as the per-object migration claim.
+var errActorMigrating = fmt.Errorf("core: migration already in progress")
+
 // actor gives a locally hosted parallel object its own thread of control:
 // calls enqueue into a mailbox processed in order by one goroutine,
 // providing the active-object semantics of SCOOPP parallel objects while
@@ -25,6 +29,11 @@ type actor struct {
 	queue   []actorTask
 	stopped bool
 	pending int
+	// paused blocks new enqueues (migration: the mailbox drains while
+	// callers wait); moved, once set, fails every later enqueue with the
+	// forward so callers re-route to the object's new node.
+	paused bool
+	moved  *errs.MovedError
 }
 
 type actorTask struct {
@@ -89,9 +98,37 @@ func (a *actor) run() {
 	}
 }
 
-// enqueue adds a task; reply may be nil for fire-and-forget.
+// enqueue adds a task; reply may be nil for fire-and-forget. While the
+// actor is paused for migration, enqueue blocks — bounded by the task's
+// context when it carries one; once the object has moved it fails with
+// the forward (a *errs.MovedError) instead, so a blocked caller comes out
+// of the pause routed to the new node.
 func (a *actor) enqueue(t actorTask) error {
 	a.mu.Lock()
+	if a.paused && a.moved == nil && !a.stopped && t.ctx != nil && t.ctx.Done() != nil {
+		// Wake this waiter when the caller's context ends; Broadcast is
+		// how every pause-state transition is announced.
+		stop := context.AfterFunc(t.ctx, func() {
+			a.mu.Lock()
+			a.cond.Broadcast()
+			a.mu.Unlock()
+		})
+		defer stop()
+	}
+	for a.paused && a.moved == nil && !a.stopped {
+		if t.ctx != nil {
+			if err := t.ctx.Err(); err != nil {
+				a.mu.Unlock()
+				return err
+			}
+		}
+		a.cond.Wait()
+	}
+	if a.moved != nil {
+		mv := a.moved
+		a.mu.Unlock()
+		return mv
+	}
 	if a.stopped {
 		a.mu.Unlock()
 		return errActorStopped
@@ -101,6 +138,79 @@ func (a *actor) enqueue(t actorTask) error {
 	a.cond.Broadcast()
 	a.mu.Unlock()
 	return nil
+}
+
+// pause claims the actor for a migration — at most one at a time; the
+// paused flag is the claim — and blocks until every queued task has
+// executed, the quiescence point the migration snapshots at. The claim is
+// refused when the actor is already claimed, moved or stopped, and the
+// wait aborts (rolling the claim back) when ctx ends — a task that never
+// finishes, for example one blocked posting into its own paused mailbox,
+// fails the migration instead of deadlocking it — or when a racing
+// destroy stops the actor. Balanced by resume (migration failed) or
+// markMoved (succeeded).
+func (a *actor) pause(ctx context.Context) error {
+	a.mu.Lock()
+	switch {
+	case a.moved != nil:
+		mv := a.moved
+		a.mu.Unlock()
+		return mv
+	case a.stopped:
+		a.mu.Unlock()
+		return errActorStopped
+	case a.paused:
+		a.mu.Unlock()
+		return errActorMigrating
+	}
+	a.paused = true
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() {
+			a.mu.Lock()
+			a.cond.Broadcast()
+			a.mu.Unlock()
+		})
+		defer stop()
+	}
+	for a.pending > 0 && !a.stopped {
+		if err := ctx.Err(); err != nil {
+			a.paused = false
+			a.cond.Broadcast()
+			a.mu.Unlock()
+			return err
+		}
+		a.cond.Wait()
+	}
+	if a.stopped {
+		// A destroy won the race: the object must not be resurrected
+		// elsewhere from a snapshot of its corpse.
+		a.paused = false
+		a.cond.Broadcast()
+		a.mu.Unlock()
+		return errActorStopped
+	}
+	a.mu.Unlock()
+	return nil
+}
+
+// resume reopens a paused mailbox.
+func (a *actor) resume() {
+	a.mu.Lock()
+	a.paused = false
+	a.cond.Broadcast()
+	a.mu.Unlock()
+}
+
+// markMoved terminates a paused actor after a successful migration:
+// callers blocked in enqueue (and all future enqueues) fail with the
+// forward, and the mailbox goroutine exits.
+func (a *actor) markMoved(mv *errs.MovedError) {
+	a.mu.Lock()
+	a.moved = mv
+	a.paused = false
+	a.stopped = true
+	a.cond.Broadcast()
+	a.mu.Unlock()
 }
 
 // call performs a synchronous invocation through the mailbox, preserving
@@ -129,14 +239,14 @@ func (a *actor) callCtx(ctx context.Context, method string, args []any) (any, er
 	}
 }
 
-// post performs an asynchronous invocation; errors are reported to onErr.
-// A non-nil ctx cancels the task if it is still queued when ctx ends.
+// post performs an asynchronous invocation; execution errors are reported
+// to onErr. An enqueue-time failure (object destroyed or moved before the
+// task entered the mailbox — nothing executed) is only returned, so the
+// caller can re-route or record it without onErr double-reporting. A
+// non-nil ctx cancels the task if it is still queued when ctx ends.
 func (a *actor) post(ctx context.Context, method string, args []any, onErr func(error)) error {
 	reply := make(chan actorResult, 1)
 	if err := a.enqueue(actorTask{ctx: ctx, method: method, args: args, reply: reply}); err != nil {
-		if onErr != nil {
-			onErr(err)
-		}
 		return err
 	}
 	go func() {

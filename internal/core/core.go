@@ -44,6 +44,8 @@ package core
 import (
 	"context"
 	"fmt"
+	"reflect"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -63,6 +65,9 @@ type ProxyRef struct {
 	NetAddr string
 	URI     string
 	Class   string
+	// Gen is the object's migration generation at NetAddr when the ref was
+	// produced; Attach uses it to prefer fresher directory knowledge.
+	Gen uint64
 }
 
 func init() {
@@ -200,6 +205,15 @@ type Config struct {
 	// LoadCacheTTL bounds how stale placement load information may be.
 	// Default 50 ms.
 	LoadCacheTTL time.Duration
+	// HealthProbe, when non-zero, pings every peer at this interval once
+	// the node joins a cluster, marking unresponsive peers suspect and then
+	// down. Down peers are excluded from placement and failover
+	// resolution until they answer again.
+	HealthProbe time.Duration
+	// RebalanceEvery, when non-zero, runs Rebalance at this interval once
+	// the node joins a cluster, migrating objects away whenever this node
+	// is loaded above the cluster mean.
+	RebalanceEvery time.Duration
 }
 
 // Stats counts runtime events; all fields are cumulative.
@@ -212,6 +226,8 @@ type Stats struct {
 	CallsAggregated     int64
 	SyncCalls           int64
 	AsyncCalls          int64
+	ObjectsMigratedIn   int64
+	ObjectsMigratedOut  int64
 }
 
 // Runtime is one node's SCOOPP run-time system: object manager, factories
@@ -229,9 +245,34 @@ type Runtime struct {
 	execMu sync.Mutex
 	exec   map[string]*execStats
 
-	loadMu     sync.Mutex
-	loadCache  []NodeLoad
-	loadCached time.Time
+	loadMu         sync.Mutex
+	loadCond       *sync.Cond
+	loadCache      []NodeLoad
+	loadCached     time.Time
+	loadRefreshing bool
+
+	// dir is this node's slice of the cluster-wide object directory: URI →
+	// location. Entries for objects hosted here are authoritative (Node ==
+	// NodeID); entries pointing elsewhere are tombstones left by
+	// migrations away, or cached resolutions.
+	dirMu sync.Mutex
+	dir   map[string]ObjLoc
+
+	healthMu sync.Mutex
+	health   map[int]*peerHealth
+
+	// aborts records, per URI, the highest migration generation whose
+	// transfer the source node asked this node to abort: an AcceptObject
+	// at or below the marker must not commit, even if it is still in
+	// flight when the abort arrives (server dispatch is concurrent, so a
+	// compensation can otherwise be outrun by the transfer it undoes).
+	// Markers are erased when a newer-generation transfer commits.
+	abortMu sync.Mutex
+	aborts  map[string]uint64
+
+	stop      chan struct{} // closed by Close; stops probe/rebalance loops
+	closeOnce sync.Once
+	loopsOnce sync.Once
 
 	stats struct {
 		objectsCreated      atomic.Int64
@@ -242,10 +283,18 @@ type Runtime struct {
 		callsAggregated     atomic.Int64
 		syncCalls           atomic.Int64
 		asyncCalls          atomic.Int64
+		objectsMigratedIn   atomic.Int64
+		objectsMigratedOut  atomic.Int64
 	}
 
 	actorsMu sync.Mutex
 	actors   map[string]*actor
+
+	// destroyMu serialises the unpublish bookkeeping of destroyLocal
+	// (tombstone determination, unregister, load decrement), which must
+	// be atomic across concurrent destroys of one URI. It is never held
+	// while draining an actor.
+	destroyMu sync.Mutex
 }
 
 type peer struct {
@@ -283,7 +332,12 @@ func Start(cfg Config, addr string) (*Runtime, error) {
 		classes: make(map[string]func() any),
 		exec:    make(map[string]*execStats),
 		actors:  make(map[string]*actor),
+		dir:     make(map[string]ObjLoc),
+		health:  make(map[int]*peerHealth),
+		aborts:  make(map[string]uint64),
+		stop:    make(chan struct{}),
 	}
+	rt.loadCond = sync.NewCond(&rt.loadMu)
 	var opts []remoting.ServerOption
 	if cfg.Pool != nil {
 		opts = append(opts, remoting.WithPool(cfg.Pool))
@@ -324,22 +378,53 @@ func (rt *Runtime) JoinCluster(addrs []string) error {
 	rt.mu.Lock()
 	rt.peers = peers
 	rt.mu.Unlock()
+	// Background membership loops start once the node knows its peers.
+	rt.loopsOnce.Do(func() {
+		if rt.cfg.HealthProbe > 0 {
+			go rt.healthLoop(rt.cfg.HealthProbe)
+		}
+		if rt.cfg.RebalanceEvery > 0 {
+			go rt.rebalanceLoop(rt.cfg.RebalanceEvery)
+		}
+	})
 	return nil
 }
 
 // RegisterClass makes a parallel-object class creatable on this node. All
 // nodes must register the same classes (the paper's preprocessor emitted a
-// factory per class into every node's boot code, Fig. 6).
+// factory per class into every node's boot code, Fig. 6). Class state
+// becomes wire-registered on demand when a live migration first snapshots
+// an instance (exported fields only, as with any wire payload).
 func (rt *Runtime) RegisterClass(name string, factory func() any) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	rt.classes[name] = factory
 }
 
-// Close shuts the node down: local actors drain, the server stops, and the
-// channel's client-side connections (idle pooled conns, multiplexed peer
-// pipes) are released so long-running processes do not leak sockets.
+// registerStateType makes a class's state wire-encodable for migration
+// snapshots; migration call sites invoke it with the live (or
+// freshly made) instance right before encoding or decoding state.
+// Non-struct implementation objects (or a name collision with a
+// previously registered different type) leave the class non-migratable
+// rather than failing.
+func registerStateType(obj any) {
+	t := reflect.TypeOf(obj)
+	for t != nil && t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	if t == nil || t.Kind() != reflect.Struct {
+		return
+	}
+	defer func() { _ = recover() }()
+	wire.Register(obj)
+}
+
+// Close shuts the node down: background probe/rebalance loops stop, local
+// actors drain, the server stops, and the channel's client-side
+// connections (idle pooled conns, multiplexed peer pipes) are released so
+// long-running processes do not leak sockets.
 func (rt *Runtime) Close() {
+	rt.closeOnce.Do(func() { close(rt.stop) })
 	rt.actorsMu.Lock()
 	actors := rt.actors
 	rt.actors = make(map[string]*actor)
@@ -362,6 +447,8 @@ func (rt *Runtime) Stats() Stats {
 		CallsAggregated:     rt.stats.callsAggregated.Load(),
 		SyncCalls:           rt.stats.syncCalls.Load(),
 		AsyncCalls:          rt.stats.asyncCalls.Load(),
+		ObjectsMigratedIn:   rt.stats.objectsMigratedIn.Load(),
+		ObjectsMigratedOut:  rt.stats.objectsMigratedOut.Load(),
 	}
 }
 
@@ -426,51 +513,120 @@ func (rt *Runtime) createLocalIO(class string, spawnActor bool) (string, any, er
 		rt.server.Marshal(uri, w)
 	}
 	rt.load.Add(1)
+	rt.dirUpdate(uri, ObjLoc{Node: rt.cfg.NodeID, Addr: rt.Addr(), Gen: 1})
 	return uri, obj, nil
 }
 
-// destroyLocal unpublishes a hosted object.
-func (rt *Runtime) destroyLocal(uri string) {
-	rt.actorsMu.Lock()
-	if a, ok := rt.actors[uri]; ok {
+// destroyLocal unpublishes a hosted object — or the forwarding tombstone a
+// migration left at its URI, which carries no load — and reports whether
+// it destroyed a live local object (callers use that to decide whether a
+// forward still needs chasing: clearing just a tombstone does not destroy
+// the object it points at). Unregister reports true to exactly one of
+// several concurrent destroys, so the load decrement cannot double. The
+// actor drains outside actorsMu: a queued task may itself create a
+// parallel object (which takes actorsMu), so blocking on the drain inside
+// the lock could deadlock the node.
+func (rt *Runtime) destroyLocal(uri string) (destroyedLive bool) {
+	for {
+		rt.actorsMu.Lock()
+		a := rt.actors[uri]
 		delete(rt.actors, uri)
-		a.stop()
-	}
-	rt.actorsMu.Unlock()
-	if rt.server.Published(uri) {
-		rt.server.Unregister(uri)
-		rt.load.Add(-1)
+		rt.actorsMu.Unlock()
+		if a != nil {
+			a.stop()
+			destroyedLive = true
+		}
+		// The tombstone determination and the unregister must be atomic
+		// across concurrent destroys: a racer observing the directory
+		// entry already dropped but the registration still published
+		// would otherwise decrement load for a tombstone that never
+		// carried any.
+		rt.destroyMu.Lock()
+		tomb := false
+		if loc, ok := rt.dirLookup(uri); ok && loc.Node != rt.cfg.NodeID {
+			tomb = true
+		}
+		rt.dirDrop(uri)
+		if rt.server.Unregister(uri) && !tomb {
+			rt.load.Add(-1)
+			destroyedLive = true
+		}
+		rt.destroyMu.Unlock()
+		// A migration-in (acceptObject) may have committed between the
+		// actors check and the unregister above, leaving a fresh actor
+		// the cleanup missed; sweep again until the map stays empty so a
+		// destroy can never orphan (and later resurrect) a racing
+		// arrival.
+		rt.actorsMu.Lock()
+		again := rt.actors[uri] != nil
+		rt.actorsMu.Unlock()
+		if !again {
+			return destroyedLive
+		}
 	}
 }
 
-// nodeLoads returns the cached cluster load vector, refreshing entries when
-// stale. Failures to reach a peer report a very high load so placement
-// avoids it.
+// loadProbeTimeout bounds one peer load probe: a slow or dead peer costs a
+// placement refresh at most this long, not a full call timeout.
+const loadProbeTimeout = 200 * time.Millisecond
+
+// nodeLoads returns the cached cluster load vector, refreshing it when
+// stale. The refresh runs outside loadMu (one slow peer must not serialise
+// every placement behind it) with at most one refresher at a time —
+// concurrent placements wait for the in-flight refresh instead of
+// duplicating the probes.
 func (rt *Runtime) nodeLoads() []NodeLoad {
 	rt.loadMu.Lock()
-	defer rt.loadMu.Unlock()
-	if time.Since(rt.loadCached) < rt.cfg.LoadCacheTTL && rt.loadCache != nil {
-		return rt.loadCache
-	}
-	rt.mu.Lock()
-	peers := rt.peers
-	rt.mu.Unlock()
-	loads := make([]NodeLoad, len(peers))
-	for i, p := range peers {
-		if p.node == rt.cfg.NodeID {
-			loads[i] = NodeLoad{Node: p.node, Load: rt.Load()}
-			continue
+	for {
+		if time.Since(rt.loadCached) < rt.cfg.LoadCacheTTL && rt.loadCache != nil {
+			loads := rt.loadCache
+			rt.loadMu.Unlock()
+			return loads
 		}
-		res, err := p.om.Invoke("Load")
-		if err != nil {
-			loads[i] = NodeLoad{Node: p.node, Load: int(^uint(0) >> 1)}
-			continue
+		if !rt.loadRefreshing {
+			break
 		}
-		n, _ := res.(int)
-		loads[i] = NodeLoad{Node: p.node, Load: n}
+		rt.loadCond.Wait()
 	}
+	rt.loadRefreshing = true
+	rt.loadMu.Unlock()
+
+	loads := rt.probeLoads()
+
+	rt.loadMu.Lock()
 	rt.loadCache = loads
 	rt.loadCached = time.Now()
+	rt.loadRefreshing = false
+	rt.loadCond.Broadcast()
+	rt.loadMu.Unlock()
+	return loads
+}
+
+// probeLoads measures the live cluster load vector: every peer is probed
+// concurrently with a short per-probe deadline. Peers that are marked down
+// by health probing, cannot be reached in time, or answer with a mis-typed
+// load are excluded from the vector entirely — placement then cannot pick
+// them, rather than merely disfavouring them behind a max-int load. The
+// vector comes back in node order, which round-robin placement relies on.
+func (rt *Runtime) probeLoads() []NodeLoad {
+	var mu sync.Mutex
+	loads := []NodeLoad{{Node: rt.cfg.NodeID, Load: rt.Load()}}
+	rt.forEachPeer(context.Background(), loadProbeTimeout, true, func(ctx context.Context, p peer) {
+		res, err := p.om.InvokeCtx(ctx, "Load")
+		if err != nil {
+			return
+		}
+		var n int
+		if err := wire.AssignTo(&n, res); err != nil {
+			// A mis-typed reply is as useless as no reply: treating it
+			// as load 0 would magnetise traffic onto a broken peer.
+			return
+		}
+		mu.Lock()
+		loads = append(loads, NodeLoad{Node: p.node, Load: n})
+		mu.Unlock()
+	})
+	sort.Slice(loads, func(i, j int) bool { return loads[i].Node < loads[j].Node })
 	return loads
 }
 
@@ -525,30 +681,27 @@ func (rt *Runtime) NewParallelObject(class string) (*Proxy, error) {
 		return nil, fmt.Errorf("core: remote factory returned empty URI")
 	}
 	rt.stats.objectsRemote.Add(1)
-	ref := remoting.NewObjRef(rt.cfg.Channel, addr, uri)
-	p := &Proxy{rt: rt, class: class, mode: modeRemote, uri: uri, netaddr: addr, ref: ref}
-	p.seq = remoting.NewCallSequencer(ref)
-	p.seq.OnError = p.noteAsyncError
-	return p, nil
+	rt.dirUpdate(uri, ObjLoc{Node: node, Addr: addr, Gen: 1})
+	return newRemoteProxy(rt, class, uri, addr, 1), nil
 }
 
 // Attach rebinds a ProxyRef received as a method argument into a usable
-// proxy on this node. Objects hosted on this node bind to the local
-// implementation; others become remote proxies.
+// proxy on this node. Objects hosted on this node — including objects that
+// migrated here since the ref was produced — bind to the local
+// implementation; others become remote proxies routed at this node's best
+// directory knowledge of their location.
 func (rt *Runtime) Attach(ref ProxyRef) *Proxy {
-	if ref.NetAddr == rt.Addr() {
-		rt.actorsMu.Lock()
-		a := rt.actors[ref.URI]
-		rt.actorsMu.Unlock()
-		if a != nil {
-			return &Proxy{rt: rt, class: ref.Class, mode: modeLocalActive, uri: ref.URI, act: a}
-		}
+	rt.actorsMu.Lock()
+	a := rt.actors[ref.URI]
+	rt.actorsMu.Unlock()
+	if a != nil {
+		return &Proxy{rt: rt, class: ref.Class, mode: modeLocalActive, uri: ref.URI, act: a}
 	}
-	r := remoting.NewObjRef(rt.cfg.Channel, ref.NetAddr, ref.URI)
-	p := &Proxy{rt: rt, class: ref.Class, mode: modeRemote, uri: ref.URI, netaddr: ref.NetAddr, ref: r}
-	p.seq = remoting.NewCallSequencer(r)
-	p.seq.OnError = p.noteAsyncError
-	return p
+	addr, gen := ref.NetAddr, ref.Gen
+	if loc, ok := rt.dirLookup(ref.URI); ok && loc.Gen > gen {
+		addr, gen = loc.Addr, loc.Gen
+	}
+	return newRemoteProxy(rt, ref.Class, ref.URI, addr, gen)
 }
 
 // omService is the object manager's remote interface (Fig. 6's
@@ -564,9 +717,49 @@ func (s *omService) CreateObject(class string) (string, error) {
 	return uri, err
 }
 
-// DestroyObject unpublishes an object hosted on this node.
-func (s *omService) DestroyObject(uri string) {
-	s.rt.destroyLocal(uri)
+// DestroyObject unpublishes an object hosted on this node. If uri is not
+// hosted here, the destruction chases this node's forward knowledge — the
+// tombstone's directory entry, or, when even that has been
+// garbage-collected, a re-resolution through the peers — to the current
+// host, so destroying through a stale location still releases the live
+// object instead of silently succeeding against a dead URI. Local state
+// is cleared before chasing, which is what makes destroy chains across
+// mutually stale caches terminate.
+func (s *omService) DestroyObject(ctx context.Context, uri string) error {
+	rt := s.rt
+	// Snapshot the forward before clearing local state; whether a live
+	// actor was removed decides if a forward remains to chase (a
+	// migration committing concurrently leaves a tombstone where the
+	// actor was — clearing that tombstone alone must not count as
+	// destroying the object).
+	loc, ok := rt.dirLookup(uri)
+	if rt.destroyLocal(uri) {
+		return nil
+	}
+	if !ok || loc.Node == rt.cfg.NodeID {
+		loc, ok = rt.resolveRemote(ctx, uri, rt.Addr())
+	}
+	if ok && loc.Node != rt.cfg.NodeID {
+		om := remoting.NewObjRef(rt.cfg.Channel, loc.Addr, omURI)
+		if _, err := om.InvokeCtx(ctx, "DestroyObject", uri); err != nil {
+			return err
+		}
+		rt.dirDrop(uri)
+	}
+	// No local trace and no resolvable forward: treated as already
+	// destroyed. This keeps destroy idempotent (double-destroys must
+	// succeed), at the price that a destroy routed through a node whose
+	// tombstone aged out, while every resolution probe transiently
+	// failed, reports success without reaching the live copy — the same
+	// information horizon any caller of a fully decentralised directory
+	// has.
+	return nil
+}
+
+// AbortAccept is the compensation half of a failed migration; see
+// Runtime.abortAccept.
+func (s *omService) AbortAccept(uri string, gen uint64) {
+	s.rt.abortAccept(uri, gen)
 }
 
 // Load reports the node's live object count for placement decisions.
@@ -574,6 +767,42 @@ func (s *omService) Load() int { return s.rt.Load() }
 
 // Ping lets peers probe liveness.
 func (s *omService) Ping() string { return "pong" }
+
+// Resolve reports this node's directory knowledge of uri: authoritative
+// for hosted objects and tombstones, best-effort for cached locations.
+func (s *omService) Resolve(uri string) ResolveReply {
+	if loc, ok := s.rt.dirLookup(uri); ok {
+		return ResolveReply{Found: true, Node: loc.Node, Addr: loc.Addr, Gen: loc.Gen}
+	}
+	return ResolveReply{}
+}
+
+// AcceptObject is the receiving half of a live migration: re-create class
+// under uri at generation gen from the snapshotted state, returning this
+// node's transport address.
+func (s *omService) AcceptObject(class, uri string, gen uint64, state []byte) (string, error) {
+	return s.rt.acceptObject(class, uri, gen, state)
+}
+
+// Migrate moves an object hosted on this node to toNode, returning its new
+// location. A *errs.MovedError (object already elsewhere) travels back
+// with the forward so the caller can chase it.
+func (s *omService) Migrate(ctx context.Context, uri string, toNode int) (ResolveReply, error) {
+	if err := s.rt.MigrateCtx(ctx, uri, toNode); err != nil {
+		return ResolveReply{}, err
+	}
+	loc, ok := s.rt.dirLookup(uri)
+	if !ok {
+		return ResolveReply{}, fmt.Errorf("core: migrate %s: directory entry lost", uri)
+	}
+	return ResolveReply{Found: true, Node: loc.Node, Addr: loc.Addr, Gen: loc.Gen}, nil
+}
+
+// Rebalance triggers a load rebalance on this node, returning the number
+// of objects migrated away.
+func (s *omService) Rebalance(ctx context.Context) (int, error) {
+	return s.rt.Rebalance(ctx)
+}
 
 // ioWrapper wraps an implementation object, measuring execution times for
 // grain-size estimation and replaying batches (the processN method the

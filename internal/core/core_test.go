@@ -263,7 +263,7 @@ func TestAggregationMaxDelayTimer(t *testing.T) {
 // the raw remote endpoint.
 func (p *Proxy) Invoke2Total(t *testing.T) (any, error) {
 	t.Helper()
-	return p.ref.Invoke("Invoke1", "Total", []any{})
+	return p.endpoint().Invoke("Invoke1", "Total", []any{})
 }
 
 func TestAggregationMethodChangeFlushes(t *testing.T) {

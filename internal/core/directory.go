@@ -1,0 +1,141 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/errs"
+	"repro/internal/wire"
+)
+
+// ObjLoc is one object-directory entry: the node currently hosting a
+// parallel object and the migration generation that information was
+// observed at. Generations start at 1 when an object is created and are
+// bumped on every migration, so stale entries (and stale forwards) are
+// recognisable: an entry never overwrites one with a higher generation.
+type ObjLoc struct {
+	Node int
+	Addr string
+	Gen  uint64
+}
+
+// ResolveReply is the object manager's answer to a directory lookup.
+type ResolveReply struct {
+	Found bool
+	Node  int
+	Addr  string
+	Gen   uint64
+}
+
+func init() {
+	wire.RegisterName("core.ResolveReply", ResolveReply{})
+}
+
+// resolveProbeTimeout bounds one peer directory lookup during failover
+// re-resolution, so a second dead peer cannot stall the retry path.
+const resolveProbeTimeout = 300 * time.Millisecond
+
+// dirLookup returns this node's directory entry for uri: authoritative for
+// objects hosted here and for tombstones left by migrations away, a cache
+// for remote objects this node has routed to.
+func (rt *Runtime) dirLookup(uri string) (ObjLoc, bool) {
+	rt.dirMu.Lock()
+	defer rt.dirMu.Unlock()
+	loc, ok := rt.dir[uri]
+	return loc, ok
+}
+
+// dirUpdate merges a location into the directory, keeping the entry with
+// the highest generation (ties keep the newcomer: same generation means
+// same location).
+func (rt *Runtime) dirUpdate(uri string, loc ObjLoc) {
+	rt.dirMu.Lock()
+	if cur, ok := rt.dir[uri]; !ok || loc.Gen >= cur.Gen {
+		rt.dir[uri] = loc
+	}
+	rt.dirMu.Unlock()
+}
+
+// dirDrop forgets uri.
+func (rt *Runtime) dirDrop(uri string) {
+	rt.dirMu.Lock()
+	delete(rt.dir, uri)
+	rt.dirMu.Unlock()
+}
+
+// dirDropForward forgets uri only while it points away from this node —
+// the tombstone-expiry cleanup, which must not discard the entry of an
+// object that has since migrated back here.
+func (rt *Runtime) dirDropForward(uri string) {
+	rt.dirMu.Lock()
+	if loc, ok := rt.dir[uri]; ok && loc.Node != rt.cfg.NodeID {
+		delete(rt.dir, uri)
+	}
+	rt.dirMu.Unlock()
+}
+
+// Lookup reports this node's best knowledge of where uri lives. It is the
+// observability companion of the proxies' internal routing: hosted objects
+// report this node, tombstones report the forward target.
+func (rt *Runtime) Lookup(uri string) (ObjLoc, bool) { return rt.dirLookup(uri) }
+
+// resolveRemote finds the current location of uri for failover: first the
+// local directory cache, then every reachable peer's object manager,
+// probed concurrently with a short per-probe deadline. excludeAddr is the
+// address that just failed — cached or reported entries still pointing at
+// it are useless and are skipped. The best (highest-generation) answer
+// wins and is cached.
+func (rt *Runtime) resolveRemote(ctx context.Context, uri, excludeAddr string) (ObjLoc, bool) {
+	if loc, ok := rt.dirLookup(uri); ok && loc.Addr != excludeAddr {
+		return loc, true
+	}
+	var mu sync.Mutex
+	var best ObjLoc
+	ok := false
+	rt.forEachPeer(ctx, resolveProbeTimeout, true, func(pctx context.Context, p peer) {
+		if p.addr == excludeAddr {
+			return
+		}
+		res, err := p.om.InvokeCtx(pctx, "Resolve", uri)
+		if err != nil {
+			return
+		}
+		var rr ResolveReply
+		if err := wire.AssignTo(&rr, res); err != nil || !rr.Found || rr.Addr == excludeAddr {
+			return
+		}
+		mu.Lock()
+		if !ok || rr.Gen > best.Gen {
+			best, ok = ObjLoc{Node: rr.Node, Addr: rr.Addr, Gen: rr.Gen}, true
+		}
+		mu.Unlock()
+	})
+	if ok {
+		rt.dirUpdate(uri, best)
+	}
+	return best, ok
+}
+
+// tombstone is the forwarding endpoint a migration leaves behind at the
+// moved object's URI: every invocation fails with the *errs.MovedError
+// carrying the new location, which proxies consume to re-route and retry
+// transparently. It is published through the server's ordinary
+// registration path, so the registration-generation bump invalidates bound
+// call handles cached against the old actor endpoint — their next call
+// re-resolves to the tombstone and observes the forward.
+type tombstone struct {
+	mv errs.MovedError
+}
+
+// Invoke1 rejects a single invocation with the forward.
+func (t *tombstone) Invoke1(ctx context.Context, method string, args []any) (any, error) {
+	return nil, &t.mv
+}
+
+// InvokeBatch rejects an aggregate message with the forward. Enqueue-time
+// rejection means no element of the batch executed; the caller replays the
+// whole batch at the new location.
+func (t *tombstone) InvokeBatch(ctx context.Context, method string, calls []any) (int, error) {
+	return 0, &t.mv
+}

@@ -1,0 +1,286 @@
+package core
+
+// This file implements failure-aware membership: each runtime can probe
+// its peers' object managers periodically, grading them Alive → Suspect →
+// Down on consecutive failures and recovering them on the first
+// successful probe. Down peers are excluded from placement load vectors
+// and failover resolution, so a dead node stops attracting traffic
+// instead of costing every placement a timeout. Rebalance (periodic or
+// explicit) migrates objects off this node when it is loaded above the
+// cluster mean, using the configured PlacementPolicy to choose targets
+// among the live peers.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// PeerStatus grades a peer's observed liveness.
+type PeerStatus int
+
+const (
+	// PeerAlive: the peer answered its most recent probe (or was never
+	// probed — peers are presumed alive until proven otherwise).
+	PeerAlive PeerStatus = iota
+	// PeerSuspect: at least one probe in a row failed.
+	PeerSuspect
+	// PeerDown: peerDownAfter probes in a row failed; the peer is excluded
+	// from placement and resolution until it answers again.
+	PeerDown
+)
+
+// String names the status.
+func (s PeerStatus) String() string {
+	switch s {
+	case PeerAlive:
+		return "alive"
+	case PeerSuspect:
+		return "suspect"
+	case PeerDown:
+		return "down"
+	}
+	return fmt.Sprintf("PeerStatus(%d)", int(s))
+}
+
+const (
+	// peerSuspectAfter / peerDownAfter are the consecutive-failure
+	// thresholds of the probe loop.
+	peerSuspectAfter = 1
+	peerDownAfter    = 3
+	// healthProbeTimeout bounds one liveness probe.
+	healthProbeTimeout = 200 * time.Millisecond
+)
+
+// peerHealth is one peer's probe record.
+type peerHealth struct {
+	status PeerStatus
+	fails  int
+}
+
+// PeerStatusOf reports the current liveness grade of a peer. Unknown nodes
+// (and this node itself) are alive.
+func (rt *Runtime) PeerStatusOf(node int) PeerStatus {
+	rt.healthMu.Lock()
+	defer rt.healthMu.Unlock()
+	if h, ok := rt.health[node]; ok {
+		return h.status
+	}
+	return PeerAlive
+}
+
+// PeerStatuses snapshots the liveness grade of every known peer.
+func (rt *Runtime) PeerStatuses() map[int]PeerStatus {
+	rt.mu.Lock()
+	peers := rt.peers
+	rt.mu.Unlock()
+	out := make(map[int]PeerStatus, len(peers))
+	for _, p := range peers {
+		out[p.node] = rt.PeerStatusOf(p.node)
+	}
+	return out
+}
+
+// peerDown reports whether a peer is currently graded Down.
+func (rt *Runtime) peerDown(node int) bool { return rt.PeerStatusOf(node) == PeerDown }
+
+// noteProbe folds one probe outcome into a peer's record.
+func (rt *Runtime) noteProbe(node int, ok bool) {
+	rt.healthMu.Lock()
+	defer rt.healthMu.Unlock()
+	h := rt.health[node]
+	if h == nil {
+		h = &peerHealth{}
+		rt.health[node] = h
+	}
+	if ok {
+		h.status, h.fails = PeerAlive, 0
+		return
+	}
+	h.fails++
+	switch {
+	case h.fails >= peerDownAfter:
+		h.status = PeerDown
+	case h.fails >= peerSuspectAfter:
+		h.status = PeerSuspect
+	}
+}
+
+// forEachPeer runs fn concurrently for every remote peer known to this
+// runtime — optionally skipping peers graded down — each invocation
+// bounded by its own timeout derived from ctx, and waits for all to
+// finish. It is the shared scaffolding of every probe fan-out (load
+// probes, directory resolution, liveness pings): one slow or dead peer
+// costs one timeout in parallel with the rest, never a serial stall.
+func (rt *Runtime) forEachPeer(ctx context.Context, timeout time.Duration, skipDown bool, fn func(ctx context.Context, p peer)) {
+	rt.mu.Lock()
+	peers := rt.peers
+	rt.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, p := range peers {
+		if p.node == rt.cfg.NodeID || p.om == nil || (skipDown && rt.peerDown(p.node)) {
+			continue
+		}
+		wg.Add(1)
+		go func(p peer) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, timeout)
+			defer cancel()
+			fn(pctx, p)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// healthLoop drives periodic peer probes until the runtime closes.
+func (rt *Runtime) healthLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+			rt.ProbePeers()
+		}
+	}
+}
+
+// ProbePeers pings every peer's object manager once, concurrently with a
+// short per-probe deadline, and updates the membership grades. Down peers
+// are deliberately probed too — that is how recovery is detected. It is
+// called by the periodic health loop (Config.HealthProbe) and may be
+// called explicitly by operators or tests.
+func (rt *Runtime) ProbePeers() {
+	rt.forEachPeer(context.Background(), healthProbeTimeout, false, func(ctx context.Context, p peer) {
+		_, err := p.om.InvokeCtx(ctx, "Ping")
+		rt.noteProbe(p.node, err == nil)
+	})
+}
+
+// Rebalance migrates parallel objects off this node until its hosted load
+// is no higher than the cluster mean, choosing each target with the
+// configured PlacementPolicy over the live load vector (down and
+// unreachable peers excluded). It returns the number of objects migrated.
+// Objects whose migration fails are skipped, not retried.
+func (rt *Runtime) Rebalance(ctx context.Context) (int, error) {
+	loads := rt.probeLoads()
+	if len(loads) <= 1 {
+		return 0, nil
+	}
+	total := 0
+	for _, l := range loads {
+		total += l.Load
+	}
+	mean := (total + len(loads) - 1) / len(loads)
+	excess := rt.Load() - mean
+	if excess <= 0 {
+		return 0, nil
+	}
+	return rt.migrateExcess(ctx, loads, excess, mean)
+}
+
+// Drain migrates every actor-hosted object off this node — the graceful
+// step before taking a node out of service. Targets are chosen like
+// Rebalance's.
+func (rt *Runtime) Drain(ctx context.Context) (int, error) {
+	loads := rt.probeLoads()
+	if len(loads) <= 1 {
+		return 0, fmt.Errorf("core: drain node %d: no live peers to migrate to", rt.cfg.NodeID)
+	}
+	return rt.migrateExcess(ctx, loads, rt.Load(), int(^uint(0)>>1))
+}
+
+// migrateExcess moves up to excess hosted objects to policy-picked peers,
+// updating its working copy of the load vector as it goes so consecutive
+// picks spread instead of dogpiling one target. Only peers below the
+// loadCap are offered to the policy: a rebalance must not ship objects to
+// a peer already at the mean (a load-blind policy like RoundRobin would
+// otherwise just relocate the overload, and two such nodes would churn
+// objects back and forth forever). Drain passes an unbounded cap.
+func (rt *Runtime) migrateExcess(ctx context.Context, loads []NodeLoad, excess, loadCap int) (int, error) {
+	// Work on the peers' entries only: the policy must not pick this node.
+	others := make([]NodeLoad, 0, len(loads))
+	for _, l := range loads {
+		if l.Node != rt.cfg.NodeID {
+			others = append(others, l)
+		}
+	}
+	uris := rt.hostedURIs(excess)
+	migrated := 0
+	var firstErr error
+	for _, uri := range uris {
+		cands := make([]NodeLoad, 0, len(others))
+		for _, l := range others {
+			if l.Load < loadCap {
+				cands = append(cands, l)
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		target := rt.cfg.Placement.Pick(rt.cfg.NodeID, cands)
+		if target == rt.cfg.NodeID || indexOfNode(cands, target) < 0 {
+			// A degenerate pick (LocalOnly, or a node outside the live
+			// vector): fall back to the least-loaded live peer so drains
+			// and rebalances still make progress.
+			target = (LeastLoaded{}).Pick(rt.cfg.NodeID, cands)
+			if indexOfNode(cands, target) < 0 {
+				break
+			}
+		}
+		if err := rt.MigrateCtx(ctx, uri, target); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		others[indexOfNode(others, target)].Load++
+		migrated++
+	}
+	if migrated == 0 && firstErr != nil {
+		return 0, firstErr
+	}
+	return migrated, nil
+}
+
+// indexOfNode finds a node's entry in a load vector.
+func indexOfNode(loads []NodeLoad, node int) int {
+	for i, l := range loads {
+		if l.Node == node {
+			return i
+		}
+	}
+	return -1
+}
+
+// hostedURIs snapshots up to n URIs of actor-hosted objects.
+func (rt *Runtime) hostedURIs(n int) []string {
+	rt.actorsMu.Lock()
+	defer rt.actorsMu.Unlock()
+	uris := make([]string, 0, n)
+	for uri := range rt.actors {
+		if len(uris) == n {
+			break
+		}
+		uris = append(uris, uri)
+	}
+	return uris
+}
+
+// rebalanceLoop drives periodic rebalances until the runtime closes.
+func (rt *Runtime) rebalanceLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+			ctx, cancel := context.WithTimeout(context.Background(), interval)
+			_, _ = rt.Rebalance(ctx)
+			cancel()
+		}
+	}
+}

@@ -209,7 +209,7 @@ func TestPropertyAggregationTimerDelivers(t *testing.T) {
 	deadline := time.Now().Add(2 * time.Second)
 	for {
 		// Bypass the flush-on-sync path to observe the timer.
-		res, err := p.ref.Invoke("Invoke1", "Total", []any{})
+		res, err := p.endpoint().Invoke("Invoke1", "Total", []any{})
 		if err != nil {
 			t.Fatal(err)
 		}

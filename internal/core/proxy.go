@@ -2,11 +2,15 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/errs"
 	"repro/internal/remoting"
+	"repro/internal/wire"
 )
 
 // proxyMode distinguishes the three call paths of the RTS.
@@ -29,17 +33,31 @@ const (
 // object it represents (dynamically, via method names) and transparently
 // forwards invocations to the implementation object, applying grain-size
 // adaptations on the way.
+//
+// Location is resolved through the runtime's object directory rather than
+// burned in at creation: when the object live-migrates, remote calls that
+// hit the forwarding tombstone (or a dead node) transparently re-route and
+// retry once, and a local proxy whose object moved away upgrades itself to
+// a remote proxy at the new location. Per-object call ordering survives
+// the move because the ordered asynchronous lane re-resolves between
+// calls, never dropping or reordering its queue.
 type Proxy struct {
-	rt      *Runtime
-	class   string
-	mode    proxyMode
-	uri     string
-	netaddr string
+	rt    *Runtime
+	class string
+	uri   string
 
-	local any                     // agglomerated IO
-	act   *actor                  // local active IO
-	ref   *remoting.ObjRef        // remote IO endpoint
-	seq   *remoting.CallSequencer // ordered async lane for remote IO
+	// mu guards the location state: mode (modeLocalActive can become
+	// modeRemote after a migration), the local actor, and the remote
+	// endpoint (address + directory generation + lazily built ObjRef).
+	mu      sync.Mutex
+	mode    proxyMode
+	local   any    // agglomerated IO (immutable once set)
+	act     *actor // local active IO while hosted on this node
+	netaddr string // remote endpoint address
+	gen     uint64 // directory generation netaddr was learned at
+	ref     *remoting.ObjRef
+
+	seq *remoting.CallSequencer // ordered async lane for remote calls
 
 	// aggregation state (remote mode only)
 	aggMu     sync.Mutex
@@ -49,6 +67,37 @@ type Proxy struct {
 
 	errMu   sync.Mutex
 	asyncEr error
+
+	// deadEndAt (unix nanoseconds, 0 = unset) caches a failed
+	// destroyed-object re-resolution: after a call got
+	// ErrObjectDestroyed and the cluster-wide resolve found nothing
+	// fresher, later calls surface the error immediately instead of
+	// paying the peer fan-out again — but only for deadEndTTL, so a
+	// resolution that failed transiently (target briefly down or slow)
+	// is retried rather than pinning the proxy dead forever. Cleared
+	// whenever the proxy is redirected.
+	deadEndAt atomic.Int64
+}
+
+// deadEndTTL bounds how long a failed destroyed-object resolution is
+// trusted before the next call re-probes the cluster.
+const deadEndTTL = 5 * time.Second
+
+// newRemoteProxy builds a remote-mode proxy routed at addr/gen.
+func newRemoteProxy(rt *Runtime, class, uri, addr string, gen uint64) *Proxy {
+	p := &Proxy{rt: rt, class: class, mode: modeRemote, uri: uri, netaddr: addr, gen: gen}
+	p.initSeq()
+	return p
+}
+
+// initSeq installs the ordered asynchronous lane. The sequencer invokes
+// through invokeRemote, so every queued call re-resolves the endpoint —
+// that is what keeps one proxy's post stream ordered across a migration.
+func (p *Proxy) initSeq() {
+	p.seq = remoting.NewCallSequencerFunc(func(method string, args ...any) (any, error) {
+		return p.invokeRemote(context.Background(), method, args...)
+	})
+	p.seq.OnError = p.noteAsyncError
 }
 
 // Class returns the object's registered class name.
@@ -57,20 +106,180 @@ func (p *Proxy) Class() string { return p.class }
 // URI returns the object's published URI.
 func (p *Proxy) URI() string { return p.uri }
 
-// IsLocal reports whether calls execute on this node.
-func (p *Proxy) IsLocal() bool { return p.mode != modeRemote }
+// IsLocal reports whether calls currently execute on this node.
+func (p *Proxy) IsLocal() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.mode != modeRemote
+}
 
 // IsAgglomerated reports whether the object was packed into its creator's
 // grain (parallelism removed).
-func (p *Proxy) IsAgglomerated() bool { return p.mode == modeAgglomerated }
+func (p *Proxy) IsAgglomerated() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.mode == modeAgglomerated
+}
 
-// Ref returns a wire-encodable reference that other nodes can Attach.
+// Ref returns a wire-encodable reference that other nodes can Attach,
+// stamped with the location generation this proxy currently routes at.
+// Local-mode proxies (which do not track a location of their own) stamp
+// the runtime directory's entry wholesale — address and generation as one
+// pair, so a handle whose object has already migrated away mints a ref to
+// the forward target, never the poisoned combination of the old address
+// with the new generation.
 func (p *Proxy) Ref() ProxyRef {
-	addr := p.netaddr
+	p.mu.Lock()
+	addr, gen := p.netaddr, p.gen
+	p.mu.Unlock()
+	if gen == 0 {
+		if loc, ok := p.rt.dirLookup(p.uri); ok {
+			addr, gen = loc.Addr, loc.Gen
+		}
+	}
 	if addr == "" {
 		addr = p.rt.Addr()
 	}
-	return ProxyRef{NetAddr: addr, URI: p.uri, Class: p.class}
+	return ProxyRef{NetAddr: addr, URI: p.uri, Class: p.class, Gen: gen}
+}
+
+// state snapshots the location fields.
+func (p *Proxy) state() (proxyMode, *actor) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.mode, p.act
+}
+
+// endpoint returns the current remote ObjRef, building it on first use
+// after a redirect.
+func (p *Proxy) endpoint() *remoting.ObjRef {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ref == nil {
+		p.ref = remoting.NewObjRef(p.rt.cfg.Channel, p.netaddr, p.uri)
+	}
+	return p.ref
+}
+
+// redirect routes the proxy at a new location, upgrading a local proxy to
+// remote mode, and reports whether it applied. A forward older than what
+// the proxy already routes at is ignored (generations are monotonic per
+// object).
+//
+// An object that migrates onto this very node is deliberately still
+// reached through remoting (a loopback hop): flipping an in-use proxy
+// back to mailbox mode could reorder calls already queued on its remote
+// lane against new local posts. Fresh local handles come from Attach,
+// which does bind to the local actor.
+func (p *Proxy) redirect(loc ObjLoc) bool {
+	p.rt.dirUpdate(p.uri, loc)
+	p.deadEndAt.Store(0)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.mode == modeRemote && loc.Gen < p.gen {
+		return false
+	}
+	p.mode = modeRemote
+	p.act = nil
+	p.netaddr, p.gen = loc.Addr, loc.Gen
+	p.ref = nil
+	if p.seq == nil {
+		// Upgraded from a local proxy that never needed the lane.
+		p.initSeq()
+	}
+	return true
+}
+
+// sequencer returns the async lane, which exists for every proxy that has
+// ever been remote.
+func (p *Proxy) sequencer() *remoting.CallSequencer {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.seq
+}
+
+// movedOf extracts a usable migration forward for uri from err. The URI
+// match is essential: a MovedError about some *other* object — one
+// propagated unhandled out of a method that itself called a moved/broken
+// proxy — must not re-route (and re-execute) this object's calls, nor
+// poison the directory under this object's URI.
+func movedOf(err error, uri string) (*errs.MovedError, bool) {
+	var mv *errs.MovedError
+	if errors.As(err, &mv) && mv.Addr != "" && mv.URI == uri {
+		return mv, true
+	}
+	return nil, false
+}
+
+// invokeVia performs one invocation against the proxy's current location
+// with transparent re-routing — the single retry loop shared by data
+// calls and object-manager calls. On ErrObjectMoved the forward carried by
+// the reply is installed and the call retried at the new location; on
+// ErrNodeDown — or ErrObjectDestroyed from a node whose forwarding
+// tombstone was already garbage-collected, recognisable by a peer knowing
+// a strictly fresher location — the object is re-resolved through the
+// surviving peers' object managers and the call retried there (once). A
+// single migration therefore costs a caller at most one transparent
+// retry; a proxy that went stale across several migrations follows the
+// tombstone chain, which terminates because every forward must carry a
+// strictly higher generation — a forward that does not advance surfaces
+// the error instead of looping. mkRef builds the ref to invoke from the
+// proxy's current routing state, so each iteration targets the freshly
+// redirected location.
+//
+// The ErrNodeDown retry shares the channel's documented at-most-once
+// caveat: a connection that dies after the request executed but before
+// the reply arrived is indistinguishable from one that died before
+// execution, so re-routing such a call can execute it a second time —
+// at-least-once traded for liveness across node failures, exactly as the
+// channel itself trades on its stale-connection retry. Forward-driven
+// retries (ErrObjectMoved) carry no such risk: a tombstone rejects
+// without executing.
+func (p *Proxy) invokeVia(ctx context.Context, mkRef func() *remoting.ObjRef, method string, args ...any) (any, error) {
+	var followedGen uint64
+	resolved := false
+	for {
+		ref := mkRef()
+		res, err := ref.InvokeCtx(ctx, method, args...)
+		if err == nil || ctx.Err() != nil {
+			return res, err
+		}
+		if mv, ok := movedOf(err, p.uri); ok && mv.Gen > followedGen {
+			followedGen = mv.Gen
+			p.redirect(ObjLoc{Node: mv.Node, Addr: mv.Addr, Gen: mv.Gen})
+			continue
+		}
+		down := errors.Is(err, errs.ErrNodeDown)
+		if (down || errors.Is(err, errs.ErrObjectDestroyed)) && !resolved {
+			resolved = true
+			if at := p.deadEndAt.Load(); !down && at != 0 && time.Since(time.Unix(0, at)) < deadEndTTL {
+				return nil, err
+			}
+			// The retry must actually change the route: a resolution
+			// older than what the proxy already routes at (redirect
+			// refuses it) would just re-dial the same dead endpoint for
+			// a second full timeout.
+			if loc, ok := p.rt.resolveRemote(ctx, p.uri, ref.NetAddr()); ok && (down || loc.Gen > p.currentGen()) && p.redirect(loc) {
+				continue
+			}
+			if !down {
+				p.deadEndAt.Store(time.Now().UnixNano())
+			}
+		}
+		return nil, err
+	}
+}
+
+// currentGen reads the generation the proxy currently routes at.
+func (p *Proxy) currentGen() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.gen
+}
+
+// invokeRemote is invokeVia against the object's endpoint.
+func (p *Proxy) invokeRemote(ctx context.Context, rmethod string, args ...any) (any, error) {
+	return p.invokeVia(ctx, p.endpoint, rmethod, args...)
 }
 
 // noteAsyncError records the first asynchronous failure for AsyncErr.
@@ -106,19 +315,34 @@ func (p *Proxy) InvokeCtx(ctx context.Context, method string, args ...any) (any,
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	switch p.mode {
+	switch mode, act := p.state(); mode {
 	case modeAgglomerated:
 		w := &ioWrapper{rt: p.rt, class: p.class, obj: p.local}
 		return w.Invoke1(ctx, method, args)
 	case modeLocalActive:
-		return p.act.callCtx(ctx, method, args)
-	default:
-		p.FlushAggregation()
-		if err := p.seq.FlushCtx(ctx); err != nil {
-			return nil, fmt.Errorf("core: flush before %s.%s: %w", p.class, method, err)
+		res, err := act.callCtx(ctx, method, args)
+		if mv, ok := movedOf(err, p.uri); ok {
+			// The object migrated away while this proxy still held its
+			// mailbox: upgrade to a remote proxy and retry at the new
+			// location (the mailbox fully drained before the move, so
+			// ordering is preserved).
+			p.redirect(ObjLoc{Node: mv.Node, Addr: mv.Addr, Gen: mv.Gen})
+			return p.remoteInvokeOrdered(ctx, method, args)
 		}
-		return p.ref.InvokeCtx(ctx, "Invoke1", method, args)
+		return res, err
+	default:
+		return p.remoteInvokeOrdered(ctx, method, args)
 	}
+}
+
+// remoteInvokeOrdered performs a synchronous remote call ordered after the
+// proxy's posted asynchronous stream.
+func (p *Proxy) remoteInvokeOrdered(ctx context.Context, method string, args []any) (any, error) {
+	p.FlushAggregation()
+	if err := p.sequencer().FlushCtx(ctx); err != nil {
+		return nil, fmt.Errorf("core: flush before %s.%s: %w", p.class, method, err)
+	}
+	return p.invokeRemote(ctx, "Invoke1", method, args)
 }
 
 // Future is the handle of an asynchronous call with a result.
@@ -191,7 +415,7 @@ func (p *Proxy) PostCtx(ctx context.Context, method string, args ...any) error {
 		p.noteAsyncError(err)
 		return err
 	}
-	switch p.mode {
+	switch mode, act := p.state(); mode {
 	case modeAgglomerated:
 		// Agglomeration turned this object passive: the "async" call
 		// executes synchronously and serially, which is precisely the
@@ -202,15 +426,32 @@ func (p *Proxy) PostCtx(ctx context.Context, method string, args ...any) error {
 		}
 		return nil
 	case modeLocalActive:
-		return p.act.post(ctx, method, args, p.noteAsyncError)
-	default:
-		if p.rt.cfg.Aggregation.enabled() {
-			p.aggregate(method, args)
-			return nil
+		// post reports execution failures (which may legitimately wrap a
+		// MovedError from some other object) straight to AsyncErr; an
+		// enqueue-time forward is only returned, and is a routing event,
+		// not a failure — re-post remotely.
+		err := act.post(ctx, method, args, p.noteAsyncError)
+		if mv, ok := movedOf(err, p.uri); ok {
+			p.redirect(ObjLoc{Node: mv.Node, Addr: mv.Addr, Gen: mv.Gen})
+			return p.postRemote(method, args)
 		}
-		p.seq.Post("Invoke1", method, args)
+		if err != nil {
+			p.noteAsyncError(err)
+		}
+		return err
+	default:
+		return p.postRemote(method, args)
+	}
+}
+
+// postRemote queues one asynchronous call on the ordered remote lane.
+func (p *Proxy) postRemote(method string, args []any) error {
+	if p.rt.cfg.Aggregation.enabled() {
+		p.aggregate(method, args)
 		return nil
 	}
+	p.sequencer().Post("Invoke1", method, args)
+	return nil
 }
 
 // aggregate buffers one asynchronous call, flushing when the method
@@ -254,7 +495,7 @@ func (p *Proxy) flushLocked() {
 	p.aggMethod = ""
 	p.aggCalls = nil
 	p.rt.stats.batchesSent.Add(1)
-	p.seq.Post("InvokeBatch", method, calls)
+	p.sequencer().Post("InvokeBatch", method, calls)
 }
 
 // Wait blocks until every asynchronous call posted on this proxy has
@@ -267,16 +508,85 @@ func (p *Proxy) Wait() {
 // WaitCtx is Wait bounded by ctx; abandoning the wait leaves the posted
 // calls draining in the background.
 func (p *Proxy) WaitCtx(ctx context.Context) error {
-	switch p.mode {
+	switch mode, act := p.state(); mode {
 	case modeAgglomerated:
 		// Posts already executed inline.
 		return nil
 	case modeLocalActive:
-		return p.act.waitCtx(ctx)
+		return act.waitCtx(ctx)
 	default:
 		p.FlushAggregation()
-		return p.seq.FlushCtx(ctx)
+		return p.sequencer().FlushCtx(ctx)
 	}
+}
+
+// Migrate moves the parallel object to cluster node toNode; see
+// MigrateCtx.
+func (p *Proxy) Migrate(toNode int) error {
+	return p.MigrateCtx(context.Background(), toNode)
+}
+
+// MigrateCtx live-migrates the parallel object to toNode and re-routes
+// this proxy at the new location. Posted asynchronous calls are flushed
+// first, so the snapshot that travels includes them. Agglomerated objects
+// are part of their creator's grain and cannot migrate.
+func (p *Proxy) MigrateCtx(ctx context.Context, toNode int) error {
+	mode, _ := p.state()
+	if mode == modeAgglomerated {
+		return fmt.Errorf("core: migrate %s: agglomerated objects are part of their creator's grain", p.uri)
+	}
+	if err := p.WaitCtx(ctx); err != nil {
+		return fmt.Errorf("core: migrate %s: %w", p.uri, err)
+	}
+	if mode == modeLocalActive {
+		err := p.rt.MigrateCtx(ctx, p.uri, toNode)
+		if mv, ok := movedOf(err, p.uri); ok {
+			// Someone migrated it first; chase the forward through the
+			// remote path below.
+			p.redirect(ObjLoc{Node: mv.Node, Addr: mv.Addr, Gen: mv.Gen})
+		} else if err != nil {
+			return err
+		} else {
+			// The local runtime completed the move; follow it (unless the
+			// "move" was a no-op to this very node).
+			if loc, ok := p.rt.dirLookup(p.uri); ok && loc.Node != p.rt.NodeID() {
+				p.redirect(loc)
+			}
+			return nil
+		}
+	}
+	// Ask the hosting node's OM to migrate, retrying through forwards and
+	// re-resolution exactly like a data call.
+	res, err := p.omInvoke(ctx, "Migrate", p.uri, toNode)
+	if err != nil {
+		return fmt.Errorf("core: migrate %s to node %d: %w", p.uri, toNode, err)
+	}
+	var rr ResolveReply
+	if err := wire.AssignTo(&rr, res); err == nil && rr.Found {
+		p.redirect(ObjLoc{Node: rr.Node, Addr: rr.Addr, Gen: rr.Gen})
+	}
+	return nil
+}
+
+// omInvoke is invokeVia against the object manager of the node currently
+// hosting this object.
+func (p *Proxy) omInvoke(ctx context.Context, method string, args ...any) (any, error) {
+	return p.invokeVia(ctx, p.omRef, method, args...)
+}
+
+// omRef builds a proxy for the hosting node's object manager at the
+// current routing state. Local-mode proxies never set netaddr, so it
+// falls back to this node's own OM (mirroring Ref's fallback) — which
+// handles a destroy of an already-gone object gracefully instead of
+// dialling an empty address.
+func (p *Proxy) omRef() *remoting.ObjRef {
+	p.mu.Lock()
+	addr := p.netaddr
+	p.mu.Unlock()
+	if addr == "" {
+		addr = p.rt.Addr()
+	}
+	return remoting.NewObjRef(p.rt.cfg.Channel, addr, omURI)
 }
 
 // Destroy releases the parallel object. Local objects unpublish
@@ -291,25 +601,41 @@ func (p *Proxy) DestroyCtx(ctx context.Context) error {
 	if err := p.WaitCtx(ctx); err != nil {
 		return fmt.Errorf("core: destroy %s: %w", p.uri, err)
 	}
-	switch p.mode {
-	case modeAgglomerated, modeLocalActive:
+	mode, _ := p.state()
+	if mode == modeAgglomerated {
 		p.rt.destroyLocal(p.uri)
 		return nil
-	default:
-		om := remoting.NewObjRef(p.rt.cfg.Channel, p.netaddr, omURI)
-		if _, err := om.InvokeCtx(ctx, "DestroyObject", p.uri); err != nil {
-			return fmt.Errorf("core: destroy %s: %w", p.uri, err)
-		}
-		return nil
 	}
+	if mode == modeLocalActive {
+		p.rt.actorsMu.Lock()
+		hosted := p.rt.actors[p.uri] != nil
+		p.rt.actorsMu.Unlock()
+		if hosted {
+			p.rt.destroyLocal(p.uri)
+			return nil
+		}
+		// The object migrated away while this handle stayed local (no
+		// call ever observed the forward): route at the forward and fall
+		// through to the OM destroy so the live copy is released, not
+		// just this node's tombstone.
+		if loc, ok := p.rt.dirLookup(p.uri); ok && loc.Node != p.rt.NodeID() {
+			p.redirect(loc)
+		}
+	}
+	if _, err := p.omInvoke(ctx, "DestroyObject", p.uri); err != nil {
+		return fmt.Errorf("core: destroy %s: %w", p.uri, err)
+	}
+	p.rt.dirDrop(p.uri)
+	return nil
 }
 
 // String implements fmt.Stringer.
 func (p *Proxy) String() string {
-	mode := map[proxyMode]string{
+	mode, _ := p.state()
+	name := map[proxyMode]string{
 		modeAgglomerated: "agglomerated",
 		modeLocalActive:  "local",
 		modeRemote:       "remote",
-	}[p.mode]
-	return fmt.Sprintf("Proxy(%s %s %s)", p.class, mode, p.uri)
+	}[mode]
+	return fmt.Sprintf("Proxy(%s %s %s)", p.class, name, p.uri)
 }

@@ -8,6 +8,7 @@ package errs
 import (
 	"context"
 	"errors"
+	"fmt"
 )
 
 // Sentinel errors. Cancellation and deadline expiry deliberately reuse the
@@ -24,6 +25,10 @@ var (
 	// ErrObjectDestroyed: the parallel object was destroyed before or
 	// while the call was queued.
 	ErrObjectDestroyed = errors.New("parallel object destroyed")
+	// ErrObjectMoved: the parallel object migrated to another node. The
+	// error chain normally carries a *MovedError with the new location so
+	// callers can re-route without a directory round trip.
+	ErrObjectMoved = errors.New("parallel object moved")
 	// ErrBadConversion: a dynamically typed result could not be converted
 	// to the requested static type.
 	ErrBadConversion = errors.New("result conversion failed")
@@ -42,7 +47,34 @@ const (
 	CodeNodeDown     = "node-down"
 	CodeCanceled     = "canceled"
 	CodeDeadline     = "deadline"
+	CodeMoved        = "moved"
 )
+
+// MovedError is the forwarding half of ErrObjectMoved: it names where the
+// object lives now, and at which migration generation that information was
+// produced. Generations are monotonic per object, so a receiver can ignore
+// a forward older than what it already knows. The remoting layer carries
+// the three location fields in its reply envelope, so the whole error —
+// not just its identity — survives the wire.
+type MovedError struct {
+	// URI is the moved object's (stable) URI.
+	URI string
+	// Node and Addr are the hosting node's cluster index and transport
+	// address after the move.
+	Node int
+	Addr string
+	// Gen is the object's migration generation at Addr (bumped on every
+	// move).
+	Gen uint64
+}
+
+// Error implements error.
+func (e *MovedError) Error() string {
+	return fmt.Sprintf("object %s moved to node %d (%s, generation %d)", e.URI, e.Node, e.Addr, e.Gen)
+}
+
+// Unwrap makes errors.Is(err, ErrObjectMoved) true.
+func (e *MovedError) Unwrap() error { return ErrObjectMoved }
 
 // Code maps an error to its wire code, or CodeNone when no sentinel in the
 // chain has one.
@@ -54,6 +86,8 @@ func Code(err error) string {
 		return CodeNoSuchMethod
 	case errors.Is(err, ErrNoSuchClass):
 		return CodeNoSuchClass
+	case errors.Is(err, ErrObjectMoved):
+		return CodeMoved
 	case errors.Is(err, ErrObjectDestroyed):
 		return CodeDestroyed
 	case errors.Is(err, ErrNodeDown):
@@ -74,6 +108,8 @@ func Sentinel(code string) error {
 		return ErrNoSuchMethod
 	case CodeNoSuchClass:
 		return ErrNoSuchClass
+	case CodeMoved:
+		return ErrObjectMoved
 	case CodeDestroyed:
 		return ErrObjectDestroyed
 	case CodeNodeDown:

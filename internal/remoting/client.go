@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/ctxwait"
+	"repro/internal/errs"
 )
 
 // ObjRef is the client-side transparent proxy for a remote object — the
@@ -73,7 +74,15 @@ func (r *ObjRef) InvokeCtx(ctx context.Context, method string, args ...any) (any
 		return nil, err
 	}
 	if resp.IsErr {
-		return nil, &RemoteError{URI: r.uri, Method: method, Msg: resp.ErrMsg, Code: resp.ErrCode}
+		re := &RemoteError{URI: r.uri, Method: method, Msg: resp.ErrMsg, Code: resp.ErrCode}
+		if resp.ErrCode == errs.CodeMoved {
+			movedURI := resp.FwdURI
+			if movedURI == "" {
+				movedURI = r.uri
+			}
+			re.Moved = &errs.MovedError{URI: movedURI, Node: resp.FwdNode, Addr: resp.FwdAddr, Gen: resp.FwdGen}
+		}
+		return nil, re
 	}
 	return resp.Result, nil
 }
@@ -159,7 +168,7 @@ func (d *Delegate) Invoke(args ...any) (any, error) {
 // SCOOPP runtime needs for method streams between one proxy object and its
 // implementation object. Errors are delivered to the OnError callback.
 type CallSequencer struct {
-	ref     *ObjRef
+	invoke  func(method string, args ...any) (any, error)
 	OnError func(error)
 
 	mu      sync.Mutex
@@ -174,9 +183,17 @@ type queuedCall struct {
 	args   []any
 }
 
-// NewCallSequencer returns a sequencer for ref.
+// NewCallSequencer returns a sequencer whose calls go through ref.
 func NewCallSequencer(ref *ObjRef) *CallSequencer {
-	cs := &CallSequencer{ref: ref}
+	return NewCallSequencerFunc(ref.Invoke)
+}
+
+// NewCallSequencerFunc returns a sequencer whose calls go through invoke.
+// Routing through a function rather than a fixed ObjRef lets the owner
+// re-resolve the endpoint between calls — the SCOOPP proxy uses this to
+// keep one ordered lane across an object migration.
+func NewCallSequencerFunc(invoke func(method string, args ...any) (any, error)) *CallSequencer {
+	cs := &CallSequencer{invoke: invoke}
 	cs.idle = sync.NewCond(&cs.mu)
 	return cs
 }
@@ -207,7 +224,7 @@ func (cs *CallSequencer) drain() {
 		cs.queue = cs.queue[1:]
 		cs.mu.Unlock()
 
-		_, err := cs.ref.Invoke(call.method, call.args...)
+		_, err := cs.invoke(call.method, call.args...)
 		if err != nil && cs.OnError != nil {
 			cs.OnError(err)
 		}

@@ -30,8 +30,12 @@
 //	call:  0xBC | uvarint handle | uvarint seq | varint deadline | args ([]any, tagged)
 //	reply: 0xBD | uvarint seq | uvarint bindAck | flag byte | body
 //
-// where flag is 0 (body = tagged result value) or 1 (body = tagged error
-// code string + tagged error message string). bindAck, when non-zero,
+// where flag is 0 (body = tagged result value) or has bit 1 set (body =
+// tagged error code string + tagged error message string). Error replies
+// with bit 2 set additionally append a migration forward — tagged new
+// address string, raw varint node id, raw uvarint generation, tagged
+// moved-object URI — carrying a moved object's new location
+// (errs.CodeMoved). bindAck, when non-zero,
 // confirms that handle for future calls on this connection. Compact
 // frames only ever appear on a connection after both ends proved they
 // speak them: the client sends its first compact call only after an ack,
@@ -55,6 +59,9 @@ const (
 	// flagReplyErr marks a compact reply carrying an error instead of a
 	// result.
 	flagReplyErr = 0x01
+	// flagReplyFwd marks an error reply that appends a migration forward
+	// (new addr, node, generation) after the error strings.
+	flagReplyFwd = 0x02
 
 	// maxBindHandles caps the per-connection handle space on both sides: a
 	// client stops declaring new handles past it (falling back to string
@@ -127,9 +134,20 @@ func encodeBoundReply(resp *callResponse, bindAck uint32, disableGenerated bool)
 	e.RawUvarint(resp.Seq)
 	e.RawUvarint(uint64(bindAck))
 	if resp.IsErr {
-		e.RawByte(flagReplyErr)
+		flags := byte(flagReplyErr)
+		fwd := resp.FwdAddr != "" || resp.FwdNode != 0 || resp.FwdGen != 0
+		if fwd {
+			flags |= flagReplyFwd
+		}
+		e.RawByte(flags)
 		e.String(resp.ErrCode)
 		e.String(resp.ErrMsg)
+		if fwd {
+			e.String(resp.FwdAddr)
+			e.RawVarint(int64(resp.FwdNode))
+			e.RawUvarint(resp.FwdGen)
+			e.String(resp.FwdURI)
+		}
 	} else {
 		e.RawByte(0)
 		e.Value(resp.Result)
@@ -157,6 +175,12 @@ func decodeBoundReply(raw []byte) (resp *callResponse, bindAck uint32, err error
 		resp.IsErr = true
 		resp.ErrCode = d.String()
 		resp.ErrMsg = d.String()
+		if flags&flagReplyFwd != 0 {
+			resp.FwdAddr = d.String()
+			resp.FwdNode = int(d.RawVarint())
+			resp.FwdGen = d.RawUvarint()
+			resp.FwdURI = d.String()
+		}
 	} else {
 		resp.Result = d.Value()
 	}

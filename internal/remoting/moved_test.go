@@ -1,0 +1,106 @@
+package remoting
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/errs"
+	"repro/internal/transport"
+)
+
+// TestBoundReplyCarriesForward: the compact error reply round-trips the
+// migration forward fields alongside the error code and message.
+func TestBoundReplyCarriesForward(t *testing.T) {
+	resp := &callResponse{
+		Seq:     7,
+		IsErr:   true,
+		ErrCode: errs.CodeMoved,
+		ErrMsg:  "object moved",
+		FwdAddr: "127.0.0.1:9999",
+		FwdNode: 3,
+		FwdGen:  5,
+	}
+	raw, enc, err := encodeBoundReply(resp, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer enc.Release()
+	got, ack, err := decodeBoundReply(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack != 0 {
+		t.Errorf("ack = %d", ack)
+	}
+	if got.FwdAddr != resp.FwdAddr || got.FwdNode != resp.FwdNode || got.FwdGen != resp.FwdGen {
+		t.Errorf("forward = (%q, %d, %d), want (%q, %d, %d)",
+			got.FwdAddr, got.FwdNode, got.FwdGen, resp.FwdAddr, resp.FwdNode, resp.FwdGen)
+	}
+	if got.ErrCode != errs.CodeMoved || !got.IsErr {
+		t.Errorf("error half lost: %+v", got)
+	}
+
+	// An error reply without a forward must not pay (or emit) the forward
+	// fields.
+	plain := &callResponse{Seq: 8, IsErr: true, ErrCode: errs.CodeDestroyed, ErrMsg: "gone"}
+	rawPlain, encPlain, err := encodeBoundReply(plain, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer encPlain.Release()
+	gotPlain, _, err := decodeBoundReply(rawPlain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotPlain.FwdAddr != "" || gotPlain.FwdNode != 0 || gotPlain.FwdGen != 0 {
+		t.Errorf("plain error reply grew forward fields: %+v", gotPlain)
+	}
+}
+
+// movedService fails every call with a MovedError, standing in for a
+// migration tombstone.
+type movedService struct{}
+
+func (movedService) Call() (int, error) {
+	return 0, &errs.MovedError{URI: "obj/x", Node: 2, Addr: "127.0.0.1:7777", Gen: 9}
+}
+
+// TestMovedErrorSurvivesWire: a server-side *errs.MovedError arrives at
+// the client with its location intact and an errors.Is-able identity, on
+// both the string envelope (pooled TCP) and the compact envelope
+// (multiplexed, bound handles).
+func TestMovedErrorSurvivesWire(t *testing.T) {
+	for _, kind := range []Kind{TCP, Multiplexed} {
+		t.Run(kind.String(), func(t *testing.T) {
+			net := transport.NewMemNetwork()
+			var ch *Channel
+			if kind == Multiplexed {
+				ch = NewMultiplexedChannel(net)
+			} else {
+				ch = NewTCPChannel(net)
+			}
+			srv, err := ch.ListenAndServe(fmt.Sprintf("mem://moved-%s", kind))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+			defer ch.Close()
+			srv.RegisterWellKnown("svc", Singleton, func() any { return movedService{} })
+			ref := NewObjRef(ch, srv.Addr(), "svc")
+			for i := 0; i < 3; i++ { // repeat so mux binds the handle and uses compact frames
+				_, err := ref.Invoke("Call")
+				if !errors.Is(err, errs.ErrObjectMoved) {
+					t.Fatalf("call %d: %v does not unwrap to ErrObjectMoved", i, err)
+				}
+				var mv *errs.MovedError
+				if !errors.As(err, &mv) {
+					t.Fatalf("call %d: no MovedError in chain: %v", i, err)
+				}
+				if mv.Addr != "127.0.0.1:7777" || mv.Node != 2 || mv.Gen != 9 {
+					t.Errorf("call %d: forward = %+v", i, mv)
+				}
+			}
+		})
+	}
+}

@@ -72,6 +72,17 @@ type callResponse struct {
 	// internal/errs) so the client can rebuild an errors.Is-able chain.
 	ErrCode string
 	IsErr   bool
+	// FwdAddr/FwdNode/FwdGen/FwdURI carry the new location of a migrated
+	// object when ErrCode is errs.CodeMoved, so the caller can re-route
+	// and retry without a directory round trip (the client rebuilds the
+	// *errs.MovedError from them). FwdURI names the object that moved:
+	// it may differ from the call's own URI (an object-manager call
+	// reporting a forward for the object it operates on), and receivers
+	// must only re-route proxies whose URI matches it.
+	FwdAddr string
+	FwdNode int
+	FwdGen  uint64
+	FwdURI  string
 }
 
 func init() {
@@ -89,6 +100,9 @@ type RemoteError struct {
 	// Code is the wire code of the server-side sentinel error, when the
 	// failure matched one (see internal/errs).
 	Code string
+	// Moved carries the migrated object's new location when Code is
+	// errs.CodeMoved, rebuilt from the reply envelope's forward fields.
+	Moved *errs.MovedError
 }
 
 // Error implements error.
@@ -96,10 +110,16 @@ func (e *RemoteError) Error() string {
 	return fmt.Sprintf("remoting: %s.%s: %s", e.URI, e.Method, e.Msg)
 }
 
-// Unwrap exposes the sentinel identified by Code, so errors.Is matches
-// typed errors (errs.ErrNoSuchMethod, context.DeadlineExceeded, ...) even
-// after the error crossed the wire as text.
-func (e *RemoteError) Unwrap() error { return errs.Sentinel(e.Code) }
+// Unwrap exposes the sentinel identified by Code — or the full
+// *errs.MovedError for moved objects — so errors.Is matches typed errors
+// (errs.ErrNoSuchMethod, context.DeadlineExceeded, ...) and errors.As
+// recovers the forward location even after the error crossed the wire.
+func (e *RemoteError) Unwrap() error {
+	if e.Moved != nil {
+		return e.Moved
+	}
+	return errs.Sentinel(e.Code)
+}
 
 // ParseURL splits a remoting URL such as "tcp://127.0.0.1:4000/DivideServer"
 // or "mem://node0/factory" into the transport address to dial and the object

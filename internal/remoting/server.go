@@ -2,6 +2,7 @@ package remoting
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"reflect"
 	"sync"
@@ -153,27 +154,86 @@ func (s *Server) RegisterWellKnown(uri string, mode WellKnownMode, factory func(
 
 // Marshal publishes an explicitly instantiated object under uri with a
 // lease. The lease renews on every call and the object is unpublished when
-// it expires, standing in for .NET's lifetime service.
+// it expires, standing in for .NET's lifetime service. Any lease the
+// previous registration at uri held is cancelled, so replacing a
+// registration (a migrated object returning to a node that still holds
+// its tombstone) cannot leave an orphaned timer that later unpublishes
+// the new object.
 func (s *Server) Marshal(uri string, obj any) {
+	s.publishLeased(uri, obj, nil)
+}
+
+// publishLeased is the shared body of Marshal and Republish: atomically
+// swap in an instance registration under a fresh lease, cancelling the
+// previous registration's lease. The expiry callback unpublishes only its
+// own registration — an expiry racing a same-URI re-registration must not
+// tear down the newcomer — and onExpire (may be nil) runs only when that
+// unpublish actually happened.
+func (s *Server) publishLeased(uri string, obj any, onExpire func()) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if prev, ok := s.objects[uri]; ok && prev.lease != nil {
+		prev.lease.cancel()
+	}
 	reg := &registration{instance: obj}
-	reg.lease = newLease(s.leaseTTL, func() { s.Unregister(uri) })
+	reg.lease = newLease(s.leaseTTL, func() {
+		if s.unregisterIf(uri, reg) && onExpire != nil {
+			onExpire()
+		}
+	})
 	s.objects[uri] = reg
 	s.regGen.Add(1)
 }
 
-// Unregister removes a published URI. Safe to call for absent URIs.
-func (s *Server) Unregister(uri string) {
+// unregisterIf removes uri only while reg is still what is published
+// there, reporting whether it did.
+func (s *Server) unregisterIf(uri string, reg *registration) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if reg, ok := s.objects[uri]; ok {
-		if reg.lease != nil {
-			reg.lease.cancel()
-		}
-		delete(s.objects, uri)
-		s.regGen.Add(1)
+	cur, ok := s.objects[uri]
+	if !ok || cur != reg {
+		return false
 	}
+	if cur.lease != nil {
+		cur.lease.cancel()
+	}
+	delete(s.objects, uri)
+	s.regGen.Add(1)
+	return true
+}
+
+// Republish atomically replaces whatever is published at uri with obj
+// under a fresh lease, cancelling any lease the old registration held.
+// Unlike Unregister-then-Marshal there is no window in which the URI
+// resolves to nothing, which matters when the replacement is a migration
+// tombstone: a call racing the swap must observe either the old object or
+// the forward, never a spurious ErrObjectDestroyed. The lease renews on
+// every call and onExpire (may be nil) runs after an idle lease lapses
+// and the uri is unpublished — migration tombstones use it so hot
+// forwards stay alive while idle ones are garbage-collected instead of
+// accumulating forever. Bound call handles cached against the old
+// registration re-resolve on their next call through the bumped
+// registration generation.
+func (s *Server) Republish(uri string, obj any, onExpire func()) {
+	s.publishLeased(uri, obj, onExpire)
+}
+
+// Unregister removes a published URI, reporting whether this call removed
+// it. Safe to call for absent URIs; concurrent unregisters of one URI see
+// true exactly once, which callers use for exactly-once accounting.
+func (s *Server) Unregister(uri string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	reg, ok := s.objects[uri]
+	if !ok {
+		return false
+	}
+	if reg.lease != nil {
+		reg.lease.cancel()
+	}
+	delete(s.objects, uri)
+	s.regGen.Add(1)
+	return true
 }
 
 // Published reports whether uri is currently resolvable.
@@ -477,9 +537,16 @@ func errorResponse(req *callRequest, msg string) *callResponse {
 }
 
 // errorResponseFor maps err onto the reply envelope, preserving its wire
-// code so the client can rebuild the sentinel chain.
+// code so the client can rebuild the sentinel chain. A *errs.MovedError in
+// the chain additionally rides as the forward fields, so the caller learns
+// the migrated object's new location from the failure itself.
 func errorResponseFor(req *callRequest, err error) *callResponse {
-	return &callResponse{Seq: req.Seq, IsErr: true, ErrMsg: err.Error(), ErrCode: errs.Code(err)}
+	resp := &callResponse{Seq: req.Seq, IsErr: true, ErrMsg: err.Error(), ErrCode: errs.Code(err)}
+	var mv *errs.MovedError
+	if errors.As(err, &mv) {
+		resp.FwdAddr, resp.FwdNode, resp.FwdGen, resp.FwdURI = mv.Addr, mv.Node, mv.Gen, mv.URI
+	}
+	return resp
 }
 
 // dispatchEntry resolves the target object and invokes the requested

@@ -26,6 +26,11 @@ var (
 	// ErrObjectDestroyed: the parallel object was destroyed (or its lease
 	// expired) before the call executed.
 	ErrObjectDestroyed = errs.ErrObjectDestroyed
+	// ErrObjectMoved: the parallel object live-migrated to another node.
+	// Proxies re-route and retry transparently, so user code normally
+	// never sees this; it surfaces only when a forward cannot be followed
+	// (for example the whole tombstone chain is gone).
+	ErrObjectMoved = errs.ErrObjectMoved
 	// ErrBadConversion: a dynamically typed result could not be converted
 	// to the requested static type (see As).
 	ErrBadConversion = errs.ErrBadConversion

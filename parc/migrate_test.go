@@ -1,0 +1,141 @@
+package parc
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// Ledger is a migratable class: exported state so live migration carries
+// it across nodes.
+type Ledger struct {
+	Entries []int64
+}
+
+func (l *Ledger) Add(v int64) { l.Entries = append(l.Entries, v) }
+
+func (l *Ledger) Count() int { return len(l.Entries) }
+
+// TestObjectMigrate: the typed handle's Migrate moves the live object,
+// state and all, and keeps serving through the same handle.
+func TestObjectMigrate(t *testing.T) {
+	cl, err := StartCluster(WithNodes(3), WithPlacement(&pinNode{node: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	Register[Ledger](cl, "ledger")
+	obj, err := New[Ledger](cl, "ledger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := int64(0); i < 4; i++ {
+		if err := obj.Send(ctx, "Add", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := obj.Migrate(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.Node(2).Load(); got != 1 {
+		t.Errorf("node 2 load = %d after migrate", got)
+	}
+	n, err := Call[int](ctx, obj, "Count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("Count after migrate = %d, want 4", n)
+	}
+	// A second handle that still routes at the old node follows the
+	// tombstone transparently.
+	stale := Bind[Ledger](cl.Node(0), obj.Ref())
+	if n, err := Call[int](ctx, stale, "Count"); err != nil || n != 4 {
+		t.Errorf("stale handle after migrate: %d, %v", n, err)
+	}
+	if err := obj.Err(); err != nil {
+		t.Errorf("async err: %v", err)
+	}
+}
+
+// pinNode forces placement onto one node.
+type pinNode struct{ node int }
+
+func (p *pinNode) Pick(self int, loads []NodeLoad) int { return p.node }
+
+// TestClusterRebalanceOption: WithRebalance drains an overloaded node
+// toward the mean without any explicit trigger, and WithHealthProbe keeps
+// grading peers meanwhile.
+func TestClusterRebalanceOption(t *testing.T) {
+	cl, err := StartCluster(
+		WithNodes(3),
+		WithPlacement(&pinNode{node: 0}),
+		WithHealthProbe(5*time.Millisecond),
+		WithRebalance(10*time.Millisecond),
+		WithLoadCacheTTL(time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	Register[Ledger](cl, "ledger")
+	objs := make([]*Object[Ledger], 9)
+	for i := range objs {
+		o, err := New[Ledger](cl, "ledger")
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs[i] = o
+	}
+	if got := cl.Node(0).Load(); got != 9 {
+		t.Fatalf("node 0 load = %d before rebalance", got)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for cl.Node(0).Load() > 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("automatic rebalance never drained node 0 (load %d)", cl.Node(0).Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ctx := context.Background()
+	for i, o := range objs {
+		if _, err := Call[int](ctx, o, "Count"); err != nil {
+			t.Errorf("object %d after auto-rebalance: %v", i, err)
+		}
+	}
+	if st := cl.Node(0).PeerStatuses(); st[1] != PeerAlive || st[2] != PeerAlive {
+		t.Errorf("peer statuses = %v", st)
+	}
+}
+
+// TestExplicitClusterRebalance: the one-shot Cluster.Rebalance entry
+// point.
+func TestExplicitClusterRebalance(t *testing.T) {
+	cl, err := StartCluster(WithNodes(2), WithPlacement(&pinNode{node: 0}), WithLoadCacheTTL(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	Register[Ledger](cl, "ledger")
+	for i := 0; i < 6; i++ {
+		if _, err := New[Ledger](cl, "ledger"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	moved, err := cl.Rebalance(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 3 || cl.Node(0).Load() != 3 || cl.Node(1).Load() != 3 {
+		t.Errorf("rebalance moved %d; loads %d/%d, want 3 and 3/3", moved, cl.Node(0).Load(), cl.Node(1).Load())
+	}
+}
+
+// TestErrObjectMovedIdentity: the sentinel is part of the public taxonomy.
+func TestErrObjectMovedIdentity(t *testing.T) {
+	if !errors.Is(ErrObjectMoved, ErrObjectMoved) || ErrObjectMoved == nil {
+		t.Fatal("ErrObjectMoved not usable as a sentinel")
+	}
+}

@@ -49,6 +49,8 @@ type options struct {
 	agglomeration AgglomerationPolicy
 	aggregation   AggregationConfig
 	loadCacheTTL  time.Duration
+	healthProbe   time.Duration
+	rebalance     time.Duration
 	// node scope
 	nodeID int
 	listen string
@@ -98,6 +100,25 @@ func WithAggregation(maxCalls int, maxDelay time.Duration) Option {
 // WithLoadCacheTTL bounds staleness of placement load data.
 func WithLoadCacheTTL(d time.Duration) Option { return func(o *options) { o.loadCacheTTL = d } }
 
+// WithHealthProbe has every node ping its peers at this interval, grading
+// unresponsive peers suspect and then down. Down peers are excluded from
+// placement and failover resolution until they answer again, so a dead
+// node stops attracting new objects instead of costing every placement a
+// timeout. 0 (the default) disables probing.
+func WithHealthProbe(interval time.Duration) Option {
+	return func(o *options) { o.healthProbe = interval }
+}
+
+// WithRebalance has every node periodically migrate parallel objects away
+// while it is loaded above the cluster mean, choosing targets with the
+// placement policy over the live load vector. Combine with WithHealthProbe
+// so draining avoids down peers. 0 (the default) disables automatic
+// rebalancing; Runtime.Rebalance and Cluster.Rebalance remain available
+// for explicit triggers.
+func WithRebalance(interval time.Duration) Option {
+	return func(o *options) { o.rebalance = interval }
+}
+
 // WithNodeID sets this node's index in the cluster (ServeNode only).
 func WithNodeID(id int) Option { return func(o *options) { o.nodeID = id } }
 
@@ -124,16 +145,18 @@ func buildOptions(opts []Option) options {
 func StartCluster(opts ...Option) (*Cluster, error) {
 	o := buildOptions(opts)
 	inner, err := cluster.New(cluster.Options{
-		Nodes:         o.nodes,
-		ChannelKind:   o.channel,
-		Net:           o.network,
-		Cost:          o.cost,
-		PoolSize:      o.poolSize,
-		MaxInFlight:   o.maxInFlight,
-		Placement:     o.placement,
-		Agglomeration: o.agglomeration,
-		Aggregation:   o.aggregation,
-		LoadCacheTTL:  o.loadCacheTTL,
+		Nodes:          o.nodes,
+		ChannelKind:    o.channel,
+		Net:            o.network,
+		Cost:           o.cost,
+		PoolSize:       o.poolSize,
+		MaxInFlight:    o.maxInFlight,
+		Placement:      o.placement,
+		Agglomeration:  o.agglomeration,
+		Aggregation:    o.aggregation,
+		LoadCacheTTL:   o.loadCacheTTL,
+		HealthProbe:    o.healthProbe,
+		RebalanceEvery: o.rebalance,
 	})
 	if err != nil {
 		return nil, err
@@ -170,12 +193,14 @@ func ServeNode(opts ...Option) (*Runtime, error) {
 		pool = threadpool.New(o.poolSize, 0)
 	}
 	return core.Start(core.Config{
-		NodeID:        o.nodeID,
-		Channel:       ch,
-		Pool:          pool,
-		Placement:     o.placement,
-		Agglomeration: o.agglomeration,
-		Aggregation:   o.aggregation,
-		LoadCacheTTL:  o.loadCacheTTL,
+		NodeID:         o.nodeID,
+		Channel:        ch,
+		Pool:           pool,
+		Placement:      o.placement,
+		Agglomeration:  o.agglomeration,
+		Aggregation:    o.aggregation,
+		LoadCacheTTL:   o.loadCacheTTL,
+		HealthProbe:    o.healthProbe,
+		RebalanceEvery: o.rebalance,
 	}, o.listen)
 }

@@ -46,6 +46,7 @@
 package parc
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"time"
@@ -99,6 +100,24 @@ type (
 	NodeLoad = core.NodeLoad
 	// Stats are the runtime's cumulative counters.
 	Stats = core.Stats
+	// ObjLoc is an object-directory entry: the node hosting a parallel
+	// object and the migration generation that information was observed
+	// at (see Runtime.Lookup).
+	ObjLoc = core.ObjLoc
+	// PeerStatus grades a peer's observed liveness (see
+	// Runtime.PeerStatuses and WithHealthProbe).
+	PeerStatus = core.PeerStatus
+)
+
+// Peer liveness grades reported by health probing.
+const (
+	// PeerAlive: the peer answered its most recent probe.
+	PeerAlive = core.PeerAlive
+	// PeerSuspect: at least one probe in a row failed.
+	PeerSuspect = core.PeerSuspect
+	// PeerDown: enough probes failed in a row that the peer is excluded
+	// from placement until it answers again.
+	PeerDown = core.PeerDown
 )
 
 // Placement policies.
@@ -195,6 +214,12 @@ func (c *Cluster) Node(i int) *Runtime { return c.inner.Node(i) }
 
 // Size returns the number of nodes.
 func (c *Cluster) Size() int { return c.inner.Size() }
+
+// Rebalance triggers one load rebalance on every node in turn: nodes
+// loaded above the cluster mean live-migrate objects toward the policy's
+// picks. It returns the total number of objects migrated. WithRebalance
+// runs this automatically on an interval.
+func (c *Cluster) Rebalance(ctx context.Context) (int, error) { return c.inner.Rebalance(ctx) }
 
 // Close shuts all nodes down.
 func (c *Cluster) Close() { c.inner.Close() }

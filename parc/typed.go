@@ -105,6 +105,16 @@ func (o *Object[T]) Err() error { return o.p.AsyncErr() }
 // Destroy releases the parallel object.
 func (o *Object[T]) Destroy(ctx context.Context) error { return o.p.DestroyCtx(ctx) }
 
+// Migrate live-migrates the parallel object to cluster node toNode: the
+// mailbox pauses and drains, the exported state travels to the new host,
+// and a forwarding tombstone re-routes stale callers (including other
+// handles to the same object) transparently. This handle follows the move
+// immediately; asynchronous calls sent before Migrate are flushed first,
+// so the state that travels includes them.
+func (o *Object[T]) Migrate(ctx context.Context, toNode int) error {
+	return o.p.MigrateCtx(ctx, toNode)
+}
+
 // Call performs a synchronous method call on a typed handle and converts
 // the result to R, applying the wire layer's canonical conversions. The
 // method name is validated against T's method set before the call leaves
