@@ -62,7 +62,7 @@ func (e *expFlag) Set(v string) error {
 
 func main() {
 	var exps expFlag
-	flag.Var(&exps, "exp", "experiment id, repeatable/comma-separated (all, fig8a, fig8b, latency, fig9, seqratio, overhead, agg, agglom, codecs, pool, fanout, codec, rebalance)")
+	flag.Var(&exps, "exp", "experiment id, repeatable/comma-separated (all, fig8a, fig8b, latency, fig9, seqratio, overhead, agg, agglom, codecs, pool, fanout, codec, rebalance, failover)")
 	full := flag.Bool("full", false, "full paper-sized sweeps (slower)")
 	asJSON := flag.Bool("json", false, "write a machine-readable bench.Report to stdout (tables go to stderr)")
 	payloads := flag.String("payload", "", "fanout payload sizes in bytes, comma-separated (e.g. 16,256,4096); empty = default 64")
@@ -311,6 +311,24 @@ func main() {
 		}
 		bench.PrintRebalance(out, rows)
 		report.Rebalance = rows
+	}
+	if run("failover") {
+		any = true
+		fmt.Fprintln(out, "================================================================")
+		// MinRecovery is the hard CI floor on failover quality: the cluster
+		// must be back to at least 70% of pre-kill throughput once callers
+		// have re-routed. The windows are sized like rebalance's so shared
+		// runners cannot flap the gated ratio.
+		cfg := bench.FailoverConfig{Keys: 12, Callers: 8, Phase: 400 * time.Millisecond, MinRecovery: 0.7}
+		if *full {
+			cfg = bench.FailoverConfig{Keys: 32, Callers: 16, Phase: time.Second, MinRecovery: 0.7}
+		}
+		rows, err := bench.RunFailover(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintFailover(out, rows)
+		report.Failover = rows
 	}
 	if !any {
 		fatalf("unknown experiment(s) %q", exps.String())

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -29,11 +30,23 @@ import (
 	"repro/parc"
 )
 
+// vcounter is the virtual-object demo class: a counter addressed by key,
+// activated by its first call on whichever node the consistent-hash ring
+// assigns, and (because it registers with one replica) surviving that
+// node's death with its state intact. Its state is exported so snapshots
+// carry it.
+type vcounter struct {
+	N int64
+}
+
+func (c *vcounter) Bump(v int64) int64 { c.N += v; return c.N }
+func (c *vcounter) Total() int64       { return c.N }
+
 func main() {
 	id := flag.Int("id", 0, "this node's index into -peers")
 	peers := flag.String("peers", ":7001", "comma-separated listen addresses of all nodes, in node-id order")
-	demo := flag.String("demo", "", "workload to drive from this node: '' (serve only) or 'sieve'")
-	n := flag.Int("n", 200, "sieve bound for -demo sieve")
+	demo := flag.String("demo", "", "workload to drive from this node: '' (serve only), 'sieve' or 'vcounter'")
+	n := flag.Int("n", 200, "sieve bound for -demo sieve; keys x bumps for -demo vcounter")
 	maxCalls := flag.Int("maxcalls", 16, "method-call aggregation batch size")
 	probe := flag.Duration("probe", 0, "peer health-probe interval (0 disables); down peers are excluded from placement")
 	rebalance := flag.Duration("rebalance", 0, "automatic rebalance interval (0 disables); overloaded nodes live-migrate objects away")
@@ -56,6 +69,9 @@ func main() {
 	defer rt.Close()
 	log.Printf("parcnode: node %d serving on %s", *id, rt.Addr())
 	sieve.RegisterClasses(rt)
+	// Virtual classes must be registered identically on every node; the
+	// ring decides at call time which node actually hosts each key.
+	parc.RegisterVirtualAt[vcounter](rt, "vcounter", parc.WithReplicas(1))
 
 	// The listen addresses may use :0; substitute this node's resolved
 	// address before joining.
@@ -83,6 +99,27 @@ func main() {
 		}
 		fmt.Printf("primes <= %d: %d found in %v across %d nodes\n",
 			*n, len(primes), time.Since(start), len(addrs))
+	case "vcounter":
+		// Bump a handful of keys; each key activates on its ring owner at
+		// the first call — no node ever creates these objects explicitly.
+		ctx := context.Background()
+		keys := *n
+		if keys > 16 {
+			keys = 16
+		}
+		for k := 0; k < keys; k++ {
+			key := fmt.Sprintf("user%d", k)
+			obj, err := parc.VirtualAt[vcounter](ctx, rt, "vcounter", key)
+			if err != nil {
+				log.Fatal(err)
+			}
+			total, err := parc.Call[int64](ctx, obj, "Bump", int64(k+1))
+			if err != nil {
+				log.Fatal(err)
+			}
+			owner, _ := rt.VirtualOwner("vcounter", key)
+			fmt.Printf("vcounter/%s on node %d: total %d\n", key, owner, total)
+		}
 	default:
 		log.Fatalf("parcnode: unknown -demo %q", *demo)
 	}

@@ -1,0 +1,288 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/remoting"
+	"repro/internal/transport"
+)
+
+// FailoverRow is one phase of the virtual-object failover experiment:
+// sustained calls/s before the owner node is killed, while the cluster
+// detects the death and promotes replicas, and after callers have
+// re-routed. The JSON form feeds the CI benchmark-regression gate, which
+// tracks the after/before recovery ratio.
+type FailoverRow struct {
+	Phase       string        `json:"phase"` // "before", "during", "after"
+	Calls       int           `json:"calls"`
+	Elapsed     time.Duration `json:"elapsed_ns"`
+	CallsPerSec float64       `json:"calls_per_sec"`
+	// RecoverySeconds is the time from the kill until every key had served
+	// at least one post-kill call (non-zero only for "during").
+	RecoverySeconds float64 `json:"recovery_seconds,omitempty"`
+	// Duplicates is the number of calls applied more than once across the
+	// failover — synchronous replication's at-least-once retries (non-zero
+	// only possible on "after").
+	Duplicates int64 `json:"duplicates,omitempty"`
+}
+
+// FailoverConfig parameterises the failover experiment.
+type FailoverConfig struct {
+	// Keys is the virtual-object key population, spread over the ring;
+	// Callers goroutines on the surviving nodes hammer them round-robin.
+	Keys    int
+	Callers int
+	// Phase is the sampling window for the before and after measurements.
+	Phase time.Duration
+	// Probe is the health-probe interval (failure-detection latency is
+	// roughly 3 probes).
+	Probe time.Duration
+	// MinRecovery, when > 0, fails the run if the after/before throughput
+	// ratio lands below it — the CI floor for failover quality.
+	MinRecovery float64
+}
+
+// RunFailover measures virtual-object throughput through an owner crash:
+// three nodes over real loopback TCP (multiplexed channel), a virtual
+// counter population with one synchronous replica per key, and — mid-run —
+// the node owning the probe key killed outright. Health probes grade it
+// down, ring successors promote their replicas, and callers re-resolve;
+// no explicit recovery action is ever taken.
+//
+// Two properties are hard-asserted, not just measured: every key recovers
+// (the run fails if any key never serves a post-kill call), and no
+// acknowledged call is lost — each counter's final total must cover every
+// success its callers counted. Synchronous replication trades duplicates
+// for that guarantee, so totals may exceed the counts; the excess is
+// reported per run.
+func RunFailover(cfg FailoverConfig) ([]FailoverRow, error) {
+	if cfg.Keys <= 0 {
+		cfg.Keys = 12
+	}
+	if cfg.Callers <= 0 {
+		cfg.Callers = 8
+	}
+	if cfg.Phase <= 0 {
+		cfg.Phase = 150 * time.Millisecond
+	}
+	if cfg.Probe <= 0 {
+		cfg.Probe = 20 * time.Millisecond
+	}
+
+	const nodes = 3
+	net := transport.TCPNetwork{}
+	rts := make([]*core.Runtime, nodes)
+	addrs := make([]string, nodes)
+	for i := range rts {
+		rt, err := core.Start(core.Config{
+			NodeID:      i,
+			Channel:     remoting.NewMultiplexedChannel(net),
+			HealthProbe: cfg.Probe,
+		}, "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("bench: failover node %d: %w", i, err)
+		}
+		defer rt.Close()
+		rts[i] = rt
+		addrs[i] = rt.Addr()
+	}
+	for _, rt := range rts {
+		if err := rt.JoinCluster(addrs); err != nil {
+			return nil, err
+		}
+		rt.RegisterVirtualClass("vhot", func() any { return &hotObj{} },
+			core.VirtualConfig{Replicas: 1, SnapshotEvery: 1})
+	}
+
+	// The victim is whichever node owns key 0; callers run on the other
+	// two, so killing it removes hosts, not clients.
+	keyOf := func(k int) string { return fmt.Sprintf("k%d", k) }
+	victim, ok := rts[0].VirtualOwner("vhot", keyOf(0))
+	if !ok {
+		return nil, fmt.Errorf("bench: failover: ring has no owner")
+	}
+	var survivors []*core.Runtime
+	for _, rt := range rts {
+		if rt.NodeID() != victim {
+			survivors = append(survivors, rt)
+		}
+	}
+
+	// Activate (and replicate) every key before measuring, so the kill
+	// tests failover of live state rather than first-call activation.
+	for k := 0; k < cfg.Keys; k++ {
+		p, err := survivors[0].VirtualObject("vhot", keyOf(k))
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.Invoke("Bump", int64(0)); err != nil {
+			return nil, err
+		}
+	}
+
+	succ := make([]atomic.Int64, cfg.Keys)
+	var calls atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rt := survivors[c%len(survivors)]
+			cache := make([]*core.Proxy, cfg.Keys)
+			for i := c; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := i % cfg.Keys
+				cctx, cancel := context.WithTimeout(context.Background(), time.Second)
+				p := cache[k]
+				if p == nil {
+					var err error
+					if p, err = rt.VirtualObjectCtx(cctx, "vhot", keyOf(k)); err != nil {
+						cancel()
+						continue // mid-failover: retry until routing converges
+					}
+					cache[k] = p
+				}
+				_, err := p.InvokeCtx(cctx, "Bump", int64(1))
+				cancel()
+				if err != nil {
+					cache[k] = nil // stale route; re-resolve next round
+					continue
+				}
+				succ[k].Add(1)
+				calls.Add(1)
+			}
+		}(c)
+	}
+
+	window := func(phase string, d time.Duration) FailoverRow {
+		start := calls.Load()
+		t0 := time.Now()
+		time.Sleep(d)
+		elapsed := time.Since(t0)
+		n := int(calls.Load() - start)
+		return FailoverRow{
+			Phase:       phase,
+			Calls:       n,
+			Elapsed:     elapsed,
+			CallsPerSec: float64(n) / elapsed.Seconds(),
+		}
+	}
+
+	fail := func(err error) ([]FailoverRow, error) {
+		close(stop)
+		wg.Wait()
+		return nil, err
+	}
+
+	before := window("before", cfg.Phase)
+
+	// Kill the owner outright — no drain, no goodbye — and measure until
+	// every key has served a call again.
+	preKill := make([]int64, cfg.Keys)
+	for k := range preKill {
+		preKill[k] = succ[k].Load()
+	}
+	startCalls := calls.Load()
+	t0 := time.Now()
+	rts[victim].Close()
+	recoverDeadline := time.Now().Add(15 * time.Second)
+	for k := 0; k < cfg.Keys; k++ {
+		for succ[k].Load() == preKill[k] {
+			if time.Now().After(recoverDeadline) {
+				return fail(fmt.Errorf("bench: failover: key %s never recovered after the kill", keyOf(k)))
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	elapsed := time.Since(t0)
+	n := int(calls.Load() - startCalls)
+	during := FailoverRow{
+		Phase:           "during",
+		Calls:           n,
+		Elapsed:         elapsed,
+		CallsPerSec:     float64(n) / elapsed.Seconds(),
+		RecoverySeconds: elapsed.Seconds(),
+	}
+
+	after := window("after", cfg.Phase)
+	close(stop)
+	wg.Wait()
+
+	// Correctness backstop: an acknowledged call must never be lost. Each
+	// counter's total covers every success counted against it; synchronous
+	// replication may re-apply an unacknowledged call after a retry, so
+	// totals can exceed the counts — that excess is the duplicate tally.
+	var duplicates int64
+	for k := 0; k < cfg.Keys; k++ {
+		p, err := survivors[0].VirtualObject("vhot", keyOf(k))
+		if err != nil {
+			return nil, err
+		}
+		res, err := p.Invoke("Bump", int64(0))
+		if err != nil {
+			return nil, err
+		}
+		total, ok := res.(int64)
+		if !ok {
+			return nil, fmt.Errorf("bench: failover total came back as %T", res)
+		}
+		acked := succ[k].Load()
+		if total < acked {
+			return nil, fmt.Errorf("bench: failover lost calls on %s: object saw %d, callers had %d acknowledged",
+				keyOf(k), total, acked)
+		}
+		duplicates += total - acked
+	}
+	after.Duplicates = duplicates
+
+	rows := []FailoverRow{before, during, after}
+	if rec, ok := FailoverRecovery(rows); ok && cfg.MinRecovery > 0 && rec < cfg.MinRecovery {
+		return nil, fmt.Errorf("bench: failover recovery %.2fx below required %.2fx", rec, cfg.MinRecovery)
+	}
+	return rows, nil
+}
+
+// FailoverRecovery extracts the after/before throughput ratio of a run.
+func FailoverRecovery(rows []FailoverRow) (float64, bool) {
+	var before, after float64
+	for _, r := range rows {
+		switch r.Phase {
+		case "before":
+			before = r.CallsPerSec
+		case "after":
+			after = r.CallsPerSec
+		}
+	}
+	if before <= 0 || after <= 0 {
+		return 0, false
+	}
+	return after / before, true
+}
+
+// PrintFailover emits the failover table.
+func PrintFailover(w io.Writer, rows []FailoverRow) {
+	fmt.Fprintln(w, "Failover — sustained calls/s through an owner-node crash (replicated virtual objects, no recovery action)")
+	fmt.Fprintf(w, "%-10s %10s %12s %12s %12s %12s\n", "phase", "calls", "elapsed", "calls/s", "recovery", "duplicates")
+	for _, r := range rows {
+		rec := ""
+		if r.RecoverySeconds > 0 {
+			rec = fmt.Sprintf("%.3fs", r.RecoverySeconds)
+		}
+		fmt.Fprintf(w, "%-10s %10d %12s %12.0f %12s %12d\n",
+			r.Phase, r.Calls, r.Elapsed.Round(time.Microsecond), r.CallsPerSec, rec, r.Duplicates)
+	}
+	if rec, ok := FailoverRecovery(rows); ok {
+		fmt.Fprintf(w, "recovery: %.2fx of pre-kill throughput; zero acknowledged calls lost\n", rec)
+	}
+}

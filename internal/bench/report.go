@@ -16,6 +16,7 @@ type Report struct {
 	Fanout    []FanoutRow    `json:"fanout,omitempty"`
 	Codec     []CodecPathRow `json:"codec,omitempty"`
 	Rebalance []RebalanceRow `json:"rebalance,omitempty"`
+	Failover  []FailoverRow  `json:"failover,omitempty"`
 }
 
 // ReportMeta records the environment a report was measured in, so a
@@ -113,6 +114,9 @@ func RelativeMetrics(r Report) map[string]float64 {
 	if rec, ok := gatedRecovery(r); ok {
 		out["rebalance recovery"] = rec
 	}
+	if rec, ok := gatedFailoverRecovery(r); ok {
+		out["failover recovery"] = rec
+	}
 	return out
 }
 
@@ -124,6 +128,15 @@ func RelativeMetrics(r Report) map[string]float64 {
 // sides of the division ran on the same hardware seconds apart.
 func gatedRecovery(r Report) (float64, bool) {
 	rec, ok := RebalanceRecovery(r.Rebalance)
+	return min(rec, 1.0), ok
+}
+
+// gatedFailoverRecovery is the failover recovery ratio (after-kill over
+// pre-kill calls/s), capped at 1.0 for the same reason as gatedRecovery: a
+// promoted replica serving callers locally can overshoot the pre-kill
+// throughput, and full recovery must not fail against a lucky baseline.
+func gatedFailoverRecovery(r Report) (float64, bool) {
+	rec, ok := FailoverRecovery(r.Failover)
 	return min(rec, 1.0), ok
 }
 
@@ -195,8 +208,30 @@ func CompareReports(baseline, current Report, tolerance float64) []string {
 
 	problems = append(problems, compareCodec(baseline, current, tolerance, true)...)
 	problems = append(problems, compareRebalance(baseline, current, tolerance)...)
+	problems = append(problems, compareFailover(baseline, current, tolerance)...)
 	sort.Strings(problems)
 	return problems
+}
+
+// compareFailover gates the failover recovery ratio (after-kill/pre-kill
+// calls/s, capped via gatedFailoverRecovery) the same way compareRebalance
+// gates migration recovery; the relative gate tracks it through the
+// "failover recovery" entry of RelativeMetrics.
+func compareFailover(baseline, current Report, tolerance float64) []string {
+	b, okB := gatedFailoverRecovery(baseline)
+	if !okB {
+		return nil
+	}
+	c, okC := gatedFailoverRecovery(current)
+	if !okC {
+		return []string{"failover recovery: missing from current report"}
+	}
+	if c < b*(1-tolerance) {
+		return []string{fmt.Sprintf(
+			"failover recovery: %.2fx is %.1f%% below baseline %.2fx (tolerance %.0f%%)",
+			c, 100*(1-c/b), b, 100*tolerance)}
+	}
+	return nil
 }
 
 // compareRebalance gates the migration recovery ratio (after/before

@@ -143,6 +143,15 @@ func (c *Cluster) RegisterClass(name string, factory func() any) {
 	}
 }
 
+// RegisterVirtualClass registers a virtual-object class on every node with
+// one shared policy — virtual placement requires every node to agree on
+// which classes are virtual and how they replicate.
+func (c *Cluster) RegisterVirtualClass(name string, factory func() any, cfg core.VirtualConfig) {
+	for _, rt := range c.nodes {
+		rt.RegisterVirtualClass(name, factory, cfg)
+	}
+}
+
 // Rebalance triggers one load rebalance on every node in turn, returning
 // the total number of objects migrated and the first error encountered —
 // one node's failed migration does not stop the pass for the others. It

@@ -213,6 +213,31 @@ func (a *actor) markMoved(mv *errs.MovedError) {
 	a.mu.Unlock()
 }
 
+// abort terminates an actor whose state the cluster has moved past (a
+// stale copy being demoted after a failover promotion): unlike markMoved
+// it does not wait for the queue to drain — queued tasks would execute
+// against superseded state and their effects silently vanish — but fails
+// every queued task with the forward so its caller re-routes and retries
+// at the fresh copy. The task executing at this instant (if any) still
+// completes; its caller received — or will receive — a reply computed on
+// state one failover behind, the unavoidable window of asynchronous
+// supersession.
+func (a *actor) abort(mv *errs.MovedError) {
+	a.mu.Lock()
+	a.moved = mv
+	a.paused = false
+	a.stopped = true
+	for _, t := range a.queue {
+		if t.reply != nil {
+			t.reply <- actorResult{err: mv}
+		}
+		a.pending--
+	}
+	a.queue = nil
+	a.cond.Broadcast()
+	a.mu.Unlock()
+}
+
 // call performs a synchronous invocation through the mailbox, preserving
 // order with earlier asynchronous posts.
 func (a *actor) call(method string, args []any) (any, error) {

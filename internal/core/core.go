@@ -228,6 +228,13 @@ type Stats struct {
 	AsyncCalls          int64
 	ObjectsMigratedIn   int64
 	ObjectsMigratedOut  int64
+	// VirtualActivations counts on-demand activations of virtual objects
+	// on this node; ReplicaPromotions counts the subset that promoted a
+	// passive replica after its owner went down; StaleDemotions counts
+	// hosted copies this node abandoned on learning of a fresher one.
+	VirtualActivations int64
+	ReplicaPromotions  int64
+	StaleDemotions     int64
 }
 
 // Runtime is one node's SCOOPP run-time system: object manager, factories
@@ -274,6 +281,27 @@ type Runtime struct {
 	closeOnce sync.Once
 	loopsOnce sync.Once
 
+	// Virtual-object state (see virtual.go): registered virtual classes,
+	// the single-flight table serialising concurrent activations of one
+	// URI, and the passive replica store (state snapshots shipped by the
+	// owners of replicated virtual objects hosted elsewhere).
+	virtMu   sync.Mutex
+	virtuals map[string]VirtualConfig
+
+	activMu     sync.Mutex
+	activations map[string]*activation
+
+	replMu   sync.Mutex
+	replicas map[string]*replicaState
+
+	// ringEpoch invalidates the cached consistent-hash ring: it is bumped
+	// on every membership change (JoinCluster, a peer crossing the Down
+	// boundary in either direction). ring() rebuilds lazily per epoch.
+	ringEpoch      atomic.Uint64
+	ringMu         sync.Mutex
+	ringCache      *hashRing
+	ringCacheEpoch uint64
+
 	stats struct {
 		objectsCreated      atomic.Int64
 		objectsAgglomerated atomic.Int64
@@ -285,6 +313,9 @@ type Runtime struct {
 		asyncCalls          atomic.Int64
 		objectsMigratedIn   atomic.Int64
 		objectsMigratedOut  atomic.Int64
+		virtualActivations  atomic.Int64
+		replicaPromotions   atomic.Int64
+		staleDemotions      atomic.Int64
 	}
 
 	actorsMu sync.Mutex
@@ -328,14 +359,17 @@ func Start(cfg Config, addr string) (*Runtime, error) {
 		cfg.LoadCacheTTL = 50 * time.Millisecond
 	}
 	rt := &Runtime{
-		cfg:     cfg,
-		classes: make(map[string]func() any),
-		exec:    make(map[string]*execStats),
-		actors:  make(map[string]*actor),
-		dir:     make(map[string]ObjLoc),
-		health:  make(map[int]*peerHealth),
-		aborts:  make(map[string]uint64),
-		stop:    make(chan struct{}),
+		cfg:         cfg,
+		classes:     make(map[string]func() any),
+		exec:        make(map[string]*execStats),
+		actors:      make(map[string]*actor),
+		dir:         make(map[string]ObjLoc),
+		health:      make(map[int]*peerHealth),
+		aborts:      make(map[string]uint64),
+		virtuals:    make(map[string]VirtualConfig),
+		activations: make(map[string]*activation),
+		replicas:    make(map[string]*replicaState),
+		stop:        make(chan struct{}),
 	}
 	rt.loadCond = sync.NewCond(&rt.loadMu)
 	var opts []remoting.ServerOption
@@ -378,6 +412,7 @@ func (rt *Runtime) JoinCluster(addrs []string) error {
 	rt.mu.Lock()
 	rt.peers = peers
 	rt.mu.Unlock()
+	rt.ringEpoch.Add(1) // the member set changed; rebuild the ring lazily
 	// Background membership loops start once the node knows its peers.
 	rt.loopsOnce.Do(func() {
 		if rt.cfg.HealthProbe > 0 {
@@ -449,6 +484,9 @@ func (rt *Runtime) Stats() Stats {
 		AsyncCalls:          rt.stats.asyncCalls.Load(),
 		ObjectsMigratedIn:   rt.stats.objectsMigratedIn.Load(),
 		ObjectsMigratedOut:  rt.stats.objectsMigratedOut.Load(),
+		VirtualActivations:  rt.stats.virtualActivations.Load(),
+		ReplicaPromotions:   rt.stats.replicaPromotions.Load(),
+		StaleDemotions:      rt.stats.staleDemotions.Load(),
 	}
 }
 
@@ -502,7 +540,7 @@ func (rt *Runtime) createLocalIO(class string, spawnActor bool) (string, any, er
 	}
 	obj := factory()
 	uri := fmt.Sprintf("obj/%s/%d/%d", class, rt.cfg.NodeID, rt.objSeq.Add(1))
-	w := &ioWrapper{rt: rt, class: class, obj: obj}
+	w := &ioWrapper{rt: rt, class: class, obj: obj, uri: uri}
 	if spawnActor {
 		a := newActor(w)
 		rt.actorsMu.Lock()
@@ -561,6 +599,14 @@ func (rt *Runtime) destroyLocal(uri string) (destroyedLive bool) {
 		again := rt.actors[uri] != nil
 		rt.actorsMu.Unlock()
 		if !again {
+			if destroyedLive && isVirtualURI(uri) {
+				// A destroyed virtual object must not resurrect from its
+				// passive replicas at the next owner failure: drop the
+				// local copy and tell the successor replicas to do the
+				// same (best effort — an unreachable replica ages out at
+				// the next activation's generation bump).
+				rt.dropReplicasFor(uri)
+			}
 			return destroyedLive
 		}
 	}
@@ -813,6 +859,23 @@ type ioWrapper struct {
 	rt    *Runtime
 	class string
 	obj   any
+	uri   string
+
+	// virt is set on actor-hosted virtual objects of a replicated class:
+	// after each call (or each SnapshotEvery-th), the wrapper snapshots
+	// obj and ships the state to the ring-successor replicas (virtual.go).
+	// Invoke1/InvokeBatch run in the actor goroutine for these objects,
+	// so the snapshot reads quiesced state. seq counts applied calls;
+	// replicas order snapshots by (generation, seq).
+	virt      *VirtualConfig
+	seq       atomic.Uint64
+	sinceShip int // calls since the last shipped snapshot; actor goroutine only
+
+	// snapMu guards the last shipped snapshot, re-shipped by the
+	// reconciliation pass when a partitioned peer recovers.
+	snapMu   sync.Mutex
+	lastSnap []byte
+	lastSeq  uint64
 }
 
 // Invoke1 executes one method invocation on the IO.
@@ -820,6 +883,14 @@ func (w *ioWrapper) Invoke1(ctx context.Context, method string, args []any) (any
 	start := time.Now()
 	res, err := dispatch.InvokeCtx(ctx, w.obj, method, args)
 	w.rt.recordExec(w.class, time.Since(start))
+	if err == nil && w.virt != nil {
+		if rerr := w.rt.replicateAfterCalls(ctx, w, 1); rerr != nil {
+			// Synchronous replication failed: surface it so the caller
+			// retries (and its retry re-replicates) instead of receiving an
+			// acknowledgement for state no replica has.
+			return nil, rerr
+		}
+	}
 	return res, err
 }
 
@@ -838,6 +909,11 @@ func (w *ioWrapper) InvokeBatch(ctx context.Context, method string, calls []any)
 	}
 	if n := len(calls); n > 0 {
 		w.rt.recordExec(w.class, time.Since(start)/time.Duration(n))
+		if w.virt != nil {
+			if rerr := w.rt.replicateAfterCalls(ctx, w, n); rerr != nil {
+				return 0, rerr
+			}
+		}
 	}
 	return len(calls), nil
 }

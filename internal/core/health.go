@@ -2,13 +2,18 @@ package core
 
 // This file implements failure-aware membership: each runtime can probe
 // its peers' object managers periodically, grading them Alive → Suspect →
-// Down on consecutive failures and recovering them on the first
-// successful probe. Down peers are excluded from placement load vectors
-// and failover resolution, so a dead node stops attracting traffic
-// instead of costing every placement a timeout. Rebalance (periodic or
-// explicit) migrates objects off this node when it is loaded above the
-// cluster mean, using the configured PlacementPolicy to choose targets
-// among the live peers.
+// Down on consecutive failures and recovering them after
+// peerRecoverAfter consecutive successes (a one-off lucky probe against
+// a flapping peer must not re-admit it — and, since down transitions
+// promote virtual-object replicas, must not be allowed to trigger a
+// spurious promote/demote cycle). Down peers are excluded from placement
+// load vectors and failover resolution, so a dead node stops attracting
+// traffic instead of costing every placement a timeout. Status
+// transitions across the Down boundary invalidate the consistent-hash
+// ring and fire the virtual-object failover hooks (see virtual.go).
+// Rebalance (periodic or explicit) migrates objects off this node when
+// it is loaded above the cluster mean, using the configured
+// PlacementPolicy to choose targets among the live peers.
 
 import (
 	"context"
@@ -49,6 +54,10 @@ const (
 	// thresholds of the probe loop.
 	peerSuspectAfter = 1
 	peerDownAfter    = 3
+	// peerRecoverAfter is the recovery hysteresis: a suspect or down peer
+	// must answer this many probes in a row before it is graded alive
+	// again.
+	peerRecoverAfter = 2
 	// healthProbeTimeout bounds one liveness probe.
 	healthProbeTimeout = 200 * time.Millisecond
 )
@@ -57,6 +66,7 @@ const (
 type peerHealth struct {
 	status PeerStatus
 	fails  int
+	oks    int // consecutive successes while not alive
 }
 
 // PeerStatusOf reports the current liveness grade of a peer. Unknown nodes
@@ -85,25 +95,47 @@ func (rt *Runtime) PeerStatuses() map[int]PeerStatus {
 // peerDown reports whether a peer is currently graded Down.
 func (rt *Runtime) peerDown(node int) bool { return rt.PeerStatusOf(node) == PeerDown }
 
-// noteProbe folds one probe outcome into a peer's record.
+// noteProbe folds one probe outcome into a peer's record and fires the
+// membership transition hooks (outside healthMu — a hook may probe the
+// health map itself).
 func (rt *Runtime) noteProbe(node int, ok bool) {
 	rt.healthMu.Lock()
-	defer rt.healthMu.Unlock()
 	h := rt.health[node]
 	if h == nil {
 		h = &peerHealth{}
 		rt.health[node] = h
 	}
+	was := h.status
 	if ok {
-		h.status, h.fails = PeerAlive, 0
-		return
+		h.fails = 0
+		h.oks++
+		if h.status == PeerAlive || h.oks >= peerRecoverAfter {
+			h.status, h.oks = PeerAlive, 0
+		}
+	} else {
+		h.oks = 0
+		h.fails++
+		switch {
+		case h.fails >= peerDownAfter:
+			h.status = PeerDown
+		case h.fails >= peerSuspectAfter && h.status != PeerDown:
+			// Failures never downgrade Down to Suspect: a peer that earned
+			// Down stays there until the recovery streak clears it, even
+			// when an interleaved success reset the failure counter.
+			h.status = PeerSuspect
+		}
 	}
-	h.fails++
-	switch {
-	case h.fails >= peerDownAfter:
-		h.status = PeerDown
-	case h.fails >= peerSuspectAfter:
-		h.status = PeerSuspect
+	now := h.status
+	rt.healthMu.Unlock()
+	if was != now && (was == PeerDown || now == PeerDown) {
+		// The live member set changed: every node computes placement from
+		// it, so the cached ring is stale.
+		rt.ringEpoch.Add(1)
+		if now == PeerDown {
+			go rt.onPeerDown(node)
+		} else {
+			go rt.onPeerUp(node)
+		}
 	}
 }
 

@@ -208,7 +208,12 @@ func (rt *Runtime) acceptObject(class, uri string, gen uint64, state []byte) (st
 			return "", fmt.Errorf("core: accept %s: %w", uri, err)
 		}
 	}
-	w := &ioWrapper{rt: rt, class: class, obj: obj}
+	w := &ioWrapper{rt: rt, class: class, obj: obj, uri: uri}
+	if cfg, ok := rt.virtualConfig(class); ok && isVirtualURI(uri) {
+		// A migrated virtual object keeps replicating from its new host.
+		c := cfg
+		w.virt = &c
+	}
 	a := newActor(w)
 	rt.actorsMu.Lock()
 	if rt.transferAborted(uri, gen) {

@@ -1,0 +1,132 @@
+package core
+
+// This file implements the consistent-hash ring that gives virtual objects
+// their default placement: every node hashes the same member set to the
+// same ring, so "who owns URI X" has one deterministic answer cluster-wide
+// without any coordination. Each member contributes ringVnodes points
+// (virtual nodes) so ownership spreads evenly and a membership change only
+// moves the keys adjacent to the changed member's points — the
+// minimal-movement property failover and lazy re-activation rely on.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ringVnodes is the number of ring points per member. 64 keeps the owner
+// distribution within a few percent of uniform for small clusters while a
+// full rebuild stays microseconds.
+const ringVnodes = 64
+
+// ringPoint is one virtual node on the ring.
+type ringPoint struct {
+	hash uint64
+	node int
+}
+
+// hashRing is an immutable consistent-hash ring over a member set. Build
+// one with buildRing; Runtime.ring caches the build per membership epoch.
+type hashRing struct {
+	points  []ringPoint
+	members []int // sorted, distinct
+}
+
+// fnv64a hashes s with FNV-1a followed by a 64-bit avalanche finalizer
+// (splitmix64's mixer). Plain FNV-1a clusters badly on the short,
+// near-identical strings ring points are made of — without the finalizer
+// a 3-member ring can leave one member owning nothing. The function is
+// the same constant-folded computation on every node — determinism across
+// the cluster is the whole point, so no seeds.
+func fnv64a(s string) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// buildRing constructs the ring for a member set (order-insensitive;
+// duplicates are ignored). An empty member set yields an empty ring whose
+// lookups report no owner.
+func buildRing(members []int) *hashRing {
+	seen := make(map[int]bool, len(members))
+	r := &hashRing{}
+	for _, m := range members {
+		if seen[m] {
+			continue
+		}
+		seen[m] = true
+		r.members = append(r.members, m)
+		for v := 0; v < ringVnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: fnv64a(fmt.Sprintf("vnode/%d/%d", m, v)), node: m})
+		}
+	}
+	sort.Ints(r.members)
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break by node id so every member
+		// still sorts them identically.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// start returns the index of the first ring point at or after key's hash
+// (wrapping past the end).
+func (r *hashRing) start(key string) int {
+	h := fnv64a(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// owner returns the member owning key — the node of the first ring point
+// clockwise from the key's hash — and whether the ring has any members.
+func (r *hashRing) owner(key string) (int, bool) {
+	if len(r.points) == 0 {
+		return 0, false
+	}
+	return r.points[r.start(key)].node, true
+}
+
+// successors returns up to n distinct members after key's owner in ring
+// order, never including the owner itself. These are the replica hosts of
+// a virtual object — and, because removing the owner's points makes each
+// of its keys fall to the next distinct member, the first successor is
+// exactly where the key lands after the owner dies.
+func (r *hashRing) successors(key string, n int) []int {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	owner := r.points[r.start(key)].node
+	return r.walk(key, n, func(node int) bool { return node != owner })
+}
+
+// walkFrom returns up to n distinct members in ring order from key's
+// position for which keep reports true. Used by successors (skip the
+// owner) and by replica shipping (skip the sender).
+func (r *hashRing) walk(key string, n int, keep func(node int) bool) []int {
+	var out []int
+	seen := make(map[int]bool, n)
+	start := r.start(key)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.node] || !keep(p.node) {
+			continue
+		}
+		seen[p.node] = true
+		out = append(out, p.node)
+	}
+	return out
+}

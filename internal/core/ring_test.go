@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterminism: two rings built from the same member set in
+// different orders answer every ownership and successor query identically
+// — the property that lets every node compute placement without talking
+// to anyone.
+func TestRingDeterminism(t *testing.T) {
+	a := buildRing([]int{0, 1, 2, 3})
+	b := buildRing([]int{3, 1, 0, 2})
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("virtual/counter/k%d", i)
+		oa, oka := a.owner(key)
+		ob, okb := b.owner(key)
+		if oa != ob || oka != okb {
+			t.Fatalf("owner(%q) differs across build orders: %d/%v vs %d/%v", key, oa, oka, ob, okb)
+		}
+		sa, sb := a.successors(key, 2), b.successors(key, 2)
+		if fmt.Sprint(sa) != fmt.Sprint(sb) {
+			t.Fatalf("successors(%q) differ across build orders: %v vs %v", key, sa, sb)
+		}
+	}
+}
+
+// TestRingBalance: with virtual nodes, ownership spreads across all
+// members — no member owns everything, none owns nothing.
+func TestRingBalance(t *testing.T) {
+	r := buildRing([]int{0, 1, 2})
+	counts := map[int]int{}
+	const keys = 600
+	for i := 0; i < keys; i++ {
+		o, ok := r.owner(fmt.Sprintf("virtual/c/key-%d", i))
+		if !ok {
+			t.Fatal("ring with members reported no owner")
+		}
+		counts[o]++
+	}
+	for n := 0; n < 3; n++ {
+		if counts[n] == 0 {
+			t.Fatalf("member %d owns no keys: %v", n, counts)
+		}
+		if counts[n] > keys*2/3 {
+			t.Fatalf("member %d owns %d of %d keys, distribution degenerate: %v", n, counts[n], keys, counts)
+		}
+	}
+}
+
+// TestRingMinimalMovement: adding or removing one member only moves keys
+// touching that member — keys owned by the surviving members stay put.
+func TestRingMinimalMovement(t *testing.T) {
+	before := buildRing([]int{0, 1, 2, 3})
+	afterLeave := buildRing([]int{0, 1, 3}) // member 2 left
+	afterJoin := buildRing([]int{0, 1, 2, 3, 4})
+	moved := 0
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("virtual/c/%d", i)
+		ob, _ := before.owner(key)
+		// Leave: only member 2's keys may change owner.
+		if oa, _ := afterLeave.owner(key); ob != 2 && oa != ob {
+			t.Fatalf("key %q moved %d→%d though member 2's departure should not affect it", key, ob, oa)
+		}
+		// Join: a key either stays put or moves to the joiner, never to a
+		// third member.
+		if oa, _ := afterJoin.owner(key); oa != ob {
+			if oa != 4 {
+				t.Fatalf("key %q moved %d→%d on member 4's join (only moves to 4 are minimal)", key, ob, oa)
+			}
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no key moved to the joining member; join had no effect")
+	}
+	if moved > 300 {
+		t.Fatalf("%d of 500 keys moved on a single join; movement is not minimal", moved)
+	}
+}
+
+// TestRingDownExclusion: a ring built without a down member never answers
+// with it, for ownership or succession — mirroring how Runtime.ring
+// builds over live members only.
+func TestRingDownExclusion(t *testing.T) {
+	live := buildRing([]int{0, 2}) // member 1 down
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("virtual/c/%d", i)
+		if o, _ := live.owner(key); o == 1 {
+			t.Fatalf("down member 1 owns key %q", key)
+		}
+		for _, s := range live.successors(key, 2) {
+			if s == 1 {
+				t.Fatalf("down member 1 among successors of %q", key)
+			}
+		}
+	}
+}
+
+// TestRingSuccessorsSkipOwner: replica successors are distinct members in
+// ring order that never include the key's owner, and the first successor
+// is exactly where the key falls once the owner's points are removed —
+// the invariant that makes the replica holder the failover target.
+func TestRingSuccessorsSkipOwner(t *testing.T) {
+	members := []int{0, 1, 2, 3}
+	r := buildRing(members)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("virtual/c/%d", i)
+		owner, _ := r.owner(key)
+		succ := r.successors(key, 3)
+		if len(succ) != 3 {
+			t.Fatalf("want 3 successors among 4 members, got %v", succ)
+		}
+		seen := map[int]bool{owner: true}
+		for _, s := range succ {
+			if s == owner {
+				t.Fatalf("owner %d of %q appears in its own successor list %v", owner, key, succ)
+			}
+			if seen[s] {
+				t.Fatalf("duplicate successor in %v for %q", succ, key)
+			}
+			seen[s] = true
+		}
+		// Failover invariant: drop the owner, and the key lands on the
+		// first successor.
+		var survivors []int
+		for _, m := range members {
+			if m != owner {
+				survivors = append(survivors, m)
+			}
+		}
+		if heir, _ := buildRing(survivors).owner(key); heir != succ[0] {
+			t.Fatalf("key %q: first successor %d but post-failure owner %d", key, succ[0], heir)
+		}
+	}
+}
+
+// TestRingEmpty: the empty ring reports no owner and no successors rather
+// than panicking.
+func TestRingEmpty(t *testing.T) {
+	r := buildRing(nil)
+	if _, ok := r.owner("virtual/c/x"); ok {
+		t.Fatal("empty ring reported an owner")
+	}
+	if s := r.successors("virtual/c/x", 2); len(s) != 0 {
+		t.Fatalf("empty ring reported successors %v", s)
+	}
+}

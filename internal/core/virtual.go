@@ -1,0 +1,713 @@
+package core
+
+// This file implements virtual objects — the Orleans-style activation
+// model layered on the PR 5 machinery (directory generations, state
+// snapshots, health grading, forwarding tombstones):
+//
+//   - identity: a virtual object is its URI ("virtual/<class>/<key>"),
+//     not a host. Nobody creates it; the first call activates it.
+//   - placement: the consistent-hash ring over live members (ring.go)
+//     gives every node the same owner for a URI with no coordination.
+//     Activation is single-flight per URI on the owner, and an owner
+//     whose membership view disagrees redirects the caller instead of
+//     activating — racing activations on different nodes converge on one
+//     live instance through the pre-activation resolve plus ring order.
+//   - replication: classes registered with VirtualConfig.Replicas > 0
+//     stream state snapshots from the owner to its ring successors after
+//     every call (SnapshotEvery <= 1, synchronous: the reply waits for a
+//     replica ack, so an acknowledged call survives the owner) or every
+//     N calls (asynchronous: replicas trail by up to N calls).
+//   - failover: when health grading marks the owner down, each replica
+//     holder checks the rebuilt ring; the holder that now owns the key —
+//     by the successor invariant, the replica's own node — promotes its
+//     freshest snapshot at a bumped generation. Callers re-resolve
+//     through the existing ErrNodeDown retry path; a recovered stale
+//     owner demotes itself into the same forwarding tombstone a
+//     migration leaves, so no new client logic exists anywhere.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/errs"
+	"repro/internal/wire"
+)
+
+// VirtualConfig is the per-class policy of a virtual class.
+type VirtualConfig struct {
+	// Replicas is the number of ring-successor nodes that receive passive
+	// state snapshots. 0 disables replication: failover re-activates the
+	// object from a fresh instance (state is lost with the owner).
+	Replicas int
+	// SnapshotEvery ships a snapshot to the replicas every N applied
+	// calls. Values <= 1 replicate synchronously after every call — the
+	// caller's reply is withheld until at least one replica acknowledged,
+	// so no acknowledged call is lost when the owner dies. Larger values
+	// ship asynchronously; replicas (and therefore a promoted copy) may
+	// trail the owner by up to N calls.
+	SnapshotEvery int
+}
+
+// virtualURIPrefix namespaces virtual objects in the directory and on the
+// wire; ownership, replication and demotion only ever apply inside it.
+const virtualURIPrefix = "virtual/"
+
+// VirtualURI returns the cluster-wide identity of the virtual object
+// (class, key).
+func VirtualURI(class, key string) string { return virtualURIPrefix + class + "/" + key }
+
+// isVirtualURI reports whether uri names a virtual object.
+func isVirtualURI(uri string) bool { return strings.HasPrefix(uri, virtualURIPrefix) }
+
+// classOfVirtualURI extracts the class component of a virtual URI.
+func classOfVirtualURI(uri string) string {
+	rest := strings.TrimPrefix(uri, virtualURIPrefix)
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		return rest[:i]
+	}
+	return rest
+}
+
+// RegisterVirtualClass registers class as a virtual class: instances are
+// addressed by key through VirtualObject and activated on demand on their
+// ring owner. Every node must register the same virtual classes with the
+// same config (exactly like RegisterClass).
+func (rt *Runtime) RegisterVirtualClass(class string, factory func() any, cfg VirtualConfig) {
+	rt.RegisterClass(class, factory)
+	rt.virtMu.Lock()
+	rt.virtuals[class] = cfg
+	rt.virtMu.Unlock()
+}
+
+// virtualConfig returns the class's virtual policy, if registered virtual.
+func (rt *Runtime) virtualConfig(class string) (VirtualConfig, bool) {
+	rt.virtMu.Lock()
+	defer rt.virtMu.Unlock()
+	cfg, ok := rt.virtuals[class]
+	return cfg, ok
+}
+
+// liveMembers snapshots the node ids this runtime considers part of the
+// cluster right now: every known peer not graded Down, self included.
+func (rt *Runtime) liveMembers() []int {
+	rt.mu.Lock()
+	peers := rt.peers
+	rt.mu.Unlock()
+	members := make([]int, 0, len(peers))
+	for _, p := range peers {
+		if p.node != rt.cfg.NodeID && rt.peerDown(p.node) {
+			continue
+		}
+		members = append(members, p.node)
+	}
+	return members
+}
+
+// ring returns the consistent-hash ring over the live members, rebuilt
+// lazily whenever the membership epoch moved (JoinCluster, a peer
+// crossing the Down boundary).
+func (rt *Runtime) ring() *hashRing {
+	epoch := rt.ringEpoch.Load()
+	rt.ringMu.Lock()
+	defer rt.ringMu.Unlock()
+	if rt.ringCache == nil || rt.ringCacheEpoch != epoch {
+		rt.ringCache = buildRing(rt.liveMembers())
+		rt.ringCacheEpoch = epoch
+	}
+	return rt.ringCache
+}
+
+// VirtualOwner reports which node this runtime's membership view assigns
+// ownership of the virtual object (class, key) — an observability and
+// test hook, not a routing guarantee (views converge, they are not
+// atomic).
+func (rt *Runtime) VirtualOwner(class, key string) (int, bool) {
+	return rt.ring().owner(VirtualURI(class, key))
+}
+
+// VirtualObject returns a proxy for the virtual object (class, key),
+// activating it on its ring owner if no live instance exists yet.
+func (rt *Runtime) VirtualObject(class, key string) (*Proxy, error) {
+	return rt.VirtualObjectCtx(context.Background(), class, key)
+}
+
+// VirtualObjectCtx is VirtualObject bounded by ctx. The returned proxy
+// re-routes itself through the ordinary moved/ErrNodeDown retry paths;
+// after a failover callers obtain a working route either transparently
+// (one retry) or by calling VirtualObjectCtx again.
+func (rt *Runtime) VirtualObjectCtx(ctx context.Context, class, key string) (*Proxy, error) {
+	if _, ok := rt.virtualConfig(class); !ok {
+		return nil, fmt.Errorf("core: class %q is not registered virtual on node %d: %w",
+			class, rt.cfg.NodeID, errs.ErrNoSuchClass)
+	}
+	uri := VirtualURI(class, key)
+	rt.actorsMu.Lock()
+	a := rt.actors[uri]
+	rt.actorsMu.Unlock()
+	if a != nil {
+		return &Proxy{rt: rt, class: class, mode: modeLocalActive, uri: uri, act: a}, nil
+	}
+	if loc, ok := rt.dirLookup(uri); ok && loc.Node != rt.cfg.NodeID && !rt.peerDown(loc.Node) {
+		return newRemoteProxy(rt, class, uri, loc.Addr, loc.Gen), nil
+	}
+	return rt.activateAndRoute(ctx, class, uri)
+}
+
+// activateHops bounds how many ownership redirects one activation chases:
+// membership views converge quickly, so a redirect chain longer than this
+// means the cluster is still sorting itself out — fail and let the caller
+// retry rather than ping-pong.
+const activateHops = 3
+
+// activateAndRoute drives an activation to whatever node currently owns
+// uri: activate locally when this node is the owner, otherwise ask the
+// owner's object manager, following its redirect when its membership view
+// names someone else and skipping owners that cannot be reached.
+func (rt *Runtime) activateAndRoute(ctx context.Context, class, uri string) (*Proxy, error) {
+	exclude := make(map[int]bool)
+	forced := -1
+	var lastErr error
+	for hop := 0; hop < activateHops; hop++ {
+		owner := forced
+		forced = -1
+		if owner < 0 {
+			o, ok := rt.ringOwnerExcluding(uri, exclude)
+			if !ok {
+				return nil, fmt.Errorf("core: activate %s: no live members", uri)
+			}
+			owner = o
+		}
+		var rr ResolveReply
+		var err error
+		if owner == rt.cfg.NodeID {
+			rr, err = rt.activateVirtual(ctx, class, uri)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			p, ok := rt.peerFor(owner)
+			if !ok || p.om == nil {
+				exclude[owner] = true
+				continue
+			}
+			res, ierr := p.om.InvokeCtx(ctx, "ActivateVirtual", class, uri)
+			if ierr != nil {
+				if ctx.Err() != nil {
+					return nil, ierr
+				}
+				// An unreachable owner is excluded and the next member in
+				// ring order tried — the same degraded view its failure
+				// will shortly push into the health grades.
+				lastErr = ierr
+				exclude[owner] = true
+				continue
+			}
+			if err := wire.AssignTo(&rr, res); err != nil {
+				return nil, fmt.Errorf("core: activate %s: bad reply from node %d: %w", uri, owner, err)
+			}
+		}
+		if rr.Found {
+			rt.dirUpdate(uri, ObjLoc{Node: rr.Node, Addr: rr.Addr, Gen: rr.Gen})
+			return rt.proxyAt(class, uri, rr), nil
+		}
+		if rr.Addr != "" && rr.Node != owner && !exclude[rr.Node] {
+			// The callee's membership view names a different owner; chase
+			// it once per hop.
+			forced = rr.Node
+			continue
+		}
+		lastErr = fmt.Errorf("core: node %d declined to activate %s", owner, uri)
+		exclude[owner] = true
+	}
+	if lastErr == nil {
+		lastErr = errors.New("ownership did not converge")
+	}
+	return nil, fmt.Errorf("core: activate %s: gave up after %d hops: %w", uri, activateHops, lastErr)
+}
+
+// ringOwnerExcluding is the ring owner of uri after pretending the
+// excluded nodes are gone — the first non-excluded member in ring order,
+// exactly where the key would fall if they were down.
+func (rt *Runtime) ringOwnerExcluding(uri string, exclude map[int]bool) (int, bool) {
+	r := rt.ring()
+	if len(exclude) == 0 {
+		return r.owner(uri)
+	}
+	nodes := r.walk(uri, 1, func(node int) bool { return !exclude[node] })
+	if len(nodes) == 0 {
+		return 0, false
+	}
+	return nodes[0], true
+}
+
+// proxyAt builds the proxy for an activation reply: the local actor when
+// the instance lives here, a remote proxy otherwise.
+func (rt *Runtime) proxyAt(class, uri string, rr ResolveReply) *Proxy {
+	if rr.Node == rt.cfg.NodeID {
+		rt.actorsMu.Lock()
+		a := rt.actors[uri]
+		rt.actorsMu.Unlock()
+		if a != nil {
+			return &Proxy{rt: rt, class: class, mode: modeLocalActive, uri: uri, act: a}
+		}
+	}
+	return newRemoteProxy(rt, class, uri, rr.Addr, rr.Gen)
+}
+
+// activation is one in-flight single-flight activation of a URI.
+type activation struct {
+	done  chan struct{}
+	reply ResolveReply
+	err   error
+}
+
+// replicaState is one passive replica held on this node: the freshest
+// (generation, seq)-ordered snapshot received from the object's owner.
+type replicaState struct {
+	class string
+	gen   uint64
+	seq   uint64
+	state []byte
+}
+
+// activateVirtual ensures a live instance of uri exists, activating it
+// here if this node owns it. Concurrent activations of one URI are
+// single-flight: one leader runs doActivate, followers wait and share its
+// outcome — the server-side half of serialising the first-call duel (the
+// client-side half is that every caller's ring names the same owner).
+func (rt *Runtime) activateVirtual(ctx context.Context, class, uri string) (ResolveReply, error) {
+	rt.actorsMu.Lock()
+	hosted := rt.actors[uri] != nil
+	rt.actorsMu.Unlock()
+	if hosted {
+		gen := uint64(1)
+		if loc, ok := rt.dirLookup(uri); ok {
+			gen = loc.Gen
+		}
+		return ResolveReply{Found: true, Node: rt.cfg.NodeID, Addr: rt.Addr(), Gen: gen}, nil
+	}
+	rt.activMu.Lock()
+	if act := rt.activations[uri]; act != nil {
+		rt.activMu.Unlock()
+		select {
+		case <-act.done:
+			return act.reply, act.err
+		case <-ctx.Done():
+			return ResolveReply{}, ctx.Err()
+		}
+	}
+	act := &activation{done: make(chan struct{})}
+	rt.activations[uri] = act
+	rt.activMu.Unlock()
+	act.reply, act.err = rt.doActivate(ctx, class, uri)
+	rt.activMu.Lock()
+	delete(rt.activations, uri)
+	rt.activMu.Unlock()
+	close(act.done)
+	return act.reply, act.err
+}
+
+// doActivate is the single-flight body: verify ownership (or redirect),
+// converge on an existing live instance anywhere in the cluster, and only
+// then create one — from the freshest local replica snapshot when one
+// exists (failover promotion), from the factory otherwise — at a
+// generation above everything the cluster has seen for this URI.
+func (rt *Runtime) doActivate(ctx context.Context, class, uri string) (ResolveReply, error) {
+	cfg, ok := rt.virtualConfig(class)
+	if !ok {
+		return ResolveReply{}, fmt.Errorf("core: class %q is not registered virtual on node %d: %w",
+			class, rt.cfg.NodeID, errs.ErrNoSuchClass)
+	}
+	owner, ok := rt.ring().owner(uri)
+	if !ok {
+		return ResolveReply{}, fmt.Errorf("core: activate %s: no live members", uri)
+	}
+	if owner != rt.cfg.NodeID {
+		p, ok := rt.peerFor(owner)
+		if !ok {
+			return ResolveReply{}, fmt.Errorf("core: activate %s: owner node %d unknown here", uri, owner)
+		}
+		return ResolveReply{Found: false, Node: owner, Addr: p.addr}, nil
+	}
+
+	// Converge before creating: a racing activation may have landed
+	// elsewhere while this node's view was stale, or the instance may
+	// simply still be alive from before a membership flap. Any live copy
+	// wins over creating a second one; entries at down nodes only raise
+	// the generation floor.
+	baseGen := uint64(0)
+	excludeAddr := ""
+	if loc, ok := rt.dirLookup(uri); ok {
+		if loc.Node != rt.cfg.NodeID && !rt.peerDown(loc.Node) {
+			return ResolveReply{Found: true, Node: loc.Node, Addr: loc.Addr, Gen: loc.Gen}, nil
+		}
+		baseGen = loc.Gen
+		if loc.Node != rt.cfg.NodeID {
+			excludeAddr = loc.Addr
+		}
+	}
+	if loc, ok := rt.resolveRemote(ctx, uri, excludeAddr); ok {
+		if loc.Node != rt.cfg.NodeID && !rt.peerDown(loc.Node) {
+			return ResolveReply{Found: true, Node: loc.Node, Addr: loc.Addr, Gen: loc.Gen}, nil
+		}
+		if loc.Gen > baseGen {
+			baseGen = loc.Gen
+		}
+	}
+	rt.replMu.Lock()
+	st := rt.replicas[uri]
+	rt.replMu.Unlock()
+	var promoteState []byte
+	var promoteSeq uint64
+	if st != nil {
+		promoteState, promoteSeq = st.state, st.seq
+		if st.gen > baseGen {
+			baseGen = st.gen
+		}
+	}
+	newGen := baseGen + 1
+	// Respect migration abort markers: a poisoned generation must stay
+	// burned (see Runtime.abortAccept).
+	rt.abortMu.Lock()
+	if m := rt.aborts[uri]; m >= newGen {
+		newGen = m + 1
+	}
+	rt.abortMu.Unlock()
+
+	factory, err := rt.factoryFor(class)
+	if err != nil {
+		return ResolveReply{}, err
+	}
+	obj := factory()
+	registerStateType(obj)
+	promoted := false
+	if len(promoteState) > 0 {
+		// A snapshot that no longer decodes (class changed shape across a
+		// rolling upgrade) falls back to a fresh instance: availability
+		// over a snapshot nothing can read.
+		if snap, derr := (wire.BinFmt{}).Unmarshal(promoteState); derr == nil {
+			if adopted, aerr := adoptState(obj, snap); aerr == nil {
+				obj = adopted
+				promoted = true
+			}
+		}
+	}
+	w := &ioWrapper{rt: rt, class: class, obj: obj, uri: uri}
+	wcfg := cfg
+	w.virt = &wcfg
+	if promoted {
+		w.seq.Store(promoteSeq)
+		w.snapMu.Lock()
+		w.lastSnap, w.lastSeq = promoteState, promoteSeq
+		w.snapMu.Unlock()
+	}
+	a := newActor(w)
+	rt.actorsMu.Lock()
+	if rt.actors[uri] != nil {
+		// An AcceptObject (migration in) committed while this activation
+		// was resolving; the committed copy wins.
+		rt.actorsMu.Unlock()
+		a.stop()
+		gen := uint64(1)
+		if loc, ok := rt.dirLookup(uri); ok {
+			gen = loc.Gen
+		}
+		return ResolveReply{Found: true, Node: rt.cfg.NodeID, Addr: rt.Addr(), Gen: gen}, nil
+	}
+	rt.actors[uri] = a
+	rt.server.Marshal(uri, &actorEndpoint{a: a})
+	rt.load.Add(1)
+	rt.dirUpdate(uri, ObjLoc{Node: rt.cfg.NodeID, Addr: rt.Addr(), Gen: newGen})
+	rt.actorsMu.Unlock()
+	rt.replMu.Lock()
+	delete(rt.replicas, uri) // the live copy supersedes the passive one
+	rt.replMu.Unlock()
+	rt.stats.virtualActivations.Add(1)
+	if promoted {
+		rt.stats.replicaPromotions.Add(1)
+		if cfg.Replicas > 0 {
+			// Restore redundancy right away: the promoted state's previous
+			// replica set centred on the dead owner, not on this node.
+			go rt.shipSnapshot(class, uri, &wcfg, promoteState, newGen, promoteSeq, false) //nolint:errcheck // async re-ship
+		}
+	}
+	return ResolveReply{Found: true, Node: rt.cfg.NodeID, Addr: rt.Addr(), Gen: newGen}, nil
+}
+
+const (
+	// replicateSyncTimeout bounds the per-call synchronous replication
+	// fan-out; a replica slower than this fails the ack (the call errors
+	// and the caller retries) rather than wedging the owner's mailbox.
+	replicateSyncTimeout = 2 * time.Second
+	// replicateShipTimeout bounds one asynchronous snapshot ship.
+	replicateShipTimeout = time.Second
+	// promoteTimeout bounds one failover promotion attempt.
+	promoteTimeout = 5 * time.Second
+)
+
+// replicateAfterCalls runs in the actor goroutine after n calls applied
+// to a replicated virtual object: count them, and when a snapshot is due,
+// marshal the (quiesced) state and ship it to the ring-successor
+// replicas. In synchronous mode (SnapshotEvery <= 1) a shipped snapshot
+// must be acknowledged by at least one replica or the error fails the
+// call — the caller retries against a cluster that either still has the
+// owner (and re-replicates) or has promoted a replica that saw this
+// update; either way an acknowledged call is never lost, at the cost that
+// an unacknowledged one may execute twice (the channel's documented
+// at-least-once trade).
+func (rt *Runtime) replicateAfterCalls(_ context.Context, w *ioWrapper, n int) error {
+	seq := w.seq.Add(uint64(n))
+	cfg := w.virt
+	if cfg.Replicas <= 0 {
+		return nil
+	}
+	every := cfg.SnapshotEvery
+	if every < 1 {
+		every = 1
+	}
+	w.sinceShip += n
+	if w.sinceShip < every {
+		return nil
+	}
+	w.sinceShip = 0
+	registerStateType(w.obj)
+	snap, err := wire.BinFmt{}.Marshal(w.obj)
+	if err != nil {
+		if every == 1 {
+			return fmt.Errorf("core: replicate %s: snapshot %T: %w", w.uri, w.obj, err)
+		}
+		return nil
+	}
+	gen := uint64(1)
+	if loc, ok := rt.dirLookup(w.uri); ok {
+		gen = loc.Gen
+	}
+	w.snapMu.Lock()
+	w.lastSnap, w.lastSeq = snap, seq
+	w.snapMu.Unlock()
+	return rt.shipSnapshot(w.class, w.uri, cfg, snap, gen, seq, every == 1)
+}
+
+// shipSnapshot sends one state snapshot to the replica targets of uri.
+// Synchronous shipping requires at least one acknowledgement (when any
+// target is live at all); asynchronous shipping fires one-way exchanges
+// and returns immediately — a lost ship only widens the lag until the
+// next one.
+func (rt *Runtime) shipSnapshot(class, uri string, cfg *VirtualConfig, snap []byte, gen, seq uint64, awaitAck bool) error {
+	targets := rt.replicaTargets(uri, cfg.Replicas)
+	if len(targets) == 0 {
+		// No live successor exists (single-node cluster, or every replica
+		// candidate is down): proceed unreplicated rather than refuse all
+		// progress.
+		return nil
+	}
+	args := []any{class, uri, gen, seq, rt.cfg.NodeID, rt.Addr(), snap}
+	if !awaitAck {
+		for _, p := range targets {
+			p.om.OneWayTimeout(replicateShipTimeout, "ReplicateVirtual", nil, args...)
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	var acked atomic.Int32
+	errCh := make(chan error, len(targets))
+	for _, p := range targets {
+		wg.Add(1)
+		go func(p peer) {
+			defer wg.Done()
+			cctx, cancel := context.WithTimeout(context.Background(), replicateSyncTimeout)
+			defer cancel()
+			if _, err := p.om.InvokeCtx(cctx, "ReplicateVirtual", args...); err != nil {
+				errCh <- err
+				return
+			}
+			acked.Add(1)
+		}(p)
+	}
+	wg.Wait()
+	if acked.Load() == 0 {
+		return fmt.Errorf("core: replicate %s: no replica acknowledged seq %d: %w", uri, seq, <-errCh)
+	}
+	return nil
+}
+
+// replicaTargets returns up to n live peers in ring order from uri's
+// position, excluding this node — the owner's successors when called on
+// the owner, and (crucially for reconciliation) the previous owner when
+// called on a promoted host after the previous owner recovered.
+func (rt *Runtime) replicaTargets(uri string, n int) []peer {
+	nodes := rt.ring().walk(uri, n+1, func(node int) bool {
+		return node != rt.cfg.NodeID && !rt.peerDown(node)
+	})
+	if len(nodes) > n {
+		nodes = nodes[:n]
+	}
+	out := make([]peer, 0, len(nodes))
+	for _, node := range nodes {
+		if p, ok := rt.peerFor(node); ok && p.om != nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// replicateVirtual is the receiving half of snapshot shipping: keep the
+// freshest (generation, seq) snapshot per URI — and, when this node still
+// hosts the object at a lower generation than the shipper's, recognise
+// that a failover promoted past us (we were the owner behind a partition)
+// and demote our stale copy into a forwarding tombstone.
+func (rt *Runtime) replicateVirtual(class, uri string, gen, seq uint64, fromNode int, fromAddr string, state []byte) error {
+	if !isVirtualURI(uri) {
+		return fmt.Errorf("core: replicate: %q is not a virtual URI", uri)
+	}
+	rt.actorsMu.Lock()
+	hosted := rt.actors[uri] != nil
+	rt.actorsMu.Unlock()
+	if hosted {
+		if loc, ok := rt.dirLookup(uri); ok && loc.Node == rt.cfg.NodeID && loc.Gen >= gen {
+			return nil // our live copy is the fresher lineage; ignore
+		}
+		rt.demoteStale(uri, ObjLoc{Node: fromNode, Addr: fromAddr, Gen: gen})
+	}
+	rt.replMu.Lock()
+	cur := rt.replicas[uri]
+	if cur == nil || gen > cur.gen || (gen == cur.gen && seq >= cur.seq) {
+		rt.replicas[uri] = &replicaState{class: class, gen: gen, seq: seq, state: state}
+	}
+	rt.replMu.Unlock()
+	return nil
+}
+
+// demoteStale abandons this node's hosted copy of uri in favour of a
+// strictly fresher one at to: the actor is removed and its queued calls
+// failed with the forward (they would otherwise execute on state the
+// cluster has already moved past), and the URI serves the same forwarding
+// tombstone a migration leaves — stale proxies chase it with zero new
+// client logic.
+func (rt *Runtime) demoteStale(uri string, to ObjLoc) {
+	mv := &errs.MovedError{URI: uri, Node: to.Node, Addr: to.Addr, Gen: to.Gen}
+	rt.actorsMu.Lock()
+	a := rt.actors[uri]
+	if a == nil {
+		rt.actorsMu.Unlock()
+		return
+	}
+	if loc, ok := rt.dirLookup(uri); ok && loc.Node == rt.cfg.NodeID && loc.Gen >= to.Gen {
+		rt.actorsMu.Unlock()
+		return
+	}
+	delete(rt.actors, uri)
+	rt.server.Republish(uri, &tombstone{mv: *mv}, func() { rt.dirDropForward(uri) })
+	rt.load.Add(-1)
+	rt.dirUpdate(uri, to)
+	rt.actorsMu.Unlock()
+	a.abort(mv)
+	rt.stats.staleDemotions.Add(1)
+}
+
+// dropReplica forgets this node's passive replica of uri (the owner
+// destroyed the object).
+func (rt *Runtime) dropReplica(uri string) {
+	rt.replMu.Lock()
+	delete(rt.replicas, uri)
+	rt.replMu.Unlock()
+}
+
+// dropReplicasFor clears the local passive copy of uri and tells the
+// ring-successor replicas to do the same — called when a live virtual
+// object is destroyed, so its replicas cannot resurrect it at the next
+// owner failure. Best effort: an unreachable replica keeps its copy, the
+// residual risk any decentralised destroy has.
+func (rt *Runtime) dropReplicasFor(uri string) {
+	rt.dropReplica(uri)
+	cfg, ok := rt.virtualConfig(classOfVirtualURI(uri))
+	if !ok || cfg.Replicas <= 0 {
+		return
+	}
+	for _, p := range rt.replicaTargets(uri, cfg.Replicas) {
+		p.om.OneWayTimeout(replicateShipTimeout, "DropReplica", nil, uri)
+	}
+}
+
+// onPeerDown runs (async) when health grading marks a peer Down: every
+// passive replica held here whose key now falls to this node — by the
+// ring successor invariant, exactly the keys the dead peer owned and
+// replicated here — is promoted through the ordinary single-flight
+// activation path, which folds in directory knowledge, racing promotions
+// on other nodes, and generation bumping.
+func (rt *Runtime) onPeerDown(node int) {
+	type cand struct{ uri, class string }
+	var cands []cand
+	rt.replMu.Lock()
+	for uri, st := range rt.replicas {
+		cands = append(cands, cand{uri: uri, class: st.class})
+	}
+	rt.replMu.Unlock()
+	for _, c := range cands {
+		if owner, ok := rt.ring().owner(c.uri); !ok || owner != rt.cfg.NodeID {
+			continue
+		}
+		if loc, ok := rt.dirLookup(c.uri); ok && loc.Node != rt.cfg.NodeID && loc.Node != node && !rt.peerDown(loc.Node) {
+			continue // still live on a node unaffected by this failure
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), promoteTimeout)
+		_, _ = rt.activateVirtual(ctx, c.class, c.uri) //nolint:errcheck // lazy activation redoes it on demand
+		cancel()
+	}
+}
+
+// onPeerUp runs (async) when a Down peer recovers. A peer that was
+// partitioned away (rather than restarted) may still host stale copies of
+// objects promoted past it, and it cannot know that yet. Re-shipping the
+// last snapshot of every replicated virtual object hosted here makes the
+// recovered node either store it as a replica or — if it still hosts the
+// object at a lower generation — demote its stale copy (replicateVirtual
+// does both), bounding the split-brain window to one probe recovery.
+func (rt *Runtime) onPeerUp(int) {
+	rt.actorsMu.Lock()
+	var ws []*ioWrapper
+	for uri, a := range rt.actors {
+		if isVirtualURI(uri) && a.w.virt != nil && a.w.virt.Replicas > 0 {
+			ws = append(ws, a.w)
+		}
+	}
+	rt.actorsMu.Unlock()
+	for _, w := range ws {
+		w.snapMu.Lock()
+		snap, seq := w.lastSnap, w.lastSeq
+		w.snapMu.Unlock()
+		if snap == nil {
+			continue
+		}
+		gen := uint64(1)
+		if loc, ok := rt.dirLookup(w.uri); ok {
+			gen = loc.Gen
+		}
+		_ = rt.shipSnapshot(w.class, w.uri, w.virt, snap, gen, seq, false) //nolint:errcheck // reconciliation is best effort
+	}
+}
+
+// ActivateVirtual ensures a live instance of the virtual object uri
+// exists, activating it on this node when this node owns it. The reply
+// either carries the instance's location (Found) or redirects the caller
+// to the owner in this node's membership view (!Found with Node/Addr
+// set).
+func (s *omService) ActivateVirtual(ctx context.Context, class, uri string) (ResolveReply, error) {
+	return s.rt.activateVirtual(ctx, class, uri)
+}
+
+// ReplicateVirtual stores a passive state snapshot of a virtual object
+// owned by a peer; see Runtime.replicateVirtual.
+func (s *omService) ReplicateVirtual(class, uri string, gen, seq uint64, fromNode int, fromAddr string, state []byte) error {
+	return s.rt.replicateVirtual(class, uri, gen, seq, fromNode, fromAddr, state)
+}
+
+// DropReplica forgets this node's passive replica of uri.
+func (s *omService) DropReplica(uri string) {
+	s.rt.dropReplica(uri)
+}

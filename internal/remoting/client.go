@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/ctxwait"
 	"repro/internal/errs"
@@ -135,6 +136,21 @@ func (r *ObjRef) BeginInvoke(method string, args ...any) *AsyncResult {
 func (r *ObjRef) OneWay(method string, onErr func(error), args ...any) {
 	go func() {
 		if _, err := r.Invoke(method, args...); err != nil && onErr != nil {
+			onErr(err)
+		}
+	}()
+}
+
+// OneWayTimeout is OneWay with a per-exchange deadline: the call is
+// abandoned (and its connection closed) when d elapses, so a one-way
+// stream aimed at a dead peer cannot pile up goroutines behind full call
+// timeouts. Used for asynchronous replica-state shipping, where losing a
+// snapshot only widens the replication lag until the next one lands.
+func (r *ObjRef) OneWayTimeout(d time.Duration, method string, onErr func(error), args ...any) {
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), d)
+		defer cancel()
+		if _, err := r.InvokeCtx(ctx, method, args...); err != nil && onErr != nil {
 			onErr(err)
 		}
 	}()

@@ -1,0 +1,83 @@
+package parc_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/parc"
+)
+
+// vCounter is a virtual class; exported state so replication snapshots
+// carry it.
+type vCounter struct {
+	N int64
+}
+
+func (c *vCounter) Bump(v int64) int64 { c.N += v; return c.N }
+func (c *vCounter) Total() int64       { return c.N }
+
+// TestVirtualTypedRoundTrip: first call activates, handles from any node
+// reach the same instance, and the ring owner agrees across nodes.
+func TestVirtualTypedRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	cl, err := parc.StartCluster(parc.WithNodes(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	parc.RegisterVirtual[vCounter](cl, "vcounter", parc.WithReplicas(1))
+
+	obj, err := parc.Virtual[vCounter](ctx, cl, "vcounter", "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parc.Call[int64](ctx, obj, "Bump", int64(5)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The same key resolved through a different node is the same instance.
+	obj2, err := parc.VirtualAt[vCounter](ctx, cl.Node(1), "vcounter", "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := parc.Call[int64](ctx, obj2, "Bump", int64(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 7 {
+		t.Errorf("Bump total = %d, want 7 (one instance per key)", total)
+	}
+
+	// A different key is a different instance.
+	other, err := parc.Virtual[vCounter](ctx, cl, "vcounter", "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := parc.Call[int64](ctx, other, "Total"); err != nil || n != 0 {
+		t.Errorf("Total(bob) = %d, %v; want 0, nil", n, err)
+	}
+
+	if owner, ok := cl.VirtualOwner("vcounter", "alice"); !ok || owner < 0 || owner >= cl.Size() {
+		t.Errorf("VirtualOwner = %d, %v; want a cluster node", owner, ok)
+	}
+
+	// Method names are still checked against T before the wire.
+	if _, err := parc.Call[int64](ctx, obj, "Nope"); !errors.Is(err, parc.ErrNoSuchMethod) {
+		t.Errorf("unknown method error = %v, want ErrNoSuchMethod", err)
+	}
+}
+
+// TestVirtualRequiresRegistration: Virtual on a class registered with
+// plain Register (not RegisterVirtual) fails.
+func TestVirtualRequiresRegistration(t *testing.T) {
+	cl, err := parc.StartCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	parc.Register[vCounter](cl, "plain")
+	if _, err := parc.Virtual[vCounter](context.Background(), cl, "plain", "k"); !errors.Is(err, parc.ErrNoSuchClass) {
+		t.Errorf("Virtual on non-virtual class = %v, want ErrNoSuchClass", err)
+	}
+}
