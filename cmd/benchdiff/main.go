@@ -15,6 +15,11 @@
 // but missing from the current report fail the gate. Improvements pass;
 // commit a refreshed baseline to bank them (see the README's "Refreshing
 // the benchmark baseline" section).
+//
+// Absolute comparisons are refused when the two reports' GOMAXPROCS or
+// NumCPU differ (a core-count change moves every absolute number for
+// hardware reasons); use -relative, which compares hardware-cancelling
+// ratios, or -force to override.
 package main
 
 import (
@@ -32,6 +37,8 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional regression (0.15 = 15%)")
 	relative := flag.Bool("relative", false,
 		"compare machine-independent ratios (codec speedups, fanout channel ratios) instead of absolute calls/s and ns/op; use when baseline and current ran on different hardware (CI)")
+	force := flag.Bool("force", false,
+		"compare absolute metrics even when the reports' GOMAXPROCS/NumCPU differ (normally refused: core-count changes move every absolute number for hardware reasons)")
 	flag.Parse()
 	if *current == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
@@ -46,6 +53,13 @@ func main() {
 	cur, err := bench.ReadReport(*current)
 	if err != nil {
 		log.Fatalf("benchdiff: %v", err)
+	}
+
+	if !*relative && !*force {
+		if msg := bench.MetaMismatch(base.Meta, cur.Meta); msg != "" {
+			log.Fatalf("benchdiff: refusing absolute comparison: %s\n"+
+				"(absolute calls/s and ns/op are not comparable across core counts; use -relative, or -force to override)", msg)
+		}
 	}
 
 	var problems []string

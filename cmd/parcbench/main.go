@@ -25,7 +25,10 @@
 // -payload sweeps the fanout experiment across payload sizes (for example
 // -payload 16,256,4096); -nobind forces the string envelope on every call
 // (the remoting.Channel.DisableBinding escape hatch), letting CI smoke
-// both envelope variants.
+// both envelope variants. -procs sweeps GOMAXPROCS (for example
+// -procs 1,4 records the multi-core matrix the baseline commits) and
+// -lanes pins the multiplexed channel's connection-lane count (1 restores
+// the single-connection path for before/after comparisons).
 package main
 
 import (
@@ -67,15 +70,21 @@ func main() {
 	asJSON := flag.Bool("json", false, "write a machine-readable bench.Report to stdout (tables go to stderr)")
 	payloads := flag.String("payload", "", "fanout payload sizes in bytes, comma-separated (e.g. 16,256,4096); empty = default 64")
 	noBind := flag.Bool("nobind", false, "disable bound call handles: every fanout call uses the string envelope")
+	procs := flag.String("procs", "", "fanout GOMAXPROCS matrix, comma-separated (e.g. 1,4); empty = current setting, no sweep")
+	lanes := flag.Int("lanes", 0, "multiplexed channel lanes per peer in the fanout experiment (0 = default min(GOMAXPROCS,4), 1 = single connection)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the experiment runs to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile (after the runs) to this file")
 	flag.Parse()
 	if len(exps) == 0 {
 		exps = expFlag{"all"}
 	}
-	fanoutPayloads, err := parsePayloads(*payloads)
+	fanoutPayloads, err := parseIntList(*payloads)
 	if err != nil {
 		log.Fatalf("parcbench: -payload: %v", err)
+	}
+	fanoutProcs, err := parseIntList(*procs)
+	if err != nil {
+		log.Fatalf("parcbench: -procs: %v", err)
 	}
 	// log.Fatal calls os.Exit, which skips deferred StopCPUProfile and
 	// would leave a truncated -cpuprofile artifact; every fatal exit after
@@ -278,6 +287,8 @@ func main() {
 			CallsPerCaller: calls,
 			Payloads:       fanoutPayloads,
 			DisableBinding: *noBind,
+			Procs:          fanoutProcs,
+			Lanes:          *lanes,
 		})
 		if err != nil {
 			fatal(err)
@@ -343,8 +354,8 @@ func main() {
 	}
 }
 
-// parsePayloads parses the -payload flag.
-func parsePayloads(s string) ([]int, error) {
+// parseIntList parses the comma-separated -payload and -procs flags.
+func parseIntList(s string) ([]int, error) {
 	if s == "" {
 		return nil, nil
 	}

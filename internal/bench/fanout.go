@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"time"
 
@@ -21,6 +22,11 @@ type FanoutRow struct {
 	TotalCalls  int           `json:"total_calls"`
 	Elapsed     time.Duration `json:"elapsed_ns"`
 	CallsPerSec float64       `json:"calls_per_sec"`
+	// Procs is the GOMAXPROCS the row ran under (0 in reports predating
+	// the multi-core matrix, read as 1). Lanes is the MuxLanes setting of
+	// the multiplexed channel (0 = channel default).
+	Procs int `json:"procs,omitempty"`
+	Lanes int `json:"lanes,omitempty"`
 }
 
 // FanoutConfig parameterises the fanout experiment.
@@ -36,6 +42,14 @@ type FanoutConfig struct {
 	// remoting.Channel escape hatch), so both envelope variants can be
 	// exercised and compared.
 	DisableBinding bool
+	// Procs sweeps GOMAXPROCS: the experiment repeats once per value,
+	// restoring the previous setting afterwards. Nil means the current
+	// GOMAXPROCS, no sweep. The multi-core matrix (1 vs 4) shows how far
+	// lane striping and sharded tables lift calls/s per added core.
+	Procs []int
+	// Lanes sets the multiplexed channel's MuxLanes (0 = channel default,
+	// min(GOMAXPROCS, 4); 1 = the pre-lane single-connection path).
+	Lanes int
 }
 
 // DefaultFanoutPayload is the payload size used when no sweep is requested,
@@ -80,21 +94,34 @@ func RunFanout(cfg FanoutConfig) ([]FanoutRow, error) {
 	if len(payloads) == 0 {
 		payloads = []int{DefaultFanoutPayload}
 	}
-	rows := make([]FanoutRow, 0, len(configs)*len(payloads))
-	for _, payload := range payloads {
-		for _, c := range configs {
-			var best FanoutRow
-			for round := 0; round < fanoutRounds; round++ {
-				row, err := runFanout(c.name, c.kind, cfg, payload)
-				if err != nil {
-					return nil, fmt.Errorf("bench: fanout %s: %w", c.name, err)
-				}
-				if row.CallsPerSec > best.CallsPerSec {
-					best = row
-				}
-			}
-			rows = append(rows, best)
+	procs := cfg.Procs
+	if len(procs) == 0 {
+		procs = []int{runtime.GOMAXPROCS(0)}
+	}
+	rows := make([]FanoutRow, 0, len(configs)*len(payloads)*len(procs))
+	for _, p := range procs {
+		if p < 1 {
+			return nil, fmt.Errorf("bench: fanout: procs %d out of range", p)
 		}
+		prev := runtime.GOMAXPROCS(p)
+		for _, payload := range payloads {
+			for _, c := range configs {
+				var best FanoutRow
+				for round := 0; round < fanoutRounds; round++ {
+					row, err := runFanout(c.name, c.kind, cfg, payload)
+					if err != nil {
+						runtime.GOMAXPROCS(prev)
+						return nil, fmt.Errorf("bench: fanout %s: %w", c.name, err)
+					}
+					if row.CallsPerSec > best.CallsPerSec {
+						best = row
+					}
+				}
+				best.Procs = p
+				rows = append(rows, best)
+			}
+		}
+		runtime.GOMAXPROCS(prev)
 	}
 	return rows, nil
 }
@@ -112,6 +139,7 @@ func runFanout(name string, kind remoting.Kind, cfg FanoutConfig, payloadBytes i
 		ch = remoting.NewTCPChannel(net)
 	}
 	ch.DisableBinding = cfg.DisableBinding
+	ch.MuxLanes = cfg.Lanes
 	server, err := ch.ListenAndServe("127.0.0.1:0")
 	if err != nil {
 		return FanoutRow{}, err
@@ -150,6 +178,14 @@ func runFanout(name string, kind remoting.Kind, cfg FanoutConfig, payloadBytes i
 	default:
 	}
 	total := cfg.Callers * cfg.CallsPerCaller
+	lanes := 0
+	if kind == remoting.Multiplexed {
+		// Record the effective count: cfg.Lanes==0 defers to the GOMAXPROCS
+		// default, which RunFanout has already set for this cell.
+		if lanes = cfg.Lanes; lanes <= 0 {
+			lanes = remoting.DefaultMuxLanes()
+		}
+	}
 	return FanoutRow{
 		Channel:     name,
 		Callers:     cfg.Callers,
@@ -157,15 +193,20 @@ func runFanout(name string, kind remoting.Kind, cfg FanoutConfig, payloadBytes i
 		TotalCalls:  total,
 		Elapsed:     elapsed,
 		CallsPerSec: float64(total) / elapsed.Seconds(),
+		Lanes:       lanes,
 	}, nil
 }
 
 // PrintFanout emits the pipelined-fanout table.
 func PrintFanout(w io.Writer, rows []FanoutRow) {
 	fmt.Fprintln(w, "Pipelined fanout — concurrent callers, one peer over loopback TCP (pooled vs multiplexed)")
-	fmt.Fprintf(w, "%-20s %8s %8s %10s %12s %12s\n", "channel", "callers", "payload", "calls", "elapsed", "calls/s")
+	fmt.Fprintf(w, "%-20s %6s %8s %8s %10s %12s %12s\n", "channel", "procs", "callers", "payload", "calls", "elapsed", "calls/s")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-20s %8d %8d %10d %12s %12.0f\n",
-			r.Channel, r.Callers, r.Payload, r.TotalCalls, r.Elapsed.Round(time.Microsecond), r.CallsPerSec)
+		procs := r.Procs
+		if procs == 0 {
+			procs = 1
+		}
+		fmt.Fprintf(w, "%-20s %6d %8d %8d %10d %12s %12.0f\n",
+			r.Channel, procs, r.Callers, r.Payload, r.TotalCalls, r.Elapsed.Round(time.Microsecond), r.CallsPerSec)
 	}
 }

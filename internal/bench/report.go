@@ -43,13 +43,40 @@ func CurrentMeta() *ReportMeta {
 
 // fanKey identifies a fanout row across reports. Rows from baselines
 // predating the payload sweep (payload 0) compare against the default
-// grain size.
+// grain size; rows predating the GOMAXPROCS matrix (procs 0) read as 1.
 func fanKey(r FanoutRow) string {
 	p := r.Payload
 	if p == 0 {
 		p = DefaultFanoutPayload
 	}
-	return fmt.Sprintf("%s @%dB", r.Channel, p)
+	return fmt.Sprintf("%s @%dB x%dp", r.Channel, p, fanProcs(r))
+}
+
+func fanProcs(r FanoutRow) int {
+	if r.Procs <= 0 {
+		return 1
+	}
+	return r.Procs
+}
+
+// MetaMismatch reports why two report environments must not be compared
+// with absolute numbers: a different core count (GOMAXPROCS or NumCPU)
+// moves every throughput metric for hardware reasons, so diffing absolute
+// calls/s across it gates the machine, not the code. An empty string
+// means the environments are comparable (or too old to carry meta, which
+// gets the benefit of the doubt). Relative-mode comparisons are exempt:
+// ratios cancel the hardware term by construction.
+func MetaMismatch(baseline, current *ReportMeta) string {
+	if baseline == nil || current == nil {
+		return ""
+	}
+	if baseline.GOMAXPROCS != current.GOMAXPROCS {
+		return fmt.Sprintf("GOMAXPROCS differs: baseline %d, current %d", baseline.GOMAXPROCS, current.GOMAXPROCS)
+	}
+	if baseline.NumCPU != current.NumCPU {
+		return fmt.Sprintf("NumCPU differs: baseline %d, current %d", baseline.NumCPU, current.NumCPU)
+	}
+	return ""
 }
 
 // WriteReport marshals a report with stable indentation (committed as
@@ -83,21 +110,44 @@ func ReadReport(path string) (Report, error) {
 // hardware differs from wherever BENCH_baseline.json was recorded.
 func RelativeMetrics(r Report) map[string]float64 {
 	out := map[string]float64{}
-	// Per payload size, every channel is measured against the first
-	// (pooled) channel at that size.
+	// Per (payload size, GOMAXPROCS) cell, every channel is measured
+	// against the first (pooled) channel in that cell.
+	type cell struct{ payload, procs int }
 	type base struct {
 		channel string
 		cps     float64
 	}
-	bases := map[int]base{}
+	bases := map[cell]base{}
 	for _, row := range r.Fanout {
-		if _, ok := bases[row.Payload]; !ok {
-			bases[row.Payload] = base{channel: row.Channel, cps: row.CallsPerSec}
+		k := cell{row.Payload, fanProcs(row)}
+		if _, ok := bases[k]; !ok {
+			bases[k] = base{channel: row.Channel, cps: row.CallsPerSec}
 			continue
 		}
-		b := bases[row.Payload]
+		b := bases[k]
 		if b.cps > 0 {
 			out["fanout "+fanKey(row)+" vs "+b.channel] = row.CallsPerSec / b.cps
+		}
+	}
+	// Per-core scaling: calls/s-per-core at procs p over calls/s at one
+	// proc, per (channel, payload). 1.0 means perfect scaling; the gate
+	// catches a change that makes cores stop paying (a reintroduced shared
+	// lock halves this long before it shows in any single-proc number).
+	// Both rows of the ratio come from one report, so it stays
+	// machine-independent.
+	oneProc := map[string]float64{}
+	for _, row := range r.Fanout {
+		if fanProcs(row) == 1 {
+			oneProc[fmt.Sprintf("%s @%d", row.Channel, row.Payload)] = row.CallsPerSec
+		}
+	}
+	for _, row := range r.Fanout {
+		p := fanProcs(row)
+		if p == 1 {
+			continue
+		}
+		if c1 := oneProc[fmt.Sprintf("%s @%d", row.Channel, row.Payload)]; c1 > 0 {
+			out["fanout "+fanKey(row)+" per-core"] = row.CallsPerSec / float64(p) / c1
 		}
 	}
 	byKey := map[string]CodecPathRow{}

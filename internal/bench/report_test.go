@@ -72,11 +72,54 @@ func TestCompareReportsCatchesMissingRows(t *testing.T) {
 
 func TestRelativeMetrics(t *testing.T) {
 	m := RelativeMetrics(sampleBaseline())
-	if got := m["fanout Tcp (multiplexed) @64B vs Tcp (pooled)"]; got != 2.25 {
+	if got := m["fanout Tcp (multiplexed) @64B x1p vs Tcp (pooled)"]; got != 2.25 {
 		t.Errorf("fanout ratio = %v, want 2.25 (metrics: %v)", got, m)
 	}
 	if got := m["codec encode speedup"]; got != 2.5 {
 		t.Errorf("encode speedup = %v, want 2.5", got)
+	}
+}
+
+// TestRelativeMetricsPerCore: rows measured at GOMAXPROCS=4 produce a
+// per-core scaling ratio against the 1-proc row of the same channel and
+// payload, and never gate against rows from a different procs cell.
+func TestRelativeMetricsPerCore(t *testing.T) {
+	r := sampleBaseline()
+	r.Fanout = append(r.Fanout,
+		FanoutRow{Channel: "Tcp (pooled)", Callers: 64, Payload: 64, Procs: 4, CallsPerSec: 80000},
+		FanoutRow{Channel: "Tcp (multiplexed)", Callers: 64, Payload: 64, Procs: 4, CallsPerSec: 270000},
+	)
+	m := RelativeMetrics(r)
+	// 270000 calls/s on 4 cores = 67500 per core, over 90000 at 1 proc.
+	if got := m["fanout Tcp (multiplexed) @64B x4p per-core"]; got != 0.75 {
+		t.Errorf("per-core scaling = %v, want 0.75 (metrics: %v)", got, m)
+	}
+	// The 4-proc cell gets its own channel-vs-channel ratio.
+	if got := m["fanout Tcp (multiplexed) @64B x4p vs Tcp (pooled)"]; got != 3.375 {
+		t.Errorf("4p channel ratio = %v, want 3.375", got)
+	}
+	// A regression confined to multi-core scaling fails the relative gate.
+	cur := Report{Fanout: append([]FanoutRow(nil), r.Fanout...), Codec: r.Codec}
+	cur.Fanout[3].CallsPerSec = 100000 // scaling collapsed
+	problems := CompareReportsRelative(r, cur, 0.15)
+	if len(problems) == 0 {
+		t.Error("collapsed multi-core scaling passed the relative gate")
+	}
+}
+
+func TestMetaMismatch(t *testing.T) {
+	a := &ReportMeta{GOMAXPROCS: 4, NumCPU: 4}
+	if msg := MetaMismatch(a, &ReportMeta{GOMAXPROCS: 4, NumCPU: 4}); msg != "" {
+		t.Errorf("equal metas mismatch: %q", msg)
+	}
+	if msg := MetaMismatch(a, &ReportMeta{GOMAXPROCS: 1, NumCPU: 4}); !strings.Contains(msg, "GOMAXPROCS") {
+		t.Errorf("GOMAXPROCS mismatch not reported: %q", msg)
+	}
+	if msg := MetaMismatch(a, &ReportMeta{GOMAXPROCS: 4, NumCPU: 8}); !strings.Contains(msg, "NumCPU") {
+		t.Errorf("NumCPU mismatch not reported: %q", msg)
+	}
+	if msg := MetaMismatch(nil, a); msg != "" {
+		t.Errorf("legacy report without meta must not be refused: %q", msg)
 	}
 }
 

@@ -36,6 +36,9 @@ type Options struct {
 	// MaxInFlight bounds concurrent exchanges per multiplexed peer
 	// connection (remoting.Multiplexed only); 0 selects the default.
 	MaxInFlight int
+	// MuxLanes sets how many multiplexed connections each node opens per
+	// peer (remoting.Multiplexed only); 0 selects min(GOMAXPROCS, 4).
+	MuxLanes int
 	// Placement, Agglomeration, Aggregation are forwarded to every
 	// node's core.Config.
 	Placement     core.PlacementPolicy
@@ -80,6 +83,7 @@ func New(opts Options) (*Cluster, error) {
 		ch := newChannel(opts.ChannelKind, net)
 		ch.Cost = opts.Cost
 		ch.MaxInFlight = opts.MaxInFlight
+		ch.MuxLanes = opts.MuxLanes
 		var pool *threadpool.Pool
 		if opts.PoolSize > 0 {
 			pool = threadpool.New(opts.PoolSize, 0)

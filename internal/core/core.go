@@ -249,8 +249,10 @@ type Runtime struct {
 	objSeq  atomic.Int64
 	load    atomic.Int64 // live parallel objects hosted here
 
-	execMu sync.Mutex
-	exec   map[string]*execStats
+	// exec maps class → *execStats. A sync.Map with atomic counters: the
+	// per-call recordExec sits on every dispatch path, and a shared mutex
+	// there serializes otherwise-independent workers on many cores.
+	exec sync.Map
 
 	loadMu         sync.Mutex
 	loadCond       *sync.Cond
@@ -335,8 +337,8 @@ type peer struct {
 }
 
 type execStats struct {
-	calls int64
-	nanos int64
+	calls atomic.Int64
+	nanos atomic.Int64
 }
 
 // omURI is the well-known URI of each node's object manager.
@@ -361,7 +363,6 @@ func Start(cfg Config, addr string) (*Runtime, error) {
 	rt := &Runtime{
 		cfg:         cfg,
 		classes:     make(map[string]func() any),
-		exec:        make(map[string]*execStats),
 		actors:      make(map[string]*actor),
 		dir:         make(map[string]ObjLoc),
 		health:      make(map[int]*peerHealth),
@@ -496,28 +497,33 @@ func (rt *Runtime) Load() int { return int(rt.load.Load()) }
 // ClassStatsFor returns the measured grain statistics of a class on this
 // node.
 func (rt *Runtime) ClassStatsFor(class string) ClassStats {
-	rt.execMu.Lock()
-	defer rt.execMu.Unlock()
-	es := rt.exec[class]
-	if es == nil || es.calls == 0 {
+	v, ok := rt.exec.Load(class)
+	if !ok {
+		return ClassStats{}
+	}
+	es := v.(*execStats)
+	// The two loads are not a consistent snapshot: a concurrent recordExec
+	// can land between them, skewing the average by one call. Grain stats
+	// feed heuristics (agglomeration thresholds), so the skew is harmless
+	// and not worth a lock on the dispatch path.
+	calls := es.calls.Load()
+	if calls == 0 {
 		return ClassStats{}
 	}
 	return ClassStats{
-		Calls:       es.calls,
-		AvgExecTime: time.Duration(es.nanos / es.calls),
+		Calls:       calls,
+		AvgExecTime: time.Duration(es.nanos.Load() / calls),
 	}
 }
 
 func (rt *Runtime) recordExec(class string, d time.Duration) {
-	rt.execMu.Lock()
-	es := rt.exec[class]
-	if es == nil {
-		es = &execStats{}
-		rt.exec[class] = es
+	v, ok := rt.exec.Load(class)
+	if !ok {
+		v, _ = rt.exec.LoadOrStore(class, &execStats{})
 	}
-	es.calls++
-	es.nanos += d.Nanoseconds()
-	rt.execMu.Unlock()
+	es := v.(*execStats)
+	es.calls.Add(1)
+	es.nanos.Add(d.Nanoseconds())
 }
 
 func (rt *Runtime) factoryFor(class string) (func() any, error) {

@@ -577,7 +577,12 @@ func (rt *Runtime) replicateVirtual(class, uri string, gen, seq uint64, fromNode
 	rt.replMu.Lock()
 	cur := rt.replicas[uri]
 	if cur == nil || gen > cur.gen || (gen == cur.gen && seq >= cur.seq) {
-		rt.replicas[uri] = &replicaState{class: class, gen: gen, seq: seq, state: state}
+		// The snapshot outlives this call, but state may alias the RPC
+		// receive frame (zero-copy borrowing hands the frame to the
+		// invoker only for the invocation's duration), so the retained
+		// copy must be ours.
+		rt.replicas[uri] = &replicaState{class: class, gen: gen, seq: seq,
+			state: append([]byte(nil), state...)}
 	}
 	rt.replMu.Unlock()
 	return nil

@@ -90,6 +90,9 @@ func bindServer(t *testing.T, clientNoBind, serverNoBind bool) (*Channel, *Serve
 	srv.RegisterWellKnown("d", Singleton, func() any { return &divideServer{} })
 	cliCh := NewMultiplexedChannel(net)
 	cliCh.DisableBinding = clientNoBind
+	// One lane: these tests count envelope markers per connection, and
+	// handles are per-lane state — striping would split the counts.
+	cliCh.MuxLanes = 1
 	t.Cleanup(cliCh.Close)
 	return cliCh, srv, net
 }
@@ -209,6 +212,7 @@ func TestBindingConcurrentCallers(t *testing.T) {
 func TestBindRebuildAfterRedial(t *testing.T) {
 	net := newSniffingNetwork()
 	ch := NewMultiplexedChannel(net)
+	ch.MuxLanes = 1 // sequential calls must reuse one connection's handles
 	defer ch.Close()
 	srv, err := ch.ListenAndServe("mem://rebind")
 	if err != nil {

@@ -71,10 +71,20 @@ type Channel struct {
 	// Cost injects endpoint software costs; see CostModel.
 	Cost CostModel
 
-	// MaxInFlight bounds concurrent exchanges per multiplexed peer
-	// connection; callers beyond the bound block until a slot frees.
-	// Zero selects DefaultMaxInFlight. Only the Multiplexed kind uses it.
+	// MaxInFlight bounds concurrent exchanges per multiplexed lane;
+	// callers beyond the bound block until a slot frees. Zero selects
+	// DefaultMaxInFlight. Only the Multiplexed kind uses it. The bound is
+	// per lane: a channel with N lanes admits up to N×MaxInFlight
+	// concurrent exchanges per peer.
 	MaxInFlight int
+
+	// MuxLanes sets how many multiplexed connections (lanes) the channel
+	// opens per peer address, each with its own writer goroutine and
+	// in-flight table; callers are striped across lanes by sequence
+	// number, so unrelated calls never share a lock or a TCP stream. Zero
+	// selects DefaultMuxLanes (min(GOMAXPROCS, 4)); 1 restores the
+	// single-connection behaviour. Only the Multiplexed kind uses it.
+	MuxLanes int
 
 	// DisableBinding turns off bound call handles (see envelope.go),
 	// forcing the string envelope on every call. It is the escape hatch
@@ -87,7 +97,7 @@ type Channel struct {
 	pool connPool
 
 	muxMu    sync.Mutex
-	muxPeers map[string]*muxConn
+	muxPeers map[muxKey]*muxConn
 }
 
 // NewTCPChannel returns the modern binary channel over net.
@@ -132,6 +142,24 @@ func (ch *Channel) Scheme() string {
 
 // nextSeq allocates a call sequence number.
 func (ch *Channel) nextSeq() uint64 { return ch.seq.Add(1) }
+
+// laneCount resolves the effective mux lane count (see MuxLanes).
+func (ch *Channel) laneCount() int {
+	if ch.kind != Multiplexed {
+		return 1
+	}
+	n := ch.MuxLanes
+	if n == 0 {
+		n = DefaultMuxLanes()
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > maxMuxLanes {
+		n = maxMuxLanes
+	}
+	return n
+}
 
 // binaryCodec reports whether the channel serialises with the binary
 // formatter, whose pooled Encoder fast path the envelope hot paths use.
@@ -193,6 +221,30 @@ func (ch *Channel) decodeRequest(raw []byte) (*callRequest, error) {
 	return nil, fmt.Errorf("remoting: decoded %T, want callRequest", v)
 }
 
+// decodeRequestShared decodes a request, in borrow mode when borrow is set
+// and the channel is binary: large []byte arguments then alias raw instead
+// of being copied out of it. borrowed=true transfers ownership of raw to
+// whoever holds the request — the caller must not PutFrame it until the
+// request's last use (the invoker's return; see Server.handleConn).
+func (ch *Channel) decodeRequestShared(raw []byte, borrow bool) (req *callRequest, borrowed bool, err error) {
+	bf, binary := ch.binaryCodec()
+	if !borrow || !binary {
+		req, err := ch.decodeRequest(raw)
+		return req, false, err
+	}
+	v, borrowed, err := bf.UnmarshalShared(raw)
+	if err != nil {
+		return nil, borrowed, fmt.Errorf("remoting: decode request: %w", err)
+	}
+	switch req := v.(type) {
+	case *callRequest:
+		return req, borrowed, nil
+	case callRequest:
+		return &req, borrowed, nil
+	}
+	return nil, borrowed, fmt.Errorf("remoting: decoded %T, want callRequest", v)
+}
+
 // encodeResponse mirrors encodeRequest, pooled encoder included.
 func (ch *Channel) encodeResponse(resp *callResponse) (raw []byte, enc *wire.Encoder, err error) {
 	if bf, ok := ch.binaryCodec(); ok {
@@ -235,6 +287,29 @@ func (ch *Channel) decodeResponse(raw []byte) (*callResponse, error) {
 		return &resp, nil
 	}
 	return nil, fmt.Errorf("remoting: decoded %T, want callResponse", v)
+}
+
+// decodeResponseShared mirrors decodeRequestShared for the client side:
+// with borrow set on a binary channel, a large []byte result aliases raw,
+// and borrowed=true means raw now belongs to the response's consumer (the
+// mux reader simply skips PutFrame and lets the GC free both together).
+func (ch *Channel) decodeResponseShared(raw []byte, borrow bool) (resp *callResponse, borrowed bool, err error) {
+	bf, binary := ch.binaryCodec()
+	if !borrow || !binary {
+		resp, err := ch.decodeResponse(raw)
+		return resp, false, err
+	}
+	v, borrowed, err := bf.UnmarshalShared(raw)
+	if err != nil {
+		return nil, borrowed, fmt.Errorf("remoting: decode response: %w", err)
+	}
+	switch resp := v.(type) {
+	case *callResponse:
+		return resp, borrowed, nil
+	case callResponse:
+		return &resp, borrowed, nil
+	}
+	return nil, borrowed, fmt.Errorf("remoting: decoded %T, want callResponse", v)
 }
 
 // sendMsg transmits one encoded message, applying the legacy channel's

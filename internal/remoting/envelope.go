@@ -100,26 +100,39 @@ func encodeBoundCall(handle uint32, req *callRequest, disableGenerated bool) (ra
 // callRequest with URI/Method left empty (the server fills them from its
 // bind table).
 func decodeBoundCall(raw []byte) (handle uint32, req *callRequest, err error) {
+	handle, req, _, err = decodeBoundCallShared(raw, false)
+	return handle, req, err
+}
+
+// decodeBoundCallShared is decodeBoundCall with optional zero-copy
+// borrowing: with borrow set, large []byte arguments alias raw, and
+// borrowed=true transfers ownership of raw to whoever holds the request
+// (the server keeps the frame until the invocation returns).
+func decodeBoundCallShared(raw []byte, borrow bool) (handle uint32, req *callRequest, borrowed bool, err error) {
 	d := wire.NewDecoder(raw)
 	defer d.Release()
+	if borrow {
+		d.SetBorrow(true)
+	}
 	if b := d.RawByte(); b != markBoundCall {
-		return 0, nil, fmt.Errorf("remoting: bound call marker 0x%02x, want 0x%02x", b, markBoundCall)
+		return 0, nil, false, fmt.Errorf("remoting: bound call marker 0x%02x, want 0x%02x", b, markBoundCall)
 	}
 	h := d.RawUvarint()
 	req = &callRequest{}
 	req.Seq = d.RawUvarint()
 	req.Deadline = d.RawVarint()
 	req.Args = d.AnySlice()
+	borrowed = d.Borrowed()
 	if err := d.Err(); err != nil {
-		return 0, nil, fmt.Errorf("remoting: decode bound call: %w", err)
+		return 0, nil, borrowed, fmt.Errorf("remoting: decode bound call: %w", err)
 	}
 	if rest := d.Rest(); rest != 0 {
-		return 0, nil, fmt.Errorf("remoting: bound call: %d trailing bytes", rest)
+		return 0, nil, borrowed, fmt.Errorf("remoting: bound call: %d trailing bytes", rest)
 	}
 	if h == 0 || h > maxBindHandles {
-		return 0, nil, fmt.Errorf("remoting: bound call handle %d out of range", h)
+		return 0, nil, borrowed, fmt.Errorf("remoting: bound call handle %d out of range", h)
 	}
-	return uint32(h), req, nil
+	return uint32(h), req, borrowed, nil
 }
 
 // encodeBoundReply produces the compact reply frame. bindAck, when
@@ -162,10 +175,21 @@ func encodeBoundReply(resp *callResponse, bindAck uint32, disableGenerated bool)
 // decodeBoundReply parses a compact reply frame, returning the normalized
 // response and the handle it confirms (0 when none).
 func decodeBoundReply(raw []byte) (resp *callResponse, bindAck uint32, err error) {
+	resp, bindAck, _, err = decodeBoundReplyShared(raw, false)
+	return resp, bindAck, err
+}
+
+// decodeBoundReplyShared is decodeBoundReply with optional zero-copy
+// borrowing: with borrow set, a large []byte result aliases raw, and
+// borrowed=true transfers ownership of raw to the response's consumer.
+func decodeBoundReplyShared(raw []byte, borrow bool) (resp *callResponse, bindAck uint32, borrowed bool, err error) {
 	d := wire.NewDecoder(raw)
 	defer d.Release()
+	if borrow {
+		d.SetBorrow(true)
+	}
 	if b := d.RawByte(); b != markBoundReply {
-		return nil, 0, fmt.Errorf("remoting: bound reply marker 0x%02x, want 0x%02x", b, markBoundReply)
+		return nil, 0, false, fmt.Errorf("remoting: bound reply marker 0x%02x, want 0x%02x", b, markBoundReply)
 	}
 	resp = &callResponse{}
 	resp.Seq = d.RawUvarint()
@@ -184,14 +208,15 @@ func decodeBoundReply(raw []byte) (resp *callResponse, bindAck uint32, err error
 	} else {
 		resp.Result = d.Value()
 	}
+	borrowed = d.Borrowed()
 	if err := d.Err(); err != nil {
-		return nil, 0, fmt.Errorf("remoting: decode bound reply: %w", err)
+		return nil, 0, borrowed, fmt.Errorf("remoting: decode bound reply: %w", err)
 	}
 	if rest := d.Rest(); rest != 0 {
-		return nil, 0, fmt.Errorf("remoting: bound reply: %d trailing bytes", rest)
+		return nil, 0, borrowed, fmt.Errorf("remoting: bound reply: %d trailing bytes", rest)
 	}
 	if ack > maxBindHandles {
-		return nil, 0, fmt.Errorf("remoting: bound reply ack %d out of range", ack)
+		return nil, 0, borrowed, fmt.Errorf("remoting: bound reply ack %d out of range", ack)
 	}
-	return resp, uint32(ack), nil
+	return resp, uint32(ack), borrowed, nil
 }

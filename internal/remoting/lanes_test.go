@@ -1,0 +1,221 @@
+package remoting
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// setProcs pins GOMAXPROCS for a test (and so DefaultMuxLanes), restoring
+// the previous value on cleanup. The lane tests run at 4 regardless of the
+// host so single-core CI still exercises the multi-lane paths.
+func setProcs(t *testing.T, n int) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
+// muxPeerCount reads how many lane connections the channel currently holds.
+func muxPeerCount(ch *Channel) int {
+	ch.muxMu.Lock()
+	defer ch.muxMu.Unlock()
+	return len(ch.muxPeers)
+}
+
+func TestDefaultMuxLanesTracksGOMAXPROCS(t *testing.T) {
+	setProcs(t, 4)
+	if got := DefaultMuxLanes(); got != 4 {
+		t.Errorf("DefaultMuxLanes at GOMAXPROCS=4 = %d, want 4", got)
+	}
+	setProcs(t, 1)
+	if got := DefaultMuxLanes(); got != 1 {
+		t.Errorf("DefaultMuxLanes at GOMAXPROCS=1 = %d, want 1", got)
+	}
+	runtime.GOMAXPROCS(16)
+	if got := DefaultMuxLanes(); got != 4 {
+		t.Errorf("DefaultMuxLanes at GOMAXPROCS=16 = %d, want 4 (capped)", got)
+	}
+}
+
+// TestLaneStriping: with 4 lanes, concurrent callers spread over exactly 4
+// connections to the one peer — no more (lanes are long-lived), no fewer
+// (striping reaches every lane) — and every call still completes correctly.
+func TestLaneStriping(t *testing.T) {
+	setProcs(t, 4)
+	ch, srv, net := newMuxServer(t)
+	ch.MuxLanes = 4
+	shared := &divideServer{}
+	srv.RegisterWellKnown("d", Singleton, func() any { return shared })
+	ref, _ := GetObject(ch, srv.URLFor("d"))
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 8; j++ {
+				if _, err := ref.Invoke("Divide", 8.0, 2.0); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if shared.Calls() != 256 {
+		t.Errorf("calls = %d, want 256", shared.Calls())
+	}
+	if d := net.dials.Load(); d != 4 {
+		t.Errorf("dials = %d, want 4 (one long-lived connection per lane)", d)
+	}
+	if n := muxPeerCount(ch); n != 4 {
+		t.Errorf("muxPeers = %d, want 4", n)
+	}
+}
+
+// TestLaneOutOfOrderCompletion: a call blocked server-side must not block a
+// later call even when the two calls ride different lanes — cross-lane
+// completion is fully independent, not just out-of-order within one stream.
+func TestLaneOutOfOrderCompletion(t *testing.T) {
+	setProcs(t, 4)
+	ch, srv, _ := newMuxServer(t)
+	ch.MuxLanes = 4
+	g := newGateService()
+	srv.RegisterWellKnown("g", Singleton, func() any { return g })
+	ref, _ := GetObject(ch, srv.URLFor("g"))
+
+	slow := ref.BeginInvoke("WaitGate")
+	select {
+	case <-g.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitGate never reached the server")
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if res, err := ref.Invoke("Open"); err != nil || res != "opened" {
+			t.Errorf("Open = %v, %v", res, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Open deadlocked behind WaitGate across lanes")
+	}
+	if got, err := slow.EndInvoke(); err != nil || got != "waited" {
+		t.Fatalf("WaitGate = %v, %v", got, err)
+	}
+}
+
+// TestLaneCancellationIsolation: an abandoned call must disturb only its
+// own exchange — every lane's connection survives (no redials beyond the
+// initial dial per lane) and subsequent calls on all lanes succeed.
+func TestLaneCancellationIsolation(t *testing.T) {
+	setProcs(t, 4)
+	ch, srv, net := newMuxServer(t)
+	ch.MuxLanes = 4
+	g := newGateService()
+	srv.RegisterWellKnown("g", Singleton, func() any { return g })
+	ref, _ := GetObject(ch, srv.URLFor("g"))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := ref.InvokeCtx(ctx, "WaitGate"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	// Enough sequential calls to stripe across every lane.
+	for i := 0; i < 8; i++ {
+		if got, err := ref.Invoke("Ping"); err != nil || got != "pong" {
+			t.Fatalf("Ping %d after cancellation = %v, %v", i, got, err)
+		}
+	}
+	// Unblock the abandoned handler; its late response is dropped on
+	// whatever lane carried it, without disturbing the others.
+	if _, err := ref.Invoke("Open"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if got, err := ref.Invoke("Ping"); err != nil || got != "pong" {
+			t.Fatalf("Ping %d after late response = %v, %v", i, got, err)
+		}
+	}
+	if d := net.dials.Load(); d > 4 {
+		t.Errorf("dials = %d, want <= 4: cancellation must not kill any lane", d)
+	}
+}
+
+// TestLaneRedialRebuild: a peer restart kills every lane at once; each lane
+// must transparently redial on its next call and rebuild its bound-call
+// handles (handles are per-connection, so every lane re-declares).
+func TestLaneRedialRebuild(t *testing.T) {
+	setProcs(t, 4)
+	net := transport.NewMemNetwork()
+	ch := NewMultiplexedChannel(net)
+	ch.MuxLanes = 4
+	defer ch.Close()
+	srv, err := ch.ListenAndServe("mem://lanerestart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.RegisterWellKnown("d", Singleton, func() any { return &divideServer{} })
+	ref, _ := GetObject(ch, srv.URLFor("d"))
+	for i := 0; i < 8; i++ {
+		if _, err := ref.Invoke("Divide", 8.0, 2.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.Close() // peer "restarts": every lane's pipe is now dead
+	srv2, err := ch.ListenAndServe("mem://lanerestart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	srv2.RegisterWellKnown("d", Singleton, func() any { return &divideServer{} })
+	for i := 0; i < 8; i++ {
+		got, err := ref.Invoke("Divide", 9.0, 3.0)
+		if err != nil {
+			t.Fatalf("call %d after peer restart = %v, want transparent per-lane redial", i, err)
+		}
+		if got != 3.0 {
+			t.Errorf("Divide = %v", got)
+		}
+	}
+}
+
+// TestLaneConcurrentChurn hammers all lanes with a mix of successful calls
+// and cancelled ones — the -race workout for the sharded in-flight and
+// bind tables under concurrent registration, completion and abandonment.
+func TestLaneConcurrentChurn(t *testing.T) {
+	setProcs(t, 4)
+	ch, srv, _ := newMuxServer(t)
+	ch.MuxLanes = 4
+	shared := &divideServer{}
+	srv.RegisterWellKnown("d", Singleton, func() any { return shared })
+	ref, _ := GetObject(ch, srv.URLFor("d"))
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				if n%4 == 0 {
+					// Already-expired context: registered and abandoned
+					// immediately, racing the completions around it.
+					ctx, cancel := context.WithCancel(context.Background())
+					cancel()
+					ref.InvokeCtx(ctx, "Divide", 1.0, 1.0) //nolint:errcheck
+					continue
+				}
+				if _, err := ref.Invoke("Divide", 8.0, 2.0); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -12,44 +13,113 @@ import (
 	"repro/internal/wire"
 )
 
-// DefaultMaxInFlight bounds concurrent exchanges per multiplexed peer
-// connection when Channel.MaxInFlight is zero. The bound is backpressure,
-// not a queue: callers beyond it block until a slot frees.
+// DefaultMaxInFlight bounds concurrent exchanges per multiplexed lane when
+// Channel.MaxInFlight is zero. The bound is backpressure, not a queue:
+// callers beyond it block until a slot frees.
 const DefaultMaxInFlight = 1024
 
-// muxConn is one long-lived multiplexed connection to a peer address. Many
+// maxMuxLanes caps Channel.MuxLanes; past a few lanes per peer the wire is
+// the bottleneck, not the locks, and each lane costs a connection plus two
+// goroutines.
+const maxMuxLanes = 64
+
+// DefaultMuxLanes is the lane count used when Channel.MuxLanes is zero:
+// one lane per processor up to four. A single-core process gets exactly
+// the old single-connection behaviour; a many-core one spreads unrelated
+// callers across connections so they never share a writer, a TCP stream,
+// or an in-flight table.
+func DefaultMuxLanes() int {
+	return min(runtime.GOMAXPROCS(0), 4)
+}
+
+// inflightShards stripes each lane's in-flight table. Power of two so the
+// shard index is a mask of the sequence number; 16 shards keep the
+// collision probability negligible for hundreds of concurrent callers at
+// the cost of 16 small maps per lane.
+const inflightShards = 16
+
+// inflightShard is one stripe of a lane's seq → caller table. closed flips
+// under mu when the lane fails, so a register racing the failure either
+// lands in the map (and is drained with an error) or observes closed —
+// never a silently dropped caller.
+type inflightShard struct {
+	mu     sync.Mutex
+	m      map[uint64]chan muxResult
+	closed bool
+}
+
+// bindShardCount stripes the client bind table by (URI, Method) hash.
+// Binding is cold-path (first call per pair), but the confirmed-handle
+// lookup on every call shares the stripes' read locks, so they must not
+// funnel through one RWMutex.
+const bindShardCount = 8
+
+type bindShard struct {
+	mu sync.RWMutex
+	m  map[bindKey]*clientBind
+}
+
+// bindHash is FNV-1a over uri, '.', method — cheap, and uniform enough for
+// eight stripes.
+func bindHash(uri, method string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(uri); i++ {
+		h = (h ^ uint32(uri[i])) * 16777619
+	}
+	h = (h ^ uint32('.')) * 16777619
+	for i := 0; i < len(method); i++ {
+		h = (h ^ uint32(method[i])) * 16777619
+	}
+	return h
+}
+
+// muxConn is one long-lived multiplexed lane to a peer address. Many
 // request/response exchanges are in flight concurrently: a single writer
 // goroutine drains sendq onto the wire, and a single reader goroutine
 // matches each arriving response to its caller through the seq-keyed
-// in-flight table. Responses may complete in any order.
+// in-flight shards. Responses may complete in any order.
 //
-// Context cancellation abandons a call — the entry is removed from the
-// in-flight table and the late response is dropped by the reader — but the
-// connection itself stays up, so one impatient caller cannot kill the
-// exchanges of every other caller sharing the pipe.
+// A channel holds laneCount() lanes per peer, with callers striped across
+// them by sequence number; each lane is its own connection, writer, reader
+// and in-flight table, so callers on different lanes contend on nothing.
+//
+// Context cancellation abandons a call — the entry is removed from its
+// in-flight shard and the late response is dropped by the reader — but the
+// lane itself stays up, so one impatient caller cannot kill the exchanges
+// of every other caller sharing the pipe.
 type muxConn struct {
 	ch      *Channel
 	netaddr string
+	lane    int
 	sendq   chan outFrame
 	slots   chan struct{} // in-flight backpressure semaphore
 	done    chan struct{} // closed by fail
 	ready   chan struct{} // closed once the dial settled (conn or dialErr)
 
-	mu       sync.Mutex
-	conn     transport.Conn // set by dial; nil when the dial failed
-	dialErr  error
-	inflight map[uint64]chan muxResult
-	failed   bool
-	failErr  error
+	mu      sync.Mutex
+	conn    transport.Conn // set by dial; nil when the dial failed
+	dialErr error
+	failed  bool
+	failErr error
 
-	// Bound call handles (envelope.go): per-connection client state. binds
-	// maps a (URI, Method) pair to its handle entry; byHandle indexes the
-	// same entries by handle-1 so the reader can route bind acks. Handles
-	// die with the connection — a redial starts empty and re-declares,
+	inflight [inflightShards]inflightShard
+
+	// Bound call handles (envelope.go): per-lane client state. bindShards
+	// map (URI, Method) pairs to their handle entries; byHandle indexes the
+	// same entries by handle-1 (copy-on-write, appends serialised by
+	// handleMu) so the reader routes bind acks with an atomic load and a
+	// slice index — no lock shared with callers declaring new pairs.
+	// Handles die with the lane — a redial starts empty and re-declares,
 	// which is what makes reconnects transparent.
-	bindMu   sync.RWMutex
-	binds    map[bindKey]*clientBind
-	byHandle []*clientBind
+	bindShards [bindShardCount]bindShard
+	handleMu   sync.Mutex
+	byHandle   atomic.Pointer[[]*clientBind]
+}
+
+// muxKey identifies one lane to one peer in the channel's peer table.
+type muxKey struct {
+	netaddr string
+	lane    int
 }
 
 // bindKey identifies one bindable (URI, Method) pair.
@@ -73,43 +143,57 @@ var unboundSentinel = &clientBind{}
 // bindFor returns the bind entry for a pair, declaring a fresh dense
 // handle on first use.
 func (mc *muxConn) bindFor(uri, method string) *clientBind {
+	sh := &mc.bindShards[bindHash(uri, method)&(bindShardCount-1)]
 	k := bindKey{uri: uri, method: method}
-	mc.bindMu.RLock()
-	cb := mc.binds[k]
-	mc.bindMu.RUnlock()
+	sh.mu.RLock()
+	cb := sh.m[k]
+	sh.mu.RUnlock()
 	if cb != nil {
 		return cb
 	}
-	mc.bindMu.Lock()
-	defer mc.bindMu.Unlock()
-	if cb := mc.binds[k]; cb != nil {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if cb := sh.m[k]; cb != nil {
 		return cb
 	}
-	if len(mc.byHandle) >= maxBindHandles {
+	mc.handleMu.Lock()
+	var cur []*clientBind
+	if p := mc.byHandle.Load(); p != nil {
+		cur = *p
+	}
+	if len(cur) >= maxBindHandles {
+		mc.handleMu.Unlock()
 		return unboundSentinel
 	}
-	if mc.binds == nil {
-		mc.binds = make(map[bindKey]*clientBind)
+	cb = &clientBind{handle: uint32(len(cur) + 1)}
+	next := make([]*clientBind, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = cb
+	mc.byHandle.Store(&next)
+	mc.handleMu.Unlock()
+	if sh.m == nil {
+		sh.m = make(map[bindKey]*clientBind)
 	}
-	cb = &clientBind{handle: uint32(len(mc.byHandle) + 1)}
-	mc.binds[k] = cb
-	mc.byHandle = append(mc.byHandle, cb)
+	sh.m[k] = cb
 	return cb
 }
 
-// confirmBind records a server ack for a declared handle.
+// confirmBind records a server ack for a declared handle. Lock-free: the
+// reader loads the copy-on-write handle index and flips the entry's flag.
 func (mc *muxConn) confirmBind(handle uint32) {
-	mc.bindMu.RLock()
-	defer mc.bindMu.RUnlock()
-	if idx := int(handle) - 1; idx >= 0 && idx < len(mc.byHandle) {
-		mc.byHandle[idx].confirmed.Store(true)
+	p := mc.byHandle.Load()
+	if p == nil {
+		return
+	}
+	if idx := int(handle) - 1; idx >= 0 && idx < len(*p) {
+		(*p)[idx].confirmed.Store(true)
 	}
 }
 
-// encodeRequest produces the wire frame for req on this connection:
-// the compact envelope once the server confirmed the pair's handle, the
-// string envelope (carrying the bind declaration) until then. Ownership
-// of the returned pooled encoder follows Channel.encodeRequest.
+// encodeRequest produces the wire frame for req on this lane: the compact
+// envelope once the server confirmed the pair's handle, the string
+// envelope (carrying the bind declaration) until then. Ownership of the
+// returned pooled encoder follows Channel.encodeRequest.
 func (mc *muxConn) encodeRequest(req *callRequest) (raw []byte, enc *wire.Encoder, err error) {
 	bf, binary := mc.ch.binaryCodec()
 	if !binary || mc.ch.DisableBinding {
@@ -131,8 +215,8 @@ type muxResult struct {
 // outFrame is one queued request frame. enc, when non-nil, is the pooled
 // encoder whose buffer raw aliases: whoever consumes the frame (normally
 // the writer goroutine, after the bytes hit the wire) releases it. Frames
-// stranded in sendq when a connection fails are simply collected by the GC —
-// a pool miss, not a leak.
+// stranded in sendq when a lane fails are simply collected by the GC — a
+// pool miss, not a leak.
 type outFrame struct {
 	raw []byte
 	enc *wire.Encoder
@@ -151,36 +235,40 @@ func (of outFrame) release() {
 // would re-create the very connection Close just released.
 var errChannelClosed = fmt.Errorf("channel closed: %w", errs.ErrNodeDown)
 
-// getMux returns the live multiplexed connection for netaddr, dialling one
-// when absent or when the previous one failed. The channel-wide lock is
-// held only for the map access: the dial itself runs outside it (a slow or
-// blackholed peer must not stall calls to healthy peers, nor Close), with
-// concurrent callers for the same address waiting on the ready channel of
-// whichever caller dialled. fresh reports whether this call dialled — a
+// getMux returns the live multiplexed lane for (netaddr, lane), dialling
+// one when absent or when the previous one failed. The channel-wide lock
+// is held only for the map access: the dial itself runs outside it (a slow
+// or blackholed peer must not stall calls to healthy peers, nor Close),
+// with concurrent callers for the same lane waiting on the ready channel
+// of whichever caller dialled. fresh reports whether this call dialled — a
 // failure on a fresh connection is a real peer failure, not staleness, so
 // the caller must not retry it.
-func (ch *Channel) getMux(netaddr string) (mc *muxConn, fresh bool, err error) {
+func (ch *Channel) getMux(netaddr string, lane int) (mc *muxConn, fresh bool, err error) {
+	key := muxKey{netaddr: netaddr, lane: lane}
 	for {
 		ch.muxMu.Lock()
-		existing := ch.muxPeers[netaddr]
+		existing := ch.muxPeers[key]
 		if existing == nil {
 			limit := ch.MaxInFlight
 			if limit <= 0 {
 				limit = DefaultMaxInFlight
 			}
 			mc = &muxConn{
-				ch:       ch,
-				netaddr:  netaddr,
-				sendq:    make(chan outFrame, 64),
-				slots:    make(chan struct{}, limit),
-				done:     make(chan struct{}),
-				ready:    make(chan struct{}),
-				inflight: make(map[uint64]chan muxResult),
+				ch:      ch,
+				netaddr: netaddr,
+				lane:    lane,
+				sendq:   make(chan outFrame, 64),
+				slots:   make(chan struct{}, limit),
+				done:    make(chan struct{}),
+				ready:   make(chan struct{}),
+			}
+			for i := range mc.inflight {
+				mc.inflight[i].m = make(map[uint64]chan muxResult)
 			}
 			if ch.muxPeers == nil {
-				ch.muxPeers = make(map[string]*muxConn)
+				ch.muxPeers = make(map[muxKey]*muxConn)
 			}
-			ch.muxPeers[netaddr] = mc
+			ch.muxPeers[key] = mc
 			ch.muxMu.Unlock()
 			if err := mc.dial(); err != nil {
 				ch.removeMux(mc)
@@ -201,10 +289,10 @@ func (ch *Channel) getMux(netaddr string) (mc *muxConn, fresh bool, err error) {
 	}
 }
 
-// dial connects the muxConn and starts its writer/reader. It runs outside
-// the channel lock; concurrent callers wait on ready. A shutdown that
-// raced the dial (Channel.Close between map insert and connect) wins: the
-// fresh connection is discarded.
+// dial connects the lane and starts its writer/reader. It runs outside the
+// channel lock; concurrent callers wait on ready. A shutdown that raced
+// the dial (Channel.Close between map insert and connect) wins: the fresh
+// connection is discarded.
 func (mc *muxConn) dial() error {
 	mc.ch.Cost.ChargeConnect()
 	c, err := mc.ch.net.Dial(mc.netaddr)
@@ -232,29 +320,38 @@ func (mc *muxConn) dial() error {
 }
 
 // removeMux forgets mc so the next call dials afresh. The map is guarded
-// against replacing a newer connection that already took mc's slot.
+// against replacing a newer lane that already took mc's slot.
 func (ch *Channel) removeMux(mc *muxConn) {
+	key := muxKey{netaddr: mc.netaddr, lane: mc.lane}
 	ch.muxMu.Lock()
-	if ch.muxPeers[mc.netaddr] == mc {
-		delete(ch.muxPeers, mc.netaddr)
+	if ch.muxPeers[key] == mc {
+		delete(ch.muxPeers, key)
 	}
 	ch.muxMu.Unlock()
 }
 
-// muxRoundTrip performs one exchange over the multiplexed connection,
-// retrying exactly once on a fresh connection when a reused long-lived
-// connection turns out to have gone stale (peer restarted, transport
-// dropped) before anything was received for this call. An orderly
-// Channel.Close is never retried — redialling would undo the Close. See
-// roundTrip for the at-most-once caveat the retry shares with the pooled
-// path.
+// muxRoundTrip performs one exchange over a multiplexed lane, retrying
+// exactly once on a fresh connection when a reused long-lived connection
+// turns out to have gone stale (peer restarted, transport dropped) before
+// anything was received for this call. An orderly Channel.Close is never
+// retried — redialling would undo the Close. See roundTrip for the
+// at-most-once caveat the retry shares with the pooled path.
 //
-// Encoding happens here, per connection, because the envelope variant
-// depends on the connection's bind table (envelope.go); the retry
-// re-encodes on the fresh connection, whose bind table starts empty, so a
-// reconnect transparently falls back to string envelopes and re-declares.
+// The lane is chosen by sequence number, so concurrent callers spread
+// uniformly across lanes while a synchronous caller (who holds at most one
+// seq in flight) keeps its calls ordered trivially. Each lane fails and
+// redials independently: a retry lands on a fresh connection for the same
+// lane, whose bind table starts empty and re-declares.
+//
+// Encoding happens here, per lane, because the envelope variant depends on
+// the lane's bind table (envelope.go); the retry re-encodes on the fresh
+// lane, so a reconnect transparently falls back to string envelopes.
 func (ch *Channel) muxRoundTrip(ctx context.Context, netaddr string, req *callRequest) (*callResponse, error) {
-	mc, fresh, err := ch.getMux(netaddr)
+	lane := 0
+	if n := ch.laneCount(); n > 1 {
+		lane = int(req.Seq % uint64(n))
+	}
+	mc, fresh, err := ch.getMux(netaddr, lane)
 	if err != nil {
 		return nil, err
 	}
@@ -266,7 +363,7 @@ func (ch *Channel) muxRoundTrip(ctx context.Context, netaddr string, req *callRe
 	if err == nil || fresh || ctx.Err() != nil || !isConnFailure(err) || errors.Is(err, errChannelClosed) {
 		return resp, err
 	}
-	mc2, _, err2 := ch.getMux(netaddr)
+	mc2, _, err2 := ch.getMux(netaddr, lane)
 	if err2 != nil {
 		return nil, err2
 	}
@@ -277,10 +374,39 @@ func (ch *Channel) muxRoundTrip(ctx context.Context, netaddr string, req *callRe
 	return mc2.call(ctx, req, outFrame{raw: raw2, enc: enc2})
 }
 
+// register adds a caller to the lane's in-flight table, refusing when the
+// lane already failed (the per-shard closed flag makes the race with fail
+// safe: an entry either lands before the drain and is errored there, or
+// the register observes closed).
+func (mc *muxConn) register(seq uint64, rc chan muxResult) error {
+	sh := &mc.inflight[seq&(inflightShards-1)]
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		return mc.failureErr()
+	}
+	sh.m[seq] = rc
+	sh.mu.Unlock()
+	return nil
+}
+
+// take removes and returns the caller registered under seq, nil when the
+// call was abandoned (or the lane failed).
+func (mc *muxConn) take(seq uint64) chan muxResult {
+	sh := &mc.inflight[seq&(inflightShards-1)]
+	sh.mu.Lock()
+	rc := sh.m[seq]
+	if rc != nil {
+		delete(sh.m, seq)
+	}
+	sh.mu.Unlock()
+	return rc
+}
+
 // call runs one exchange: acquire an in-flight slot, register the sequence
 // number, hand the frame to the writer and wait for the reader to deliver
-// the matching response (or for the connection to fail, or ctx to end).
-// call owns of: it either hands it to the writer or releases it itself.
+// the matching response (or for the lane to fail, or ctx to end). call
+// owns of: it either hands it to the writer or releases it itself.
 func (mc *muxConn) call(ctx context.Context, req *callRequest, of outFrame) (*callResponse, error) {
 	select {
 	case mc.slots <- struct{}{}:
@@ -294,25 +420,20 @@ func (mc *muxConn) call(ctx context.Context, req *callRequest, of outFrame) (*ca
 	defer func() { <-mc.slots }()
 
 	rc := make(chan muxResult, 1)
-	mc.mu.Lock()
-	if mc.failed {
-		err := mc.failErr
-		mc.mu.Unlock()
+	if err := mc.register(req.Seq, rc); err != nil {
 		of.release()
 		return nil, mc.callErr(req, err)
 	}
-	mc.inflight[req.Seq] = rc
-	mc.mu.Unlock()
 
 	select {
 	case mc.sendq <- of:
 	case <-mc.done:
 		of.release()
-		mc.abandon(req.Seq)
+		mc.take(req.Seq)
 		return nil, mc.callErr(req, mc.failureErr())
 	case <-ctx.Done():
 		of.release()
-		mc.abandon(req.Seq)
+		mc.take(req.Seq)
 		return nil, mc.callErr(req, ctx.Err())
 	}
 
@@ -320,9 +441,9 @@ func (mc *muxConn) call(ctx context.Context, req *callRequest, of outFrame) (*ca
 	case res := <-rc:
 		return res.resp, res.err
 	case <-ctx.Done():
-		// Abandon, do not kill: the connection stays up for the other
-		// callers and the reader drops this call's late response.
-		mc.abandon(req.Seq)
+		// Abandon, do not kill: the lane stays up for the other callers
+		// and the reader drops this call's late response.
+		mc.take(req.Seq)
 		return nil, mc.callErr(req, ctx.Err())
 	}
 }
@@ -331,15 +452,6 @@ func (mc *muxConn) call(ctx context.Context, req *callRequest, of outFrame) (*ca
 // aborted.
 func (mc *muxConn) callErr(req *callRequest, err error) error {
 	return fmt.Errorf("remoting: call %s.%s: %w", req.URI, req.Method, err)
-}
-
-// abandon removes a sequence number from the in-flight table.
-func (mc *muxConn) abandon(seq uint64) {
-	mc.mu.Lock()
-	if mc.inflight != nil {
-		delete(mc.inflight, seq)
-	}
-	mc.mu.Unlock()
 }
 
 func (mc *muxConn) failureErr() error {
@@ -358,8 +470,8 @@ func (mc *muxConn) failureErr() error {
 // been written now (flush-on-idle: an empty queue flushes immediately).
 const maxWriteBatch = 64
 
-// writer is the per-connection writer goroutine: it serialises frames from
-// every caller onto the wire, draining the queue greedily so frames that
+// writer is the per-lane writer goroutine: it serialises frames from every
+// caller onto the wire, draining the queue greedily so frames that
 // accumulated while the previous write was in flight leave in one
 // coalesced wire write instead of one syscall each. Once a batch's bytes
 // have left through the transport (which copies or vectors them), its
@@ -399,6 +511,11 @@ func (mc *muxConn) writer() {
 // in-flight entry belongs to an abandoned call and is dropped. Compact
 // replies (which only a binding server sends, and only after this client
 // declared a handle) also carry bind acks, applied here before routing.
+//
+// Frames the pool would not retain anyway (large payloads past the retain
+// cap) decode in borrow mode: the result's []byte values alias the frame,
+// the memcpy is skipped, and the GC frees frame and result together.
+// Poolable frames decode with copies and recycle immediately, as always.
 func (mc *muxConn) reader() {
 	for {
 		raw, err := mc.ch.recvMsg(mc.conn)
@@ -406,34 +523,34 @@ func (mc *muxConn) reader() {
 			mc.fail(fmt.Errorf("remoting: receive from %s: %v: %w", mc.netaddr, err, errs.ErrNodeDown))
 			return
 		}
+		borrow := !transport.PoolableFrame(raw)
 		var resp *callResponse
+		var borrowed bool
 		if isCompactFrame(raw, markBoundReply) {
 			var ack uint32
-			resp, ack, err = decodeBoundReply(raw)
+			resp, ack, borrowed, err = decodeBoundReplyShared(raw, borrow)
 			if err == nil && ack != 0 {
 				mc.confirmBind(ack)
 			}
 		} else {
-			resp, err = mc.ch.decodeResponse(raw)
+			resp, borrowed, err = mc.ch.decodeResponseShared(raw, borrow)
 		}
-		transport.PutFrame(raw) // decode copied everything it kept
+		if !borrowed {
+			transport.PutFrame(raw) // decode copied everything it kept
+		}
 		if err != nil {
 			// A framing/codec failure desynchronises the stream; the
-			// whole connection is unusable.
+			// whole lane is unusable.
 			mc.fail(err)
 			return
 		}
-		mc.mu.Lock()
-		rc := mc.inflight[resp.Seq]
-		delete(mc.inflight, resp.Seq)
-		mc.mu.Unlock()
-		if rc != nil {
+		if rc := mc.take(resp.Seq); rc != nil {
 			rc <- muxResult{resp: resp}
 		}
 	}
 }
 
-// fail moves the connection to its terminal state: it is removed from the
+// fail moves the lane to its terminal state: it is removed from the
 // channel's peer table (so the next call dials afresh), the transport is
 // closed, and every in-flight caller receives err. Idempotent.
 func (mc *muxConn) fail(err error) {
@@ -444,8 +561,6 @@ func (mc *muxConn) fail(err error) {
 	}
 	mc.failed = true
 	mc.failErr = err
-	pending := mc.inflight
-	mc.inflight = nil
 	conn := mc.conn
 	mc.mu.Unlock()
 	mc.ch.removeMux(mc)
@@ -455,13 +570,21 @@ func (mc *muxConn) fail(err error) {
 		conn.Close()
 	}
 	close(mc.done)
-	for _, rc := range pending {
-		rc <- muxResult{err: err}
+	for i := range mc.inflight {
+		sh := &mc.inflight[i]
+		sh.mu.Lock()
+		sh.closed = true
+		pending := sh.m
+		sh.m = nil
+		sh.mu.Unlock()
+		for _, rc := range pending {
+			rc <- muxResult{err: err}
+		}
 	}
 }
 
-// shutdown closes the connection as part of an orderly Channel.Close. The
-// closed sentinel keeps callers from retrying onto a fresh connection.
+// shutdown closes the lane as part of an orderly Channel.Close. The closed
+// sentinel keeps callers from retrying onto a fresh connection.
 func (mc *muxConn) shutdown() {
 	mc.fail(fmt.Errorf("remoting: %w", errChannelClosed))
 }

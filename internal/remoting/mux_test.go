@@ -89,6 +89,7 @@ func TestMultiplexedInvoke(t *testing.T) {
 
 func TestMultiplexedSharesOneConnection(t *testing.T) {
 	ch, srv, net := newMuxServer(t)
+	ch.MuxLanes = 1 // this test is exactly about sharing one connection
 	shared := &divideServer{}
 	srv.RegisterWellKnown("d", Singleton, func() any { return shared })
 	ref, _ := GetObject(ch, srv.URLFor("d"))
@@ -160,6 +161,7 @@ func TestMultiplexedOutOfOrderCompletion(t *testing.T) {
 // calls (and the late response being dropped) work fine.
 func TestMultiplexedCancellationAbandonsCall(t *testing.T) {
 	ch, srv, net := newMuxServer(t)
+	ch.MuxLanes = 1 // dial count below assumes a single shared connection
 	g := newGateService()
 	srv.RegisterWellKnown("g", Singleton, func() any { return g })
 	ref, _ := GetObject(ch, srv.URLFor("g"))
@@ -190,6 +192,7 @@ func TestMultiplexedCancellationAbandonsCall(t *testing.T) {
 // methods at once server-side.
 func TestMultiplexedMaxInFlightBackpressure(t *testing.T) {
 	ch, srv, _ := newMuxServer(t)
+	ch.MuxLanes = 1 // MaxInFlight is per lane; the peak bound assumes one
 	ch.MaxInFlight = 2
 	var cur, peak atomic.Int64
 	blocker := &blockingService{cur: &cur, peak: &peak, dur: 30 * time.Millisecond}

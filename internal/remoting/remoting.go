@@ -138,10 +138,12 @@ func ParseURL(url string) (scheme, netaddr, uri string, err error) {
 	}
 	host := rest[:j]
 	uri = rest[j+1:]
-	if scheme == "mem" {
-		// The memory transport embeds the scheme in its addresses.
-		netaddr = "mem://" + host
-	} else {
+	switch scheme {
+	case "mem", "unix", "inproc":
+		// Self-describing transports embed the scheme in their addresses,
+		// so the Auto network can route by address alone.
+		netaddr = scheme + "://" + host
+	default:
 		netaddr = host
 	}
 	if host == "" {
@@ -150,10 +152,11 @@ func ParseURL(url string) (scheme, netaddr, uri string, err error) {
 	return scheme, netaddr, uri, nil
 }
 
-// BuildURL is the inverse of ParseURL. Memory-transport addresses keep
-// their own scheme so the URL round-trips regardless of the channel kind.
+// BuildURL is the inverse of ParseURL. Self-describing addresses (mem://,
+// unix://, inproc://) keep their own scheme so the URL round-trips
+// regardless of the channel kind.
 func BuildURL(scheme, netaddr, uri string) string {
-	if strings.HasPrefix(netaddr, "mem://") {
+	if strings.Contains(netaddr, "://") {
 		return netaddr + "/" + uri
 	}
 	return fmt.Sprintf("%s://%s/%s", scheme, netaddr, uri)

@@ -411,12 +411,13 @@ func (s *Server) handleConn(c transport.Conn) {
 		var req *callRequest
 		var entry *bindEntry
 		var bindAck uint32
+		var borrowed bool
 		if binary && isCompactFrame(raw, markBoundCall) {
 			var handle uint32
-			handle, req, err = decodeBoundCall(raw)
-			transport.PutFrame(raw)
+			handle, req, borrowed, err = decodeBoundCallShared(raw, true)
 			if err != nil {
 				// Framing failure: the stream is desynchronised.
+				transport.PutFrame(raw)
 				return
 			}
 			entry = sc.lookupBind(handle)
@@ -425,28 +426,46 @@ func (s *Server) handleConn(c transport.Conn) {
 				// bug, but seq is known, so answer instead of
 				// killing every other pipelined call on the pipe.
 				sc.respond(req, errorResponse(req, fmt.Sprintf("unbound call handle %d", handle)), 0)
+				transport.PutFrame(raw)
 				continue
 			}
 			req.URI, req.Method = entry.uri, entry.method
 		} else {
-			req, err = s.ch.decodeRequest(raw)
-			transport.PutFrame(raw) // decode copied everything it kept
+			req, borrowed, err = s.ch.decodeRequestShared(raw, binary)
 			if err != nil {
 				// Without a sequence number we cannot form a matching
 				// reply; drop the connection.
+				transport.PutFrame(raw)
 				return
 			}
 			if req.Bind != 0 && binary && !s.ch.DisableBinding {
 				entry, bindAck = sc.declare(req)
 			}
 		}
+		// Explicit frame-ownership handoff (zero-copy borrowing): when the
+		// decode borrowed, large []byte arguments alias raw, so the frame
+		// travels with the request into the invoker and is recycled only
+		// after the response was encoded (respond copies anything the
+		// result still aliases). Unborrowed frames recycle immediately, as
+		// always.
+		ownedFrame := raw
+		if !borrowed {
+			transport.PutFrame(raw) // decode copied everything it kept
+			ownedFrame = nil
+		}
 		handle := func() {
 			sc.respond(req, s.dispatchEntry(req, entry), bindAck)
+			if ownedFrame != nil {
+				transport.PutFrame(ownedFrame)
+			}
 		}
 		calls.Add(1)
 		if s.pool != nil {
 			if submitErr := s.pool.Submit(func() { defer calls.Done(); handle() }); submitErr != nil {
 				sc.respond(req, errorResponse(req, fmt.Sprintf("server shutting down: %v", submitErr)), bindAck)
+				if ownedFrame != nil {
+					transport.PutFrame(ownedFrame)
+				}
 				calls.Done()
 			}
 		} else {

@@ -27,14 +27,15 @@ type Pool struct {
 	queue chan func()
 	wg    sync.WaitGroup
 
-	mu      sync.Mutex
-	cond    *sync.Cond // signals work-item completion to Wait
-	waiters int        // Wait calls currently blocked on cond
-	closed  bool
-	// submitters tracks Submit calls between their closed-check and their
-	// queue send, so Close can wait them out before closing the queue
-	// (sending on a closed channel would panic).
-	submitters sync.WaitGroup
+	mu      sync.Mutex   // protects cond only; Submit never takes it
+	cond    *sync.Cond   // signals work-item completion to Wait
+	waiters atomic.Int64 // Wait calls currently blocked on cond
+	closed  atomic.Bool
+	// closeMu serializes Close against in-flight Submits: Submit holds the
+	// read side between its closed-check and its queue send, so Close (write
+	// side) waits them out before closing the queue (sending on a closed
+	// channel would panic). Submits never contend with each other on it.
+	closeMu sync.RWMutex
 
 	running   atomic.Int64
 	completed atomic.Int64
@@ -77,15 +78,17 @@ func (p *Pool) worker() {
 		job()
 		p.running.Add(-1)
 		p.completed.Add(1)
-		// Wake blocked Wait calls. The completed increment above
-		// happens before the lock is taken, so a waiter that re-checks
-		// under the lock observes it; broadcasting only when waiters
-		// exist keeps the per-job cost to one uncontended lock.
-		p.mu.Lock()
-		if p.waiters > 0 {
+		// Wake blocked Wait calls, touching the lock only when someone is
+		// actually waiting. Atomics are sequentially consistent: if this
+		// load misses a waiter's increment, that waiter's later re-check
+		// of completed necessarily observes the Add above, so it does not
+		// sleep on this completion. The common no-waiter case costs two
+		// atomic ops and no lock.
+		if p.waiters.Load() > 0 {
+			p.mu.Lock()
 			p.cond.Broadcast()
+			p.mu.Unlock()
 		}
-		p.mu.Unlock()
 	}
 }
 
@@ -94,13 +97,15 @@ func (p *Pool) worker() {
 // Stats.Panics and accounted as a completion so one bad request cannot kill
 // a server dispatch loop.
 func (p *Pool) Submit(f func()) error {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+	// Read lock only: concurrent Submits share it freely (no cache-line
+	// ping-pong beyond the RWMutex reader count); Close takes the write
+	// side after flagging closed, which waits out every Submit already
+	// past the check below.
+	p.closeMu.RLock()
+	defer p.closeMu.RUnlock()
+	if p.closed.Load() {
 		return ErrClosed
 	}
-	p.submitters.Add(1)
-	defer p.submitters.Done()
 	p.submitted.Add(1)
 	enqueued := time.Now()
 	wrapped := func() {
@@ -112,12 +117,16 @@ func (p *Pool) Submit(f func()) error {
 		}()
 		f()
 	}
-	// Track high-water mark of the queue under the lock so the reading
-	// is consistent with the send below.
+	// High-water mark via CAS; approximate under concurrency (len is read
+	// before the send) but monotone and lock-free.
 	if l := int64(len(p.queue) + 1); l > p.maxQueueLen.Load() {
-		p.maxQueueLen.Store(l)
+		for {
+			cur := p.maxQueueLen.Load()
+			if l <= cur || p.maxQueueLen.CompareAndSwap(cur, l) {
+				break
+			}
+		}
 	}
-	p.mu.Unlock()
 	p.queue <- wrapped
 	return nil
 }
@@ -127,11 +136,11 @@ func (p *Pool) Submit(f func()) error {
 // variable — no polling, no busy-spin.
 func (p *Pool) Wait() {
 	p.mu.Lock()
-	p.waiters++
+	p.waiters.Add(1)
 	for p.completed.Load() < p.submitted.Load() {
 		p.cond.Wait()
 	}
-	p.waiters--
+	p.waiters.Add(-1)
 	p.mu.Unlock()
 }
 
@@ -140,16 +149,16 @@ func (p *Pool) Wait() {
 // its closed-check first completes its enqueue (the workers still drain it)
 // before the queue closes.
 func (p *Pool) Close() {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+	if p.closed.Swap(true) {
 		return
 	}
-	p.closed = true
-	p.mu.Unlock()
-	// No new submitters can register (closed is set under mu); wait out
-	// the ones already past the check so the sends below cannot panic.
-	p.submitters.Wait()
+	// Taking the write lock waits out every Submit that passed its
+	// closed-check (they hold the read side until their send completes;
+	// the workers keep draining, so those sends finish). New Submits see
+	// closed and return ErrClosed.
+	p.closeMu.Lock()
+	//lint:ignore SA2001 the empty critical section IS the barrier
+	p.closeMu.Unlock()
 	close(p.queue)
 	p.wg.Wait()
 }

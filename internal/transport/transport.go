@@ -136,6 +136,14 @@ func PutFrame(b []byte) {
 	framePool.Put(&b)
 }
 
+// PoolableFrame reports whether PutFrame would retain b. A frame the pool
+// would refuse anyway (oversized, or not capacity-backed) is a candidate
+// for zero-copy borrowing: letting decoded values alias it costs the pool
+// nothing, and the GC frees frame and values together.
+func PoolableFrame(b []byte) bool {
+	return cap(b) > 0 && cap(b) <= frameRetain
+}
+
 // RecvFrame receives one message, drawing the buffer from the frame pool
 // when the connection supports it (TCP stream connections do). The caller
 // owns the result either way and should PutFrame it after its last use.

@@ -58,6 +58,31 @@ func (f BinFmt) Unmarshal(data []byte) (any, error) {
 	return v, nil
 }
 
+// UnmarshalShared decodes like Unmarshal but in borrow mode: []byte
+// payloads of BorrowMin bytes or more come back as views into data rather
+// than copies, skipping the large-payload memcpy of the codec entirely.
+// The wire format is unchanged — only the ownership of the result is.
+// borrowed reports whether any decoded value aliases data; when true the
+// caller must keep data alive (and unrecycled) for as long as the decoded
+// value is referenced. When false, data can be released immediately, as
+// after Unmarshal.
+func (f BinFmt) UnmarshalShared(data []byte) (v any, borrowed bool, err error) {
+	d := NewDecoder(data)
+	defer d.Release()
+	if f.DisableGenerated {
+		d.SetGenerated(false)
+	}
+	d.SetBorrow(true)
+	v, err = d.Decode()
+	if err != nil {
+		return nil, d.Borrowed(), err
+	}
+	if rest := d.Rest(); rest != 0 {
+		return nil, d.Borrowed(), fmt.Errorf("wire/binfmt: %d trailing bytes after value", rest)
+	}
+	return v, d.Borrowed(), nil
+}
+
 // binOpts selects the encoding dialect shared between BinFmt and JavaSer.
 type binOpts struct {
 	// internStrings enables the per-message name dictionary (BinFmt).
@@ -72,6 +97,10 @@ type binOpts struct {
 	// generated enables the registered generated-codec fast path (BinFmt
 	// only; requires the pub back-pointer to be set).
 	generated bool
+	// borrow lets the decoder return []byte payloads of BorrowMin bytes or
+	// more as views into the input instead of copies (decode side only).
+	// See Decoder.SetBorrow for the ownership contract.
+	borrow bool
 }
 
 type binEncoder struct {
@@ -437,6 +466,10 @@ type binDecoder struct {
 	// the decode's duration), so reading a name allocates nothing.
 	idents [][]byte
 	pub    *Decoder // owning exported Decoder, when wrapped (BinFmt)
+	// borrowed records that at least one decoded []byte aliases data
+	// (opts.borrow): the producer of data must not recycle it while the
+	// decoded values live.
+	borrowed bool
 }
 
 // checkCount guards a decoded element count against the remaining input:
@@ -448,6 +481,35 @@ func (d *binDecoder) checkCount(n uint64, elemSize int) error {
 			n, len(d.data)-d.pos, d.pos)
 	}
 	return nil
+}
+
+// readBytesValue reads a length-prefixed byte payload (tBytes tag already
+// consumed). In borrow mode, payloads of BorrowMin bytes or more are
+// sliced straight out of the input (full-capacity-clipped so appends
+// cannot scribble on neighbouring frame bytes) and the decoder is marked
+// borrowed; smaller payloads are always copied, so small messages never
+// pin their receive frame.
+func (d *binDecoder) readBytesValue() ([]byte, error) {
+	n, err := d.readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.checkCount(n, 1); err != nil {
+		return nil, err
+	}
+	if d.pos+int(n) > len(d.data) {
+		return nil, fmt.Errorf("wire/binfmt: truncated bytes of length %d", n)
+	}
+	if d.opts.borrow && int(n) >= BorrowMin {
+		b := d.data[d.pos : d.pos+int(n) : d.pos+int(n)]
+		d.pos += int(n)
+		d.borrowed = true
+		return b, nil
+	}
+	b := make([]byte, n)
+	copy(b, d.data[d.pos:])
+	d.pos += int(n)
+	return b, nil
 }
 
 func (d *binDecoder) readByte() (byte, error) {
@@ -631,20 +693,7 @@ func (d *binDecoder) decode() (any, error) {
 	case tString:
 		return d.readString()
 	case tBytes:
-		n, err := d.readUvarint()
-		if err != nil {
-			return nil, err
-		}
-		if err := d.checkCount(n, 1); err != nil {
-			return nil, err
-		}
-		if d.pos+int(n) > len(d.data) {
-			return nil, fmt.Errorf("wire/binfmt: truncated bytes of length %d", n)
-		}
-		b := make([]byte, n)
-		copy(b, d.data[d.pos:])
-		d.pos += int(n)
-		return b, nil
+		return d.readBytesValue()
 	case tIntSlice:
 		if err := d.skipArrayClass(); err != nil {
 			return nil, err

@@ -1,0 +1,172 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestBorrowThreshold: []byte values at or above BorrowMin alias the input
+// frame under UnmarshalShared; smaller ones are copied (so small frames
+// recycle immediately), and the borrowed flag reports which happened.
+func TestBorrowThreshold(t *testing.T) {
+	bf := BinFmt{}
+	big := bytes.Repeat([]byte{0xAB}, BorrowMin)
+	small := []byte("tiny")
+
+	for _, tc := range []struct {
+		name   string
+		val    []byte
+		borrow bool
+	}{
+		{"large payload borrows", big, true},
+		{"small payload copies", small, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			data, err := bf.Marshal(tc.val)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, borrowed, err := bf.UnmarshalShared(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if borrowed != tc.borrow {
+				t.Fatalf("borrowed = %v, want %v", borrowed, tc.borrow)
+			}
+			got, ok := v.([]byte)
+			if !ok || !bytes.Equal(got, tc.val) {
+				t.Fatalf("decoded %T %v, want %v", v, v, tc.val)
+			}
+			// Mutating the frame must show through a borrowed view and
+			// must not show through a copied one.
+			data[len(data)-1] ^= 0xFF
+			changed := !bytes.Equal(got, tc.val)
+			if changed != tc.borrow {
+				t.Errorf("frame aliasing = %v, want %v", changed, tc.borrow)
+			}
+		})
+	}
+}
+
+// TestUnmarshalSharedMatchesUnmarshal: the borrow path must be
+// byte-identical to the copy path for every seed the differential fuzzer
+// starts from — same accept/reject, same values.
+func TestUnmarshalSharedMatchesUnmarshal(t *testing.T) {
+	bf := BinFmt{}
+	vals := []any{
+		nil, true, int(5), "seed", []byte{0xff, 0x00},
+		bytes.Repeat([]byte{7}, BorrowMin+100),
+		[]any{int(1), bytes.Repeat([]byte{9}, BorrowMin), "mix"},
+		map[string]any{"k": bytes.Repeat([]byte{3}, 2*BorrowMin)},
+		fuzzMsg{S: "struct", By: bytes.Repeat([]byte{5}, BorrowMin), I: 7},
+	}
+	for _, v := range vals {
+		data, err := bf.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err1 := bf.Unmarshal(data)
+		shared, _, err2 := bf.UnmarshalShared(data)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%#v: accept/reject differ: %v vs %v", v, err1, err2)
+		}
+		if !reflect.DeepEqual(plain, shared) {
+			t.Fatalf("%#v: borrow path decoded %#v, copy path %#v", v, shared, plain)
+		}
+	}
+}
+
+// FuzzBorrowIdentity extends the differential fuzzers to the zero-copy
+// path: for arbitrary input bytes, UnmarshalShared must agree with
+// Unmarshal on acceptance and value, borrowed or not.
+func FuzzBorrowIdentity(f *testing.F) {
+	bf := BinFmt{}
+	for _, v := range []any{
+		[]byte("small"),
+		bytes.Repeat([]byte{0x42}, BorrowMin+1),
+		[]any{bytes.Repeat([]byte{1}, BorrowMin), "s", int(3)},
+		fuzzMsg{By: bytes.Repeat([]byte{2}, BorrowMin), S: "x"},
+	} {
+		data, err := bf.Marshal(v)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x00, 0x07})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		plain, err1 := bf.Unmarshal(data)
+		shared, _, err2 := bf.UnmarshalShared(data)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("accept/reject differ: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		if !reflect.DeepEqual(plain, shared) {
+			t.Fatalf("borrow path decoded %#v, copy path %#v", shared, plain)
+		}
+	})
+}
+
+// TestDecoderByteSliceBorrow covers the streaming Decoder used by
+// generated codecs: with borrow enabled, ByteSlice hands out a view of the
+// input at or past the threshold and flags it through Borrowed, and
+// Release resets the flag for the next pooled use.
+func TestDecoderByteSliceBorrow(t *testing.T) {
+	e := NewEncoder()
+	big := bytes.Repeat([]byte{0x5A}, BorrowMin)
+	e.ByteSlice(big)
+	e.ByteSlice([]byte("small"))
+	data := append([]byte(nil), e.Bytes()...)
+	e.Release()
+
+	d := NewDecoder(data)
+	d.SetBorrow(true)
+	gotBig := d.ByteSlice()
+	if !d.Borrowed() {
+		t.Error("large ByteSlice did not set Borrowed")
+	}
+	gotSmall := d.ByteSlice()
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotBig, big) || string(gotSmall) != "small" {
+		t.Fatalf("decoded %d bytes + %q", len(gotBig), gotSmall)
+	}
+	// Mutate a byte inside the big value's payload (the small value owns
+	// the last 7 bytes: tag, length, "small") to prove aliasing.
+	data[len(data)-10] ^= 0xFF
+	if bytes.Equal(gotBig, big) {
+		t.Error("large ByteSlice did not alias the input")
+	}
+	if string(gotSmall) != "small" {
+		t.Error("small ByteSlice aliased the input; must copy below BorrowMin")
+	}
+	d.Release()
+
+	// A released (pooled) decoder must come back with the flag cleared.
+	d2 := NewDecoder([]byte{tNil})
+	if d2.Borrowed() {
+		t.Error("pooled decoder started with Borrowed set")
+	}
+	d2.Release()
+
+	// Without SetBorrow, nothing aliases regardless of size.
+	d3 := NewDecoder(data)
+	gotCopy := d3.ByteSlice()
+	d3.Skip()
+	if d3.Err() != nil {
+		t.Fatal(d3.Err())
+	}
+	if d3.Borrowed() {
+		t.Error("Borrowed set without SetBorrow")
+	}
+	snap := append([]byte(nil), gotCopy...)
+	data[len(data)-10] ^= 0xFF // restore the original bytes
+	if !bytes.Equal(gotCopy, snap) {
+		t.Error("copy-mode ByteSlice aliased the input")
+	}
+}

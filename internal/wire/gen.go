@@ -211,6 +211,27 @@ func (e *Encoder) SetGenerated(on bool) { e.e.opts.generated = on }
 // SetGenerated toggles the generated-codec fast path (on by default).
 func (d *Decoder) SetGenerated(on bool) { d.d.opts.generated = on }
 
+// BorrowMin is the smallest []byte payload borrow mode returns as a view
+// into the input instead of a copy. Below it the memcpy is cheaper than
+// pinning the receive frame for the value's lifetime, so small payloads
+// always copy and their frames recycle immediately.
+const BorrowMin = 1 << 10
+
+// SetBorrow toggles zero-copy []byte borrowing (off by default): when on,
+// byte payloads of BorrowMin bytes or more decode as views into the input
+// buffer rather than copies. The ownership handoff is explicit — after a
+// decode during which Borrowed reports true, the input buffer belongs to
+// whoever holds the decoded values, and must not be recycled or rewritten
+// until they are unreachable. Applies to every []byte surface that funnels
+// through the decoder: ByteSlice (generated codecs), Value/Decode and
+// AnySlice (reflective and envelope paths).
+func (d *Decoder) SetBorrow(on bool) { d.d.opts.borrow = on }
+
+// Borrowed reports whether any []byte decoded so far aliases the input
+// buffer. False means the input can be released immediately, exactly as
+// without borrow mode.
+func (d *Decoder) Borrowed() bool { return d.d.borrowed }
+
 // Bytes returns the encoded message. The slice aliases the encoder's
 // internal buffer: it is valid until the next Reset or Release.
 func (e *Encoder) Bytes() []byte { return e.e.buf }
@@ -488,6 +509,7 @@ func (d *Decoder) Release() {
 	d.d.pos = 0
 	d.d.idents = d.d.idents[:0]
 	d.d.pub = nil
+	d.d.borrowed = false
 	d.err = nil
 	decPool.Put(d)
 }
@@ -850,8 +872,22 @@ func (d *Decoder) String() string {
 	return assignAs[string](d)
 }
 
-// ByteSlice reads a []byte.
-func (d *Decoder) ByteSlice() []byte { return typedSlice[[]byte](d) }
+// ByteSlice reads a []byte. The direct tBytes path skips the any-boxing of
+// the generic reader and honours borrow mode (SetBorrow), which is how
+// parcgen-generated codecs — whose []byte fields all decode through here —
+// get zero-copy payloads without regeneration.
+func (d *Decoder) ByteSlice() []byte {
+	if d.err == nil && d.d.pos < len(d.d.data) && d.d.data[d.d.pos] == tBytes {
+		d.d.pos++
+		b, err := d.d.readBytesValue()
+		if err != nil {
+			d.Fail(err)
+			return nil
+		}
+		return b
+	}
+	return typedSlice[[]byte](d)
+}
 
 // IntSlice reads a []int.
 func (d *Decoder) IntSlice() []int { return typedSlice[[]int](d) }

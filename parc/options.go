@@ -44,6 +44,7 @@ type options struct {
 	// shared scope
 	channel       ChannelKind
 	maxInFlight   int
+	muxLanes      int
 	poolSize      int
 	placement     PlacementPolicy
 	agglomeration AgglomerationPolicy
@@ -75,6 +76,15 @@ func WithCost(m CostModel) Option { return func(o *options) { o.cost = m } }
 // until a slot frees (backpressure). 0 (the default) selects the channel's
 // built-in default. Other channel kinds ignore it.
 func WithMaxInFlight(n int) Option { return func(o *options) { o.maxInFlight = n } }
+
+// WithMuxLanes sets how many multiplexed connections (lanes) the
+// MultiplexedChannel opens per peer. Callers are striped across lanes by
+// sequence number, so unrelated calls on different lanes never share a
+// lock or a TCP stream — the many-core scaling knob. 0 (the default)
+// selects min(GOMAXPROCS, 4); 1 restores the single-connection
+// behaviour. Other channel kinds ignore it. WithMaxInFlight bounds each
+// lane independently.
+func WithMuxLanes(n int) Option { return func(o *options) { o.muxLanes = n } }
 
 // WithPoolSize caps each node's concurrent request execution, modelling a
 // bounded VM thread pool; 0 (the default) means unbounded.
@@ -122,8 +132,11 @@ func WithRebalance(interval time.Duration) Option {
 // WithNodeID sets this node's index in the cluster (ServeNode only).
 func WithNodeID(id int) Option { return func(o *options) { o.nodeID = id } }
 
-// WithListen sets the TCP address a node serves on, for example ":7070"
-// (ServeNode only; default "127.0.0.1:0").
+// WithListen sets the address a node serves on (ServeNode only; default
+// "127.0.0.1:0"). The scheme picks the transport: a plain host:port pair
+// listens on TCP, "unix://name" on a Unix domain socket, and
+// "inproc://name" on the in-process loopback (co-located runtimes in one
+// process, no serialization of the frame copy path).
 func WithListen(addr string) Option { return func(o *options) { o.listen = addr } }
 
 func buildOptions(opts []Option) options {
@@ -151,6 +164,7 @@ func StartCluster(opts ...Option) (*Cluster, error) {
 		Cost:           o.cost,
 		PoolSize:       o.poolSize,
 		MaxInFlight:    o.maxInFlight,
+		MuxLanes:       o.muxLanes,
 		Placement:      o.placement,
 		Agglomeration:  o.agglomeration,
 		Aggregation:    o.aggregation,
@@ -173,7 +187,9 @@ func StartCluster(opts ...Option) (*Cluster, error) {
 func ServeNode(opts ...Option) (*Runtime, error) {
 	o := buildOptions(opts)
 	var ch *remoting.Channel
-	net := transport.TCPNetwork{}
+	// Auto routes by address scheme: unix:// and inproc:// listen
+	// addresses select the local transports, anything else is TCP.
+	net := transport.Auto{}
 	switch o.channel {
 	case LegacyTCPChannel:
 		ch = remoting.NewLegacyTCPChannel(net)
@@ -186,6 +202,7 @@ func ServeNode(opts ...Option) (*Runtime, error) {
 	}
 	ch.Cost = o.cost
 	ch.MaxInFlight = o.maxInFlight
+	ch.MuxLanes = o.muxLanes
 	var pool *threadpool.Pool
 	if o.poolSize > 0 {
 		// The pool lives as long as the process; Runtime.Close leaves it
