@@ -8,10 +8,13 @@
 //	go run ./cmd/benchdiff -baseline BENCH_baseline.json -current BENCH_current.json
 //
 // Tracked metrics: fanout calls/s (per channel and payload size, must not
-// drop), codec ns/op (per path/op, must not rise) and codec allocs/op
+// drop), codec ns/op (per path/op, must not rise), codec allocs/op
 // (per path/op, must never rise — allocation counts are deterministic, so
 // a pooling regression has no noise excuse and gets no tolerance; the
-// alloc gate applies in -relative mode too). Rows present in the baseline
+// alloc gate applies in -relative mode too), and the open-loop serving
+// rows (per scenario and offered-rate factor: accepted calls/s must not
+// drop, p99 of accepted calls must not rise, and the shed rate must not
+// rise beyond the tolerance). Rows present in the baseline
 // but missing from the current report fail the gate. Improvements pass;
 // commit a refreshed baseline to bank them (see the README's "Refreshing
 // the benchmark baseline" section).
@@ -69,7 +72,7 @@ func main() {
 		tracked = len(bench.RelativeMetrics(base))
 	} else {
 		problems = bench.CompareReports(base, cur, *tolerance)
-		tracked = len(base.Fanout) + len(base.Codec)
+		tracked = len(base.Fanout) + len(base.Codec) + len(base.OpenLoop)
 	}
 	mode := "absolute"
 	if *relative {

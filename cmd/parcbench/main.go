@@ -11,7 +11,7 @@
 //	parcbench -exp fanout -exp codec -json > BENCH.json
 //
 // Experiments: fig8a fig8b latency fig9 seqratio overhead agg agglom
-// codecs pool fanout codec rebalance.
+// codecs pool fanout codec rebalance failover openloop.
 //
 // With -json the human tables go to stderr and a machine-readable
 // bench.Report (the format BENCH_baseline.json and the CI regression gate
@@ -65,7 +65,7 @@ func (e *expFlag) Set(v string) error {
 
 func main() {
 	var exps expFlag
-	flag.Var(&exps, "exp", "experiment id, repeatable/comma-separated (all, fig8a, fig8b, latency, fig9, seqratio, overhead, agg, agglom, codecs, pool, fanout, codec, rebalance, failover)")
+	flag.Var(&exps, "exp", "experiment id, repeatable/comma-separated (all, fig8a, fig8b, latency, fig9, seqratio, overhead, agg, agglom, codecs, pool, fanout, codec, rebalance, failover, openloop)")
 	full := flag.Bool("full", false, "full paper-sized sweeps (slower)")
 	asJSON := flag.Bool("json", false, "write a machine-readable bench.Report to stdout (tables go to stderr)")
 	payloads := flag.String("payload", "", "fanout payload sizes in bytes, comma-separated (e.g. 16,256,4096); empty = default 64")
@@ -340,6 +340,26 @@ func main() {
 		}
 		bench.PrintFailover(out, rows)
 		report.Failover = rows
+	}
+	if run("openloop") {
+		any = true
+		fmt.Fprintln(out, "================================================================")
+		// Open-loop serving: Poisson arrivals against bounded mailboxes.
+		// RunOpenLoop hard-asserts the admission-control contract (sheds at
+		// 2x capacity, p99 of accepted calls under the SLO, accepted ratio
+		// near capacity) so a broken shed path fails the bench outright,
+		// not just the diff. The quick window is sized for the CI race
+		// smoke; -full widens it for committed baselines.
+		cfg := bench.OpenLoopConfig{}
+		if *full {
+			cfg.Duration = 2 * time.Second
+		}
+		rows, err := bench.RunOpenLoop(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintOpenLoop(out, rows)
+		report.OpenLoop = rows
 	}
 	if !any {
 		fatalf("unknown experiment(s) %q", exps.String())

@@ -12,7 +12,7 @@
 // Worker nodes (-demo "") serve until killed. The binary registers the
 // workload classes shipped in this repository (sieve filters, ray-tracer
 // workers); linking user classes in means building your own main around
-// parc.StartNode.
+// parc.ServeNode.
 package main
 
 import (

@@ -23,7 +23,7 @@ func main() {
 	workers := flag.Int("workers", 4, "parallel workers per kernel")
 	flag.Parse()
 
-	cl, err := parc.NewCluster(parc.ClusterConfig{Nodes: *nodes})
+	cl, err := parc.StartCluster(parc.WithNodes(*nodes))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -54,10 +54,10 @@ func main() {
 	flag.Parse()
 
 	nodes := (*procs + 1) / 2
-	cl, err := parc.NewCluster(parc.ClusterConfig{
-		Nodes:   nodes,
-		Network: parc.Ethernet100(),
-	})
+	cl, err := parc.StartCluster(
+		parc.WithNodes(nodes),
+		parc.WithNetwork(parc.Ethernet100()),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestOpenLoopNetsimSmoke drives a short open-loop window over the
+// netsim scenario (latency + injected loss) at 2x capacity: admission
+// control must shed, the shed calls must surface as ErrOverloaded at the
+// remote caller (drive classifies them via errors.Is), and the percentile
+// pipeline — per-object histograms merged into one — must report a
+// bounded p99 for accepted calls.
+func TestOpenLoopNetsimSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("open-loop smoke drives real time windows")
+	}
+	cfg := OpenLoopConfig{
+		Objects:     2,
+		ServiceTime: 5 * time.Millisecond,
+		Duration:    500 * time.Millisecond,
+		Clients:     10000,
+		Bound:       8,
+	}
+	sc, err := openLoopNetsim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.cleanup()
+	capacity, err := sc.calibrate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := time.Duration(float64(cfg.Objects) / capacity * float64(time.Second))
+	slo := 4 * time.Duration(cfg.Bound) * svc
+	if slo < 50*time.Millisecond {
+		slo = 50 * time.Millisecond
+	}
+	slo += sc.lossTail
+	row := sc.drive(cfg, capacity, 2.0, slo)
+
+	if row.Shed == 0 {
+		t.Error("2x offered load over netsim shed nothing")
+	}
+	if row.ServerSheds < int64(row.Shed) {
+		t.Errorf("server counted %d sheds, client observed %d ErrOverloaded", row.ServerSheds, row.Shed)
+	}
+	if row.Accepted == 0 {
+		t.Fatal("no calls accepted")
+	}
+	ratio := float64(row.Accepted) / float64(row.Offered)
+	if ratio < 0.2 || ratio > 0.95 {
+		t.Errorf("accepted ratio %.2f outside [0.2, 0.95]", ratio)
+	}
+	if row.P99Ms <= 0 || row.P99Ms > row.SLOMs {
+		t.Errorf("p99 %.1fms outside (0, SLO %.0fms]", row.P99Ms, row.SLOMs)
+	}
+	if row.P50Ms > row.P99Ms || row.P99Ms > row.MaxMs {
+		t.Errorf("percentiles not ordered: p50 %.2f p99 %.2f max %.2f", row.P50Ms, row.P99Ms, row.MaxMs)
+	}
+	if row.OtherErrors > 0 {
+		t.Errorf("%d calls failed with errors other than overload/deadline", row.OtherErrors)
+	}
+}

@@ -17,6 +17,7 @@ type Report struct {
 	Codec     []CodecPathRow `json:"codec,omitempty"`
 	Rebalance []RebalanceRow `json:"rebalance,omitempty"`
 	Failover  []FailoverRow  `json:"failover,omitempty"`
+	OpenLoop  []OpenLoopRow  `json:"openloop,omitempty"`
 }
 
 // ReportMeta records the environment a report was measured in, so a
@@ -167,6 +168,20 @@ func RelativeMetrics(r Report) map[string]float64 {
 	if rec, ok := gatedFailoverRecovery(r); ok {
 		out["failover recovery"] = rec
 	}
+	// Open-loop ratios: the accepted/offered fraction at each offered-rate
+	// factor (capacity cancels — both sides of the fraction come from the
+	// same run), and for overload rows the p99 headroom under the SLO,
+	// capped at 2.0 so an unusually quiet baseline run cannot fail a
+	// healthy current one.
+	for _, row := range r.OpenLoop {
+		if row.Offered > 0 {
+			out["openloop "+olKey(row)+" accepted ratio"] =
+				float64(row.Accepted) / float64(row.Offered)
+		}
+		if row.Factor > 1 && row.P99Ms > 0 && row.SLOMs > 0 {
+			out["openloop "+olKey(row)+" p99 headroom"] = min(row.SLOMs/row.P99Ms, 2.0)
+		}
+	}
 	return out
 }
 
@@ -259,7 +274,52 @@ func CompareReports(baseline, current Report, tolerance float64) []string {
 	problems = append(problems, compareCodec(baseline, current, tolerance, true)...)
 	problems = append(problems, compareRebalance(baseline, current, tolerance)...)
 	problems = append(problems, compareFailover(baseline, current, tolerance)...)
+	problems = append(problems, compareOpenLoop(baseline, current, tolerance)...)
 	sort.Strings(problems)
+	return problems
+}
+
+// compareOpenLoop gates the open-loop rows in absolute mode (same-hardware
+// comparisons): accepted throughput must not drop more than tolerance
+// below baseline, p99 of accepted calls must not rise more than tolerance
+// above it (plus a 2 ms absolute grace — sub-millisecond p99s would
+// otherwise gate scheduler noise), and the shed rate must not rise more
+// than tolerance points. The relative gate tracks the same rows through
+// the accepted-ratio and p99-headroom entries of RelativeMetrics.
+func compareOpenLoop(baseline, current Report, tolerance float64) []string {
+	var problems []string
+	cur := map[string]OpenLoopRow{}
+	for _, r := range current.OpenLoop {
+		cur[olKey(r)] = r
+	}
+	shedRate := func(r OpenLoopRow) float64 {
+		if r.Offered == 0 {
+			return 0
+		}
+		return float64(r.Shed) / float64(r.Offered)
+	}
+	for _, b := range baseline.OpenLoop {
+		c, ok := cur[olKey(b)]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("openloop %q: missing from current report", olKey(b)))
+			continue
+		}
+		if floor := b.AcceptedPerSec * (1 - tolerance); c.AcceptedPerSec < floor {
+			problems = append(problems, fmt.Sprintf(
+				"openloop %q: %.0f accepted/s is %.1f%% below baseline %.0f (tolerance %.0f%%)",
+				olKey(b), c.AcceptedPerSec, 100*(1-c.AcceptedPerSec/b.AcceptedPerSec), b.AcceptedPerSec, 100*tolerance))
+		}
+		if ceil := b.P99Ms*(1+tolerance) + 2.0; c.P99Ms > ceil {
+			problems = append(problems, fmt.Sprintf(
+				"openloop %q: p99 %.2fms is above baseline %.2fms + %.0f%% + 2ms grace",
+				olKey(b), c.P99Ms, b.P99Ms, 100*tolerance))
+		}
+		if sb, sc := shedRate(b), shedRate(c); sc > sb+tolerance {
+			problems = append(problems, fmt.Sprintf(
+				"openloop %q: shed rate %.1f%% is more than %.0f points above baseline %.1f%%",
+				olKey(b), 100*sc, 100*tolerance, 100*sb))
+		}
+	}
 	return problems
 }
 

@@ -54,6 +54,11 @@ type Options struct {
 	// objects away while it is loaded above the cluster mean
 	// (core.Config.RebalanceEvery).
 	RebalanceEvery time.Duration
+	// MailboxBound caps every actor mailbox's queued calls on every node;
+	// full mailboxes shed with errs.ErrOverloaded according to Shed
+	// (core.Config.MailboxBound / core.Config.Shed). 0 = unbounded.
+	MailboxBound int
+	Shed         core.ShedPolicy
 }
 
 // Cluster is a set of in-process node runtimes sharing one network.
@@ -102,6 +107,8 @@ func New(opts Options) (*Cluster, error) {
 			LoadCacheTTL:   opts.LoadCacheTTL,
 			HealthProbe:    opts.HealthProbe,
 			RebalanceEvery: opts.RebalanceEvery,
+			MailboxBound:   opts.MailboxBound,
+			Shed:           opts.Shed,
 		}, fmt.Sprintf("mem://node%d", i))
 		if err != nil {
 			cl.Close()

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -23,6 +24,10 @@ var errActorMigrating = fmt.Errorf("core: migration already in progress")
 // asynchronously).
 type actor struct {
 	w *ioWrapper
+	// bound caps the queued (not executing) tasks; 0 = unbounded. shed
+	// picks the victim when the bound is hit (see Config.MailboxBound).
+	bound int
+	shed  ShedPolicy
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -50,7 +55,7 @@ type actorResult struct {
 }
 
 func newActor(w *ioWrapper) *actor {
-	a := &actor{w: w}
+	a := &actor{w: w, bound: w.rt.cfg.MailboxBound, shed: w.rt.cfg.Shed}
 	a.cond = sync.NewCond(&a.mu)
 	go a.run()
 	return a
@@ -69,6 +74,7 @@ func (a *actor) run() {
 		t := a.queue[0]
 		a.queue = a.queue[1:]
 		a.mu.Unlock()
+		a.w.rt.queuedTasks.Add(-1)
 
 		ctx := t.ctx
 		if ctx == nil {
@@ -78,8 +84,13 @@ func (a *actor) run() {
 		if err := ctx.Err(); err != nil {
 			// The caller gave up while the task sat in the mailbox:
 			// skip execution, matching what a context-aware method
-			// would do on entry.
+			// would do on entry. An expired deadline is counted as a
+			// dequeue-time drop — work the server admitted but could
+			// not start in time.
 			res.err = err
+			if errors.Is(err, context.DeadlineExceeded) {
+				a.w.rt.stats.deadlineDrops.Add(1)
+			}
 		} else if t.batch != nil {
 			_, res.err = a.w.InvokeBatch(ctx, t.method, t.batch)
 		} else {
@@ -133,10 +144,33 @@ func (a *actor) enqueue(t actorTask) error {
 		a.mu.Unlock()
 		return errActorStopped
 	}
+	var evicted actorTask
+	shedOldest := false
+	if a.bound > 0 && len(a.queue) >= a.bound {
+		if a.shed != ShedOldest {
+			a.mu.Unlock()
+			a.w.rt.noteShed()
+			return fmt.Errorf("core: mailbox full (%d queued): %w", a.bound, errs.ErrOverloaded)
+		}
+		// ShedOldest: evict the head task to make room; its caller is
+		// failed outside the lock (reply channels are buffered, but the
+		// mailbox must not care).
+		evicted, shedOldest = a.queue[0], true
+		a.queue = a.queue[1:]
+		a.pending--
+		a.w.rt.queuedTasks.Add(-1)
+	}
 	a.queue = append(a.queue, t)
 	a.pending++
+	a.w.rt.queuedTasks.Add(1)
 	a.cond.Broadcast()
 	a.mu.Unlock()
+	if shedOldest {
+		a.w.rt.noteShed()
+		if evicted.reply != nil {
+			evicted.reply <- actorResult{err: fmt.Errorf("core: evicted from full mailbox (%d queued): %w", a.bound, errs.ErrOverloaded)}
+		}
+	}
 	return nil
 }
 
@@ -233,6 +267,7 @@ func (a *actor) abort(mv *errs.MovedError) {
 		}
 		a.pending--
 	}
+	a.w.rt.queuedTasks.Add(int64(-len(a.queue)))
 	a.queue = nil
 	a.cond.Broadcast()
 	a.mu.Unlock()

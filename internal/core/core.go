@@ -89,10 +89,14 @@ type AggregationConfig struct {
 // enabled reports whether Posts should buffer.
 func (a AggregationConfig) enabled() bool { return a.MaxCalls > 1 }
 
-// NodeLoad is one node's load snapshot used for placement.
+// NodeLoad is one node's load snapshot used for placement. Overload is
+// the node's admission-control grade at probe time: load-aware policies
+// prefer cooler nodes, and every policy avoids Shedding nodes while any
+// alternative exists.
 type NodeLoad struct {
-	Node int
-	Load int
+	Node     int
+	Load     int
+	Overload OverloadGrade
 }
 
 // PlacementPolicy picks the node for a new parallel object, given the
@@ -107,8 +111,12 @@ type RoundRobin struct {
 	next atomic.Int64
 }
 
-// Pick implements PlacementPolicy.
+// Pick implements PlacementPolicy. Nodes graded Shedding are skipped
+// while any cooler node exists: round-robin is load-blind by design, but
+// routing new objects onto a node actively rejecting calls just converts
+// creations into ErrOverloaded.
 func (r *RoundRobin) Pick(self int, loads []NodeLoad) int {
+	loads = preferCool(loads)
 	if len(loads) == 0 {
 		return self
 	}
@@ -116,16 +124,37 @@ func (r *RoundRobin) Pick(self int, loads []NodeLoad) int {
 	return loads[int(n)%len(loads)].Node
 }
 
+// preferCool filters a load vector down to the nodes not graded Shedding,
+// falling back to the full vector when every node is hot (placement must
+// still pick something; the bounded mailboxes shed the excess).
+func preferCool(loads []NodeLoad) []NodeLoad {
+	cool := make([]NodeLoad, 0, len(loads))
+	for _, l := range loads {
+		if l.Overload < OverloadShedding {
+			cool = append(cool, l)
+		}
+	}
+	if len(cool) == 0 {
+		return loads
+	}
+	return cool
+}
+
 // LeastLoaded picks the node with the smallest load, breaking ties towards
 // the creating node ("according to the current load distribution policy").
 type LeastLoaded struct{}
 
-// Pick implements PlacementPolicy.
+// Pick implements PlacementPolicy: the coolest overload grade wins first,
+// then the smallest load, then the self tie-break.
 func (LeastLoaded) Pick(self int, loads []NodeLoad) int {
 	best, bestLoad := self, int(^uint(0)>>1)
+	bestGrade := OverloadShedding + 1
 	for _, l := range loads {
-		if l.Load < bestLoad || (l.Load == bestLoad && l.Node == self) {
-			best, bestLoad = l.Node, l.Load
+		if l.Overload > bestGrade {
+			continue
+		}
+		if l.Overload < bestGrade || l.Load < bestLoad || (l.Load == bestLoad && l.Node == self) {
+			best, bestLoad, bestGrade = l.Node, l.Load, l.Overload
 		}
 	}
 	return best
@@ -214,6 +243,14 @@ type Config struct {
 	// the node joins a cluster, migrating objects away whenever this node
 	// is loaded above the cluster mean.
 	RebalanceEvery time.Duration
+	// MailboxBound, when positive, caps the queued (not yet executing)
+	// calls of every actor mailbox on this node. A full mailbox sheds
+	// according to Shed instead of queueing without limit, failing the
+	// shed call with errs.ErrOverloaded. 0 keeps mailboxes unbounded.
+	MailboxBound int
+	// Shed selects which call a full bounded mailbox sheds; default
+	// ShedNewest (reject the arriving call).
+	Shed ShedPolicy
 }
 
 // Stats counts runtime events; all fields are cumulative.
@@ -235,6 +272,17 @@ type Stats struct {
 	VirtualActivations int64
 	ReplicaPromotions  int64
 	StaleDemotions     int64
+	// MailboxSheds counts calls a bounded mailbox rejected or evicted
+	// with ErrOverloaded. DeadlineDrops counts calls dropped because
+	// their deadline had already expired — refused by the server before
+	// dispatch, or skipped by a mailbox at dequeue time. Both are zero
+	// while MailboxBound is 0 and no caller sets deadlines.
+	MailboxSheds  int64
+	DeadlineDrops int64
+	// OverloadGrade is the node's admission-control state at snapshot
+	// time (a gauge, unlike every other field): OverloadNone,
+	// OverloadBusy or OverloadShedding.
+	OverloadGrade OverloadGrade
 }
 
 // Runtime is one node's SCOOPP run-time system: object manager, factories
@@ -318,7 +366,15 @@ type Runtime struct {
 		virtualActivations  atomic.Int64
 		replicaPromotions   atomic.Int64
 		staleDemotions      atomic.Int64
+		mailboxSheds        atomic.Int64
+		deadlineDrops       atomic.Int64
 	}
+
+	// queuedTasks is the aggregate mailbox occupancy across hosted actors
+	// (queued, not executing); lastShed is the UnixNano of the most
+	// recent mailbox shed. Together they derive OverloadGrade.
+	queuedTasks atomic.Int64
+	lastShed    atomic.Int64
 
 	actorsMu sync.Mutex
 	actors   map[string]*actor
@@ -488,6 +544,9 @@ func (rt *Runtime) Stats() Stats {
 		VirtualActivations:  rt.stats.virtualActivations.Load(),
 		ReplicaPromotions:   rt.stats.replicaPromotions.Load(),
 		StaleDemotions:      rt.stats.staleDemotions.Load(),
+		MailboxSheds:        rt.stats.mailboxSheds.Load(),
+		DeadlineDrops:       rt.stats.deadlineDrops.Load() + rt.server.DeadlineDrops(),
+		OverloadGrade:       rt.OverloadGrade(),
 	}
 }
 
@@ -662,20 +721,21 @@ func (rt *Runtime) nodeLoads() []NodeLoad {
 // vector comes back in node order, which round-robin placement relies on.
 func (rt *Runtime) probeLoads() []NodeLoad {
 	var mu sync.Mutex
-	loads := []NodeLoad{{Node: rt.cfg.NodeID, Load: rt.Load()}}
+	loads := []NodeLoad{{Node: rt.cfg.NodeID, Load: rt.Load(), Overload: rt.OverloadGrade()}}
 	rt.forEachPeer(context.Background(), loadProbeTimeout, true, func(ctx context.Context, p peer) {
-		res, err := p.om.InvokeCtx(ctx, "Load")
+		res, err := p.om.InvokeCtx(ctx, "LoadInfo")
 		if err != nil {
 			return
 		}
-		var n int
-		if err := wire.AssignTo(&n, res); err != nil {
+		var li LoadInfo
+		if err := wire.AssignTo(&li, res); err != nil {
 			// A mis-typed reply is as useless as no reply: treating it
 			// as load 0 would magnetise traffic onto a broken peer.
 			return
 		}
+		rt.noteOverload(p.node, OverloadGrade(li.Overload))
 		mu.Lock()
-		loads = append(loads, NodeLoad{Node: p.node, Load: n})
+		loads = append(loads, NodeLoad{Node: p.node, Load: li.Load, Overload: OverloadGrade(li.Overload)})
 		mu.Unlock()
 	})
 	sort.Slice(loads, func(i, j int) bool { return loads[i].Node < loads[j].Node })

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/wire"
 )
 
 // PeerStatus grades a peer's observed liveness.
@@ -67,6 +69,9 @@ type peerHealth struct {
 	status PeerStatus
 	fails  int
 	oks    int // consecutive successes while not alive
+	// overload is the peer's admission-control grade from its most
+	// recent successful probe (load or health); see overload.go.
+	overload OverloadGrade
 }
 
 // PeerStatusOf reports the current liveness grade of a peer. Unknown nodes
@@ -179,15 +184,26 @@ func (rt *Runtime) healthLoop(interval time.Duration) {
 	}
 }
 
-// ProbePeers pings every peer's object manager once, concurrently with a
+// ProbePeers probes every peer's object manager once, concurrently with a
 // short per-probe deadline, and updates the membership grades. Down peers
-// are deliberately probed too — that is how recovery is detected. It is
-// called by the periodic health loop (Config.HealthProbe) and may be
-// called explicitly by operators or tests.
+// are deliberately probed too — that is how recovery is detected. The
+// probe asks for LoadInfo rather than a bare ping, so the same round trip
+// that proves liveness also refreshes the peer's overload grade (a node
+// rejecting calls is routed around like a slow one, without waiting for
+// the next placement load probe). It is called by the periodic health
+// loop (Config.HealthProbe) and may be called explicitly by operators or
+// tests.
 func (rt *Runtime) ProbePeers() {
 	rt.forEachPeer(context.Background(), healthProbeTimeout, false, func(ctx context.Context, p peer) {
-		_, err := p.om.InvokeCtx(ctx, "Ping")
+		res, err := p.om.InvokeCtx(ctx, "LoadInfo")
 		rt.noteProbe(p.node, err == nil)
+		if err != nil {
+			return
+		}
+		var li LoadInfo
+		if wire.AssignTo(&li, res) == nil {
+			rt.noteOverload(p.node, OverloadGrade(li.Overload))
+		}
 	})
 }
 

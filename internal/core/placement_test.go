@@ -178,7 +178,11 @@ func TestHealthLoopExcludesDownNodeFromPlacement(t *testing.T) {
 func TestRebalanceSpreadsLoad(t *testing.T) {
 	rts := startNodes(t, 3, func(i int, cfg *Config) {
 		cfg.Placement = LeastLoaded{}
-		cfg.LoadCacheTTL = time.Millisecond
+		// A long TTL pins the all-zero load vector probed at the first
+		// creation, so LeastLoaded's self tie-break keeps all 12 objects
+		// on node 1 no matter how slowly the loop runs; Rebalance itself
+		// probes fresh loads, bypassing this cache.
+		cfg.LoadCacheTTL = time.Minute
 	})
 	registerJournal(rts)
 	proxies := make([]*Proxy, 12)

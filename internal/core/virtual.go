@@ -93,17 +93,42 @@ func (rt *Runtime) virtualConfig(class string) (VirtualConfig, bool) {
 }
 
 // liveMembers snapshots the node ids this runtime considers part of the
-// cluster right now: every known peer not graded Down, self included.
+// cluster right now: every known peer not graded Down — and not currently
+// Shedding, so virtual-object activation routes around hot nodes the same
+// way it routes around dead ones — self included. Excluding self is never
+// allowed (the ring must not empty), which also gives a shedding node a
+// self-view where it still owns its keys: views diverge briefly, exactly
+// the tolerance the activation/demotion machinery already absorbs for
+// Down transitions. If every peer is hot the peers stay in (there is no
+// cooler node to prefer).
 func (rt *Runtime) liveMembers() []int {
 	rt.mu.Lock()
 	peers := rt.peers
 	rt.mu.Unlock()
 	members := make([]int, 0, len(peers))
+	hot := 0
 	for _, p := range peers {
-		if p.node != rt.cfg.NodeID && rt.peerDown(p.node) {
-			continue
+		if p.node != rt.cfg.NodeID {
+			if rt.peerDown(p.node) {
+				continue
+			}
+			if rt.peerShedding(p.node) {
+				hot++
+				continue
+			}
 		}
 		members = append(members, p.node)
+	}
+	if hot > 0 && len(members) <= 1 {
+		// Only self is cool: re-admit the shedding peers rather than
+		// collapsing the whole key space onto one node.
+		members = members[:0]
+		for _, p := range peers {
+			if p.node != rt.cfg.NodeID && rt.peerDown(p.node) {
+				continue
+			}
+			members = append(members, p.node)
+		}
 	}
 	return members
 }

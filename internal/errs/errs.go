@@ -32,6 +32,17 @@ var (
 	// ErrBadConversion: a dynamically typed result could not be converted
 	// to the requested static type.
 	ErrBadConversion = errors.New("result conversion failed")
+	// ErrOverloaded: the target object's bounded mailbox was full (or its
+	// node is shedding load) and the call was rejected without executing.
+	// This is a fast-fail admission decision, not a transport failure: the
+	// proxy layer deliberately does NOT retry it transparently (unlike
+	// ErrObjectMoved / ErrNodeDown). Callers should treat it as retryable
+	// after backing off — retry against the same object with jittered
+	// exponential backoff, or spread work across more objects — and must
+	// expect it under sustained overload. The code survives both the string
+	// and the compact reply envelopes, so errors.Is(err, ErrOverloaded)
+	// works across any remoting hop.
+	ErrOverloaded = errors.New("overloaded")
 	// ErrCanceled and ErrDeadlineExceeded alias the context sentinels.
 	ErrCanceled         = context.Canceled
 	ErrDeadlineExceeded = context.DeadlineExceeded
@@ -48,6 +59,7 @@ const (
 	CodeCanceled     = "canceled"
 	CodeDeadline     = "deadline"
 	CodeMoved        = "moved"
+	CodeOverloaded   = "overloaded"
 )
 
 // MovedError is the forwarding half of ErrObjectMoved: it names where the
@@ -92,6 +104,8 @@ func Code(err error) string {
 		return CodeDestroyed
 	case errors.Is(err, ErrNodeDown):
 		return CodeNodeDown
+	case errors.Is(err, ErrOverloaded):
+		return CodeOverloaded
 	case errors.Is(err, context.DeadlineExceeded):
 		return CodeDeadline
 	case errors.Is(err, context.Canceled):
@@ -114,6 +128,8 @@ func Sentinel(code string) error {
 		return ErrObjectDestroyed
 	case CodeNodeDown:
 		return ErrNodeDown
+	case CodeOverloaded:
+		return ErrOverloaded
 	case CodeDeadline:
 		return context.DeadlineExceeded
 	case CodeCanceled:

@@ -21,6 +21,7 @@ package netsim
 import (
 	"encoding/binary"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,7 +43,21 @@ type Params struct {
 	// bandwidth term (Ethernet/IP/TCP headers). The paper's 100 Mbit
 	// Ethernet carries ~58 bytes of header per segment.
 	FrameOverhead int
+	// Loss is the per-message probability (0..1) that a frame is "lost".
+	// The transports in this harness are reliable streams, so loss is
+	// modelled the way TCP surfaces it — as a retransmission: the message
+	// still arrives, delayed by LossDelay. That keeps RPC semantics
+	// intact while putting honest retransmit spikes into the latency
+	// tail, which is what open-loop percentile measurements are for.
+	Loss float64
+	// LossDelay is the extra delivery delay charged to a lost message;
+	// 0 with Loss > 0 defaults to DefaultLossDelay (a coarse RTO).
+	LossDelay time.Duration
 }
+
+// DefaultLossDelay approximates a minimum TCP retransmission timeout on a
+// LAN: the 2005-era Linux RTO floor of 200 ms.
+const DefaultLossDelay = 200 * time.Millisecond
 
 // Ethernet100 returns parameters approximating the paper's testbed link:
 // 100 Mbit/s, ~30 µs one-way wire+switch latency, 58 bytes of protocol
@@ -58,7 +73,15 @@ func Ethernet100() Params {
 
 // Zero reports whether the parameters introduce no delay.
 func (p Params) Zero() bool {
-	return p.Latency == 0 && p.Bandwidth == 0 && p.PerMessage == 0
+	return p.Latency == 0 && p.Bandwidth == 0 && p.PerMessage == 0 && p.Loss == 0
+}
+
+// lossDelay returns the configured retransmit delay, defaulted.
+func (p Params) lossDelay() time.Duration {
+	if p.LossDelay > 0 {
+		return p.LossDelay
+	}
+	return DefaultLossDelay
 }
 
 // TxTime returns the sender-occupancy time for a message of n bytes.
@@ -178,6 +201,25 @@ type shapedConn struct {
 	clock  Clock
 	link   *Link
 	stats  *Stats
+
+	// rng drives loss sampling; lazily seeded per connection, guarded by
+	// rngMu (Send may be called from concurrent writers).
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// lose samples whether this message is lost (and so pays the retransmit
+// delay).
+func (s *shapedConn) lose() bool {
+	if s.params.Loss <= 0 {
+		return false
+	}
+	s.rngMu.Lock()
+	defer s.rngMu.Unlock()
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return s.rng.Float64() < s.params.Loss
 }
 
 func (s *shapedConn) Send(msg []byte) error {
@@ -191,6 +233,10 @@ func (s *shapedConn) Send(msg []byte) error {
 		return s.inner.Send(buf)
 	}
 	txEnd, deliverAt := s.link.acquire(len(msg))
+	if s.lose() {
+		// A lost frame is retransmitted: it arrives late, not never.
+		deliverAt = deliverAt.Add(s.params.lossDelay())
+	}
 	binary.BigEndian.PutUint64(buf, uint64(deliverAt.UnixNano()))
 	// The sender is occupied for the transmission time, modelling the
 	// blocking send of a saturated NIC.

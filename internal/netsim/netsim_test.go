@@ -208,3 +208,57 @@ func TestSharedNICSerialises(t *testing.T) {
 		t.Errorf("shared NIC not serialising: %v", elapsed)
 	}
 }
+
+func TestLossDelaysButDelivers(t *testing.T) {
+	// Loss=1 turns every frame into a "retransmitted" one: delivery is
+	// delayed by LossDelay but the message must still arrive — the
+	// transports are reliable streams, so loss shows up as tail latency,
+	// never as a missing reply.
+	p := Params{Loss: 1, LossDelay: 30 * time.Millisecond}
+	a, b := transport.NewPipe("a", "b")
+	sa := Shape(a, p, nil, nil, nil)
+	sb := Shape(b, p, nil, nil, nil)
+	start := time.Now()
+	if err := sa.Send([]byte("retransmit me")); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := sb.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(msg) != "retransmit me" {
+		t.Errorf("got %q", msg)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("lost frame delivered in %v, want >= ~30ms retransmit delay", elapsed)
+	}
+}
+
+func TestLossZeroIsNoOp(t *testing.T) {
+	p := Params{Loss: 0, LossDelay: time.Second}
+	if !p.Zero() {
+		t.Error("Loss=0 params with only LossDelay set should be Zero")
+	}
+	a, b := transport.NewPipe("a", "b")
+	sa := Shape(a, p, nil, nil, nil)
+	sb := Shape(b, p, nil, nil, nil)
+	start := time.Now()
+	if err := sa.Send([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sb.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Errorf("Loss=0 delayed delivery by %v", elapsed)
+	}
+}
+
+func TestLossDelayDefault(t *testing.T) {
+	if d := (Params{Loss: 0.5}).lossDelay(); d != DefaultLossDelay {
+		t.Errorf("default loss delay = %v, want %v", d, DefaultLossDelay)
+	}
+	if d := (Params{Loss: 0.5, LossDelay: time.Millisecond}).lossDelay(); d != time.Millisecond {
+		t.Errorf("explicit loss delay = %v, want 1ms", d)
+	}
+}

@@ -96,6 +96,11 @@ type Server struct {
 	pool     *threadpool.Pool
 	leaseTTL time.Duration
 
+	// deadlineDrops counts requests refused before dispatch because the
+	// deadline they carried had already expired in transit or in queue;
+	// the work was never invoked.
+	deadlineDrops atomic.Int64
+
 	mu      sync.Mutex
 	objects map[string]*registration
 	conns   map[transport.Conn]struct{}
@@ -137,6 +142,10 @@ func (ch *Channel) ListenAndServe(addr string, opts ...ServerOption) (*Server, e
 
 // Addr returns the transport address clients dial.
 func (s *Server) Addr() string { return s.listener.Addr() }
+
+// DeadlineDrops reports how many requests this server refused before
+// dispatch because their propagated deadline had already expired.
+func (s *Server) DeadlineDrops() int64 { return s.deadlineDrops.Load() }
 
 // URLFor returns the full remoting URL for a URI published on this server.
 func (s *Server) URLFor(uri string) string {
@@ -579,6 +588,7 @@ func (s *Server) dispatchEntry(req *callRequest, e *bindEntry) *callResponse {
 	if req.Deadline > 0 {
 		dl := time.Unix(0, req.Deadline)
 		if !time.Now().Before(dl) {
+			s.deadlineDrops.Add(1)
 			return errorResponseFor(req, fmt.Errorf(
 				"deadline expired before dispatch of %s.%s: %w", req.URI, req.Method, context.DeadlineExceeded))
 		}

@@ -34,6 +34,13 @@ var (
 	// ErrBadConversion: a dynamically typed result could not be converted
 	// to the requested static type (see As).
 	ErrBadConversion = errs.ErrBadConversion
+	// ErrOverloaded: the target object's bounded mailbox was full (see
+	// WithMailboxBound) and the call was shed without executing. Unlike
+	// ErrObjectMoved / ErrNodeDown the runtime does not retry it
+	// transparently — it is the admission-control signal. Retry with
+	// jittered exponential backoff, or spread the work across more
+	// objects or nodes. Survives the wire in both reply envelopes.
+	ErrOverloaded = errs.ErrOverloaded
 	// ErrCanceled aliases context.Canceled: the caller's context was
 	// canceled while the call was queued or in flight.
 	ErrCanceled = context.Canceled

@@ -52,6 +52,8 @@ type options struct {
 	loadCacheTTL  time.Duration
 	healthProbe   time.Duration
 	rebalance     time.Duration
+	mailboxBound  int
+	shed          ShedPolicy
 	// node scope
 	nodeID int
 	listen string
@@ -129,6 +131,20 @@ func WithRebalance(interval time.Duration) Option {
 	return func(o *options) { o.rebalance = interval }
 }
 
+// WithMailboxBound caps the queued (not yet executing) calls of every
+// parallel object's mailbox on each node. A full mailbox sheds instead of
+// queueing without limit: the shed call fails fast with ErrOverloaded
+// (which survives the wire, so remote callers see it too), keeping the
+// latency of accepted calls bounded under overload. 0 (the default)
+// keeps mailboxes unbounded. Shed victims are chosen by WithShedPolicy.
+func WithMailboxBound(n int) Option { return func(o *options) { o.mailboxBound = n } }
+
+// WithShedPolicy selects which call a full bounded mailbox sheds:
+// ShedNewest (default) rejects the arriving call, ShedOldest evicts the
+// oldest queued call and admits the arriving one. Only meaningful with
+// WithMailboxBound.
+func WithShedPolicy(p ShedPolicy) Option { return func(o *options) { o.shed = p } }
+
 // WithNodeID sets this node's index in the cluster (ServeNode only).
 func WithNodeID(id int) Option { return func(o *options) { o.nodeID = id } }
 
@@ -171,6 +187,8 @@ func StartCluster(opts ...Option) (*Cluster, error) {
 		LoadCacheTTL:   o.loadCacheTTL,
 		HealthProbe:    o.healthProbe,
 		RebalanceEvery: o.rebalance,
+		MailboxBound:   o.mailboxBound,
+		Shed:           o.shed,
 	})
 	if err != nil {
 		return nil, err
@@ -219,5 +237,7 @@ func ServeNode(opts ...Option) (*Runtime, error) {
 		LoadCacheTTL:   o.loadCacheTTL,
 		HealthProbe:    o.healthProbe,
 		RebalanceEvery: o.rebalance,
+		MailboxBound:   o.mailboxBound,
+		Shed:           o.shed,
 	}, o.listen)
 }

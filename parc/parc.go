@@ -49,7 +49,6 @@ import (
 	"context"
 	"fmt"
 	"reflect"
-	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -98,8 +97,17 @@ type (
 	AgglomerationPolicy = core.AgglomerationPolicy
 	// NodeLoad is a node's load snapshot given to placement policies.
 	NodeLoad = core.NodeLoad
-	// Stats are the runtime's cumulative counters.
+	// Stats is the coherent read-only snapshot of a node's runtime
+	// counters returned by Runtime.Stats(): object/call counts, migration
+	// and virtual-object events, mailbox sheds, deadline drops and the
+	// node's current overload grade.
 	Stats = core.Stats
+	// ShedPolicy selects which call a full bounded mailbox sheds (see
+	// WithMailboxBound / WithShedPolicy).
+	ShedPolicy = core.ShedPolicy
+	// OverloadGrade is a node's admission-control state (None, Busy,
+	// Shedding) as reported in Stats and the placement load vector.
+	OverloadGrade = core.OverloadGrade
 	// ObjLoc is an object-directory entry: the node hosting a parallel
 	// object and the migration generation that information was observed
 	// at (see Runtime.Lookup).
@@ -118,6 +126,27 @@ const (
 	// PeerDown: enough probes failed in a row that the peer is excluded
 	// from placement until it answers again.
 	PeerDown = core.PeerDown
+)
+
+// Shed policies for bounded mailboxes (WithShedPolicy).
+const (
+	// ShedNewest rejects the arriving call when the mailbox is full
+	// (default).
+	ShedNewest = core.ShedNewest
+	// ShedOldest evicts the oldest queued call and admits the arriving
+	// one.
+	ShedOldest = core.ShedOldest
+)
+
+// Overload grades reported in Stats.OverloadGrade and NodeLoad.Overload.
+const (
+	// OverloadNone: mailboxes have headroom (or no bound is set).
+	OverloadNone = core.OverloadNone
+	// OverloadBusy: aggregate mailbox occupancy crossed half capacity.
+	OverloadBusy = core.OverloadBusy
+	// OverloadShedding: the node shed a call within the last second;
+	// placement and virtual activation route around it.
+	OverloadShedding = core.OverloadShedding
 )
 
 // Placement policies.
@@ -156,47 +185,9 @@ type NetworkParams = netsim.Params
 // switched Ethernet.
 func Ethernet100() NetworkParams { return netsim.Ethernet100() }
 
-// ClusterConfig configures an in-process cluster.
-//
-// Deprecated: use StartCluster with functional options (WithNodes,
-// WithNetwork, ...), which also expose the channel kind and cost model.
-type ClusterConfig struct {
-	// Nodes is the cluster size; default 1.
-	Nodes int
-	// Network simulates link latency/bandwidth between nodes; the zero
-	// value is an ideal network.
-	Network NetworkParams
-	// PoolSize caps each node's concurrent request execution, modelling
-	// a bounded VM thread pool; 0 means unbounded.
-	PoolSize int
-	// Placement distributes new parallel objects; nil means round-robin.
-	Placement PlacementPolicy
-	// Agglomeration removes excess parallelism; nil means never.
-	Agglomeration AgglomerationPolicy
-	// Aggregation batches asynchronous calls; zero disables.
-	Aggregation AggregationConfig
-	// LoadCacheTTL bounds staleness of placement load data.
-	LoadCacheTTL time.Duration
-}
-
 // Cluster is a running set of nodes inside this process.
 type Cluster struct {
 	inner *cluster.Cluster
-}
-
-// NewCluster boots an in-process cluster from a positional config.
-//
-// Deprecated: use StartCluster with functional options.
-func NewCluster(cfg ClusterConfig) (*Cluster, error) {
-	return StartCluster(
-		WithNodes(cfg.Nodes),
-		WithNetwork(cfg.Network),
-		WithPoolSize(cfg.PoolSize),
-		WithPlacement(cfg.Placement),
-		WithAgglomeration(cfg.Agglomeration),
-		WithAggregation(cfg.Aggregation.MaxCalls, cfg.Aggregation.MaxDelay),
-		WithLoadCacheTTL(cfg.LoadCacheTTL),
-	)
 }
 
 // RegisterClass registers a parallel-object class on every node. The
@@ -223,38 +214,3 @@ func (c *Cluster) Rebalance(ctx context.Context) (int, error) { return c.inner.R
 
 // Close shuts all nodes down.
 func (c *Cluster) Close() { c.inner.Close() }
-
-// NodeConfig configures a single node runtime for multi-process use.
-//
-// Deprecated: use ServeNode with functional options (WithNodeID,
-// WithListen, ...).
-type NodeConfig struct {
-	// NodeID is this node's index in the cluster.
-	NodeID int
-	// Listen is the TCP address to serve on, for example ":7070".
-	Listen string
-	// PoolSize caps concurrent request execution; 0 means unbounded.
-	PoolSize int
-	// Placement and Aggregation as in ClusterConfig.
-	Placement     PlacementPolicy
-	Agglomeration AgglomerationPolicy
-	Aggregation   AggregationConfig
-}
-
-// StartNode boots one TCP-backed node from a positional config.
-//
-// Deprecated: use ServeNode with functional options.
-func StartNode(cfg NodeConfig) (*Runtime, error) {
-	listen := cfg.Listen
-	if listen == "" {
-		listen = "127.0.0.1:0"
-	}
-	return ServeNode(
-		WithNodeID(cfg.NodeID),
-		WithListen(listen),
-		WithPoolSize(cfg.PoolSize),
-		WithPlacement(cfg.Placement),
-		WithAgglomeration(cfg.Agglomeration),
-		WithAggregation(cfg.Aggregation.MaxCalls, cfg.Aggregation.MaxDelay),
-	)
-}

@@ -1,8 +1,11 @@
 package parc_test
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/parc"
 )
@@ -27,7 +30,7 @@ func (c *counter) Total() int {
 func (c *counter) Values() []int { return []int{c.Total()} }
 
 func TestClusterLifecycle(t *testing.T) {
-	cl, err := parc.NewCluster(parc.ClusterConfig{Nodes: 2})
+	cl, err := parc.StartCluster(parc.WithNodes(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +54,7 @@ func TestClusterLifecycle(t *testing.T) {
 }
 
 func TestClusterDefaultsToOneNode(t *testing.T) {
-	cl, err := parc.NewCluster(parc.ClusterConfig{})
+	cl, err := parc.StartCluster()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,15 +95,15 @@ type sentinelErr struct{}
 
 func (*sentinelErr) Error() string { return "sentinel" }
 
-func TestStartNodeTCP(t *testing.T) {
+func TestServeNodeTCP(t *testing.T) {
 	// Two real TCP nodes on loopback: the multi-process deployment path,
 	// exercised in-process.
-	n0, err := parc.StartNode(parc.NodeConfig{NodeID: 0, Listen: "127.0.0.1:0"})
+	n0, err := parc.ServeNode(parc.WithNodeID(0), parc.WithListen("127.0.0.1:0"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer n0.Close()
-	n1, err := parc.StartNode(parc.NodeConfig{NodeID: 1, Listen: "127.0.0.1:0"})
+	n1, err := parc.ServeNode(parc.WithNodeID(1), parc.WithListen("127.0.0.1:0"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,4 +136,79 @@ func TestStartNodeTCP(t *testing.T) {
 	if created == 0 {
 		t.Error("round robin never placed remotely over TCP")
 	}
+}
+
+// blocker parks calls until released, so tests can fill a bounded mailbox.
+type blocker struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (b *blocker) Block() int {
+	b.entered <- struct{}{}
+	<-b.release
+	return 1
+}
+
+func (b *blocker) Quick() int { return 2 }
+
+func TestWithMailboxBoundShedsOverload(t *testing.T) {
+	// End-to-end admission control through the public API: a bounded
+	// mailbox on a busy object fast-fails extra calls with a wire-borne
+	// error that still satisfies errors.Is(err, parc.ErrOverloaded).
+	const bound = 2
+	cl, err := parc.StartCluster(parc.WithNodes(1), parc.WithMailboxBound(bound))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	b := &blocker{entered: make(chan struct{}, 8), release: make(chan struct{})}
+	defer func() {
+		select {
+		case <-b.release:
+		default:
+			close(b.release)
+		}
+	}()
+	cl.RegisterClass("blocker", func() any { return b })
+	p, err := cl.Entry().NewParallelObject("blocker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the actor, then fill the mailbox behind it.
+	ctx := context.Background()
+	go p.InvokeCtx(ctx, "Block")
+	select {
+	case <-b.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Block never started")
+	}
+	for i := 0; i < bound; i++ {
+		go p.InvokeCtx(ctx, "Block")
+	}
+	// The mailbox fills asynchronously; once full, calls shed. Before
+	// that they may still be admitted — drive until the sentinel appears.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		// A short per-probe deadline: a probe admitted before the fill
+		// calls land would otherwise park behind Block forever.
+		probeCtx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+		_, err = p.InvokeCtx(probeCtx, "Quick")
+		cancel()
+		if errors.Is(err, parc.ErrOverloaded) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never saw ErrOverloaded; last err = %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := cl.Entry().Stats()
+	if st.MailboxSheds < 1 {
+		t.Errorf("Stats().MailboxSheds = %d, want >= 1", st.MailboxSheds)
+	}
+	if st.OverloadGrade != parc.OverloadShedding {
+		t.Errorf("Stats().OverloadGrade = %v, want OverloadShedding", st.OverloadGrade)
+	}
+	close(b.release)
 }

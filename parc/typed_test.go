@@ -283,7 +283,10 @@ func TestResultGetHonoursContext(t *testing.T) {
 	}
 }
 
-func TestFunctionalOptionsMatchDeprecatedConfig(t *testing.T) {
+// TestFunctionalOptionsCompose drives a cluster configured entirely
+// through functional options (the only config surface since the
+// positional ClusterConfig/NodeConfig API was removed).
+func TestFunctionalOptionsCompose(t *testing.T) {
 	ctx := context.Background()
 	cl, err := parc.StartCluster(
 		parc.WithNodes(3),
