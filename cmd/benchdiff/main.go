@@ -14,7 +14,8 @@
 // alloc gate applies in -relative mode too), and the open-loop serving
 // rows (per scenario and offered-rate factor: accepted calls/s must not
 // drop, p99 of accepted calls must not rise, and the shed rate must not
-// rise beyond the tolerance). Rows present in the baseline
+// rise beyond the tolerance), plus the rebalance, failover and chaos
+// recovery ratios (capped at 1.0, must not drop). Rows present in the baseline
 // but missing from the current report fail the gate. Improvements pass;
 // commit a refreshed baseline to bank them (see the README's "Refreshing
 // the benchmark baseline" section).

@@ -65,7 +65,7 @@ func (e *expFlag) Set(v string) error {
 
 func main() {
 	var exps expFlag
-	flag.Var(&exps, "exp", "experiment id, repeatable/comma-separated (all, fig8a, fig8b, latency, fig9, seqratio, overhead, agg, agglom, codecs, pool, fanout, codec, rebalance, failover, openloop)")
+	flag.Var(&exps, "exp", "experiment id, repeatable/comma-separated (all, fig8a, fig8b, latency, fig9, seqratio, overhead, agg, agglom, codecs, pool, fanout, codec, rebalance, failover, openloop, chaos)")
 	full := flag.Bool("full", false, "full paper-sized sweeps (slower)")
 	asJSON := flag.Bool("json", false, "write a machine-readable bench.Report to stdout (tables go to stderr)")
 	payloads := flag.String("payload", "", "fanout payload sizes in bytes, comma-separated (e.g. 16,256,4096); empty = default 64")
@@ -360,6 +360,28 @@ func main() {
 		}
 		bench.PrintOpenLoop(out, rows)
 		report.OpenLoop = rows
+	}
+	if run("chaos") {
+		any = true
+		fmt.Fprintln(out, "================================================================")
+		// Chaos: a seeded fault schedule (partitions, crashes, stalls)
+		// against retried idempotent calls. RunChaos hard-asserts the
+		// correctness invariants itself — zero lost acknowledgements, zero
+		// double-executions, every key served within the recovery deadline —
+		// so a broken retry/dedup/failover path fails the bench outright.
+		// MinRecovery additionally floors post-heal throughput; it is set
+		// well below the failover gate's because the chaos run ends right
+		// after the final heal, before placement has fully settled.
+		cfg := bench.ChaosConfig{Keys: 6, Callers: 6, Calm: 250 * time.Millisecond, Chaos: time.Second, Seed: 1, MinRecovery: 0.25}
+		if *full {
+			cfg = bench.ChaosConfig{Keys: 12, Callers: 12, Calm: 500 * time.Millisecond, Chaos: 2 * time.Second, Seed: 1, MinRecovery: 0.25}
+		}
+		rows, err := bench.RunChaos(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintChaos(out, rows)
+		report.Chaos = rows
 	}
 	if !any {
 		fatalf("unknown experiment(s) %q", exps.String())

@@ -18,6 +18,7 @@ type Report struct {
 	Rebalance []RebalanceRow `json:"rebalance,omitempty"`
 	Failover  []FailoverRow  `json:"failover,omitempty"`
 	OpenLoop  []OpenLoopRow  `json:"openloop,omitempty"`
+	Chaos     []ChaosRow     `json:"chaos,omitempty"`
 }
 
 // ReportMeta records the environment a report was measured in, so a
@@ -168,6 +169,9 @@ func RelativeMetrics(r Report) map[string]float64 {
 	if rec, ok := gatedFailoverRecovery(r); ok {
 		out["failover recovery"] = rec
 	}
+	if rec, ok := gatedChaosRecovery(r); ok {
+		out["chaos recovery"] = rec
+	}
 	// Open-loop ratios: the accepted/offered fraction at each offered-rate
 	// factor (capacity cancels — both sides of the fraction come from the
 	// same run), and for overload rows the p99 headroom under the SLO,
@@ -203,6 +207,23 @@ func gatedRecovery(r Report) (float64, bool) {
 func gatedFailoverRecovery(r Report) (float64, bool) {
 	rec, ok := FailoverRecovery(r.Failover)
 	return min(rec, 1.0), ok
+}
+
+// chaosRecoveryGateCap caps the chaos recovery ratio both gates track.
+// Unlike rebalance/failover, the chaos after-window is measured moments
+// after a healed fault storm and legitimately varies severalfold run to
+// run (whichever backoff sleeps and breaker cooldowns the final heal cut
+// across), so tracking the raw ratio against a lucky baseline would flap.
+// The cap equals the MinRecovery floor parcbench hard-enforces inside the
+// run itself — any run the gate ever sees already cleared it — making the
+// relative entry a structural check (chaos rows present and above the
+// floor), while the correctness invariants (zero lost acks, zero
+// double-executions, bounded recovery) are hard-asserted in RunChaos.
+const chaosRecoveryGateCap = 0.25
+
+func gatedChaosRecovery(r Report) (float64, bool) {
+	rec, ok := ChaosRecovery(r.Chaos)
+	return min(rec, chaosRecoveryGateCap), ok
 }
 
 // CompareReportsRelative checks the ratio metrics of current against
@@ -274,6 +295,7 @@ func CompareReports(baseline, current Report, tolerance float64) []string {
 	problems = append(problems, compareCodec(baseline, current, tolerance, true)...)
 	problems = append(problems, compareRebalance(baseline, current, tolerance)...)
 	problems = append(problems, compareFailover(baseline, current, tolerance)...)
+	problems = append(problems, compareChaos(baseline, current, tolerance)...)
 	problems = append(problems, compareOpenLoop(baseline, current, tolerance)...)
 	sort.Strings(problems)
 	return problems
@@ -339,6 +361,27 @@ func compareFailover(baseline, current Report, tolerance float64) []string {
 	if c < b*(1-tolerance) {
 		return []string{fmt.Sprintf(
 			"failover recovery: %.2fx is %.1f%% below baseline %.2fx (tolerance %.0f%%)",
+			c, 100*(1-c/b), b, 100*tolerance)}
+	}
+	return nil
+}
+
+// compareChaos gates the chaos recovery ratio (post-heal/calm calls/s,
+// capped via gatedChaosRecovery) the same way compareFailover gates its
+// ratio; the relative gate tracks it through the "chaos recovery" entry
+// of RelativeMetrics.
+func compareChaos(baseline, current Report, tolerance float64) []string {
+	b, okB := gatedChaosRecovery(baseline)
+	if !okB {
+		return nil
+	}
+	c, okC := gatedChaosRecovery(current)
+	if !okC {
+		return []string{"chaos recovery: missing from current report"}
+	}
+	if c < b*(1-tolerance) {
+		return []string{fmt.Sprintf(
+			"chaos recovery: %.2fx is %.1f%% below baseline %.2fx (tolerance %.0f%%)",
 			c, 100*(1-c/b), b, 100*tolerance)}
 	}
 	return nil

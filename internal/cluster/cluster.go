@@ -59,6 +59,15 @@ type Options struct {
 	// (core.Config.MailboxBound / core.Config.Shed). 0 = unbounded.
 	MailboxBound int
 	Shed         core.ShedPolicy
+	// Retry, when enabled, is installed on every node's channel
+	// (core.Config.Retry): transient remote-call failures retry with
+	// jittered backoff behind per-peer circuit breakers.
+	Retry remoting.RetryPolicy
+	// IdempotentCalls stamps outermost proxy calls with idempotency
+	// tokens; DedupPerObject caps each hosted object's reply-dedup LRU
+	// (core.Config.IdempotentCalls / core.Config.DedupPerObject).
+	IdempotentCalls bool
+	DedupPerObject  int
 }
 
 // Cluster is a set of in-process node runtimes sharing one network.
@@ -98,17 +107,20 @@ func New(opts Options) (*Cluster, error) {
 		// policy is stateful per node; RoundRobin keeps one shared
 		// counter which is also fine, but nil defaults per node.
 		rt, err := core.Start(core.Config{
-			NodeID:         i,
-			Channel:        ch,
-			Pool:           pool,
-			Placement:      opts.Placement,
-			Agglomeration:  opts.Agglomeration,
-			Aggregation:    opts.Aggregation,
-			LoadCacheTTL:   opts.LoadCacheTTL,
-			HealthProbe:    opts.HealthProbe,
-			RebalanceEvery: opts.RebalanceEvery,
-			MailboxBound:   opts.MailboxBound,
-			Shed:           opts.Shed,
+			NodeID:          i,
+			Channel:         ch,
+			Pool:            pool,
+			Placement:       opts.Placement,
+			Agglomeration:   opts.Agglomeration,
+			Aggregation:     opts.Aggregation,
+			LoadCacheTTL:    opts.LoadCacheTTL,
+			HealthProbe:     opts.HealthProbe,
+			RebalanceEvery:  opts.RebalanceEvery,
+			MailboxBound:    opts.MailboxBound,
+			Shed:            opts.Shed,
+			Retry:           opts.Retry,
+			IdempotentCalls: opts.IdempotentCalls,
+			DedupPerObject:  opts.DedupPerObject,
 		}, fmt.Sprintf("mem://node%d", i))
 		if err != nil {
 			cl.Close()

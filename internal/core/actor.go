@@ -150,7 +150,9 @@ func (a *actor) enqueue(t actorTask) error {
 		if a.shed != ShedOldest {
 			a.mu.Unlock()
 			a.w.rt.noteShed()
-			return fmt.Errorf("core: mailbox full (%d queued): %w", a.bound, errs.ErrOverloaded)
+			return errs.WithRetryAfter(
+				fmt.Errorf("core: mailbox full (%d queued): %w", a.bound, errs.ErrOverloaded),
+				shedRetryAfter)
 		}
 		// ShedOldest: evict the head task to make room; its caller is
 		// failed outside the lock (reply channels are buffered, but the
@@ -168,7 +170,9 @@ func (a *actor) enqueue(t actorTask) error {
 	if shedOldest {
 		a.w.rt.noteShed()
 		if evicted.reply != nil {
-			evicted.reply <- actorResult{err: fmt.Errorf("core: evicted from full mailbox (%d queued): %w", a.bound, errs.ErrOverloaded)}
+			evicted.reply <- actorResult{err: errs.WithRetryAfter(
+				fmt.Errorf("core: evicted from full mailbox (%d queued): %w", a.bound, errs.ErrOverloaded),
+				shedRetryAfter)}
 		}
 	}
 	return nil

@@ -43,6 +43,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"reflect"
 	"sort"
@@ -251,6 +252,21 @@ type Config struct {
 	// Shed selects which call a full bounded mailbox sheds; default
 	// ShedNewest (reject the arriving call).
 	Shed ShedPolicy
+	// Retry, when enabled (MaxAttempts > 1), is installed on Channel at
+	// Start: remote calls retry transient failures (node-down, overload
+	// sheds) with jittered exponential backoff, and per-peer circuit
+	// breakers fast-fail calls to peers that keep refusing connections.
+	Retry remoting.RetryPolicy
+	// IdempotentCalls stamps every outermost remote call that does not
+	// already carry one with a fresh idempotency token, making cross-node
+	// retries effectively-once against hosts that keep dedup memory (every
+	// actor-hosted object does). Callers spanning their own retry loops
+	// use WithCallToken to share one token across attempts.
+	IdempotentCalls bool
+	// DedupPerObject caps each hosted object's dedup LRU (recorded
+	// replies for token-bearing calls). 0 selects
+	// remoting.DefaultDedupPerObject.
+	DedupPerObject int
 }
 
 // Stats counts runtime events; all fields are cumulative.
@@ -343,6 +359,13 @@ type Runtime struct {
 
 	replMu   sync.Mutex
 	replicas map[string]*replicaState
+	// promised records, per URI, the highest generation this node answered
+	// a promotion census (ReplicaAt) for. Snapshots from older lineages are
+	// refused from then on: the promoting node read this node's replica as
+	// part of choosing its state, so letting a superseded owner deposit —
+	// and acknowledge calls against — a fresher-looking copy of the old
+	// lineage afterwards would lose those acknowledgements at demotion.
+	promised map[string]uint64
 
 	// ringEpoch invalidates the cached consistent-hash ring: it is bumped
 	// on every membership change (JoinCluster, a peer crossing the Down
@@ -416,6 +439,9 @@ func Start(cfg Config, addr string) (*Runtime, error) {
 	if cfg.LoadCacheTTL == 0 {
 		cfg.LoadCacheTTL = 50 * time.Millisecond
 	}
+	if cfg.Retry.Enabled() {
+		cfg.Channel.Retry = cfg.Retry
+	}
 	rt := &Runtime{
 		cfg:         cfg,
 		classes:     make(map[string]func() any),
@@ -426,6 +452,7 @@ func Start(cfg Config, addr string) (*Runtime, error) {
 		virtuals:    make(map[string]VirtualConfig),
 		activations: make(map[string]*activation),
 		replicas:    make(map[string]*replicaState),
+		promised:    make(map[string]uint64),
 		stop:        make(chan struct{}),
 	}
 	rt.loadCond = sync.NewCond(&rt.loadMu)
@@ -448,6 +475,16 @@ func (rt *Runtime) Addr() string { return rt.server.Addr() }
 
 // NodeID returns this node's cluster index.
 func (rt *Runtime) NodeID() int { return rt.cfg.NodeID }
+
+// hasPeers reports whether this node joined a cluster with other members.
+func (rt *Runtime) hasPeers() bool { return rt.clusterSize() > 1 }
+
+// clusterSize is the joined cluster's node count (self included).
+func (rt *Runtime) clusterSize() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return len(rt.peers)
+}
 
 // JoinCluster installs the full node address list (indexed by node id; this
 // node's address must appear at index Config.NodeID).
@@ -605,7 +642,9 @@ func (rt *Runtime) createLocalIO(class string, spawnActor bool) (string, any, er
 	}
 	obj := factory()
 	uri := fmt.Sprintf("obj/%s/%d/%d", class, rt.cfg.NodeID, rt.objSeq.Add(1))
-	w := &ioWrapper{rt: rt, class: class, obj: obj, uri: uri}
+	w := &ioWrapper{rt: rt, class: class, obj: obj, uri: uri,
+		dedup: remoting.NewDedupLRU(rt.cfg.DedupPerObject)}
+	w.gen.Store(1)
 	if spawnActor {
 		a := newActor(w)
 		rt.actorsMu.Lock()
@@ -723,7 +762,10 @@ func (rt *Runtime) probeLoads() []NodeLoad {
 	var mu sync.Mutex
 	loads := []NodeLoad{{Node: rt.cfg.NodeID, Load: rt.Load(), Overload: rt.OverloadGrade()}}
 	rt.forEachPeer(context.Background(), loadProbeTimeout, true, func(ctx context.Context, p peer) {
-		res, err := p.om.InvokeCtx(ctx, "LoadInfo")
+		// Load probes double as liveness evidence: their timing is the
+		// failure detector's clock, so they must not be stretched (or
+		// masked) by retry backoff.
+		res, err := p.om.InvokeCtx(remoting.WithoutRetry(ctx), "LoadInfo")
 		if err != nil {
 			return
 		}
@@ -740,6 +782,21 @@ func (rt *Runtime) probeLoads() []NodeLoad {
 	})
 	sort.Slice(loads, func(i, j int) bool { return loads[i].Node < loads[j].Node })
 	return loads
+}
+
+// NewCallToken mints a fresh idempotency token from this node's channel.
+// Stamp it on a context with WithCallToken when spanning your own retry
+// loop around a logical call; proxies stamp one automatically per call
+// when Config.IdempotentCalls is set.
+func (rt *Runtime) NewCallToken() remoting.CallToken {
+	return rt.cfg.Channel.NewCallToken()
+}
+
+// WithCallToken returns a context carrying tok: every remote call made
+// under it shares the token, so the hosting object deduplicates retries of
+// the same logical call (effectively-once).
+func WithCallToken(ctx context.Context, tok remoting.CallToken) context.Context {
+	return remoting.ContextWithToken(ctx, tok)
 }
 
 // NewParallelObject creates a parallel object of a registered class and
@@ -937,32 +994,176 @@ type ioWrapper struct {
 	seq       atomic.Uint64
 	sinceShip int // calls since the last shipped snapshot; actor goroutine only
 
+	// gen is the directory generation THIS copy was activated at. Snapshot
+	// ships must stamp this — never the directory's current generation: a
+	// promotion census can demote this copy and repoint the directory at
+	// the winning lineage's generation while a call is still executing
+	// here, and a ship stamped with the directory's new generation would
+	// smuggle the doomed lineage's state into the winner's replica chain.
+	gen atomic.Uint64
+
 	// snapMu guards the last shipped snapshot, re-shipped by the
 	// reconciliation pass when a partitioned peer recovers.
 	snapMu   sync.Mutex
 	lastSnap []byte
 	lastSeq  uint64
+
+	// dedup remembers replies of executed token-bearing calls so a retry
+	// of an already-executed call replays the recorded reply instead of
+	// executing again. Nil on the transient wrappers proxies build around
+	// agglomerated objects (those calls never leave the caller and never
+	// retry).
+	dedup *remoting.DedupLRU
+
+	// fenced is set by a promotion census that read this copy's last
+	// snapshot while promoting the object elsewhere (replicaAt): from that
+	// point on, calls here must not be acknowledged — the promoted lineage
+	// was built without them and an acknowledgement would be lost when this
+	// copy demotes. Callers re-resolve to the promoted copy instead.
+	fenced atomic.Bool
+
+	// shipAck tracks, per replica address, the dedup write counter that
+	// replica acknowledged, so synchronous snapshot ships carry only the
+	// dedup records added since (virtual.go shipTo) instead of the whole
+	// LRU on every call. Reset to zero (full resend) when a receiver
+	// reports it cannot extend its chain.
+	shipMu  sync.Mutex
+	shipAck map[string]uint64
 }
 
-// Invoke1 executes one method invocation on the IO.
+func (w *ioWrapper) shipAckFor(addr string) uint64 {
+	w.shipMu.Lock()
+	defer w.shipMu.Unlock()
+	return w.shipAck[addr]
+}
+
+func (w *ioWrapper) setShipAck(addr string, stamp uint64) {
+	w.shipMu.Lock()
+	defer w.shipMu.Unlock()
+	if w.shipAck == nil {
+		w.shipAck = make(map[string]uint64)
+	}
+	w.shipAck[addr] = stamp
+}
+
+// errFenced is the refusal a fenced stale copy answers every call with. It
+// wraps ErrNodeDown so callers take the same re-resolve path an owner death
+// does — the promoted lineage is where their calls must land.
+func errFenced(uri string) error {
+	return fmt.Errorf("core: %s: this copy is fenced pending promotion elsewhere: %w", uri, errs.ErrNodeDown)
+}
+
+// Invoke1 executes one method invocation on the IO. Calls carrying an
+// idempotency token are deduplicated: a token already recorded means the
+// call executed here before (a retry whose reply was lost), so the recorded
+// reply is replayed instead of executing again.
 func (w *ioWrapper) Invoke1(ctx context.Context, method string, args []any) (any, error) {
+	if w.fenced.Load() {
+		return nil, errFenced(w.uri)
+	}
+	tok, hasTok := remoting.TokenFromContext(ctx)
+	if hasTok {
+		if rep, ok := w.dedup.Get(tok); ok {
+			// The recorded call may have executed and then failed its
+			// synchronous replication ack: re-ship the current state before
+			// replaying, so the replayed acknowledgement is as durable as
+			// the original success would have been.
+			if w.virt != nil {
+				if rerr := w.rt.reshipForDedup(ctx, w); rerr != nil {
+					return nil, rerr
+				}
+			}
+			return rep.Result, dedupReplayError(rep)
+		}
+	}
 	start := time.Now()
 	res, err := dispatch.InvokeCtx(ctx, w.obj, method, args)
 	w.rt.recordExec(w.class, time.Since(start))
+	record := hasTok && dedupRecordable(err)
+	rep := remoting.DedupReply{
+		Result:  res,
+		ErrMsg:  errMsg(err),
+		ErrCode: errs.Code(err),
+		IsErr:   err != nil,
+	}
 	if err == nil && w.virt != nil {
-		if rerr := w.rt.replicateAfterCalls(ctx, w, 1); rerr != nil {
+		// The dedup record is committed by replicateAfterCalls, inside the
+		// same critical section that publishes the snapshot it is embedded
+		// in: a promotion census reading (snapshot, dedup memory) under that
+		// lock sees this call in both or in neither — a record without its
+		// effects would replay an acknowledgement for state the promoted
+		// lineage does not have, and effects without their record would
+		// re-execute the retry of a call refused by the fence below.
+		var rec *pendingRecord
+		if record {
+			rec = &pendingRecord{tok: tok, rep: rep}
+			record = false
+		}
+		if rerr := w.rt.replicateAfterCalls(ctx, w, 1, rec); rerr != nil {
 			// Synchronous replication failed: surface it so the caller
 			// retries (and its retry re-replicates) instead of receiving an
 			// acknowledgement for state no replica has.
 			return nil, rerr
 		}
 	}
+	if record {
+		// Non-replicated path (plain objects, application errors): no
+		// snapshot to pair with, record directly.
+		w.dedup.Put(tok, rep)
+	}
+	if w.fenced.Load() {
+		// A promotion census fenced this copy while the call was in
+		// flight. The census reads the (snapshot, dedup) pair after setting
+		// the fence, and this call committed its pair before replicating —
+		// so a call refused here either made it into the promoted lineage
+		// whole (its retry replays the recorded reply) or not at all (its
+		// retry executes there once).
+		return nil, errFenced(w.uri)
+	}
 	return res, err
+}
+
+// dedupRecordable reports whether an invocation outcome is worth
+// remembering for replay. Outcomes that never executed the method body
+// (refusals and cut-offs) are not: replaying them would pin a transient
+// failure onto every retry of the token.
+func dedupRecordable(err error) bool {
+	if err == nil {
+		return true
+	}
+	return !errors.Is(err, context.DeadlineExceeded) &&
+		!errors.Is(err, context.Canceled) &&
+		!errors.Is(err, errs.ErrOverloaded) &&
+		!errors.Is(err, errs.ErrObjectMoved) &&
+		!errors.Is(err, errs.ErrObjectDestroyed) &&
+		!errors.Is(err, errs.ErrNodeDown)
+}
+
+func errMsg(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// dedupReplayError rebuilds the error of a recorded outcome, re-rooting it
+// at the matching sentinel so errors.Is classification survives the replay.
+func dedupReplayError(rep remoting.DedupReply) error {
+	if !rep.IsErr {
+		return nil
+	}
+	if sent := errs.Sentinel(rep.ErrCode); sent != nil {
+		return fmt.Errorf("%s: %w", rep.ErrMsg, sent)
+	}
+	return errors.New(rep.ErrMsg)
 }
 
 // InvokeBatch replays an aggregate message: calls is a list of argument
 // lists for method. It returns the number of calls applied.
 func (w *ioWrapper) InvokeBatch(ctx context.Context, method string, calls []any) (int, error) {
+	if w.fenced.Load() {
+		return 0, errFenced(w.uri)
+	}
 	start := time.Now()
 	for i, c := range calls {
 		args, ok := c.([]any)
@@ -976,7 +1177,7 @@ func (w *ioWrapper) InvokeBatch(ctx context.Context, method string, calls []any)
 	if n := len(calls); n > 0 {
 		w.rt.recordExec(w.class, time.Since(start)/time.Duration(n))
 		if w.virt != nil {
-			if rerr := w.rt.replicateAfterCalls(ctx, w, n); rerr != nil {
+			if rerr := w.rt.replicateAfterCalls(ctx, w, n, nil); rerr != nil {
 				return 0, rerr
 			}
 		}

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/remoting"
 	"repro/internal/wire"
 )
 
@@ -195,7 +196,10 @@ func (rt *Runtime) healthLoop(interval time.Duration) {
 // tests.
 func (rt *Runtime) ProbePeers() {
 	rt.forEachPeer(context.Background(), healthProbeTimeout, false, func(ctx context.Context, p peer) {
-		res, err := p.om.InvokeCtx(ctx, "LoadInfo")
+		// Health probes are the failure detector's clock: retry backoff
+		// would stretch the probe window and mask exactly the failures
+		// this exists to notice, so probes always get a single attempt.
+		res, err := p.om.InvokeCtx(remoting.WithoutRetry(ctx), "LoadInfo")
 		rt.noteProbe(p.node, err == nil)
 		if err != nil {
 			return

@@ -209,6 +209,7 @@ func (rt *Runtime) acceptObject(class, uri string, gen uint64, state []byte) (st
 		}
 	}
 	w := &ioWrapper{rt: rt, class: class, obj: obj, uri: uri}
+	w.gen.Store(gen)
 	if cfg, ok := rt.virtualConfig(class); ok && isVirtualURI(uri) {
 		// A migrated virtual object keeps replicating from its new host.
 		c := cfg

@@ -75,6 +75,13 @@ func (g OverloadGrade) String() string {
 // that a recovered node re-attracts traffic within a couple of probes.
 const overloadShedWindow = time.Second
 
+// shedRetryAfter is the drain estimate stamped on mailbox-shed replies
+// (the envelope's retry-after hint): roughly how long a full mailbox
+// takes to make progress, so a retrying caller comes back once the
+// backlog has plausibly moved instead of hammering immediately or waiting
+// out a full backoff ladder.
+const shedRetryAfter = 25 * time.Millisecond
+
 // LoadInfo is the omService's combined load/overload probe reply: the
 // placement load vector and the health probe both consume it, so one
 // probe carries liveness, load and admission state.

@@ -236,6 +236,15 @@ func movedOf(err error, uri string) (*errs.MovedError, bool) {
 // retries (ErrObjectMoved) carry no such risk: a tombstone rejects
 // without executing.
 func (p *Proxy) invokeVia(ctx context.Context, mkRef func() *remoting.ObjRef, method string, args ...any) (any, error) {
+	if p.rt.cfg.IdempotentCalls {
+		if _, ok := remoting.TokenFromContext(ctx); !ok {
+			// One token per logical call, stamped at the outermost scope:
+			// every wire attempt below — channel-level retries, forward
+			// chasing, the post-failover re-resolve — carries it, so a host
+			// that already executed the call replays its recorded reply.
+			ctx = remoting.ContextWithToken(ctx, p.rt.cfg.Channel.NewCallToken())
+		}
+	}
 	var followedGen uint64
 	resolved := false
 	for {

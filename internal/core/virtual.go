@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/errs"
+	"repro/internal/remoting"
 	"repro/internal/wire"
 )
 
@@ -292,12 +293,25 @@ type activation struct {
 }
 
 // replicaState is one passive replica held on this node: the freshest
-// (generation, seq)-ordered snapshot received from the object's owner.
+// (generation, seq)-ordered snapshot received from the object's owner,
+// plus the owner's dedup memory at that point — a promoted replica must
+// recognise retries of calls the dead owner already executed.
 type replicaState struct {
 	class string
 	gen   uint64
 	seq   uint64
 	state []byte
+	// dedup mirrors the owner's record LRU. It is an LRU (not a slice) so
+	// an incremental ship applies in O(records shipped): per-call
+	// synchronous ships would otherwise rebuild an O(accumulated-records)
+	// list on every call — a tax that grows as the object ages, exactly
+	// what incremental shipping exists to avoid. Put order is the owner's
+	// recency order, so this LRU evicts in the owner's eviction order too.
+	dedup *remoting.DedupLRU
+	// dedupStamp is the owner's dedup write counter this replica's records
+	// are complete through: an incremental ship whose base exceeds it has a
+	// gap (a missed ship) and is refused in favour of a full resend.
+	dedupStamp uint64
 }
 
 // activateVirtual ensures a live instance of uri exists, activating it
@@ -388,11 +402,41 @@ func (rt *Runtime) doActivate(ctx context.Context, class, uri string) (ResolveRe
 	st := rt.replicas[uri]
 	rt.replMu.Unlock()
 	var promoteState []byte
-	var promoteSeq uint64
+	var promoteGen, promoteSeq uint64
+	var promoteDedup []remoting.DedupRecord
 	if st != nil {
-		promoteState, promoteSeq = st.state, st.seq
+		promoteState, promoteGen, promoteSeq, promoteDedup = st.state, st.gen, st.seq, st.dedup.Export()
 		if st.gen > baseGen {
 			baseGen = st.gen
+		}
+	}
+	if cfg.Replicas > 0 {
+		// Replica census: an owner that lost a replica target behind a
+		// partition reroutes its synchronous ships to another successor, so
+		// the freshest acknowledged snapshot may sit on a peer rather than
+		// here. Ask every peer before activating and adopt the freshest
+		// (generation, seq); each answering peer promises the candidate
+		// generation — refusing later deposits from superseded lineages and
+		// fencing a stale live copy it still hosts — so no acknowledgement
+		// slips in behind the census.
+		//
+		// The census must reach a MAJORITY of the cluster (self included).
+		// A synchronous acknowledgement lives on at least two nodes (owner
+		// plus one replica); any majority intersects that pair, so a
+		// majority census always sees every acknowledged call. A minority
+		// partition therefore refuses to activate rather than resurrect
+		// stale state — consistency over minority availability, bounded by
+		// the partition itself.
+		cr := rt.replicaCensus(ctx, uri, baseGen+1, promoteGen, promoteSeq)
+		if n := rt.clusterSize(); cr.reached <= n/2 {
+			return ResolveReply{}, fmt.Errorf("core: activate %s: promotion census reached %d of %d nodes (majority required)",
+				uri, cr.reached, n)
+		}
+		if cr.fresher {
+			promoteState, promoteGen, promoteSeq, promoteDedup = cr.state, cr.gen, cr.seq, cr.dedup
+		}
+		if promoteGen > baseGen {
+			baseGen = promoteGen
 		}
 	}
 	newGen := baseGen + 1
@@ -422,14 +466,20 @@ func (rt *Runtime) doActivate(ctx context.Context, class, uri string) (ResolveRe
 			}
 		}
 	}
-	w := &ioWrapper{rt: rt, class: class, obj: obj, uri: uri}
+	w := &ioWrapper{rt: rt, class: class, obj: obj, uri: uri,
+		dedup: remoting.NewDedupLRU(rt.cfg.DedupPerObject)}
 	wcfg := cfg
 	w.virt = &wcfg
+	w.gen.Store(newGen)
 	if promoted {
 		w.seq.Store(promoteSeq)
 		w.snapMu.Lock()
 		w.lastSnap, w.lastSeq = promoteState, promoteSeq
 		w.snapMu.Unlock()
+		// Inherit the dead owner's executed-call memory — only alongside
+		// its state: importing records without the matching state would
+		// acknowledge effects this instance does not have.
+		w.dedup.Import(promoteDedup)
 	}
 	a := newActor(w)
 	rt.actorsMu.Lock()
@@ -458,10 +508,157 @@ func (rt *Runtime) doActivate(ctx context.Context, class, uri string) (ResolveRe
 		if cfg.Replicas > 0 {
 			// Restore redundancy right away: the promoted state's previous
 			// replica set centred on the dead owner, not on this node.
-			go rt.shipSnapshot(class, uri, &wcfg, promoteState, newGen, promoteSeq, false) //nolint:errcheck // async re-ship
+			go rt.shipSnapshot(w, promoteState, newGen, promoteSeq, false) //nolint:errcheck // async re-ship
 		}
 	}
 	return ResolveReply{Found: true, Node: rt.cfg.NodeID, Addr: rt.Addr(), Gen: newGen}, nil
+}
+
+// ReplicaInfo is one peer's answer to a promotion census (ReplicaAt): its
+// passive replica of the URI, if it holds one.
+type ReplicaInfo struct {
+	Has   bool
+	Gen   uint64
+	Seq   uint64
+	State []byte
+	Dedup []remoting.DedupRecord
+}
+
+func init() { wire.RegisterName("core.ReplicaInfo", ReplicaInfo{}) }
+
+// censusResult is the outcome of a promotion census: the freshest snapshot
+// found across the cluster (fresher=true when it beats the local candidate)
+// and how many nodes — self included — contributed their knowledge.
+type censusResult struct {
+	state   []byte
+	gen     uint64
+	seq     uint64
+	dedup   []remoting.DedupRecord
+	fresher bool
+	reached int
+}
+
+// replicaCensus queries every peer for its freshest knowledge of uri
+// (passive replica or fenced live copy) and returns the freshest
+// (generation, seq) snapshot. Unreachable peers are skipped, bounded by
+// replicaCensusTimeout per peer so promotion latency stays a failover
+// cost, not a liveness hazard; the caller enforces the majority quorum.
+// candidateGen is promised to every answering peer, which from then on
+// refuses deposits from older lineages — and fences a live stale copy it
+// still hosts — so no acknowledgement can slip in behind the census.
+func (rt *Runtime) replicaCensus(ctx context.Context, uri string, candidateGen, haveGen, haveSeq uint64) censusResult {
+	rt.mu.Lock()
+	peers := rt.peers
+	rt.mu.Unlock()
+	out := censusResult{gen: haveGen, seq: haveSeq, reached: 1} // self
+	for _, p := range peers {
+		if p.node == rt.cfg.NodeID || p.om == nil {
+			continue
+		}
+		cctx, cancel := context.WithTimeout(ctx, replicaCensusTimeout)
+		// WithoutBreaker: the census must make a GENUINE attempt at every
+		// peer. A breaker left open by a transient fault would mark the
+		// freshest replica holder unreachable while quorum is still met via
+		// emptier peers — promoting stale state past acknowledged calls.
+		// With real attempts the quorum math is airtight for N=3: the two
+		// fresh copies (owner, sync replica) plus the initiator overlap any
+		// two reachable nodes. The per-peer timeout bounds the cost.
+		res, err := p.om.InvokeCtx(remoting.WithoutBreaker(remoting.WithoutRetry(cctx)), "ReplicaAt", uri, candidateGen, rt.cfg.NodeID, rt.Addr())
+		cancel()
+		if err != nil {
+			continue
+		}
+		out.reached++
+		var info ReplicaInfo
+		if aerr := wire.AssignTo(&info, res); aerr != nil || !info.Has {
+			continue
+		}
+		if info.Gen > out.gen || (info.Gen == out.gen && info.Seq > out.seq) {
+			// The reply's byte slices may alias the transport frame; the
+			// adopted snapshot outlives the call, so copy.
+			out.state = append([]byte(nil), info.State...)
+			out.dedup = copyDedupRecords(info.Dedup)
+			out.gen, out.seq, out.fresher = info.Gen, info.Seq, true
+		}
+	}
+	return out
+}
+
+// copyDedupRecords deep-copies dedup records, including []byte results that
+// may alias a transport receive frame.
+func copyDedupRecords(recs []remoting.DedupRecord) []remoting.DedupRecord {
+	out := append([]remoting.DedupRecord(nil), recs...)
+	for i := range out {
+		if b, ok := out[i].Result.([]byte); ok {
+			out[i].Result = append([]byte(nil), b...)
+		}
+	}
+	return out
+}
+
+// replicaAt answers a promotion census with this node's freshest knowledge
+// of uri, and promises candidateGen — deposits from generations below the
+// promise are refused from now on (see Runtime.promised). Besides the
+// passive replica store, a live copy hosted HERE at a generation below the
+// candidate is reported too, from its last shipped snapshot — and fenced
+// first: the census is promoting past this copy (this node was an owner
+// the promoting node's view lost), so acknowledging further calls here
+// would lose them at demotion. The fence-then-read order makes the
+// guarantee airtight: any call that passed its fence check committed its
+// (snapshot, dedup record) pair before replicating, so the census read —
+// which follows the fence write and takes the same snapMu the pair was
+// committed under — includes it whole. A call refused by the fence is
+// adopted whole or not at all for the same reason: whole, its retry
+// replays the recorded reply; absent, its retry executes on the promoted
+// lineage exactly once.
+//
+// A fenced copy is then fully demoted, forwarding to the census initiator
+// (fromNode/fromAddr): a copy left merely fenced would refuse calls
+// forever if the winner's snapshot ships never reach this node, and —
+// worse — directory entries still naming it would route callers into that
+// dead end with nothing to repair them. Its final state is deposited in
+// the local replica store first, so even a census that subsequently fails
+// its majority quorum (and so never promotes anyone) leaves the state
+// findable by the retry census.
+func (rt *Runtime) replicaAt(uri string, candidateGen uint64, fromNode int, fromAddr string) ReplicaInfo {
+	rt.replMu.Lock()
+	if candidateGen > rt.promised[uri] {
+		rt.promised[uri] = candidateGen
+	}
+	var info ReplicaInfo
+	if st := rt.replicas[uri]; st != nil {
+		info = ReplicaInfo{Has: true, Gen: st.gen, Seq: st.seq, State: st.state, Dedup: st.dedup.Export()}
+	}
+	rt.replMu.Unlock()
+
+	rt.actorsMu.Lock()
+	a := rt.actors[uri]
+	rt.actorsMu.Unlock()
+	if a == nil || a.w.virt == nil {
+		return info
+	}
+	gen := a.w.gen.Load()
+	if gen >= candidateGen {
+		return info
+	}
+	a.w.fenced.Store(true)
+	a.w.snapMu.Lock()
+	snap, seq := a.w.lastSnap, a.w.lastSeq
+	recs := a.w.dedup.Export()
+	a.w.snapMu.Unlock()
+	if snap != nil && (!info.Has || gen > info.Gen || (gen == info.Gen && seq > info.Seq)) {
+		info = ReplicaInfo{Has: true, Gen: gen, Seq: seq, State: snap, Dedup: recs}
+		rt.replMu.Lock()
+		if cur := rt.replicas[uri]; cur == nil || gen > cur.gen || (gen == cur.gen && seq >= cur.seq) {
+			lru := remoting.NewDedupLRU(rt.dedupCap())
+			lru.Import(copyDedupRecords(recs))
+			rt.replicas[uri] = &replicaState{class: a.w.class, gen: gen, seq: seq,
+				state: snap, dedup: lru, dedupStamp: maxDedupStamp(recs)}
+		}
+		rt.replMu.Unlock()
+	}
+	rt.demoteStale(uri, ObjLoc{Node: fromNode, Addr: fromAddr, Gen: candidateGen})
+	return info
 }
 
 const (
@@ -469,11 +666,34 @@ const (
 	// fan-out; a replica slower than this fails the ack (the call errors
 	// and the caller retries) rather than wedging the owner's mailbox.
 	replicateSyncTimeout = 2 * time.Second
+	// replicaCensusTimeout bounds each peer query of a promotion census.
+	replicaCensusTimeout = 500 * time.Millisecond
 	// replicateShipTimeout bounds one asynchronous snapshot ship.
 	replicateShipTimeout = time.Second
 	// promoteTimeout bounds one failover promotion attempt.
 	promoteTimeout = 5 * time.Second
 )
+
+// pendingRecord is a dedup record whose commit must be atomic with
+// publishing the snapshot that carries its effects: replicateAfterCalls
+// stores it inside the snapMu section that updates lastSnap, so a
+// promotion census — which reads (lastSnap, dedup memory) under the same
+// lock — adopts the call whole or not at all. A record adopted without its
+// effects would replay an acknowledgement for state the promoted lineage
+// does not have; effects adopted without their record would re-execute the
+// fenced call's retry.
+type pendingRecord struct {
+	tok remoting.CallToken
+	rep remoting.DedupReply
+}
+
+// commit stores the record in w's dedup memory; nil-safe so callers
+// without a token pass nil.
+func (r *pendingRecord) commit(w *ioWrapper) {
+	if r != nil {
+		w.dedup.Put(r.tok, r.rep)
+	}
+}
 
 // replicateAfterCalls runs in the actor goroutine after n calls applied
 // to a replicated virtual object: count them, and when a snapshot is due,
@@ -485,10 +705,16 @@ const (
 // update; either way an acknowledged call is never lost, at the cost that
 // an unacknowledged one may execute twice (the channel's documented
 // at-least-once trade).
-func (rt *Runtime) replicateAfterCalls(_ context.Context, w *ioWrapper, n int) error {
+//
+// rec, when non-nil, is the calling invocation's dedup record; it is
+// committed on every path out of this function — inside the snapMu
+// section when a snapshot is published (see pendingRecord), directly
+// otherwise.
+func (rt *Runtime) replicateAfterCalls(_ context.Context, w *ioWrapper, n int, rec *pendingRecord) error {
 	seq := w.seq.Add(uint64(n))
 	cfg := w.virt
 	if cfg.Replicas <= 0 {
+		rec.commit(w)
 		return nil
 	}
 	every := cfg.SnapshotEvery
@@ -497,42 +723,80 @@ func (rt *Runtime) replicateAfterCalls(_ context.Context, w *ioWrapper, n int) e
 	}
 	w.sinceShip += n
 	if w.sinceShip < every {
+		rec.commit(w)
 		return nil
 	}
 	w.sinceShip = 0
 	registerStateType(w.obj)
 	snap, err := wire.BinFmt{}.Marshal(w.obj)
 	if err != nil {
+		// Commit even on the failure path: the caller will retry against
+		// this same live copy, and without the record the retry would
+		// re-execute a call whose effects this copy already has.
+		rec.commit(w)
 		if every == 1 {
 			return fmt.Errorf("core: replicate %s: snapshot %T: %w", w.uri, w.obj, err)
 		}
 		return nil
 	}
-	gen := uint64(1)
-	if loc, ok := rt.dirLookup(w.uri); ok {
-		gen = loc.Gen
+	w.snapMu.Lock()
+	rec.commit(w)
+	w.lastSnap, w.lastSeq = snap, seq
+	w.snapMu.Unlock()
+	return rt.shipSnapshot(w, snap, w.gen.Load(), seq, every == 1)
+}
+
+// reshipForDedup runs before a dedup hit replays a recorded reply on a
+// synchronously replicated virtual object: the recorded call may have
+// executed and then failed its replication ack (exactly why the retry is
+// here), so the current state — which includes that call's effects and its
+// dedup record — must reach a replica before the replay acknowledges it.
+// Runs in the actor goroutine, so the state is quiesced. Asynchronous
+// replication skips it: its documented up-to-N-calls lag already covers
+// the window.
+func (rt *Runtime) reshipForDedup(_ context.Context, w *ioWrapper) error {
+	cfg := w.virt
+	if cfg.Replicas <= 0 || cfg.SnapshotEvery > 1 {
+		return nil
 	}
+	registerStateType(w.obj)
+	snap, err := wire.BinFmt{}.Marshal(w.obj)
+	if err != nil {
+		return fmt.Errorf("core: replicate %s: snapshot %T: %w", w.uri, w.obj, err)
+	}
+	seq := w.seq.Load()
 	w.snapMu.Lock()
 	w.lastSnap, w.lastSeq = snap, seq
 	w.snapMu.Unlock()
-	return rt.shipSnapshot(w.class, w.uri, cfg, snap, gen, seq, every == 1)
+	return rt.shipSnapshot(w, snap, w.gen.Load(), seq, true)
 }
 
-// shipSnapshot sends one state snapshot to the replica targets of uri.
-// Synchronous shipping requires at least one acknowledgement (when any
-// target is live at all); asynchronous shipping fires one-way exchanges
-// and returns immediately — a lost ship only widens the lag until the
-// next one.
-func (rt *Runtime) shipSnapshot(class, uri string, cfg *VirtualConfig, snap []byte, gen, seq uint64, awaitAck bool) error {
-	targets := rt.replicaTargets(uri, cfg.Replicas)
+// shipSnapshot sends one state snapshot of w — with w's dedup memory, so a
+// promoted replica can recognise retries of executed calls — to the
+// replica targets of its URI. Synchronous shipping requires at least one
+// acknowledgement (when any target is live at all); asynchronous shipping
+// fires one-way exchanges and returns immediately — a lost ship only
+// widens the lag until the next one.
+func (rt *Runtime) shipSnapshot(w *ioWrapper, snap []byte, gen, seq uint64, awaitAck bool) error {
+	targets := rt.replicaTargets(w.uri, w.virt.Replicas)
 	if len(targets) == 0 {
-		// No live successor exists (single-node cluster, or every replica
-		// candidate is down): proceed unreplicated rather than refuse all
-		// progress.
+		if awaitAck && rt.hasPeers() {
+			// Synchronous mode in a real cluster with every replica
+			// candidate unreachable: this node may be the minority side of a
+			// partition, and an acknowledgement here would be discarded when
+			// the majority's promotion demotes this copy. Refuse the call
+			// instead of acking state only this node has.
+			return fmt.Errorf("core: replicate %s: no reachable replica target for seq %d", w.uri, seq)
+		}
+		// Single-node cluster (or asynchronous mode): proceed unreplicated
+		// rather than refuse all progress.
 		return nil
 	}
-	args := []any{class, uri, gen, seq, rt.cfg.NodeID, rt.Addr(), snap}
 	if !awaitAck {
+		// One-way ships cannot learn what the receiver already holds, so
+		// they carry the full dedup memory; they are amortised over
+		// SnapshotEvery calls (or are rare failover re-ships).
+		args := []any{w.class, w.uri, gen, seq, rt.cfg.NodeID, rt.Addr(), snap, w.dedup.Export(), uint64(0)}
 		for _, p := range targets {
 			p.om.OneWayTimeout(replicateShipTimeout, "ReplicateVirtual", nil, args...)
 		}
@@ -545,9 +809,7 @@ func (rt *Runtime) shipSnapshot(class, uri string, cfg *VirtualConfig, snap []by
 		wg.Add(1)
 		go func(p peer) {
 			defer wg.Done()
-			cctx, cancel := context.WithTimeout(context.Background(), replicateSyncTimeout)
-			defer cancel()
-			if _, err := p.om.InvokeCtx(cctx, "ReplicateVirtual", args...); err != nil {
+			if err := rt.shipTo(w, p, snap, gen, seq); err != nil {
 				errCh <- err
 				return
 			}
@@ -556,9 +818,52 @@ func (rt *Runtime) shipSnapshot(class, uri string, cfg *VirtualConfig, snap []by
 	}
 	wg.Wait()
 	if acked.Load() == 0 {
-		return fmt.Errorf("core: replicate %s: no replica acknowledged seq %d: %w", uri, seq, <-errCh)
+		return fmt.Errorf("core: replicate %s: no replica acknowledged seq %d: %w", w.uri, seq, <-errCh)
 	}
 	return nil
+}
+
+// shipTo ships one snapshot synchronously to one replica, carrying only
+// the dedup records the target has not acknowledged yet. Per-call
+// synchronous ships would otherwise resend the whole LRU — up to the
+// per-object cap — on every call, an O(cap) tax that grows as the object
+// ages. A target that cannot extend its chain (first contact, a missed
+// ship, a generation change, a dropped replica) answers needFull and gets
+// one full resend within the same attempt.
+func (rt *Runtime) shipTo(w *ioWrapper, p peer, snap []byte, gen, seq uint64) error {
+	base := w.shipAckFor(p.addr)
+	recs, upTo := w.dedup.ExportSince(base)
+	needFull, err := rt.invokeReplicate(p, w, snap, gen, seq, recs, base)
+	if err != nil {
+		return err
+	}
+	if needFull {
+		recs, upTo = w.dedup.ExportSince(0)
+		needFull, err = rt.invokeReplicate(p, w, snap, gen, seq, recs, 0)
+		if err != nil {
+			return err
+		}
+		if needFull {
+			return fmt.Errorf("core: replicate %s: %s refused a full dedup resend", w.uri, p.addr)
+		}
+	}
+	w.setShipAck(p.addr, upTo)
+	return nil
+}
+
+func (rt *Runtime) invokeReplicate(p peer, w *ioWrapper, snap []byte, gen, seq uint64, recs []remoting.DedupRecord, base uint64) (bool, error) {
+	cctx, cancel := context.WithTimeout(context.Background(), replicateSyncTimeout)
+	defer cancel()
+	res, err := p.om.InvokeCtx(cctx, "ReplicateVirtual",
+		w.class, w.uri, gen, seq, rt.cfg.NodeID, rt.Addr(), snap, recs, base)
+	if err != nil {
+		return false, err
+	}
+	var needFull bool
+	if aerr := wire.AssignTo(&needFull, res); aerr != nil {
+		return false, aerr
+	}
+	return needFull, nil
 }
 
 // replicaTargets returns up to n live peers in ring order from uri's
@@ -586,31 +891,80 @@ func (rt *Runtime) replicaTargets(uri string, n int) []peer {
 // hosts the object at a lower generation than the shipper's, recognise
 // that a failover promoted past us (we were the owner behind a partition)
 // and demote our stale copy into a forwarding tombstone.
-func (rt *Runtime) replicateVirtual(class, uri string, gen, seq uint64, fromNode int, fromAddr string, state []byte) error {
+//
+// dedupBase is the shipper's incremental-replication floor: the dedup
+// records carry only entries stamped after it (dedupBase 0 means the full
+// memory). A base this replica cannot extend — it has no record chain for
+// this generation, or the chain has a gap from a missed ship — returns
+// needFull=true WITHOUT applying, and the shipper resends in full.
+func (rt *Runtime) replicateVirtual(class, uri string, gen, seq uint64, fromNode int, fromAddr string, state []byte, dedup []remoting.DedupRecord, dedupBase uint64) (needFull bool, err error) {
 	if !isVirtualURI(uri) {
-		return fmt.Errorf("core: replicate: %q is not a virtual URI", uri)
+		return false, fmt.Errorf("core: replicate: %q is not a virtual URI", uri)
 	}
 	rt.actorsMu.Lock()
 	hosted := rt.actors[uri] != nil
 	rt.actorsMu.Unlock()
 	if hosted {
 		if loc, ok := rt.dirLookup(uri); ok && loc.Node == rt.cfg.NodeID && loc.Gen >= gen {
-			return nil // our live copy is the fresher lineage; ignore
+			// Our live copy is the fresher lineage. Refuse rather than ack:
+			// a synchronous shipper treats the ack as "this call's state is
+			// durable elsewhere", and the moved error routes its callers to
+			// the copy that actually won.
+			return false, &errs.MovedError{URI: uri, Node: rt.cfg.NodeID, Addr: rt.Addr(), Gen: loc.Gen}
 		}
 		rt.demoteStale(uri, ObjLoc{Node: fromNode, Addr: fromAddr, Gen: gen})
 	}
 	rt.replMu.Lock()
+	defer rt.replMu.Unlock()
+	if floor := rt.promised[uri]; gen < floor {
+		return false, fmt.Errorf("core: replicate %s: generation %d superseded by a promotion census at %d", uri, gen, floor)
+	}
 	cur := rt.replicas[uri]
+	if cur != nil && gen < cur.gen {
+		// A fresher lineage already deposited here; acking the old owner
+		// would let it acknowledge calls the cluster has moved past.
+		return false, fmt.Errorf("core: replicate %s: stale snapshot generation %d (replica holds %d)", uri, gen, cur.gen)
+	}
 	if cur == nil || gen > cur.gen || (gen == cur.gen && seq >= cur.seq) {
+		if dedupBase > 0 && (cur == nil || cur.gen != gen || cur.dedup == nil || dedupBase > cur.dedupStamp) {
+			return true, nil
+		}
 		// The snapshot outlives this call, but state may alias the RPC
 		// receive frame (zero-copy borrowing hands the frame to the
 		// invoker only for the invocation's duration), so the retained
-		// copy must be ours.
+		// copy must be ours — including any []byte results inside the
+		// dedup records.
+		recs := copyDedupRecords(dedup)
+		stamp := maxDedupStamp(recs)
+		lru := remoting.NewDedupLRU(rt.dedupCap())
+		if dedupBase > 0 {
+			// Extending an intact chain: replay the delta into the held
+			// LRU. Incoming records are in the owner's recency order, and a
+			// restamped token moves to the front on Put, so eviction order
+			// keeps mirroring the owner's.
+			lru = cur.dedup
+			stamp = max(stamp, cur.dedupStamp)
+		}
+		lru.Import(recs)
 		rt.replicas[uri] = &replicaState{class: class, gen: gen, seq: seq,
-			state: append([]byte(nil), state...)}
+			state: append([]byte(nil), state...), dedup: lru, dedupStamp: stamp}
 	}
-	rt.replMu.Unlock()
-	return nil
+	return false, nil
+}
+
+func (rt *Runtime) dedupCap() int {
+	if rt.cfg.DedupPerObject > 0 {
+		return rt.cfg.DedupPerObject
+	}
+	return remoting.DefaultDedupPerObject
+}
+
+func maxDedupStamp(recs []remoting.DedupRecord) uint64 {
+	var m uint64
+	for _, r := range recs {
+		m = max(m, r.Stamp)
+	}
+	return m
 }
 
 // demoteStale abandons this node's hosted copy of uri in favour of a
@@ -714,11 +1068,7 @@ func (rt *Runtime) onPeerUp(int) {
 		if snap == nil {
 			continue
 		}
-		gen := uint64(1)
-		if loc, ok := rt.dirLookup(w.uri); ok {
-			gen = loc.Gen
-		}
-		_ = rt.shipSnapshot(w.class, w.uri, w.virt, snap, gen, seq, false) //nolint:errcheck // reconciliation is best effort
+		_ = rt.shipSnapshot(w, snap, w.gen.Load(), seq, false) //nolint:errcheck // reconciliation is best effort
 	}
 }
 
@@ -732,12 +1082,19 @@ func (s *omService) ActivateVirtual(ctx context.Context, class, uri string) (Res
 }
 
 // ReplicateVirtual stores a passive state snapshot of a virtual object
-// owned by a peer; see Runtime.replicateVirtual.
-func (s *omService) ReplicateVirtual(class, uri string, gen, seq uint64, fromNode int, fromAddr string, state []byte) error {
-	return s.rt.replicateVirtual(class, uri, gen, seq, fromNode, fromAddr, state)
+// owned by a peer, together with the owner's dedup memory (full, or
+// incremental past dedupBase); see Runtime.replicateVirtual.
+func (s *omService) ReplicateVirtual(class, uri string, gen, seq uint64, fromNode int, fromAddr string, state []byte, dedup []remoting.DedupRecord, dedupBase uint64) (bool, error) {
+	return s.rt.replicateVirtual(class, uri, gen, seq, fromNode, fromAddr, state, dedup, dedupBase)
 }
 
 // DropReplica forgets this node's passive replica of uri.
 func (s *omService) DropReplica(uri string) {
 	s.rt.dropReplica(uri)
+}
+
+// ReplicaAt reports this node's passive replica of uri for a promotion
+// census, promising candidateGen (see Runtime.replicaAt).
+func (s *omService) ReplicaAt(uri string, candidateGen uint64, fromNode int, fromAddr string) ReplicaInfo {
+	return s.rt.replicaAt(uri, candidateGen, fromNode, fromAddr)
 }

@@ -426,7 +426,7 @@ func TestVirtualStaleDemotion(t *testing.T) {
 	other.replMu.Lock()
 	state := other.replicas[uri].state
 	other.replMu.Unlock()
-	if err := host.replicateVirtual("vjournal", uri, loc.Gen+1, 5, other.cfg.NodeID, other.Addr(), state); err != nil {
+	if _, err := host.replicateVirtual("vjournal", uri, loc.Gen+1, 5, other.cfg.NodeID, other.Addr(), state, nil, 0); err != nil {
 		t.Fatal(err)
 	}
 
@@ -439,7 +439,10 @@ func TestVirtualStaleDemotion(t *testing.T) {
 	if loc2, ok := host.dirLookup(uri); !ok || loc2.Node != other.cfg.NodeID || loc2.Gen != loc.Gen+1 {
 		t.Errorf("directory after demotion = %+v, want node %d gen %d", loc2, other.cfg.NodeID, loc.Gen+1)
 	}
-	// A snapshot at or below the hosted generation must NOT demote.
+	// A snapshot at or below the hosted generation must NOT demote — and
+	// must be refused, not silently acknowledged: a synchronous shipper
+	// reads the ack as durability, so the losing lineage has to see an
+	// error that routes its callers to the winning copy.
 	p3, err := rts[0].VirtualObject("vjournal", "keep")
 	if err != nil {
 		t.Fatal(err)
@@ -450,8 +453,8 @@ func TestVirtualStaleDemotion(t *testing.T) {
 	uri3 := VirtualURI("vjournal", "keep")
 	h3 := rts[hostOf(rts, uri3)[0]]
 	loc3, _ := h3.dirLookup(uri3)
-	if err := h3.replicateVirtual("vjournal", uri3, loc3.Gen, 99, other.cfg.NodeID, other.Addr(), state); err != nil {
-		t.Fatal(err)
+	if _, err := h3.replicateVirtual("vjournal", uri3, loc3.Gen, 99, other.cfg.NodeID, other.Addr(), state, nil, 0); err == nil {
+		t.Error("equal-generation snapshot against a live owner was acknowledged, want refusal")
 	}
 	if hosts := hostOf([]*Runtime{h3}, uri3); len(hosts) != 1 {
 		t.Error("equal-generation snapshot demoted a live owner")

@@ -9,6 +9,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 )
 
 // Sentinel errors. Cancellation and deadline expiry deliberately reuse the
@@ -87,6 +88,42 @@ func (e *MovedError) Error() string {
 
 // Unwrap makes errors.Is(err, ErrObjectMoved) true.
 func (e *MovedError) Unwrap() error { return ErrObjectMoved }
+
+// OverloadedError is ErrOverloaded with a retry-after hint: the shedding
+// side knows how long its backlog needs to drain, so it tells the caller
+// when a retry has a chance instead of leaving every client to guess the
+// same (synchronized) backoff. The remoting layer carries the hint in both
+// reply envelopes; RetryAfter extracts it on the client side.
+type OverloadedError struct {
+	// RetryAfter is the server's drain estimate. Zero means no hint.
+	RetryAfter time.Duration
+	// Err is the underlying shed error (wraps ErrOverloaded).
+	Err error
+}
+
+// Error implements error.
+func (e *OverloadedError) Error() string { return e.Err.Error() }
+
+// Unwrap keeps errors.Is(err, ErrOverloaded) true.
+func (e *OverloadedError) Unwrap() error { return e.Err }
+
+// WithRetryAfter attaches a retry-after hint to a shed error. A zero or
+// negative hint returns err unchanged.
+func WithRetryAfter(err error, d time.Duration) error {
+	if err == nil || d <= 0 {
+		return err
+	}
+	return &OverloadedError{RetryAfter: d, Err: err}
+}
+
+// RetryAfter returns the retry-after hint carried in err's chain, or zero.
+func RetryAfter(err error) time.Duration {
+	var oe *OverloadedError
+	if errors.As(err, &oe) {
+		return oe.RetryAfter
+	}
+	return 0
+}
 
 // Code maps an error to its wire code, or CodeNone when no sentinel in the
 // chain has one.

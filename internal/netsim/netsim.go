@@ -202,6 +202,14 @@ type shapedConn struct {
 	link   *Link
 	stats  *Stats
 
+	// dialed is the listener address this connection was dialed to, and
+	// net the owning shaped network — set only on Dial-side connections,
+	// where together they let Isolate blackhole the conversation (both
+	// directions ride this one conn). Accept-side and hand-shaped conns
+	// leave them zero and are unaffected.
+	dialed string
+	net    *ShapedNetwork
+
 	// rng drives loss sampling; lazily seeded per connection, guarded by
 	// rngMu (Send may be called from concurrent writers).
 	rngMu sync.Mutex
@@ -223,6 +231,11 @@ func (s *shapedConn) lose() bool {
 }
 
 func (s *shapedConn) Send(msg []byte) error {
+	if s.net != nil && s.net.isolated(s.dialed) {
+		// Partitioned: the frame vanishes without error, like a dropped
+		// packet — the RPC above waits out its deadline.
+		return nil
+	}
 	if s.stats != nil {
 		s.stats.Count(len(msg))
 	}
@@ -245,19 +258,26 @@ func (s *shapedConn) Send(msg []byte) error {
 }
 
 func (s *shapedConn) Recv() ([]byte, error) {
-	msg, err := s.inner.Recv()
-	if err != nil {
-		return nil, err
+	for {
+		msg, err := s.inner.Recv()
+		if err != nil {
+			return nil, err
+		}
+		if len(msg) < 8 {
+			return nil, fmt.Errorf("netsim: short shaped frame of %d bytes", len(msg))
+		}
+		if s.net != nil && s.net.isolated(s.dialed) {
+			// The reply direction of a partitioned conversation: frames in
+			// flight (or sent by a peer that has not noticed) are dropped.
+			continue
+		}
+		deadline := int64(binary.BigEndian.Uint64(msg))
+		if deadline > 0 {
+			deliverAt := time.Unix(0, deadline)
+			s.clock.Sleep(deliverAt.Sub(s.clock.Now()))
+		}
+		return msg[8:], nil
 	}
-	if len(msg) < 8 {
-		return nil, fmt.Errorf("netsim: short shaped frame of %d bytes", len(msg))
-	}
-	deadline := int64(binary.BigEndian.Uint64(msg))
-	if deadline > 0 {
-		deliverAt := time.Unix(0, deadline)
-		s.clock.Sleep(deliverAt.Sub(s.clock.Now()))
-	}
-	return msg[8:], nil
 }
 
 func (s *shapedConn) Close() error       { return s.inner.Close() }
@@ -280,6 +300,10 @@ type ShapedNetwork struct {
 
 	once sync.Once
 	nic  *Link
+
+	// isoMu guards the set of isolated listener addresses (Isolate/Heal).
+	isoMu sync.Mutex
+	iso   map[string]bool
 }
 
 // NewShapedNetwork shapes inner with p on every connection in both
@@ -318,7 +342,36 @@ func (n *ShapedNetwork) Dial(addr string) (transport.Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Shape(c, n.Params, n.clock(), n.outboundLink(), n.Stats), nil
+	sc := Shape(c, n.Params, n.clock(), n.outboundLink(), n.Stats).(*shapedConn)
+	sc.dialed, sc.net = addr, n
+	return sc, nil
+}
+
+// Isolate partitions the listener at addr off the network: every shaped
+// connection dialed to it blackholes both directions (frames vanish
+// without error, so calls across the partition hang until their
+// deadlines) until Heal. Isolation is keyed by the dialed listener
+// address, which in the in-process harness identifies the node.
+func (n *ShapedNetwork) Isolate(addr string) {
+	n.isoMu.Lock()
+	if n.iso == nil {
+		n.iso = make(map[string]bool)
+	}
+	n.iso[addr] = true
+	n.isoMu.Unlock()
+}
+
+// Heal reconnects a listener isolated by Isolate.
+func (n *ShapedNetwork) Heal(addr string) {
+	n.isoMu.Lock()
+	delete(n.iso, addr)
+	n.isoMu.Unlock()
+}
+
+func (n *ShapedNetwork) isolated(addr string) bool {
+	n.isoMu.Lock()
+	defer n.isoMu.Unlock()
+	return n.iso[addr]
 }
 
 type shapedListener struct {

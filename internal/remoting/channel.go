@@ -5,9 +5,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/errs"
 	"repro/internal/transport"
@@ -93,8 +95,32 @@ type Channel struct {
 	// declarations. Either side alone keeps the wire fully interoperable.
 	DisableBinding bool
 
+	// Retry, when enabled (MaxAttempts > 1), applies the unified
+	// retry/backoff loop to ObjRef.InvokeCtx calls and arms the per-peer
+	// circuit breakers (retry.go, breaker.go). Set it before the first
+	// call, like the other configuration fields.
+	Retry RetryPolicy
+
 	seq  atomic.Uint64
 	pool connPool
+
+	// tokClient/tokSeq back NewCallToken (token.go).
+	tokClient atomic.Uint64
+	tokSeq    atomic.Uint64
+
+	breakerOnce sync.Once
+	breakerSet  *breakerSet
+
+	// closeMu guards closeCh, the broadcast that wakes in-flight retry
+	// sleeps when Close tears the channel down mid-backoff.
+	closeMu sync.Mutex
+	closeCh chan struct{}
+
+	// dialMu guards dialPeers, the per-peer dial backoff shared across a
+	// peer's pooled redials and every multiplexed lane (so a dead peer is
+	// probed by one capped, jittered schedule instead of a redial storm).
+	dialMu    sync.Mutex
+	dialPeers map[string]*dialBackoff
 
 	muxMu    sync.Mutex
 	muxPeers map[muxKey]*muxConn
@@ -142,6 +168,30 @@ func (ch *Channel) Scheme() string {
 
 // nextSeq allocates a call sequence number.
 func (ch *Channel) nextSeq() uint64 { return ch.seq.Add(1) }
+
+// breakers lazily arms the per-peer circuit breakers from the retry
+// policy; nil when the policy is disabled or breaker-disabled.
+func (ch *Channel) breakers() *breakerSet {
+	ch.breakerOnce.Do(func() {
+		if ch.Retry.Enabled() {
+			ch.breakerSet = newBreakerSet(ch.Retry)
+		}
+	})
+	return ch.breakerSet
+}
+
+// closeSignal returns the broadcast channel Close fires, waking retry
+// sleeps. A channel remains usable after Close (a later call dials
+// afresh), so each Close consumes the current broadcast and the next
+// caller lazily installs a new one.
+func (ch *Channel) closeSignal() <-chan struct{} {
+	ch.closeMu.Lock()
+	defer ch.closeMu.Unlock()
+	if ch.closeCh == nil {
+		ch.closeCh = make(chan struct{})
+	}
+	return ch.closeCh
+}
 
 // laneCount resolves the effective mux lane count (see MuxLanes).
 func (ch *Channel) laneCount() int {
@@ -417,6 +467,36 @@ func (ch *Channel) roundTrip(ctx context.Context, netaddr string, req *callReque
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("remoting: call %s.%s: %w", req.URI, req.Method, err)
 	}
+	bs := ch.breakers()
+	if bs == nil || breakerBypassed(ctx) {
+		// A bypassed call records no evidence either: its outcome must not
+		// consume a half-open trial slot or re-trip a breaker it never
+		// consulted.
+		return ch.roundTripOnce(ctx, netaddr, req)
+	}
+	trial, berr := bs.allow(netaddr)
+	if berr != nil {
+		return nil, fmt.Errorf("remoting: call %s.%s: %w", req.URI, req.Method, berr)
+	}
+	resp, err := ch.roundTripOnce(ctx, netaddr, req)
+	// Only transport-level evidence moves the breaker: connection failures
+	// trip it, anything the peer actually answered (including app errors)
+	// counts as success. Context expiry is the caller's deadline, not the
+	// peer's fault, and an orderly Close is not a failure either.
+	connFail := err != nil && ctx.Err() == nil &&
+		isConnFailure(err) && !errors.Is(err, errChannelClosed)
+	if connFail || err == nil || !isConnFailure(err) {
+		bs.record(netaddr, trial, connFail)
+	} else if trial {
+		// The trial's outcome was ambiguous (ctx expiry / orderly close):
+		// release the half-open slot without deciding.
+		bs.record(netaddr, true, true)
+	}
+	return resp, err
+}
+
+// roundTripOnce is one breaker-admitted round trip.
+func (ch *Channel) roundTripOnce(ctx context.Context, netaddr string, req *callRequest) (*callResponse, error) {
 	if ch.kind == Multiplexed {
 		// The mux path encodes per connection: the envelope variant
 		// (string or compact) depends on that connection's bind table.
@@ -529,14 +609,100 @@ func (ch *Channel) getConn(netaddr string) (c transport.Conn, fromPool bool, err
 	return c, false, err
 }
 
-// dial opens a fresh connection, charging the connect cost.
+// dial opens a fresh connection, charging the connect cost. Dials to a
+// peer that recently refused one are gated by the peer's shared backoff
+// entry (see dialBackoff), so a dead peer is probed on one capped,
+// jittered schedule no matter how many callers and mux lanes want it.
 func (ch *Channel) dial(netaddr string) (transport.Conn, error) {
+	db := ch.dialBackoffFor(netaddr)
+	if err := db.gate(); err != nil {
+		return nil, err
+	}
 	ch.Cost.ChargeConnect()
 	c, err := ch.net.Dial(netaddr)
 	if err != nil {
-		return nil, fmt.Errorf("remoting: dial %s: %v: %w", netaddr, err, errs.ErrNodeDown)
+		err = fmt.Errorf("remoting: dial %s: %v: %w", netaddr, err, errs.ErrNodeDown)
+		db.failed(err)
+		return nil, err
 	}
+	db.succeeded()
 	return c, nil
+}
+
+// dialBackoff base delay and cap: the first refused dial blocks redials for
+// ~dialBackoffBase, doubling per consecutive failure up to dialBackoffCap,
+// each window jittered to 50–100% so peers probing the same dead node do
+// not synchronize.
+const (
+	dialBackoffBase = 10 * time.Millisecond
+	dialBackoffCap  = 500 * time.Millisecond
+)
+
+// dialBackoff is the per-peer redial schedule shared by the pooled path
+// and every multiplexed lane of one Channel. While a window is open,
+// gate() fast-fails with the last dial error instead of hitting the
+// transport — the fix for the redial storm where a dead peer's every lane
+// (and every queued caller) dialled it in lockstep.
+type dialBackoff struct {
+	mu      sync.Mutex
+	fails   int
+	until   time.Time
+	lastErr error
+}
+
+// dialBackoffFor returns the peer's shared backoff entry, creating it on
+// first use.
+func (ch *Channel) dialBackoffFor(netaddr string) *dialBackoff {
+	ch.dialMu.Lock()
+	defer ch.dialMu.Unlock()
+	if ch.dialPeers == nil {
+		ch.dialPeers = make(map[string]*dialBackoff)
+	}
+	db := ch.dialPeers[netaddr]
+	if db == nil {
+		db = &dialBackoff{}
+		ch.dialPeers[netaddr] = db
+	}
+	return db
+}
+
+// gate fast-fails with the last dial error while the backoff window is
+// open; otherwise it admits the dial (including the probe that ends a
+// window).
+func (db *dialBackoff) gate() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.fails > 0 && time.Now().Before(db.until) {
+		return db.lastErr
+	}
+	return nil
+}
+
+// failed records a refused dial and opens (or extends) the backoff window.
+func (db *dialBackoff) failed(err error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.fails++
+	shift := db.fails - 1
+	if shift > 8 {
+		shift = 8
+	}
+	d := dialBackoffBase << shift
+	if d > dialBackoffCap {
+		d = dialBackoffCap
+	}
+	d = time.Duration(float64(d) * (0.5 + 0.5*rand.Float64()))
+	db.until = time.Now().Add(d)
+	db.lastErr = err
+}
+
+// succeeded resets the schedule after a successful dial.
+func (db *dialBackoff) succeeded() {
+	db.mu.Lock()
+	db.fails = 0
+	db.until = time.Time{}
+	db.lastErr = nil
+	db.mu.Unlock()
 }
 
 // Close releases the channel's client-side connections: idle pooled
@@ -546,6 +712,18 @@ func (ch *Channel) dial(netaddr string) (transport.Conn, error) {
 // server role and its client role does not matter. Cluster and node
 // teardown call it so long-running processes do not leak sockets.
 func (ch *Channel) Close() {
+	// Wake any in-flight retry backoff sleeps first (sleepRetry selects on
+	// this broadcast), so callers observe the teardown promptly instead of
+	// finishing their backoff against a closed channel.
+	ch.closeMu.Lock()
+	if ch.closeCh != nil {
+		close(ch.closeCh)
+		ch.closeCh = nil
+	}
+	ch.closeMu.Unlock()
+	ch.dialMu.Lock()
+	ch.dialPeers = nil
+	ch.dialMu.Unlock()
 	ch.pool.drain()
 	ch.muxMu.Lock()
 	peers := make([]*muxConn, 0, len(ch.muxPeers))

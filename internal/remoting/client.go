@@ -60,6 +60,16 @@ func (r *ObjRef) Invoke(method string, args ...any) (any, error) {
 // cancellation aborts the in-flight exchange (closing its connection) and
 // the deadline travels in the request envelope so the server refuses work
 // past it. Server-side failures come back as *RemoteError.
+//
+// When the channel's RetryPolicy is enabled, transient failures
+// (Retryable: node-down, overload sheds) are retried with jittered
+// exponential backoff — honouring a server retry-after hint over the
+// computed delay — for as long as the attempt cap and the ctx deadline
+// budget allow. A ctx carrying WithoutRetry, and any call whose failure is
+// not classified retryable, gets exactly one attempt. An idempotency token
+// carried by ctx (WithCallToken) rides every attempt unchanged, so a
+// server that executed a lost-reply attempt replays the recorded reply
+// instead of executing again.
 func (r *ObjRef) InvokeCtx(ctx context.Context, method string, args ...any) (any, error) {
 	req := &callRequest{
 		URI:    r.uri,
@@ -70,18 +80,55 @@ func (r *ObjRef) InvokeCtx(ctx context.Context, method string, args ...any) (any
 	if dl, ok := ctx.Deadline(); ok {
 		req.Deadline = dl.UnixNano()
 	}
+	if tok, ok := TokenFromContext(ctx); ok {
+		req.TokClient, req.TokSeq = tok.Client, tok.Seq
+	}
+	p := r.ch.Retry
+	if !p.Enabled() || retryDisabled(ctx) {
+		return r.invokeOnce(ctx, req)
+	}
+	for attempt := 0; ; attempt++ {
+		start := time.Now()
+		result, err := r.invokeOnce(ctx, req)
+		if err == nil {
+			return result, nil
+		}
+		if !Retryable(err) || attempt >= p.MaxAttempts-1 {
+			return nil, err
+		}
+		delay := p.retryDelay(err, attempt)
+		if !budgetAllows(ctx, delay, time.Since(start)) {
+			return nil, err
+		}
+		if serr := sleepRetry(ctx, r.ch.closeSignal(), delay); serr != nil {
+			return nil, fmt.Errorf("remoting: call %s.%s: retry aborted: %w", r.uri, method, serr)
+		}
+		// Fresh seq per attempt: the failed attempt may still complete
+		// server-side, and a reused number could be matched against its
+		// late reply. The idempotency token (if any) stays, making the
+		// retry deduplicable; the seq is per-exchange plumbing.
+		req.Seq = r.ch.nextSeq()
+	}
+}
+
+// invokeOnce is a single InvokeCtx attempt: one roundTrip plus reply
+// normalization into Go errors.
+func (r *ObjRef) invokeOnce(ctx context.Context, req *callRequest) (any, error) {
 	resp, err := r.ch.roundTrip(ctx, r.netaddr, req)
 	if err != nil {
 		return nil, err
 	}
 	if resp.IsErr {
-		re := &RemoteError{URI: r.uri, Method: method, Msg: resp.ErrMsg, Code: resp.ErrCode}
+		re := &RemoteError{URI: r.uri, Method: req.Method, Msg: resp.ErrMsg, Code: resp.ErrCode}
 		if resp.ErrCode == errs.CodeMoved {
 			movedURI := resp.FwdURI
 			if movedURI == "" {
 				movedURI = r.uri
 			}
 			re.Moved = &errs.MovedError{URI: movedURI, Node: resp.FwdNode, Addr: resp.FwdAddr, Gen: resp.FwdGen}
+		}
+		if resp.ErrCode == errs.CodeOverloaded && resp.RetryAfterMs > 0 {
+			re.RetryAfter = time.Duration(resp.RetryAfterMs) * time.Millisecond
 		}
 		return nil, re
 	}

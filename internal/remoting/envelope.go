@@ -28,14 +28,17 @@
 // fields, then the ordinary tagged encoding for arguments and results.
 //
 //	call:  0xBC | uvarint handle | uvarint seq | varint deadline | args ([]any, tagged)
+//	       0xBE | uvarint handle | uvarint seq | varint deadline | uvarint tokClient | uvarint tokSeq | args
 //	reply: 0xBD | uvarint seq | uvarint bindAck | flag byte | body
 //
-// where flag is 0 (body = tagged result value) or has bit 1 set (body =
+// where the 0xBE call variant carries an idempotency token (token.go) and
+// flag is 0 (body = tagged result value) or has bit 1 set (body =
 // tagged error code string + tagged error message string). Error replies
 // with bit 2 set additionally append a migration forward — tagged new
 // address string, raw varint node id, raw uvarint generation, tagged
 // moved-object URI — carrying a moved object's new location
-// (errs.CodeMoved). bindAck, when non-zero,
+// (errs.CodeMoved); bit 4 appends a retry-after hint (raw varint
+// milliseconds) for overload sheds. bindAck, when non-zero,
 // confirms that handle for future calls on this connection. Compact
 // frames only ever appear on a connection after both ends proved they
 // speak them: the client sends its first compact call only after an ack,
@@ -55,6 +58,13 @@ const (
 	// textual codecs with ASCII, so 0xBC/0xBD are unambiguous.
 	markBoundCall  = 0xBC
 	markBoundReply = 0xBD
+	// markBoundCallTok is the token-bearing compact call variant: the
+	// 0xBC layout with the idempotency token (uvarint client id, uvarint
+	// client seq) inserted after the deadline. A separate marker rather
+	// than a flag byte keeps the tokenless hot path byte-identical to the
+	// historical frame; compact frames only flow after the bind handshake
+	// proved both ends are this build, so no older peer can receive one.
+	markBoundCallTok = 0xBE
 
 	// flagReplyErr marks a compact reply carrying an error instead of a
 	// result.
@@ -62,6 +72,11 @@ const (
 	// flagReplyFwd marks an error reply that appends a migration forward
 	// (new addr, node, generation) after the error strings.
 	flagReplyFwd = 0x02
+	// flagReplyRetryAfter marks an error reply that appends a retry-after
+	// hint (raw varint milliseconds) after the error strings and any
+	// forward — an overloaded server telling the caller when a retry has a
+	// chance (callResponse.RetryAfterMs).
+	flagReplyRetryAfter = 0x04
 
 	// maxBindHandles caps the per-connection handle space on both sides: a
 	// client stops declaring new handles past it (falling back to string
@@ -84,10 +99,18 @@ func encodeBoundCall(handle uint32, req *callRequest, disableGenerated bool) (ra
 	if disableGenerated {
 		e.SetGenerated(false)
 	}
-	e.RawByte(markBoundCall)
+	if req.TokClient != 0 {
+		e.RawByte(markBoundCallTok)
+	} else {
+		e.RawByte(markBoundCall)
+	}
 	e.RawUvarint(uint64(handle))
 	e.RawUvarint(req.Seq)
 	e.RawVarint(req.Deadline)
+	if req.TokClient != 0 {
+		e.RawUvarint(req.TokClient)
+		e.RawUvarint(req.TokSeq)
+	}
 	e.AnySlice(req.Args)
 	if err := e.Err(); err != nil {
 		e.Release()
@@ -114,13 +137,18 @@ func decodeBoundCallShared(raw []byte, borrow bool) (handle uint32, req *callReq
 	if borrow {
 		d.SetBorrow(true)
 	}
-	if b := d.RawByte(); b != markBoundCall {
-		return 0, nil, false, fmt.Errorf("remoting: bound call marker 0x%02x, want 0x%02x", b, markBoundCall)
+	b := d.RawByte()
+	if b != markBoundCall && b != markBoundCallTok {
+		return 0, nil, false, fmt.Errorf("remoting: bound call marker 0x%02x, want 0x%02x or 0x%02x", b, markBoundCall, markBoundCallTok)
 	}
 	h := d.RawUvarint()
 	req = &callRequest{}
 	req.Seq = d.RawUvarint()
 	req.Deadline = d.RawVarint()
+	if b == markBoundCallTok {
+		req.TokClient = d.RawUvarint()
+		req.TokSeq = d.RawUvarint()
+	}
 	req.Args = d.AnySlice()
 	borrowed = d.Borrowed()
 	if err := d.Err(); err != nil {
@@ -152,6 +180,9 @@ func encodeBoundReply(resp *callResponse, bindAck uint32, disableGenerated bool)
 		if fwd {
 			flags |= flagReplyFwd
 		}
+		if resp.RetryAfterMs > 0 {
+			flags |= flagReplyRetryAfter
+		}
 		e.RawByte(flags)
 		e.String(resp.ErrCode)
 		e.String(resp.ErrMsg)
@@ -160,6 +191,9 @@ func encodeBoundReply(resp *callResponse, bindAck uint32, disableGenerated bool)
 			e.RawVarint(int64(resp.FwdNode))
 			e.RawUvarint(resp.FwdGen)
 			e.String(resp.FwdURI)
+		}
+		if resp.RetryAfterMs > 0 {
+			e.RawVarint(resp.RetryAfterMs)
 		}
 	} else {
 		e.RawByte(0)
@@ -204,6 +238,9 @@ func decodeBoundReplyShared(raw []byte, borrow bool) (resp *callResponse, bindAc
 			resp.FwdNode = int(d.RawVarint())
 			resp.FwdGen = d.RawUvarint()
 			resp.FwdURI = d.String()
+		}
+		if flags&flagReplyRetryAfter != 0 {
+			resp.RetryAfterMs = d.RawVarint()
 		}
 	} else {
 		resp.Result = d.Value()

@@ -294,12 +294,14 @@ func (ch *Channel) getMux(netaddr string, lane int) (mc *muxConn, fresh bool, er
 // the dial (Channel.Close between map insert and connect) wins: the fresh
 // connection is discarded.
 func (mc *muxConn) dial() error {
-	mc.ch.Cost.ChargeConnect()
-	c, err := mc.ch.net.Dial(mc.netaddr)
+	// Channel.dial applies the per-peer shared dial backoff, so a dead
+	// peer's lanes (and any pooled callers) collapse into one capped,
+	// jittered probe schedule instead of a redial storm.
+	c, err := mc.ch.dial(mc.netaddr)
 	mc.mu.Lock()
 	switch {
 	case err != nil:
-		mc.dialErr = fmt.Errorf("remoting: dial %s: %v: %w", mc.netaddr, err, errs.ErrNodeDown)
+		mc.dialErr = err
 	case mc.failed:
 		mc.mu.Unlock()
 		c.Close()

@@ -32,6 +32,7 @@ package remoting
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/cost"
 	"repro/internal/errs"
@@ -59,6 +60,12 @@ type callRequest struct {
 	// (see envelope.go). Servers that do not understand binding skip the
 	// field (unknown-field tolerance) and simply never acknowledge it.
 	Bind uint32
+	// TokClient/TokSeq carry the call's idempotency token (token.go) when
+	// the caller requested effectively-once semantics; zero TokClient means
+	// no token. Old servers skip both fields (unknown-field tolerance) and
+	// simply keep at-least-once behaviour.
+	TokClient uint64
+	TokSeq    uint64
 }
 
 // callResponse is the reply envelope.
@@ -83,6 +90,11 @@ type callResponse struct {
 	FwdNode int
 	FwdGen  uint64
 	FwdURI  string
+	// RetryAfterMs, on ErrCode errs.CodeOverloaded replies, is the server's
+	// drain estimate in milliseconds: retry sooner than this and the call
+	// will very likely shed again. The client-side retry policy honours it
+	// over its computed backoff. Zero means no hint.
+	RetryAfterMs int64
 }
 
 func init() {
@@ -103,6 +115,10 @@ type RemoteError struct {
 	// Moved carries the migrated object's new location when Code is
 	// errs.CodeMoved, rebuilt from the reply envelope's forward fields.
 	Moved *errs.MovedError
+	// RetryAfter carries the server's drain estimate when Code is
+	// errs.CodeOverloaded and the reply included a hint (see
+	// callResponse.RetryAfterMs). Zero means no hint.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -111,12 +127,16 @@ func (e *RemoteError) Error() string {
 }
 
 // Unwrap exposes the sentinel identified by Code — or the full
-// *errs.MovedError for moved objects — so errors.Is matches typed errors
+// *errs.MovedError for moved objects, or an *errs.OverloadedError carrying
+// the retry-after hint — so errors.Is matches typed errors
 // (errs.ErrNoSuchMethod, context.DeadlineExceeded, ...) and errors.As
 // recovers the forward location even after the error crossed the wire.
 func (e *RemoteError) Unwrap() error {
 	if e.Moved != nil {
 		return e.Moved
+	}
+	if e.RetryAfter > 0 {
+		return errs.WithRetryAfter(errs.Sentinel(e.Code), e.RetryAfter)
 	}
 	return errs.Sentinel(e.Code)
 }

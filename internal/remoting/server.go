@@ -421,7 +421,7 @@ func (s *Server) handleConn(c transport.Conn) {
 		var entry *bindEntry
 		var bindAck uint32
 		var borrowed bool
-		if binary && isCompactFrame(raw, markBoundCall) {
+		if binary && (isCompactFrame(raw, markBoundCall) || isCompactFrame(raw, markBoundCallTok)) {
 			var handle uint32
 			handle, req, borrowed, err = decodeBoundCallShared(raw, true)
 			if err != nil {
@@ -574,6 +574,11 @@ func errorResponseFor(req *callRequest, err error) *callResponse {
 	if errors.As(err, &mv) {
 		resp.FwdAddr, resp.FwdNode, resp.FwdGen, resp.FwdURI = mv.Addr, mv.Node, mv.Gen, mv.URI
 	}
+	if resp.ErrCode == errs.CodeOverloaded {
+		if ra := errs.RetryAfter(err); ra > 0 {
+			resp.RetryAfterMs = int64(ra / time.Millisecond)
+		}
+	}
 	return resp
 }
 
@@ -585,6 +590,13 @@ func errorResponseFor(req *callRequest, err error) *callResponse {
 // bounded context.
 func (s *Server) dispatchEntry(req *callRequest, e *bindEntry) *callResponse {
 	ctx := context.Background()
+	if req.TokClient != 0 {
+		// The call's idempotency token travels down the dispatch chain in
+		// the context, so whoever executes it (the SCOOPP actor runtime)
+		// can consult its dedup memory before executing and record the
+		// reply after — the server layer itself stays stateless about it.
+		ctx = ContextWithToken(ctx, CallToken{Client: req.TokClient, Seq: req.TokSeq})
+	}
 	if req.Deadline > 0 {
 		dl := time.Unix(0, req.Deadline)
 		if !time.Now().Before(dl) {

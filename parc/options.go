@@ -54,6 +54,9 @@ type options struct {
 	rebalance     time.Duration
 	mailboxBound  int
 	shed          ShedPolicy
+	retry         RetryPolicy
+	idempotent    bool
+	dedupPerObj   int
 	// node scope
 	nodeID int
 	listen string
@@ -145,6 +148,42 @@ func WithMailboxBound(n int) Option { return func(o *options) { o.mailboxBound =
 // WithMailboxBound.
 func WithShedPolicy(p ShedPolicy) Option { return func(o *options) { o.shed = p } }
 
+// RetryPolicy configures transparent retries of transient remote-call
+// failures (node down, connection reset, overload sheds) with jittered
+// exponential backoff and per-peer circuit breakers. The zero value
+// disables retries; DefaultRetryPolicy is a sane starting point.
+type RetryPolicy = remoting.RetryPolicy
+
+// DefaultRetryPolicy returns the recommended retry configuration: 4
+// attempts, 5ms base delay doubling to a 1s cap with 50% jitter, and
+// per-peer breakers opening after 5 consecutive connection failures.
+func DefaultRetryPolicy() RetryPolicy { return remoting.DefaultRetryPolicy() }
+
+// WithRetry installs a retry policy on every node's channel: remote calls
+// that fail with a retryable error (ErrNodeDown, connection resets,
+// ErrOverloaded sheds — never application errors) are retried with
+// jittered exponential backoff, honouring server retry-after hints and
+// the call context's deadline budget. Per-peer circuit breakers fast-fail
+// calls to peers whose connections keep dying, feeding the same health
+// grading that routes placement around dead nodes. The zero policy
+// (default) keeps the historical single-attempt behaviour.
+func WithRetry(p RetryPolicy) Option { return func(o *options) { o.retry = p } }
+
+// WithIdempotentCalls makes retried calls effectively-once: every
+// outermost proxy call is stamped with an idempotency token that rides
+// every wire attempt (channel retries, forward chasing, post-failover
+// re-resolution), and hosting nodes remember recent replies per object so
+// a retry of an already-executed call replays the recorded reply instead
+// of executing again. The reply memory replicates with virtual-object
+// state, so failover promotion preserves it. Costs one small LRU per
+// hosted object (see WithDedupPerObject).
+func WithIdempotentCalls() Option { return func(o *options) { o.idempotent = true } }
+
+// WithDedupPerObject caps each hosted object's recorded-reply LRU used by
+// WithIdempotentCalls (0 selects the default, 256). A token evicted
+// before its retry arrives degrades that call to at-least-once.
+func WithDedupPerObject(n int) Option { return func(o *options) { o.dedupPerObj = n } }
+
 // WithNodeID sets this node's index in the cluster (ServeNode only).
 func WithNodeID(id int) Option { return func(o *options) { o.nodeID = id } }
 
@@ -174,21 +213,24 @@ func buildOptions(opts []Option) options {
 func StartCluster(opts ...Option) (*Cluster, error) {
 	o := buildOptions(opts)
 	inner, err := cluster.New(cluster.Options{
-		Nodes:          o.nodes,
-		ChannelKind:    o.channel,
-		Net:            o.network,
-		Cost:           o.cost,
-		PoolSize:       o.poolSize,
-		MaxInFlight:    o.maxInFlight,
-		MuxLanes:       o.muxLanes,
-		Placement:      o.placement,
-		Agglomeration:  o.agglomeration,
-		Aggregation:    o.aggregation,
-		LoadCacheTTL:   o.loadCacheTTL,
-		HealthProbe:    o.healthProbe,
-		RebalanceEvery: o.rebalance,
-		MailboxBound:   o.mailboxBound,
-		Shed:           o.shed,
+		Nodes:           o.nodes,
+		ChannelKind:     o.channel,
+		Net:             o.network,
+		Cost:            o.cost,
+		PoolSize:        o.poolSize,
+		MaxInFlight:     o.maxInFlight,
+		MuxLanes:        o.muxLanes,
+		Placement:       o.placement,
+		Agglomeration:   o.agglomeration,
+		Aggregation:     o.aggregation,
+		LoadCacheTTL:    o.loadCacheTTL,
+		HealthProbe:     o.healthProbe,
+		RebalanceEvery:  o.rebalance,
+		MailboxBound:    o.mailboxBound,
+		Shed:            o.shed,
+		Retry:           o.retry,
+		IdempotentCalls: o.idempotent,
+		DedupPerObject:  o.dedupPerObj,
 	})
 	if err != nil {
 		return nil, err
@@ -228,16 +270,19 @@ func ServeNode(opts ...Option) (*Runtime, error) {
 		pool = threadpool.New(o.poolSize, 0)
 	}
 	return core.Start(core.Config{
-		NodeID:         o.nodeID,
-		Channel:        ch,
-		Pool:           pool,
-		Placement:      o.placement,
-		Agglomeration:  o.agglomeration,
-		Aggregation:    o.aggregation,
-		LoadCacheTTL:   o.loadCacheTTL,
-		HealthProbe:    o.healthProbe,
-		RebalanceEvery: o.rebalance,
-		MailboxBound:   o.mailboxBound,
-		Shed:           o.shed,
+		NodeID:          o.nodeID,
+		Channel:         ch,
+		Pool:            pool,
+		Placement:       o.placement,
+		Agglomeration:   o.agglomeration,
+		Aggregation:     o.aggregation,
+		LoadCacheTTL:    o.loadCacheTTL,
+		HealthProbe:     o.healthProbe,
+		RebalanceEvery:  o.rebalance,
+		MailboxBound:    o.mailboxBound,
+		Shed:            o.shed,
+		Retry:           o.retry,
+		IdempotentCalls: o.idempotent,
+		DedupPerObject:  o.dedupPerObj,
 	}, o.listen)
 }

@@ -54,6 +54,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/errs"
 	"repro/internal/netsim"
+	"repro/internal/remoting"
 	"repro/internal/wire"
 )
 
@@ -115,7 +116,29 @@ type (
 	// PeerStatus grades a peer's observed liveness (see
 	// Runtime.PeerStatuses and WithHealthProbe).
 	PeerStatus = core.PeerStatus
+	// CallToken identifies one logical call for idempotent deduplication
+	// (see WithIdempotentCalls); the zero token means "no token".
+	CallToken = remoting.CallToken
 )
+
+// WithCallToken returns a context carrying tok: every call made under it
+// shares the token, so hosting nodes deduplicate retries of the same
+// logical call. Mint tokens with Runtime.NewCallToken; most applications
+// never need either — WithIdempotentCalls stamps tokens automatically per
+// proxy call — but a caller spanning its own retry loop (for example
+// re-invoking after a failover error) reuses one token across its
+// attempts this way.
+func WithCallToken(ctx context.Context, tok CallToken) context.Context {
+	return core.WithCallToken(ctx, tok)
+}
+
+// WithoutRetry returns a context that forces a single attempt for every
+// call made under it, overriding the channel's WithRetry policy — the
+// per-call escape hatch for callers that run their own retry loop or
+// would rather surface the first transient failure.
+func WithoutRetry(ctx context.Context) context.Context {
+	return remoting.WithoutRetry(ctx)
+}
 
 // Peer liveness grades reported by health probing.
 const (
