@@ -65,7 +65,7 @@ func (e *expFlag) Set(v string) error {
 
 func main() {
 	var exps expFlag
-	flag.Var(&exps, "exp", "experiment id, repeatable/comma-separated (all, fig8a, fig8b, latency, fig9, seqratio, overhead, agg, agglom, codecs, pool, fanout, codec, rebalance, failover, openloop, chaos)")
+	flag.Var(&exps, "exp", "experiment id, repeatable/comma-separated (all, fig8a, fig8b, latency, fig9, seqratio, overhead, agg, agglom, codecs, pool, fanout, codec, rebalance, failover, openloop, chaos, skeletons)")
 	full := flag.Bool("full", false, "full paper-sized sweeps (slower)")
 	asJSON := flag.Bool("json", false, "write a machine-readable bench.Report to stdout (tables go to stderr)")
 	payloads := flag.String("payload", "", "fanout payload sizes in bytes, comma-separated (e.g. 16,256,4096); empty = default 64")
@@ -382,6 +382,26 @@ func main() {
 		}
 		bench.PrintChaos(out, rows)
 		report.Chaos = rows
+	}
+	if run("skeletons") {
+		any = true
+		fmt.Fprintln(out, "================================================================")
+		// Skeletons: completion-driven futures and the Scatter/Gather
+		// skeleton over a 3-node cluster. RunSkeletons hard-asserts the
+		// goroutine-flatness contract itself (thousands of outstanding
+		// futures, goroutine delta bounded by the in-flight window), so a
+		// regression to goroutine-per-call fails the bench outright; the
+		// skeleton-vs-handrolled calls/s ratio feeds the diff gates.
+		cfg := bench.SkeletonConfig{}
+		if *full {
+			cfg = bench.SkeletonConfig{Outstanding: 20000, Workers: 16, Window: time.Second}
+		}
+		rows, err := bench.RunSkeletons(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintSkeletons(out, rows)
+		report.Skeletons = rows
 	}
 	if !any {
 		fatalf("unknown experiment(s) %q", exps.String())

@@ -19,6 +19,7 @@ type Report struct {
 	Failover  []FailoverRow  `json:"failover,omitempty"`
 	OpenLoop  []OpenLoopRow  `json:"openloop,omitempty"`
 	Chaos     []ChaosRow     `json:"chaos,omitempty"`
+	Skeletons []SkeletonRow  `json:"skeletons,omitempty"`
 }
 
 // ReportMeta records the environment a report was measured in, so a
@@ -186,7 +187,24 @@ func RelativeMetrics(r Report) map[string]float64 {
 			out["openloop "+olKey(row)+" p99 headroom"] = min(row.SLOMs/row.P99Ms, 2.0)
 		}
 	}
+	if ratio, ok := gatedSkeletonRatio(r); ok {
+		out["skeletons scatter vs handrolled"] = ratio
+	}
 	return out
+}
+
+// gatedSkeletonRatio is the scatter-skeleton over scatter-handrolled
+// calls/s ratio as both gates track it: capped at 1.0, because batching
+// per-destination submissions can beat the goroutine-per-call control by a
+// margin that varies with scheduler luck, and a run where the skeleton
+// merely matches the hand-rolled fan-out must not fail against a lucky
+// overshooting baseline. Machine-independent by construction — both sides
+// of the division ran on the same hardware over the same objects seconds
+// apart. The goroutine-flatness contract of the async scenario is
+// hard-asserted inside RunSkeletons itself, not tracked here.
+func gatedSkeletonRatio(r Report) (float64, bool) {
+	ratio, ok := SkeletonRatio(r.Skeletons)
+	return min(ratio, 1.0), ok
 }
 
 // gatedRecovery is the rebalance recovery ratio as both gates track it:
@@ -297,7 +315,35 @@ func CompareReports(baseline, current Report, tolerance float64) []string {
 	problems = append(problems, compareFailover(baseline, current, tolerance)...)
 	problems = append(problems, compareChaos(baseline, current, tolerance)...)
 	problems = append(problems, compareOpenLoop(baseline, current, tolerance)...)
+	problems = append(problems, compareSkeletons(baseline, current, tolerance)...)
 	sort.Strings(problems)
+	return problems
+}
+
+// compareSkeletons gates the skeleton rows in absolute mode (same-hardware
+// comparisons): each scenario's calls/s must not drop more than tolerance
+// below its baseline row, and a baseline scenario missing from current
+// fails. The relative gate tracks the same rows through the
+// "skeletons scatter vs handrolled" entry of RelativeMetrics; the
+// goroutine-flatness bound is hard-asserted inside RunSkeletons.
+func compareSkeletons(baseline, current Report, tolerance float64) []string {
+	var problems []string
+	cur := map[string]SkeletonRow{}
+	for _, r := range current.Skeletons {
+		cur[r.Scenario] = r
+	}
+	for _, b := range baseline.Skeletons {
+		c, ok := cur[b.Scenario]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("skeletons %q: missing from current report", b.Scenario))
+			continue
+		}
+		if floor := b.CallsPerSec * (1 - tolerance); c.CallsPerSec < floor {
+			problems = append(problems, fmt.Sprintf(
+				"skeletons %q: %.0f calls/s is %.1f%% below baseline %.0f (tolerance %.0f%%)",
+				b.Scenario, c.CallsPerSec, 100*(1-c.CallsPerSec/b.CallsPerSec), b.CallsPerSec, 100*tolerance))
+		}
+	}
 	return problems
 }
 

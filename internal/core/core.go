@@ -301,6 +301,23 @@ type Stats struct {
 	OverloadGrade OverloadGrade
 }
 
+// contExec returns the overflow executor futures use for continuations
+// that exhausted the inline depth budget: the configured thread pool when
+// it has room, a fresh goroutine otherwise (TrySubmit never blocks — the
+// completion path must not stall behind a full pool queue). Nil when no
+// pool is configured, which makes the Future spawn a goroutine directly.
+func (rt *Runtime) contExec() func(func()) {
+	pool := rt.cfg.Pool
+	if pool == nil {
+		return nil
+	}
+	return func(fn func()) {
+		if !pool.TrySubmit(fn) {
+			go fn()
+		}
+	}
+}
+
 // Runtime is one node's SCOOPP run-time system: object manager, factories
 // and hosting server.
 type Runtime struct {

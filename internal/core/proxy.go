@@ -98,6 +98,32 @@ func (p *Proxy) initSeq() {
 		return p.invokeRemote(context.Background(), method, args...)
 	})
 	p.seq.OnError = p.noteAsyncError
+	// The completion-path variant: queued calls chain head-to-tail on reply
+	// arrival instead of parking a flusher goroutine per drain. A false
+	// return (non-multiplexed channel, connection not yet usable, lane shut
+	// down) sends that call through the synchronous invoke above, which
+	// carries the full re-routing machinery.
+	p.seq.SetInvokeAsync(func(method string, args []any, cb func(any, error)) bool {
+		if p.rt.cfg.Channel.Kind() != remoting.Multiplexed {
+			return false
+		}
+		ctx := context.Background()
+		if p.rt.cfg.IdempotentCalls {
+			ctx = remoting.ContextWithToken(ctx, p.rt.cfg.Channel.NewCallToken())
+		}
+		err := p.endpoint().InvokeAsyncCb(ctx, method, args, func(v any, err error) {
+			if err != nil && p.asyncRecoverable(err) {
+				// Same transparent re-routing the synchronous lane gives a
+				// migrated or failed-over object, off the completion path.
+				// The next queued call is only submitted once cb runs, so
+				// the retry preserves per-proxy order.
+				go func() { cb(p.invokeVia(ctx, p.endpoint, method, args...)) }()
+				return
+			}
+			cb(v, err)
+		})
+		return err == nil
+	})
 }
 
 // Class returns the object's registered class name.
@@ -354,37 +380,6 @@ func (p *Proxy) remoteInvokeOrdered(ctx context.Context, method string, args []a
 	return p.invokeRemote(ctx, "Invoke1", method, args)
 }
 
-// Future is the handle of an asynchronous call with a result.
-type Future struct {
-	done chan struct{}
-	val  any
-	err  error
-}
-
-// Get blocks until the call completes.
-func (f *Future) Get() (any, error) {
-	<-f.done
-	return f.val, f.err
-}
-
-// GetCtx blocks until the call completes or ctx ends, in which case it
-// returns ctx.Err() (the call itself keeps running; a later Get still
-// observes its outcome).
-func (f *Future) GetCtx(ctx context.Context) (any, error) {
-	if ctx == nil || ctx.Done() == nil {
-		return f.Get()
-	}
-	select {
-	case <-f.done:
-		return f.val, f.err
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	}
-}
-
-// Done returns a channel closed on completion.
-func (f *Future) Done() <-chan struct{} { return f.done }
-
 // InvokeAsync starts a synchronous-style call without blocking the caller
 // (the delegate BeginInvoke pattern of Fig. 4). The call is ordered after
 // previously posted asynchronous calls on this proxy.
@@ -394,13 +389,88 @@ func (p *Proxy) InvokeAsync(method string, args ...any) *Future {
 
 // InvokeAsyncCtx is InvokeAsync bounded by ctx; the returned Future
 // resolves to ctx.Err() when ctx ends before the call completes.
+//
+// On a multiplexed remote proxy with an idle ordered lane this is the
+// completion fast path: encode, enqueue on the connection, return the
+// handle — the mux reader resolves the Future when the reply frame
+// arrives, and no goroutine parks per outstanding call. The fast path
+// falls back to a waiter goroutine only for the cases that need the full
+// synchronous machinery: local objects, pending aggregation or ordered
+// posts (the call must serialize behind them), non-multiplexed channels,
+// and post-failure re-routing.
 func (p *Proxy) InvokeAsyncCtx(ctx context.Context, method string, args ...any) *Future {
-	f := &Future{done: make(chan struct{})}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if f, ok := p.invokeAsyncFast(ctx, method, args); ok {
+		return f
+	}
+	f := &Future{exec: p.rt.contExec()}
 	go func() {
-		defer close(f.done)
-		f.val, f.err = p.InvokeCtx(ctx, method, args...)
+		f.complete(p.InvokeCtx(ctx, method, args...))
 	}()
 	return f
+}
+
+// invokeAsyncFast attempts the goroutine-free submission. It reports false
+// when the proxy's current state needs the ordinary path.
+func (p *Proxy) invokeAsyncFast(ctx context.Context, method string, args []any) (*Future, bool) {
+	mode, _ := p.state()
+	if mode != modeRemote || p.rt.cfg.Channel.Kind() != remoting.Multiplexed {
+		return nil, false
+	}
+	if p.rt.cfg.Aggregation.enabled() && p.hasAggregated() {
+		return nil, false
+	}
+	// Ordering: a synchronous-style call must run after every posted
+	// asynchronous call. With the lane idle there is nothing to order
+	// behind; Posts from this very goroutine are already counted in Idle,
+	// so the check is authoritative for the single-caller pattern.
+	if !p.sequencer().Idle() {
+		return nil, false
+	}
+	if p.rt.cfg.IdempotentCalls {
+		if _, ok := remoting.TokenFromContext(ctx); !ok {
+			ctx = remoting.ContextWithToken(ctx, p.rt.cfg.Channel.NewCallToken())
+		}
+	}
+	p.rt.stats.syncCalls.Add(1)
+	f := &Future{exec: p.rt.contExec()}
+	ref := p.endpoint()
+	err := ref.InvokeAsyncCb(ctx, "Invoke1", []any{method, args}, func(v any, err error) {
+		if err != nil && ctx.Err() == nil && p.asyncRecoverable(err) {
+			// Migration forward or node failure: hop off the completion
+			// path and re-run through the full re-routing retry loop.
+			go func() {
+				f.complete(p.invokeVia(ctx, p.endpoint, "Invoke1", method, args))
+			}()
+			return
+		}
+		f.complete(v, err)
+	})
+	if err != nil {
+		// Not submitted (callback will never run): let the slow path carry
+		// the call through connection setup and error handling.
+		return nil, false
+	}
+	return f, true
+}
+
+// asyncRecoverable reports whether an async completion error is one the
+// synchronous path would transparently retry (re-route and re-invoke).
+func (p *Proxy) asyncRecoverable(err error) bool {
+	if _, ok := movedOf(err, p.uri); ok {
+		return true
+	}
+	return errors.Is(err, errs.ErrNodeDown) || errors.Is(err, errs.ErrObjectDestroyed)
+}
+
+// hasAggregated reports whether posted calls are sitting in the
+// aggregation buffer (which a synchronous-style call must flush first).
+func (p *Proxy) hasAggregated() bool {
+	p.aggMu.Lock()
+	defer p.aggMu.Unlock()
+	return len(p.aggCalls) > 0 || p.aggMethod != ""
 }
 
 // Post performs an asynchronous method call with no result (the paper's

@@ -18,10 +18,12 @@
 package jgf
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/core"
+	"repro/parc"
 )
 
 // ----------------------------------------------------------------- Series
@@ -63,45 +65,50 @@ func (SeriesWorker) Coefficients(first, count int) []float64 {
 }
 
 // RunSeries farms n coefficients over workers parallel objects created on
-// rt and returns the coefficients in order.
+// rt and returns the coefficients in order. It is the MapReduce skeleton
+// verbatim: scatter coefficient ranges, fold the parts back in member
+// order — partitioning identical to the hand-rolled farm it replaces, so
+// the output is bit-identical.
 func RunSeries(rt *core.Runtime, n, workers int) ([]float64, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	proxies := make([]*core.Proxy, workers)
-	for i := range proxies {
-		p, err := rt.NewParallelObject("jgf.SeriesWorker")
-		if err != nil {
-			return nil, err
-		}
-		defer p.Destroy()
-		proxies[i] = p
+	g, err := newWorkerGroup[SeriesWorker](rt, "jgf.SeriesWorker", workers)
+	if err != nil {
+		return nil, err
 	}
-	futures := make([]*core.Future, workers)
-	counts := make([]int, workers)
-	firsts := make([]int, workers)
-	for i := range proxies {
-		first := i * n / workers
-		count := (i+1)*n/workers - first
-		firsts[i], counts[i] = first, count
-		futures[i] = proxies[i].InvokeAsync("Coefficients", first, count)
+	defer g.Destroy(context.Background()) //nolint:errcheck // best-effort cleanup
+	out, err := parc.MapReduce(context.Background(), g, "Coefficients",
+		func(i int) []any {
+			first := i * n / workers
+			return []any{first, (i+1)*n/workers - first}
+		},
+		make([]float64, 0, n*2),
+		func(acc []float64, part []float64) []float64 { return append(acc, part...) },
+	)
+	if err != nil {
+		return nil, fmt.Errorf("jgf: series: %w", err)
 	}
-	out := make([]float64, 0, n*2)
-	for i, f := range futures {
-		res, err := f.Get()
-		if err != nil {
-			return nil, fmt.Errorf("jgf: series worker %d: %w", i, err)
-		}
-		part, err := asFloat64s(res)
-		if err != nil {
-			return nil, err
-		}
-		if len(part) != counts[i]*2 {
-			return nil, fmt.Errorf("jgf: series worker %d returned %d values, want %d", i, len(part), counts[i]*2)
-		}
-		out = append(out, part...)
+	if len(out) != n*2 {
+		return nil, fmt.Errorf("jgf: series returned %d values, want %d", len(out), n*2)
 	}
 	return out, nil
+}
+
+// newWorkerGroup creates count objects of class on rt as a skeleton group.
+func newWorkerGroup[T any](rt *core.Runtime, class string, count int) (*parc.Group[T], error) {
+	objs := make([]*parc.Object[T], count)
+	for i := range objs {
+		o, err := parc.NewAt[T](rt, class)
+		if err != nil {
+			for _, prev := range objs[:i] {
+				prev.Destroy(context.Background()) //nolint:errcheck // best-effort unwind
+			}
+			return nil, err
+		}
+		objs[i] = o
+	}
+	return parc.GroupOf(objs...), nil
 }
 
 // ----------------------------------------------------------------- Crypt
@@ -294,7 +301,10 @@ func (CryptWorker) Crypt(data []byte, key []int32) ([]byte, error) {
 }
 
 // RunCrypt encrypts data (multiple of 8 bytes) by farming block ranges to
-// workers parallel objects.
+// workers parallel objects via the Scatter/Gather skeleton: one async call
+// per worker submitted before anything blocks (the per-peer lanes batch
+// the frames), results gathered in member order and spliced back at the
+// same block boundaries as the hand-rolled farm.
 func RunCrypt(rt *core.Runtime, data []byte, key []int32, workers int) ([]byte, error) {
 	if len(data)%8 != 0 {
 		return nil, fmt.Errorf("jgf: data length %d not a multiple of 8", len(data))
@@ -303,34 +313,25 @@ func RunCrypt(rt *core.Runtime, data []byte, key []int32, workers int) ([]byte, 
 		workers = 1
 	}
 	blocks := len(data) / 8
-	proxies := make([]*core.Proxy, workers)
-	for i := range proxies {
-		p, err := rt.NewParallelObject("jgf.CryptWorker")
-		if err != nil {
-			return nil, err
-		}
-		defer p.Destroy()
-		proxies[i] = p
+	lo := func(i int) int { return i * blocks / workers * 8 }
+	g, err := newWorkerGroup[CryptWorker](rt, "jgf.CryptWorker", workers)
+	if err != nil {
+		return nil, err
 	}
-	futures := make([]*core.Future, workers)
-	bounds := make([][2]int, workers)
-	for i := range proxies {
-		lo := i * blocks / workers * 8
-		hi := (i + 1) * blocks / workers * 8
-		bounds[i] = [2]int{lo, hi}
-		futures[i] = proxies[i].InvokeAsync("Crypt", data[lo:hi], key)
+	defer g.Destroy(context.Background()) //nolint:errcheck // best-effort cleanup
+	ctx := context.Background()
+	parts, err := parc.Gather(ctx, parc.Scatter[[]byte](ctx, g, "Crypt", func(i int) []any {
+		return []any{data[lo(i):lo(i+1)], key}
+	}))
+	if err != nil {
+		return nil, fmt.Errorf("jgf: crypt: %w", err)
 	}
 	out := make([]byte, len(data))
-	for i, f := range futures {
-		res, err := f.Get()
-		if err != nil {
-			return nil, fmt.Errorf("jgf: crypt worker %d: %w", i, err)
+	for i, part := range parts {
+		if len(part) != lo(i+1)-lo(i) {
+			return nil, fmt.Errorf("jgf: crypt worker %d returned %d bytes, want %d", i, len(part), lo(i+1)-lo(i))
 		}
-		part, ok := res.([]byte)
-		if !ok {
-			return nil, fmt.Errorf("jgf: crypt worker %d returned %T", i, res)
-		}
-		copy(out[bounds[i][0]:bounds[i][1]], part)
+		copy(out[lo(i):lo(i+1)], part)
 	}
 	return out, nil
 }

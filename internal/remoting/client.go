@@ -118,21 +118,62 @@ func (r *ObjRef) invokeOnce(ctx context.Context, req *callRequest) (any, error) 
 	if err != nil {
 		return nil, err
 	}
-	if resp.IsErr {
-		re := &RemoteError{URI: r.uri, Method: req.Method, Msg: resp.ErrMsg, Code: resp.ErrCode}
-		if resp.ErrCode == errs.CodeMoved {
-			movedURI := resp.FwdURI
-			if movedURI == "" {
-				movedURI = r.uri
-			}
-			re.Moved = &errs.MovedError{URI: movedURI, Node: resp.FwdNode, Addr: resp.FwdAddr, Gen: resp.FwdGen}
-		}
-		if resp.ErrCode == errs.CodeOverloaded && resp.RetryAfterMs > 0 {
-			re.RetryAfter = time.Duration(resp.RetryAfterMs) * time.Millisecond
-		}
-		return nil, re
+	return r.normalize(req, resp)
+}
+
+// normalize maps a reply envelope onto (result, error), rebuilding the
+// sentinel chain (*RemoteError with Moved / RetryAfter) from the wire
+// fields. Shared by the synchronous and completion-driven paths.
+func (r *ObjRef) normalize(req *callRequest, resp *callResponse) (any, error) {
+	if !resp.IsErr {
+		return resp.Result, nil
 	}
-	return resp.Result, nil
+	re := &RemoteError{URI: r.uri, Method: req.Method, Msg: resp.ErrMsg, Code: resp.ErrCode}
+	if resp.ErrCode == errs.CodeMoved {
+		movedURI := resp.FwdURI
+		if movedURI == "" {
+			movedURI = r.uri
+		}
+		re.Moved = &errs.MovedError{URI: movedURI, Node: resp.FwdNode, Addr: resp.FwdAddr, Gen: resp.FwdGen}
+	}
+	if resp.ErrCode == errs.CodeOverloaded && resp.RetryAfterMs > 0 {
+		re.RetryAfter = time.Duration(resp.RetryAfterMs) * time.Millisecond
+	}
+	return nil, re
+}
+
+// InvokeAsyncCb starts one completion-driven invocation attempt: the
+// request is encoded and enqueued on the multiplexed channel and the
+// method returns immediately; cb receives the normalized outcome exactly
+// once, on the completion path (the lane's reader goroutine for replies).
+// An error return means the call was not submitted and cb will never run —
+// callers fall back to their goroutine-per-call path. Unlike InvokeCtx
+// there is no retry loop here: a single attempt, whose failure the caller
+// decides how to recover (the SCOOPP proxy re-runs transient failures
+// through the full synchronous re-routing machinery).
+func (r *ObjRef) InvokeAsyncCb(ctx context.Context, method string, args []any, cb func(any, error)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	req := &callRequest{
+		URI:    r.uri,
+		Method: method,
+		Seq:    r.ch.nextSeq(),
+		Args:   args,
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		req.Deadline = dl.UnixNano()
+	}
+	if tok, ok := TokenFromContext(ctx); ok {
+		req.TokClient, req.TokSeq = tok.Client, tok.Seq
+	}
+	return r.ch.roundTripAsync(ctx, r.netaddr, req, func(resp *callResponse, err error) {
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		cb(r.normalize(req, resp))
+	})
 }
 
 // AsyncResult is the handle returned by BeginInvoke, the analogue of
@@ -230,9 +271,17 @@ func (d *Delegate) Invoke(args ...any) (any, error) {
 // letting the caller continue immediately — the ordering guarantee the
 // SCOOPP runtime needs for method streams between one proxy object and its
 // implementation object. Errors are delivered to the OnError callback.
+//
+// When an asynchronous invoker is installed (SetInvokeAsync), the lane is
+// completion-chained: call N+1 is submitted from call N's completion
+// callback, so an idle-or-draining lane parks no flusher goroutine. Calls
+// the asynchronous invoker declines (unsupported channel kind, lane just
+// failed) execute on a transient goroutine through the synchronous
+// invoker, preserving order — one outstanding call at a time either way.
 type CallSequencer struct {
-	invoke  func(method string, args ...any) (any, error)
-	OnError func(error)
+	invoke      func(method string, args ...any) (any, error)
+	invokeAsync func(method string, args []any, cb func(any, error)) bool
+	OnError     func(error)
 
 	mu      sync.Mutex
 	queue   []queuedCall
@@ -261,20 +310,40 @@ func NewCallSequencerFunc(invoke func(method string, args ...any) (any, error)) 
 	return cs
 }
 
+// SetInvokeAsync installs the completion-driven invoker. fn must either
+// submit the call and return true — in which case cb is invoked exactly
+// once, off the submitter's stack — or decline with false (cb unused), and
+// the sequencer falls back to the synchronous invoker for that call.
+// Install before the first Post; the hook is read without the lock.
+func (cs *CallSequencer) SetInvokeAsync(fn func(method string, args []any, cb func(any, error)) bool) {
+	cs.invokeAsync = fn
+}
+
 // Post enqueues an asynchronous call. Calls posted from one goroutine
 // execute remotely in post order.
 func (cs *CallSequencer) Post(method string, args ...any) {
 	cs.mu.Lock()
 	cs.queue = append(cs.queue, queuedCall{method: method, args: args})
 	cs.pending++
-	if !cs.running {
+	start := !cs.running
+	if start {
 		cs.running = true
-		go cs.drain()
 	}
 	cs.mu.Unlock()
+	if start {
+		// inline: Post must return immediately, so a call the async
+		// invoker declines is handed to a goroutine instead of executing
+		// on this stack.
+		cs.advance(true)
+	}
 }
 
-func (cs *CallSequencer) drain() {
+// advance dispatches queued calls until the queue is empty or a call went
+// asynchronous (its completion callback will resume the chain). With
+// inline set the caller's stack must not block: a declined call runs on a
+// fresh goroutine, which then drains synchronously (inline=false) exactly
+// like the historical flusher.
+func (cs *CallSequencer) advance(inline bool) {
 	for {
 		cs.mu.Lock()
 		if len(cs.queue) == 0 {
@@ -284,21 +353,61 @@ func (cs *CallSequencer) drain() {
 			return
 		}
 		call := cs.queue[0]
+		cs.queue[0] = queuedCall{}
 		cs.queue = cs.queue[1:]
 		cs.mu.Unlock()
 
+		if ia := cs.invokeAsync; ia != nil && ia(call.method, call.args, cs.completeOne) {
+			return
+		}
+		if inline {
+			go cs.runSync(call)
+			return
+		}
 		_, err := cs.invoke(call.method, call.args...)
-		if err != nil && cs.OnError != nil {
-			cs.OnError(err)
-		}
-
-		cs.mu.Lock()
-		cs.pending--
-		if cs.pending == 0 {
-			cs.idle.Broadcast()
-		}
-		cs.mu.Unlock()
+		cs.finishOne(err)
 	}
+}
+
+// completeOne is the completion callback of an asynchronously submitted
+// call: account for it, then resume the chain. It runs on the completion
+// path (the mux reader), so the next dispatch must stay non-blocking —
+// advance(true) hands any synchronous fallback to a goroutine.
+func (cs *CallSequencer) completeOne(_ any, err error) {
+	cs.finishOne(err)
+	cs.advance(true)
+}
+
+// runSync executes one declined call through the synchronous invoker on
+// its own goroutine, then keeps draining there (blocking is fine now).
+func (cs *CallSequencer) runSync(call queuedCall) {
+	_, err := cs.invoke(call.method, call.args...)
+	cs.finishOne(err)
+	cs.advance(false)
+}
+
+// finishOne settles one completed call's bookkeeping.
+func (cs *CallSequencer) finishOne(err error) {
+	if err != nil && cs.OnError != nil {
+		cs.OnError(err)
+	}
+	cs.mu.Lock()
+	cs.pending--
+	if cs.pending == 0 {
+		cs.idle.Broadcast()
+	}
+	cs.mu.Unlock()
+}
+
+// Idle reports whether the lane has nothing queued or in flight — the
+// window in which a caller may bypass the lane without reordering against
+// it. A false result is only advisory (calls may drain concurrently), but
+// true taken from the posting goroutine is authoritative: Posts from that
+// goroutine would have been counted already.
+func (cs *CallSequencer) Idle() bool {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.pending == 0
 }
 
 // Flush blocks until every posted call has completed.

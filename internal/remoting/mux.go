@@ -38,14 +38,47 @@ func DefaultMuxLanes() int {
 // the cost of 16 small maps per lane.
 const inflightShards = 16
 
-// inflightShard is one stripe of a lane's seq → caller table. closed flips
+// inflightShard is one stripe of a lane's seq → waiter table. closed flips
 // under mu when the lane fails, so a register racing the failure either
 // lands in the map (and is drained with an error) or observes closed —
 // never a silently dropped caller.
 type inflightShard struct {
 	mu     sync.Mutex
-	m      map[uint64]chan muxResult
+	m      map[uint64]*muxWaiter
 	closed bool
+}
+
+// muxWaiter is one in-flight exchange's completion target. Synchronous
+// callers park on rc (capacity 1, never blocks the deliverer); asynchronous
+// calls carry cb, which the reader invokes directly on reply arrival — the
+// completion-driven path that makes a future cost no goroutine while it
+// waits. slot marks waiters whose in-flight slot is released by whoever
+// delivers (async calls return to their caller before the exchange ends, so
+// nobody else is around to release it); stop detaches the context.AfterFunc
+// cancellation hook once the outcome is decided.
+type muxWaiter struct {
+	rc   chan muxResult
+	cb   func(muxResult)
+	stop func() bool
+	slot bool
+}
+
+// deliver hands res to the waiter: detach the cancellation hook, return the
+// in-flight slot (waking queued async work) and then complete. The slot is
+// released before cb runs so a slow continuation cannot idle the pipe.
+func (w *muxWaiter) deliver(mc *muxConn, res muxResult) {
+	if w.stop != nil {
+		w.stop()
+	}
+	if w.slot {
+		<-mc.slots
+		mc.pump()
+	}
+	if w.rc != nil {
+		w.rc <- res
+		return
+	}
+	w.cb(res)
 }
 
 // bindShardCount stripes the client bind table by (URI, Method) hash.
@@ -91,10 +124,26 @@ type muxConn struct {
 	ch      *Channel
 	netaddr string
 	lane    int
-	sendq   chan outFrame
 	slots   chan struct{} // in-flight backpressure semaphore
 	done    chan struct{} // closed by fail
 	ready   chan struct{} // closed once the dial settled (conn or dialErr)
+
+	// Outbound frame queue. Unbounded by design: every queued frame either
+	// belongs to a caller holding an in-flight slot or to a sync caller
+	// blocked in call(), so MaxInFlight already bounds it — and an enqueue
+	// that could block would let TCP backpressure from a slow peer stall
+	// the reader (which enqueues indirectly through pump), the classic
+	// distributed buffer deadlock. outSig (capacity 1) wakes the writer.
+	outMu  sync.Mutex
+	outQ   []outFrame
+	outSig chan struct{}
+
+	// Async admission queue: completion-driven calls beyond MaxInFlight
+	// wait here (instead of parking a goroutine on slots) until pump moves
+	// them into the in-flight table. Unbounded — the futures are the queue.
+	asyncMu     sync.Mutex
+	asyncQ      []*asyncPending
+	asyncClosed bool
 
 	mu      sync.Mutex
 	conn    transport.Conn // set by dial; nil when the dial failed
@@ -257,13 +306,13 @@ func (ch *Channel) getMux(netaddr string, lane int) (mc *muxConn, fresh bool, er
 				ch:      ch,
 				netaddr: netaddr,
 				lane:    lane,
-				sendq:   make(chan outFrame, 64),
+				outSig:  make(chan struct{}, 1),
 				slots:   make(chan struct{}, limit),
 				done:    make(chan struct{}),
 				ready:   make(chan struct{}),
 			}
 			for i := range mc.inflight {
-				mc.inflight[i].m = make(map[uint64]chan muxResult)
+				mc.inflight[i].m = make(map[uint64]*muxWaiter)
 			}
 			if ch.muxPeers == nil {
 				ch.muxPeers = make(map[muxKey]*muxConn)
@@ -376,39 +425,55 @@ func (ch *Channel) muxRoundTrip(ctx context.Context, netaddr string, req *callRe
 	return mc2.call(ctx, req, outFrame{raw: raw2, enc: enc2})
 }
 
-// register adds a caller to the lane's in-flight table, refusing when the
+// register adds a waiter to the lane's in-flight table, refusing when the
 // lane already failed (the per-shard closed flag makes the race with fail
 // safe: an entry either lands before the drain and is errored there, or
 // the register observes closed).
-func (mc *muxConn) register(seq uint64, rc chan muxResult) error {
+func (mc *muxConn) register(seq uint64, w *muxWaiter) error {
 	sh := &mc.inflight[seq&(inflightShards-1)]
 	sh.mu.Lock()
 	if sh.closed {
 		sh.mu.Unlock()
 		return mc.failureErr()
 	}
-	sh.m[seq] = rc
+	sh.m[seq] = w
 	sh.mu.Unlock()
 	return nil
 }
 
-// take removes and returns the caller registered under seq, nil when the
-// call was abandoned (or the lane failed).
-func (mc *muxConn) take(seq uint64) chan muxResult {
+// take removes and returns the waiter registered under seq, nil when the
+// call was abandoned (or the lane failed). Exactly one of the reader, the
+// cancellation hook and fail takes any given waiter, so the outcome is
+// delivered exactly once.
+func (mc *muxConn) take(seq uint64) *muxWaiter {
 	sh := &mc.inflight[seq&(inflightShards-1)]
 	sh.mu.Lock()
-	rc := sh.m[seq]
-	if rc != nil {
+	w := sh.m[seq]
+	if w != nil {
 		delete(sh.m, seq)
 	}
 	sh.mu.Unlock()
-	return rc
+	return w
 }
 
-// call runs one exchange: acquire an in-flight slot, register the sequence
-// number, hand the frame to the writer and wait for the reader to deliver
-// the matching response (or for the lane to fail, or ctx to end). call
-// owns of: it either hands it to the writer or releases it itself.
+// enqueueFrame appends of to the outbound queue and wakes the writer.
+// Never blocks (see outQ); a frame enqueued after the lane failed is
+// collected by the GC together with its encoder — a pool miss, not a leak.
+func (mc *muxConn) enqueueFrame(of outFrame) {
+	mc.outMu.Lock()
+	mc.outQ = append(mc.outQ, of)
+	mc.outMu.Unlock()
+	select {
+	case mc.outSig <- struct{}{}:
+	default:
+	}
+}
+
+// call runs one synchronous exchange: acquire an in-flight slot, register
+// the sequence number, hand the frame to the writer and wait for the
+// reader to deliver the matching response (or for the lane to fail, or ctx
+// to end). call owns of: it either hands it to the writer or releases it
+// itself.
 func (mc *muxConn) call(ctx context.Context, req *callRequest, of outFrame) (*callResponse, error) {
 	select {
 	case mc.slots <- struct{}{}:
@@ -419,25 +484,18 @@ func (mc *muxConn) call(ctx context.Context, req *callRequest, of outFrame) (*ca
 		of.release()
 		return nil, mc.callErr(req, ctx.Err())
 	}
-	defer func() { <-mc.slots }()
+	defer func() {
+		<-mc.slots
+		// A freed slot may admit queued async work.
+		mc.pump()
+	}()
 
 	rc := make(chan muxResult, 1)
-	if err := mc.register(req.Seq, rc); err != nil {
+	if err := mc.register(req.Seq, &muxWaiter{rc: rc}); err != nil {
 		of.release()
 		return nil, mc.callErr(req, err)
 	}
-
-	select {
-	case mc.sendq <- of:
-	case <-mc.done:
-		of.release()
-		mc.take(req.Seq)
-		return nil, mc.callErr(req, mc.failureErr())
-	case <-ctx.Done():
-		of.release()
-		mc.take(req.Seq)
-		return nil, mc.callErr(req, ctx.Err())
-	}
+	mc.enqueueFrame(of)
 
 	select {
 	case res := <-rc:
@@ -473,37 +531,48 @@ func (mc *muxConn) failureErr() error {
 const maxWriteBatch = 64
 
 // writer is the per-lane writer goroutine: it serialises frames from every
-// caller onto the wire, draining the queue greedily so frames that
-// accumulated while the previous write was in flight leave in one
-// coalesced wire write instead of one syscall each. Once a batch's bytes
-// have left through the transport (which copies or vectors them), its
-// pooled encoders are released.
+// caller onto the wire, swapping the whole accumulated queue out under one
+// lock so frames that piled up while the previous write was in flight
+// leave in coalesced wire writes (chunks of maxWriteBatch) instead of one
+// syscall each. Once a batch's bytes have left through the transport
+// (which copies or vectors them), its pooled encoders are released. The
+// spare slice ping-pongs with the queue's backing array, so the
+// steady-state swap allocates nothing.
 func (mc *muxConn) writer() {
-	batch := make([]outFrame, 0, maxWriteBatch)
+	spare := make([]outFrame, 0, maxWriteBatch)
 	raws := make([][]byte, 0, maxWriteBatch)
 	for {
 		select {
-		case of := <-mc.sendq:
-			batch, raws = append(batch[:0], of), append(raws[:0], of.raw)
-		drain:
-			for len(batch) < maxWriteBatch {
-				select {
-				case of := <-mc.sendq:
-					batch, raws = append(batch, of), append(raws, of.raw)
-				default:
-					break drain
-				}
-			}
-			err := mc.ch.sendMsgBatch(mc.conn, raws)
-			for _, of := range batch {
-				of.release()
-			}
-			if err != nil {
-				mc.fail(fmt.Errorf("remoting: send to %s: %v: %w", mc.netaddr, err, errs.ErrNodeDown))
-				return
-			}
+		case <-mc.outSig:
 		case <-mc.done:
 			return
+		}
+		for {
+			mc.outMu.Lock()
+			if len(mc.outQ) == 0 {
+				mc.outMu.Unlock()
+				break
+			}
+			batch := mc.outQ
+			mc.outQ = spare[:0]
+			mc.outMu.Unlock()
+			for off := 0; off < len(batch); off += maxWriteBatch {
+				end := min(off+maxWriteBatch, len(batch))
+				raws = raws[:0]
+				for _, of := range batch[off:end] {
+					raws = append(raws, of.raw)
+				}
+				err := mc.ch.sendMsgBatch(mc.conn, raws)
+				for _, of := range batch[off:end] {
+					of.release()
+				}
+				if err != nil {
+					mc.fail(fmt.Errorf("remoting: send to %s: %v: %w", mc.netaddr, err, errs.ErrNodeDown))
+					return
+				}
+			}
+			clear(batch) // drop frame refs before recycling the array
+			spare = batch[:0]
 		}
 	}
 }
@@ -546,8 +615,13 @@ func (mc *muxConn) reader() {
 			mc.fail(err)
 			return
 		}
-		if rc := mc.take(resp.Seq); rc != nil {
-			rc <- muxResult{resp: resp}
+		if w := mc.take(resp.Seq); w != nil {
+			// Async waiters complete inline here: continuations run on the
+			// reader goroutine (bounded, overflowing to the pool at the
+			// future layer), which is what makes a resolved future cost no
+			// parked goroutine. They must not block; see the README's
+			// inline-continuation guidance.
+			w.deliver(mc, muxResult{resp: resp})
 		}
 	}
 }
@@ -579,9 +653,29 @@ func (mc *muxConn) fail(err error) {
 		pending := sh.m
 		sh.m = nil
 		sh.mu.Unlock()
-		for _, rc := range pending {
-			rc <- muxResult{err: err}
+		for _, w := range pending {
+			if w.stop != nil {
+				w.stop()
+			}
+			// No slot bookkeeping post-mortem: done is closed, so nothing
+			// waits on slots anymore. Callbacks run iteratively here; a
+			// continuation that resubmits observes asyncClosed and fails
+			// synchronously, so the drain cannot recurse.
+			if w.rc != nil {
+				w.rc <- muxResult{err: err}
+			} else {
+				w.cb(muxResult{err: err})
+			}
 		}
+	}
+	mc.asyncMu.Lock()
+	mc.asyncClosed = true
+	q := mc.asyncQ
+	mc.asyncQ = nil
+	mc.asyncMu.Unlock()
+	for _, ap := range q {
+		ap.of.release()
+		ap.cb(nil, mc.callErr(ap.req, err))
 	}
 }
 
@@ -589,4 +683,192 @@ func (mc *muxConn) fail(err error) {
 // sentinel keeps callers from retrying onto a fresh connection.
 func (mc *muxConn) shutdown() {
 	mc.fail(fmt.Errorf("remoting: %w", errChannelClosed))
+}
+
+// asyncPending is one completion-driven call waiting for an in-flight
+// slot: the frame is already encoded (submission is encode + enqueue), and
+// cb receives the outcome exactly once unless submitAsync itself errored.
+type asyncPending struct {
+	req *callRequest
+	of  outFrame
+	ctx context.Context
+	cb  func(*callResponse, error)
+}
+
+// submitAsync queues one completion-driven exchange. It never blocks: the
+// call either enters the in-flight table immediately (a slot was free) or
+// waits in asyncQ until pump admits it. An error return means the call was
+// not submitted and cb will never run — the invariant callers rely on to
+// fall back to the synchronous path. cb runs on the lane's reader
+// goroutine (or a cancellation/failure path), never on the submitter's
+// stack.
+func (mc *muxConn) submitAsync(ctx context.Context, req *callRequest, of outFrame, cb func(*callResponse, error)) error {
+	ap := &asyncPending{req: req, of: of, ctx: ctx, cb: cb}
+	mc.asyncMu.Lock()
+	if mc.asyncClosed {
+		mc.asyncMu.Unlock()
+		of.release()
+		return mc.callErr(req, mc.failureErr())
+	}
+	mc.asyncQ = append(mc.asyncQ, ap)
+	mc.asyncMu.Unlock()
+	mc.pump()
+	return nil
+}
+
+// pump moves queued async calls into the in-flight table for as long as
+// slots are free, without ever blocking — it runs on submitters, on the
+// reader (after every released slot) and on sync callers' slot release
+// alike. Failure deliveries hop to a goroutine so a dead lane draining a
+// deep queue cannot recurse through completion callbacks that resubmit.
+func (mc *muxConn) pump() {
+	for {
+		select {
+		case mc.slots <- struct{}{}:
+		default:
+			return
+		}
+		mc.asyncMu.Lock()
+		if len(mc.asyncQ) == 0 || mc.asyncClosed {
+			mc.asyncMu.Unlock()
+			<-mc.slots
+			return
+		}
+		ap := mc.asyncQ[0]
+		mc.asyncQ[0] = nil
+		mc.asyncQ = mc.asyncQ[1:]
+		mc.asyncMu.Unlock()
+		mc.startAsync(ap)
+	}
+}
+
+// startAsync registers one admitted async call (its slot is already held)
+// and hands its frame to the writer. Error outcomes are delivered on a
+// fresh goroutine: pump may be running on the submitter's or the reader's
+// stack, and a callback chain that posts follow-up calls must not recurse
+// into pump.
+func (mc *muxConn) startAsync(ap *asyncPending) {
+	fail := func(err error) {
+		<-mc.slots
+		ap.of.release()
+		go ap.cb(nil, mc.callErr(ap.req, err))
+	}
+	if err := ap.ctx.Err(); err != nil {
+		fail(err)
+		return
+	}
+	w := &muxWaiter{slot: true, cb: func(res muxResult) {
+		if res.err != nil {
+			res.err = mc.callErr(ap.req, res.err)
+		}
+		ap.cb(res.resp, res.err)
+	}}
+	if ap.ctx.Done() != nil {
+		seq := ap.req.Seq
+		w.stop = context.AfterFunc(ap.ctx, func() {
+			// Abandon, exactly like a sync caller whose ctx ended: the lane
+			// stays up, the late reply is dropped by the reader.
+			if aw := mc.take(seq); aw != nil {
+				<-mc.slots
+				mc.pump()
+				aw.cb(muxResult{err: ap.ctx.Err()})
+			}
+		})
+	}
+	if err := mc.register(ap.req.Seq, w); err != nil {
+		if w.stop != nil {
+			w.stop()
+		}
+		fail(err)
+		return
+	}
+	mc.enqueueFrame(ap.of)
+}
+
+// laneForURI stripes completion-driven calls by destination object rather
+// than by sequence number: every async call to one object rides one lane,
+// so a scatter round's frames to that object coalesce into the lane
+// writer's batched wire writes, and per-object send order falls out of the
+// single ordered outbound queue.
+func (ch *Channel) laneForURI(uri string) int {
+	n := ch.laneCount()
+	if n <= 1 {
+		return 0
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(uri); i++ {
+		h = (h ^ uint32(uri[i])) * 16777619
+	}
+	return int(h % uint32(n))
+}
+
+// roundTripAsync submits one exchange on the multiplexed channel and
+// returns without waiting: cb receives the outcome — on the lane's reader
+// goroutine for replies — exactly once, unless roundTripAsync itself
+// returns an error, in which case the call was never submitted and cb will
+// not run. Only the multiplexed kind completes asynchronously; other kinds
+// report errAsyncUnsupported and the caller keeps its goroutine-per-call
+// path. There is no stale-connection retry here: an enqueued call that
+// dies with its lane reports the failure to cb, and the caller's fallback
+// (which re-resolves and retries through the synchronous machinery) picks
+// it up.
+//
+// Breaker accounting mirrors roundTrip exactly, moved into the callback:
+// evidence is recorded when the outcome is known, once per submission.
+func (ch *Channel) roundTripAsync(ctx context.Context, netaddr string, req *callRequest, cb func(*callResponse, error)) error {
+	if ch.kind != Multiplexed {
+		return errAsyncUnsupported
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("remoting: call %s.%s: %w", req.URI, req.Method, err)
+	}
+	bs := ch.breakers()
+	if bs == nil || breakerBypassed(ctx) {
+		return ch.muxSubmit(ctx, netaddr, req, cb)
+	}
+	trial, berr := bs.allow(netaddr)
+	if berr != nil {
+		return fmt.Errorf("remoting: call %s.%s: %w", req.URI, req.Method, berr)
+	}
+	record := func(err error) {
+		connFail := err != nil && ctx.Err() == nil &&
+			isConnFailure(err) && !errors.Is(err, errChannelClosed)
+		if connFail || err == nil || !isConnFailure(err) {
+			bs.record(netaddr, trial, connFail)
+		} else if trial {
+			bs.record(netaddr, true, true)
+		}
+	}
+	err := ch.muxSubmit(ctx, netaddr, req, func(resp *callResponse, err error) {
+		record(err)
+		cb(resp, err)
+	})
+	if err != nil {
+		// Submission failed synchronously (dial, encode, closed lane): the
+		// wrapped cb never runs, so settle the breaker evidence here.
+		record(err)
+	}
+	return err
+}
+
+// errAsyncUnsupported reports a channel kind without a completion path;
+// callers fall back to a waiter goroutine.
+var errAsyncUnsupported = errors.New("remoting: channel kind does not support asynchronous completion")
+
+// muxSubmit is the mux half of roundTripAsync: resolve the destination
+// lane, encode against its bind table and hand the frame to the lane's
+// admission queue.
+func (ch *Channel) muxSubmit(ctx context.Context, netaddr string, req *callRequest, cb func(*callResponse, error)) error {
+	mc, _, err := ch.getMux(netaddr, ch.laneForURI(req.URI))
+	if err != nil {
+		return err
+	}
+	raw, enc, err := mc.encodeRequest(req)
+	if err != nil {
+		return err
+	}
+	return mc.submitAsync(ctx, req, outFrame{raw: raw, enc: enc}, cb)
 }

@@ -467,6 +467,12 @@ func (s *Server) handleConn(c transport.Conn) {
 			if ownedFrame != nil {
 				transport.PutFrame(ownedFrame)
 			}
+			// The args backing is dead once the reply is encoded: dispatch
+			// copied every element into typed parameters (variadic methods
+			// are rejected, so the slice itself never escapes). Elements
+			// stay untouched — only the backing array is reused.
+			wire.RecycleAnySlice(req.Args)
+			req.Args = nil
 		}
 		calls.Add(1)
 		if s.pool != nil {

@@ -8,10 +8,13 @@
 package sieve
 
 import (
+	"context"
+	"math"
 	"sort"
 	"sync"
 
 	"repro/internal/core"
+	"repro/parc"
 )
 
 // SequentialCount counts primes <= n with a classic sieve of Eratosthenes.
@@ -209,53 +212,118 @@ func (f *Filter) Flush() {
 	}
 }
 
+// SegmentWorker is the parallel-object class of the farmed segmented
+// sieve: each call counts the primes in one half-open range given the
+// base primes up to the range's square root.
+type SegmentWorker struct{}
+
+// CountSegment counts primes in [lo, hi) by marking multiples of the base
+// primes; correct as long as hi <= (max(base)+1)^2, which the driver's
+// partitioning guarantees.
+func (SegmentWorker) CountSegment(lo, hi int, base []int) int {
+	if lo < 2 {
+		lo = 2
+	}
+	if hi <= lo {
+		return 0
+	}
+	composite := make([]bool, hi-lo)
+	for _, p := range base {
+		start := (lo + p - 1) / p * p
+		if start < p*p {
+			start = p * p
+		}
+		for m := start; m < hi; m += p {
+			composite[m-lo] = true
+		}
+	}
+	count := 0
+	for i := range composite {
+		if !composite[i] {
+			count++
+		}
+	}
+	return count
+}
+
 // RegisterClasses registers the pipeline classes on a runtime.
 func RegisterClasses(rt *core.Runtime) {
 	rt.RegisterClass("sieve.Filter", NewFilterFactory(rt))
 	rt.RegisterClass("sieve.Sink", func() any { return &Sink{} })
+	rt.RegisterClass("sieve.SegmentWorker", func() any { return SegmentWorker{} })
 }
 
 // Pipeline drives a full pipelined sieve on an existing runtime and
 // returns the primes <= n. The entry node creates the sink and the first
-// filter, streams candidates with asynchronous Posts (subject to the
+// filter, streams candidates with asynchronous Sends (subject to the
 // runtime's aggregation configuration) and waits for the flush marker.
+// The driver rides the typed parc API; the filter chain itself stays
+// dynamic — it grows one parallel object per discovered prime, the
+// paper's running example.
 func Pipeline(rt *core.Runtime, n int) ([]int, error) {
-	sinkP, err := rt.NewParallelObject("sieve.Sink")
+	ctx := context.Background()
+	sink, err := parc.NewAt[Sink](rt, "sieve.Sink")
 	if err != nil {
 		return nil, err
 	}
-	defer sinkP.Destroy()
-	if _, err := sinkP.Invoke("Configure", 1); err != nil {
+	defer sink.Destroy(ctx) //nolint:errcheck // best-effort cleanup
+	if _, err := sink.Invoke(ctx, "Configure", 1); err != nil {
 		return nil, err
 	}
-	first, err := rt.NewParallelObject("sieve.Filter")
+	first, err := parc.NewAt[Filter](rt, "sieve.Filter")
 	if err != nil {
 		return nil, err
 	}
-	if _, err := first.Invoke("Setup", 2, sinkP.Ref()); err != nil {
+	if _, err := first.Invoke(ctx, "Setup", 2, sink.Ref()); err != nil {
 		return nil, err
 	}
 	for i := 3; i <= n; i++ {
-		first.Post("Process", i)
+		_ = first.Send(ctx, "Process", i) // execution errors flow to Err
 	}
-	first.Post("Flush")
-	first.Wait()
-	if err := first.AsyncErr(); err != nil {
+	_ = first.Send(ctx, "Flush")
+	if err := first.Wait(ctx); err != nil {
 		return nil, err
 	}
-	res, err := sinkP.Invoke("Primes")
-	if err != nil {
+	if err := first.Err(); err != nil {
 		return nil, err
 	}
-	switch v := res.(type) {
-	case []int:
-		return v, nil
-	case []any:
-		out := make([]int, len(v))
-		for i, e := range v {
-			out[i], _ = e.(int)
+	return parc.Call[[]int](ctx, sink, "Primes")
+}
+
+// FarmedCount counts primes <= n with the MapReduce skeleton: the base
+// primes up to sqrt(n) are sieved locally, the remaining range is split
+// into one segment per worker, and each SegmentWorker parallel object
+// counts its segment against the scattered base — the farming
+// counterpoint to the fine-grained Pipeline above, and the shape the
+// skeletons benchmark drives across nodes.
+func FarmedCount(rt *core.Runtime, n, workers int) (int, error) {
+	if n < 2 {
+		return 0, nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	root := int(math.Sqrt(float64(n)))
+	base := SequentialList(root)
+	objs := make([]*parc.Object[SegmentWorker], workers)
+	for i := range objs {
+		o, err := parc.NewAt[SegmentWorker](rt, "sieve.SegmentWorker")
+		if err != nil {
+			for _, prev := range objs[:i] {
+				prev.Destroy(context.Background()) //nolint:errcheck // best-effort unwind
+			}
+			return 0, err
 		}
-		return out, nil
+		objs[i] = o
 	}
-	return nil, nil
+	g := parc.GroupOf(objs...)
+	defer g.Destroy(context.Background()) //nolint:errcheck // best-effort cleanup
+	span := n - root
+	return parc.MapReduce(context.Background(), g, "CountSegment",
+		func(i int) []any {
+			return []any{root + 1 + i*span/workers, root + 1 + (i+1)*span/workers, base}
+		},
+		len(base),
+		func(acc int, c int) int { return acc + c },
+	)
 }

@@ -132,3 +132,40 @@ func TestPipelineRepeatable(t *testing.T) {
 		}
 	}
 }
+
+// TestFarmedCountMatchesSequential drives the MapReduce-skeleton sieve on
+// one and three nodes and at awkward worker counts (more workers than
+// span, worker count not dividing the range) against the sequential count.
+func TestFarmedCountMatchesSequential(t *testing.T) {
+	for _, tc := range []struct {
+		nodes, n, workers int
+	}{
+		{1, 1000, 4},
+		{3, 5000, 8},
+		{3, 200, 64}, // degenerate segments: more workers than numbers
+		{1, 9973, 7}, // prime bound, uneven split
+	} {
+		cl := newSieveCluster(t, tc.nodes, core.AggregationConfig{})
+		got, err := FarmedCount(cl.Node(0), tc.n, tc.workers)
+		if err != nil {
+			t.Fatalf("FarmedCount(%d, %d): %v", tc.n, tc.workers, err)
+		}
+		if want := SequentialCount(tc.n, 1); got != want {
+			t.Errorf("FarmedCount(%d, %d) = %d, want %d", tc.n, tc.workers, got, want)
+		}
+	}
+}
+
+// TestFarmedCountTinyBounds pins the edge cases below the first segment.
+func TestFarmedCountTinyBounds(t *testing.T) {
+	cl := newSieveCluster(t, 1, core.AggregationConfig{})
+	for n, want := range map[int]int{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 10: 4} {
+		got, err := FarmedCount(cl.Node(0), n, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("FarmedCount(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

@@ -131,6 +131,44 @@ func (p *Pool) Submit(f func()) error {
 	return nil
 }
 
+// TrySubmit enqueues f without blocking: it reports false when the pool is
+// closed or its queue is full, leaving the caller to run f elsewhere.
+// Completion-driven futures use it for continuation overflow, where
+// blocking the delivering goroutine behind a full queue would stall every
+// caller sharing that completion path.
+func (p *Pool) TrySubmit(f func()) bool {
+	p.closeMu.RLock()
+	defer p.closeMu.RUnlock()
+	if p.closed.Load() {
+		return false
+	}
+	p.submitted.Add(1)
+	enqueued := time.Now()
+	wrapped := func() {
+		p.queuedNanos.Add(time.Since(enqueued).Nanoseconds())
+		defer func() {
+			if r := recover(); r != nil {
+				p.panics.Add(1)
+			}
+		}()
+		f()
+	}
+	select {
+	case p.queue <- wrapped:
+		return true
+	default:
+		p.submitted.Add(-1)
+		// A Wait that observed the transient overcount must re-check, or
+		// it could sleep on a completion that will never come.
+		if p.waiters.Load() > 0 {
+			p.mu.Lock()
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		}
+		return false
+	}
+}
+
 // Wait blocks until every submitted item has completed. It does not close
 // the pool. Completion is signalled by the workers through a condition
 // variable — no polling, no busy-spin.

@@ -1,0 +1,139 @@
+package parc
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// This file holds the dataflow combinators over Result[R]: Then / Catch
+// continuations and the WhenAll / WhenAny aggregators. All of them chain
+// on the completion path — a pending combinator parks no goroutine, and
+// aggregating N results costs N subscriptions, not N waiters. The
+// continuation functions run on whatever goroutine resolves the future
+// (for remote calls, a connection's reader), so they must not block; see
+// the README's "Dataflow combinators & skeletons" section for the rules.
+
+// Then returns a Result resolved by fn applied to r's value. fn runs on
+// the completion path once r resolves successfully; an error in r (or a
+// failed conversion to A) skips fn and propagates. A panic in fn resolves
+// the derived Result with an error. (Then is a function rather than a
+// method because Go methods cannot introduce the result type parameter B.)
+func Then[B any, A any](r *Result[A], fn func(A) (B, error)) *Result[B] {
+	src := r.f
+	if src == nil {
+		src = core.ResolvedFuture(nil, r.err)
+	}
+	cf := src.ThenAny(func(v any, err error) (any, error) {
+		a, err := As[A](v, err)
+		if err != nil {
+			return nil, err
+		}
+		return fn(a)
+	})
+	return &Result[B]{f: cf, cancel: r.cancel}
+}
+
+// Catch returns a Result that resolves to r's value when the call
+// succeeds, and to fn's recovery otherwise. fn runs on the completion
+// path; a panic inside it resolves the derived Result with an error.
+func (r *Result[R]) Catch(fn func(error) (R, error)) *Result[R] {
+	src := r.f
+	if src == nil {
+		src = core.ResolvedFuture(nil, r.err)
+	}
+	cf := src.ThenAny(func(v any, err error) (any, error) {
+		if err == nil {
+			return v, nil
+		}
+		return fn(err)
+	})
+	return &Result[R]{f: cf, cancel: r.cancel}
+}
+
+// WhenAll aggregates every input into one Result that resolves when the
+// last of them does: with the values in input order on success, or with
+// errors.Join of the failures — also in input order, regardless of
+// completion order — when any input failed. It subscribes once per input
+// and counts completions down; no goroutine waits per element.
+func WhenAll[R any](rs ...*Result[R]) *Result[[]R] {
+	f, resolve := core.NewPromise()
+	n := len(rs)
+	if n == 0 {
+		resolve([]R{}, nil)
+		return &Result[[]R]{f: f}
+	}
+	vals := make([]R, n)
+	errs := make([]error, n)
+	var remaining atomic.Int64
+	remaining.Store(int64(n))
+	// The slot writes below happen before the Add that hands off the last
+	// count, and the final Add observes all prior Adds, so finish reads
+	// every slot safely.
+	finish := func() {
+		if err := errors.Join(errs...); err != nil {
+			resolve(nil, err)
+			return
+		}
+		resolve(vals, nil)
+	}
+	for i, r := range rs {
+		if r.f == nil {
+			errs[i] = r.err
+			if remaining.Add(-1) == 0 {
+				finish()
+			}
+			continue
+		}
+		i, r := i, r
+		r.f.OnComplete(func(v any, err error) {
+			vals[i], errs[i] = As[R](v, err)
+			if remaining.Add(-1) == 0 {
+				finish()
+			}
+		})
+	}
+	return &Result[[]R]{f: f}
+}
+
+// ErrWhenAnyEmpty is returned by WhenAny called with no inputs.
+var ErrWhenAnyEmpty = errors.New("parc: WhenAny of zero results")
+
+// WhenAny resolves with the first input to complete — success or failure —
+// and cancels the contexts of the losing calls (their servers may still
+// execute them; cancellation aborts the wait, not the work already
+// dispatched). Abandoned losers still drain through their own futures, so
+// nothing leaks.
+func WhenAny[R any](rs ...*Result[R]) *Result[R] {
+	f, resolve := core.NewPromise()
+	out := &Result[R]{f: f}
+	if len(rs) == 0 {
+		resolve(nil, ErrWhenAnyEmpty)
+		return out
+	}
+	var won atomic.Bool
+	claim := func(idx int, v any, err error) {
+		if !won.CompareAndSwap(false, true) {
+			return
+		}
+		resolve(v, err)
+		for j, l := range rs {
+			if j != idx && l.cancel != nil {
+				l.cancel()
+			}
+		}
+	}
+	for i, r := range rs {
+		if won.Load() {
+			break
+		}
+		if r.f == nil {
+			claim(i, nil, r.err)
+			continue
+		}
+		i := i
+		r.f.OnComplete(func(v any, err error) { claim(i, v, err) })
+	}
+	return out
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"reflect"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 )
@@ -130,31 +131,70 @@ func Call[R any, T any](ctx context.Context, o *Object[T], method string, args .
 
 // CallAsync starts a synchronous-style call without blocking and returns a
 // typed future (the delegate BeginInvoke pattern of the paper's Fig. 4).
+// The call rides the completion path: no goroutine parks per outstanding
+// Result, and Then/Catch continuations chain on reply arrival. The
+// returned Result owns a derived context, which WhenAny uses to cancel
+// the losing calls.
 func CallAsync[R any, T any](ctx context.Context, o *Object[T], method string, args ...any) *Result[R] {
 	if err := checkMethod[T](method); err != nil {
 		return &Result[R]{err: err}
 	}
-	return &Result[R]{f: o.p.InvokeAsyncCtx(ctx, method, args...)}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	f := o.p.InvokeAsyncCtx(cctx, method, args...)
+	// Release the derived context as soon as the call resolves, so a
+	// parent with a deadline does not accumulate dead timer children.
+	f.OnComplete(func(any, error) { cancel() })
+	return &Result[R]{f: f, cancel: cancel}
 }
 
 // Result is the typed future returned by CallAsync.
 type Result[R any] struct {
-	f   *Future
-	err error // immediate failure; the call never started
+	f      *Future
+	cancel context.CancelFunc // cancels the underlying call; may be nil
+	err    error              // immediate failure; the call never started
+
+	// once memoizes the converted outcome: repeated Get calls return the
+	// same (value, error) pair, including after an error — the underlying
+	// future resolves exactly once, and so does its typed view.
+	once sync.Once
+	val  R
+	rerr error
 }
 
 // Get blocks until the call completes (or ctx ends) and converts the
-// result to R.
+// result to R. Repeated calls are idempotent: every Get after the first
+// returns the identical value and error. A Get abandoned because ctx
+// ended returns ctx.Err() without latching anything — the call keeps
+// running and a later Get still observes its outcome.
 func (r *Result[R]) Get(ctx context.Context) (R, error) {
 	var zero R
-	if r.err != nil {
+	if r.f == nil {
 		return zero, r.err
 	}
-	v, err := r.f.GetCtx(ctx)
-	if err != nil {
-		return zero, err
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	return As[R](v, nil)
+	if ctx.Done() != nil {
+		select {
+		case <-r.f.Done():
+		case <-ctx.Done():
+			// Check completion once more: a future resolved between the
+			// select's two ready cases should win over the ctx error.
+			select {
+			case <-r.f.Done():
+			default:
+				return zero, ctx.Err()
+			}
+		}
+	}
+	r.once.Do(func() {
+		v, err := r.f.Get() // completed; returns immediately
+		r.val, r.rerr = As[R](v, err)
+	})
+	return r.val, r.rerr
 }
 
 // Done returns a channel closed when the call completes.
